@@ -1,0 +1,129 @@
+//! Client side of the resource-management API (§III-C).
+//!
+//! Compute-node processes use this next to the computation API: request
+//! accelerators before (static assignment) or during (dynamic assignment)
+//! the job, and release them when done.
+
+use dacc_fabric::mpi::{Endpoint, Rank};
+use dacc_fabric::payload::Payload;
+
+use crate::proto::{arm_tags, ArmError, ArmRequest, ArmResponse, GrantedAccelerator, PoolStats};
+use crate::state::{AcceleratorId, JobId};
+
+/// A compute-node process's connection to the ARM.
+#[derive(Clone)]
+pub struct ArmClient {
+    ep: Endpoint,
+    arm: Rank,
+}
+
+impl ArmClient {
+    /// Connect `ep`'s process to the ARM at rank `arm`.
+    pub fn new(ep: Endpoint, arm: Rank) -> Self {
+        ArmClient { ep, arm }
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    async fn request(&self, req: ArmRequest) -> ArmResponse {
+        self.ep
+            .send(self.arm, arm_tags::REQUEST, Payload::from_vec(req.encode()))
+            .await;
+        let env = self
+            .ep
+            .recv(Some(self.arm), Some(arm_tags::RESPONSE))
+            .await;
+        match env.payload.bytes() {
+            Some(b) => ArmResponse::decode(b).unwrap_or(ArmResponse::Error(ArmError::Malformed)),
+            None => ArmResponse::Error(ArmError::Malformed),
+        }
+    }
+
+    /// Allocate `count` accelerators for `job`, failing fast on shortage.
+    pub async fn allocate(
+        &self,
+        job: JobId,
+        count: u32,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        self.allocate_inner(job, count, false).await
+    }
+
+    /// Allocate `count` accelerators for `job`, queueing until available.
+    pub async fn allocate_waiting(
+        &self,
+        job: JobId,
+        count: u32,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        self.allocate_inner(job, count, true).await
+    }
+
+    async fn allocate_inner(
+        &self,
+        job: JobId,
+        count: u32,
+        wait: bool,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        match self.request(ArmRequest::Allocate { job, count, wait }).await {
+            ArmResponse::Granted(g) => Ok(g),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to allocate: {other:?}"),
+        }
+    }
+
+    /// Release specific accelerators held by `job`.
+    pub async fn release(&self, job: JobId, accels: &[AcceleratorId]) -> Result<u32, ArmError> {
+        match self
+            .request(ArmRequest::Release {
+                job,
+                accels: accels.to_vec(),
+            })
+            .await
+        {
+            ArmResponse::Released { released } => Ok(released),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to release: {other:?}"),
+        }
+    }
+
+    /// Release everything `job` holds (called automatically at job end).
+    pub async fn release_job(&self, job: JobId) -> u32 {
+        match self.request(ArmRequest::ReleaseJob { job }).await {
+            ArmResponse::Released { released } => released,
+            other => panic!("unexpected ARM response to release_job: {other:?}"),
+        }
+    }
+
+    /// Report an accelerator broken.
+    pub async fn mark_broken(&self, accel: AcceleratorId) -> Result<(), ArmError> {
+        match self.request(ArmRequest::MarkBroken { accel }).await {
+            ArmResponse::Released { .. } => Ok(()),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to mark_broken: {other:?}"),
+        }
+    }
+
+    /// Return a repaired accelerator to the pool.
+    pub async fn repair(&self, accel: AcceleratorId) -> Result<(), ArmError> {
+        match self.request(ArmRequest::Repair { accel }).await {
+            ArmResponse::Released { .. } => Ok(()),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to repair: {other:?}"),
+        }
+    }
+
+    /// Query pool counters.
+    pub async fn query(&self) -> PoolStats {
+        match self.request(ArmRequest::Query).await {
+            ArmResponse::Stats(s) => s,
+            other => panic!("unexpected ARM response to query: {other:?}"),
+        }
+    }
+
+    /// Ask the ARM server to stop (simulation tear-down).
+    pub async fn shutdown(&self) {
+        let _ = self.request(ArmRequest::Shutdown).await;
+    }
+}

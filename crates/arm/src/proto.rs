@@ -1,0 +1,425 @@
+//! ARM wire protocol: a compact little-endian binary codec.
+//!
+//! Resource-management requests travel over the same interconnect as
+//! everything else (the ARM is just another endpoint on the fabric), so
+//! requests and responses are encoded to real bytes.
+
+use crate::state::{AcceleratorId, JobId};
+use dacc_fabric::mpi::Rank;
+use dacc_fabric::topology::NodeId;
+
+/// Reserved fabric tags for ARM traffic.
+pub mod arm_tags {
+    use dacc_fabric::mpi::Tag;
+    /// Client → ARM requests.
+    pub const REQUEST: Tag = Tag(0xFFFF_0010);
+    /// ARM → client responses.
+    pub const RESPONSE: Tag = Tag(0xFFFF_0011);
+}
+
+/// A request to the accelerator resource manager.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ArmRequest {
+    /// Allocate `count` accelerators for `job`. `wait` queues the request
+    /// until enough accelerators free up; otherwise insufficient capacity
+    /// fails immediately.
+    Allocate {
+        /// Requesting job.
+        job: JobId,
+        /// Number of accelerators wanted.
+        count: u32,
+        /// Queue instead of failing when short.
+        wait: bool,
+    },
+    /// Release specific accelerators held by `job`.
+    Release {
+        /// Owning job.
+        job: JobId,
+        /// Accelerators to return.
+        accels: Vec<AcceleratorId>,
+    },
+    /// Release everything held by `job` (automatic at job end, §III-C).
+    ReleaseJob {
+        /// Finished job.
+        job: JobId,
+    },
+    /// Report an accelerator broken (operator/diagnostic action).
+    MarkBroken {
+        /// The failed accelerator.
+        accel: AcceleratorId,
+    },
+    /// Query pool counters.
+    Query,
+    /// Return a repaired accelerator to service.
+    Repair {
+        /// The repaired accelerator.
+        accel: AcceleratorId,
+    },
+    /// Stop the ARM server (orderly simulation tear-down).
+    Shutdown,
+}
+
+/// A granted accelerator: everything a compute node needs to reach it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GrantedAccelerator {
+    /// Accelerator identity.
+    pub accel: AcceleratorId,
+    /// Fabric rank of the accelerator's daemon.
+    pub daemon_rank: Rank,
+    /// Node the accelerator lives on.
+    pub node: NodeId,
+}
+
+/// Pool counters returned by [`ArmRequest::Query`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PoolStats {
+    /// Accelerators free for assignment.
+    pub free: u32,
+    /// Accelerators currently assigned.
+    pub assigned: u32,
+    /// Accelerators marked broken.
+    pub broken: u32,
+    /// Allocation requests waiting in the queue.
+    pub queued_requests: u32,
+}
+
+/// A response from the accelerator resource manager.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ArmResponse {
+    /// Allocation succeeded.
+    Granted(Vec<GrantedAccelerator>),
+    /// Release acknowledged (`released` = how many returned to the pool).
+    Released {
+        /// Accelerators returned to the free pool.
+        released: u32,
+    },
+    /// Request failed.
+    Error(ArmError),
+    /// Pool counters.
+    Stats(PoolStats),
+}
+
+/// ARM-level failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArmError {
+    /// Not enough free accelerators (and the request did not ask to wait).
+    Insufficient {
+        /// Accelerators requested.
+        requested: u32,
+        /// Accelerators free at the time.
+        free: u32,
+    },
+    /// Released an accelerator the job does not hold.
+    NotHeld,
+    /// Request referenced an unknown accelerator.
+    UnknownAccelerator,
+    /// The wire message could not be decoded.
+    Malformed,
+}
+
+impl std::fmt::Display for ArmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArmError::Insufficient { requested, free } => {
+                write!(f, "insufficient accelerators: requested {requested}, free {free}")
+            }
+            ArmError::NotHeld => write!(f, "accelerator not held by this job"),
+            ArmError::UnknownAccelerator => write!(f, "unknown accelerator"),
+            ArmError::Malformed => write!(f, "malformed ARM message"),
+        }
+    }
+}
+impl std::error::Error for ArmError {}
+
+// --- codec helpers ---
+
+pub(crate) struct Writer(pub Vec<u8>);
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer(Vec::with_capacity(32))
+    }
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    pub fn u8(&mut self) -> Result<u8, ArmError> {
+        let v = *self.buf.get(self.pos).ok_or(ArmError::Malformed)?;
+        self.pos += 1;
+        Ok(v)
+    }
+    pub fn u32(&mut self) -> Result<u32, ArmError> {
+        let end = self.pos + 4;
+        let s = self.buf.get(self.pos..end).ok_or(ArmError::Malformed)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub fn u64(&mut self) -> Result<u64, ArmError> {
+        let end = self.pos + 8;
+        let s = self.buf.get(self.pos..end).ok_or(ArmError::Malformed)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub fn finish(&self) -> Result<(), ArmError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ArmError::Malformed)
+        }
+    }
+}
+
+impl ArmRequest {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ArmRequest::Allocate { job, count, wait } => {
+                w.u8(0);
+                w.u64(job.0);
+                w.u32(*count);
+                w.u8(u8::from(*wait));
+            }
+            ArmRequest::Release { job, accels } => {
+                w.u8(1);
+                w.u64(job.0);
+                w.u32(accels.len() as u32);
+                for a in accels {
+                    w.u32(a.0 as u32);
+                }
+            }
+            ArmRequest::ReleaseJob { job } => {
+                w.u8(2);
+                w.u64(job.0);
+            }
+            ArmRequest::MarkBroken { accel } => {
+                w.u8(3);
+                w.u32(accel.0 as u32);
+            }
+            ArmRequest::Query => w.u8(4),
+            ArmRequest::Shutdown => w.u8(5),
+            ArmRequest::Repair { accel } => {
+                w.u8(6);
+                w.u32(accel.0 as u32);
+            }
+        }
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, ArmError> {
+        let mut r = Reader::new(buf);
+        let req = match r.u8()? {
+            0 => ArmRequest::Allocate {
+                job: JobId(r.u64()?),
+                count: r.u32()?,
+                wait: r.u8()? != 0,
+            },
+            1 => {
+                let job = JobId(r.u64()?);
+                let n = r.u32()?;
+                let mut accels = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    accels.push(AcceleratorId(r.u32()? as usize));
+                }
+                ArmRequest::Release { job, accels }
+            }
+            2 => ArmRequest::ReleaseJob { job: JobId(r.u64()?) },
+            3 => ArmRequest::MarkBroken {
+                accel: AcceleratorId(r.u32()? as usize),
+            },
+            4 => ArmRequest::Query,
+            5 => ArmRequest::Shutdown,
+            6 => ArmRequest::Repair {
+                accel: AcceleratorId(r.u32()? as usize),
+            },
+            _ => return Err(ArmError::Malformed),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl ArmResponse {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ArmResponse::Granted(grants) => {
+                w.u8(0);
+                w.u32(grants.len() as u32);
+                for g in grants {
+                    w.u32(g.accel.0 as u32);
+                    w.u32(g.daemon_rank.0 as u32);
+                    w.u32(g.node.0 as u32);
+                }
+            }
+            ArmResponse::Released { released } => {
+                w.u8(1);
+                w.u32(*released);
+            }
+            ArmResponse::Error(e) => {
+                w.u8(2);
+                match e {
+                    ArmError::Insufficient { requested, free } => {
+                        w.u8(0);
+                        w.u32(*requested);
+                        w.u32(*free);
+                    }
+                    ArmError::NotHeld => w.u8(1),
+                    ArmError::UnknownAccelerator => w.u8(2),
+                    ArmError::Malformed => w.u8(3),
+                }
+            }
+            ArmResponse::Stats(s) => {
+                w.u8(3);
+                w.u32(s.free);
+                w.u32(s.assigned);
+                w.u32(s.broken);
+                w.u32(s.queued_requests);
+            }
+        }
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, ArmError> {
+        let mut r = Reader::new(buf);
+        let resp = match r.u8()? {
+            0 => {
+                let n = r.u32()?;
+                let mut grants = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    grants.push(GrantedAccelerator {
+                        accel: AcceleratorId(r.u32()? as usize),
+                        daemon_rank: Rank(r.u32()? as usize),
+                        node: NodeId(r.u32()? as usize),
+                    });
+                }
+                ArmResponse::Granted(grants)
+            }
+            1 => ArmResponse::Released { released: r.u32()? },
+            2 => ArmResponse::Error(match r.u8()? {
+                0 => ArmError::Insufficient {
+                    requested: r.u32()?,
+                    free: r.u32()?,
+                },
+                1 => ArmError::NotHeld,
+                2 => ArmError::UnknownAccelerator,
+                3 => ArmError::Malformed,
+                _ => return Err(ArmError::Malformed),
+            }),
+            3 => ArmResponse::Stats(PoolStats {
+                free: r.u32()?,
+                assigned: r.u32()?,
+                broken: r.u32()?,
+                queued_requests: r.u32()?,
+            }),
+            _ => return Err(ArmError::Malformed),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: ArmRequest) {
+        assert_eq!(ArmRequest::decode(&req.encode()), Ok(req));
+    }
+
+    fn roundtrip_resp(resp: ArmResponse) {
+        assert_eq!(ArmResponse::decode(&resp.encode()), Ok(resp));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(ArmRequest::Allocate {
+            job: JobId(42),
+            count: 3,
+            wait: true,
+        });
+        roundtrip_req(ArmRequest::Release {
+            job: JobId(1),
+            accels: vec![AcceleratorId(0), AcceleratorId(7)],
+        });
+        roundtrip_req(ArmRequest::ReleaseJob { job: JobId(9) });
+        roundtrip_req(ArmRequest::MarkBroken {
+            accel: AcceleratorId(2),
+        });
+        roundtrip_req(ArmRequest::Query);
+        roundtrip_req(ArmRequest::Shutdown);
+        roundtrip_req(ArmRequest::Repair {
+            accel: AcceleratorId(1),
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(ArmResponse::Granted(vec![GrantedAccelerator {
+            accel: AcceleratorId(1),
+            daemon_rank: Rank(5),
+            node: NodeId(3),
+        }]));
+        roundtrip_resp(ArmResponse::Released { released: 2 });
+        roundtrip_resp(ArmResponse::Error(ArmError::Insufficient {
+            requested: 4,
+            free: 1,
+        }));
+        roundtrip_resp(ArmResponse::Error(ArmError::NotHeld));
+        roundtrip_resp(ArmResponse::Stats(PoolStats {
+            free: 1,
+            assigned: 2,
+            broken: 3,
+            queued_requests: 4,
+        }));
+    }
+
+    #[test]
+    fn truncated_input_is_malformed() {
+        let bytes = ArmRequest::Allocate {
+            job: JobId(1),
+            count: 1,
+            wait: false,
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                ArmRequest::decode(&bytes[..cut]),
+                Err(ArmError::Malformed),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut bytes = ArmRequest::Query.encode();
+        bytes.push(0xAA);
+        assert_eq!(ArmRequest::decode(&bytes), Err(ArmError::Malformed));
+    }
+
+    #[test]
+    fn unknown_opcode_is_malformed() {
+        assert_eq!(ArmRequest::decode(&[99]), Err(ArmError::Malformed));
+        assert_eq!(ArmResponse::decode(&[99]), Err(ArmError::Malformed));
+    }
+}

@@ -1,0 +1,349 @@
+//! The ARM server task: services allocation traffic over the fabric.
+
+use std::collections::VecDeque;
+
+use dacc_fabric::mpi::{Endpoint, Rank};
+use dacc_fabric::payload::Payload;
+use dacc_sim::prelude::*;
+
+use crate::proto::{arm_tags, ArmError, ArmRequest, ArmResponse};
+use crate::state::{JobId, Pool};
+
+/// ARM server tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ArmServerConfig {
+    /// CPU time to process one request.
+    pub service_time: SimDuration,
+}
+
+impl Default for ArmServerConfig {
+    fn default() -> Self {
+        ArmServerConfig {
+            service_time: SimDuration::from_micros(2),
+        }
+    }
+}
+
+struct Waiting {
+    requester: Rank,
+    job: JobId,
+    count: u32,
+}
+
+/// Run the accelerator resource manager on `ep` until a `Shutdown` request
+/// arrives. Returns the final pool (for inspection).
+///
+/// Waiting allocation requests are served strictly FIFO: releases only ever
+/// satisfy the queue head first, so large requests cannot be starved by a
+/// stream of small ones.
+pub async fn run_arm_server(ep: Endpoint, mut pool: Pool, config: ArmServerConfig) -> Pool {
+    let mut queue: VecDeque<Waiting> = VecDeque::new();
+    loop {
+        let env = ep.recv(None, Some(arm_tags::REQUEST)).await;
+        let requester = env.src;
+        let req = match env
+            .payload
+            .bytes()
+            .ok_or(ArmError::Malformed)
+            .and_then(|b| ArmRequest::decode(b))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                respond(&ep, requester, ArmResponse::Error(e)).await;
+                continue;
+            }
+        };
+        // Model the ARM's processing cost.
+        ep.fabric().handle().delay(config.service_time).await;
+
+        match req {
+            ArmRequest::Allocate { job, count, wait } => {
+                // FIFO fairness: if anyone is already queued, new waiting
+                // requests go behind them even if satisfiable now.
+                let must_queue = wait && !queue.is_empty();
+                if must_queue {
+                    queue.push_back(Waiting {
+                        requester,
+                        job,
+                        count,
+                    });
+                    continue;
+                }
+                match pool.try_allocate(job, count) {
+                    Ok(grants) => respond(&ep, requester, ArmResponse::Granted(grants)).await,
+                    Err(e @ ArmError::Insufficient { .. }) if wait => {
+                        let _ = e;
+                        queue.push_back(Waiting {
+                            requester,
+                            job,
+                            count,
+                        });
+                    }
+                    Err(e) => respond(&ep, requester, ArmResponse::Error(e)).await,
+                }
+            }
+            ArmRequest::Release { job, accels } => {
+                let resp = match pool.release(job, &accels) {
+                    Ok(released) => ArmResponse::Released { released },
+                    Err(e) => ArmResponse::Error(e),
+                };
+                respond(&ep, requester, resp).await;
+                drain_queue(&ep, &mut pool, &mut queue).await;
+            }
+            ArmRequest::ReleaseJob { job } => {
+                let released = pool.release_job(job);
+                respond(&ep, requester, ArmResponse::Released { released }).await;
+                drain_queue(&ep, &mut pool, &mut queue).await;
+            }
+            ArmRequest::MarkBroken { accel } => {
+                let resp = match pool.mark_broken(accel) {
+                    Ok(()) => ArmResponse::Released { released: 0 },
+                    Err(e) => ArmResponse::Error(e),
+                };
+                respond(&ep, requester, resp).await;
+            }
+            ArmRequest::Query => {
+                let mut stats = pool.stats();
+                stats.queued_requests = queue.len() as u32;
+                respond(&ep, requester, ArmResponse::Stats(stats)).await;
+            }
+            ArmRequest::Repair { accel } => {
+                let resp = match pool.repair(accel) {
+                    Ok(()) => ArmResponse::Released { released: 0 },
+                    Err(e) => ArmResponse::Error(e),
+                };
+                respond(&ep, requester, resp).await;
+                // A repaired accelerator may satisfy a queued request.
+                drain_queue(&ep, &mut pool, &mut queue).await;
+            }
+            ArmRequest::Shutdown => {
+                respond(&ep, requester, ArmResponse::Released { released: 0 }).await;
+                return pool;
+            }
+        }
+    }
+}
+
+async fn drain_queue(ep: &Endpoint, pool: &mut Pool, queue: &mut VecDeque<Waiting>) {
+    while let Some(head) = queue.front() {
+        match pool.try_allocate(head.job, head.count) {
+            Ok(grants) => {
+                let head = queue.pop_front().unwrap();
+                respond(ep, head.requester, ArmResponse::Granted(grants)).await;
+            }
+            Err(_) => break, // strict FIFO: head blocks the rest
+        }
+    }
+}
+
+async fn respond(ep: &Endpoint, to: Rank, resp: ArmResponse) {
+    ep.send(to, arm_tags::RESPONSE, Payload::from_vec(resp.encode()))
+        .await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ArmClient;
+    use crate::state::{inventory, AcceleratorId, Pool};
+    use dacc_fabric::mpi::Fabric;
+    use dacc_fabric::topology::{FabricParams, NodeId, Topology};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Cluster: node 0 = ARM, node 1.. = compute nodes, accelerators on
+    /// dedicated nodes after that (daemon ranks are placeholders here; the
+    /// ARM does not talk to daemons).
+    fn setup(n_cn: usize, n_ac: usize) -> (Sim, Fabric, Vec<Endpoint>, Endpoint) {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 1 + n_cn + n_ac, FabricParams::qdr_infiniband());
+        let fabric = Fabric::new(&h, topo);
+        let arm_ep = fabric.add_endpoint(NodeId(0));
+        let cn_eps: Vec<Endpoint> = (0..n_cn)
+            .map(|i| fabric.add_endpoint(NodeId(1 + i)))
+            .collect();
+        (sim, fabric, cn_eps, arm_ep)
+    }
+
+    fn spawn_arm(sim: &Sim, arm_ep: Endpoint, n_ac: usize, n_cn: usize) {
+        let nodes: Vec<NodeId> = (0..n_ac).map(|i| NodeId(1 + n_cn + i)).collect();
+        let ranks: Vec<Rank> = (0..n_ac).map(|i| Rank(1 + n_cn + i)).collect();
+        let pool = Pool::new(inventory(&nodes, &ranks));
+        sim.spawn("arm", async move {
+            run_arm_server(arm_ep, pool, ArmServerConfig::default()).await;
+        });
+    }
+
+    #[test]
+    fn allocate_use_release_over_fabric() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 3);
+        spawn_arm(&sim, arm_ep, 3, 1);
+        let cn = cns.remove(0);
+        let result = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            let grants = client.allocate(JobId(1), 2).await.unwrap();
+            assert_eq!(grants.len(), 2);
+            let stats = client.query().await;
+            assert_eq!((stats.free, stats.assigned), (1, 2));
+            let released = client.release_job(JobId(1)).await;
+            assert_eq!(released, 2);
+            let stats = client.query().await;
+            client.shutdown().await;
+            stats.free
+        });
+        sim.run();
+        assert_eq!(result.try_take(), Some(3));
+    }
+
+    #[test]
+    fn failfast_insufficient() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 1);
+        spawn_arm(&sim, arm_ep, 1, 1);
+        let cn = cns.remove(0);
+        let result = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            client.allocate(JobId(1), 1).await.unwrap();
+            let err = client.allocate(JobId(2), 1).await.unwrap_err();
+            client.shutdown().await;
+            err
+        });
+        sim.run();
+        assert_eq!(
+            result.try_take(),
+            Some(ArmError::Insufficient {
+                requested: 1,
+                free: 0
+            })
+        );
+    }
+
+    #[test]
+    fn waiting_allocation_granted_on_release() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(2, 1);
+        spawn_arm(&sim, arm_ep, 1, 2);
+        let cn_a = cns.remove(0);
+        let cn_b = cns.remove(0);
+        let h = sim.handle();
+        let grant_time = Rc::new(RefCell::new(SimTime::ZERO));
+        {
+            // Job 1 holds the accelerator for 1ms, then releases.
+            let h = h.clone();
+            sim.spawn("job1", async move {
+                let client = ArmClient::new(cn_a, Rank(0));
+                client.allocate(JobId(1), 1).await.unwrap();
+                h.delay(SimDuration::from_millis(1)).await;
+                client.release_job(JobId(1)).await;
+            });
+        }
+        {
+            // Job 2 queues at ~10us and is granted after job 1 releases.
+            let h = h.clone();
+            let grant_time = Rc::clone(&grant_time);
+            sim.spawn("job2", async move {
+                h.delay(SimDuration::from_micros(10)).await;
+                let client = ArmClient::new(cn_b, Rank(0));
+                let grants = client.allocate_waiting(JobId(2), 1).await.unwrap();
+                assert_eq!(grants.len(), 1);
+                *grant_time.borrow_mut() = h.now();
+                client.release_job(JobId(2)).await;
+                client.shutdown().await;
+            });
+        }
+        sim.run();
+        assert!(
+            *grant_time.borrow() >= SimTime::ZERO + SimDuration::from_millis(1),
+            "granted at {} before release",
+            *grant_time.borrow()
+        );
+    }
+
+    #[test]
+    fn broken_accelerator_excluded_from_grants() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 2);
+        spawn_arm(&sim, arm_ep, 2, 1);
+        let cn = cns.remove(0);
+        let got = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            client.mark_broken(AcceleratorId(0)).await.unwrap();
+            let grants = client.allocate(JobId(1), 1).await.unwrap();
+            client.shutdown().await;
+            grants[0].accel
+        });
+        sim.run();
+        assert_eq!(got.try_take(), Some(AcceleratorId(1)));
+    }
+
+    #[test]
+    fn fifo_queue_is_fair() {
+        // One accelerator; jobs 2 and 3 queue in order; grants follow order.
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(3, 1);
+        spawn_arm(&sim, arm_ep, 1, 3);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let holder = cns.remove(0);
+        let h0 = sim.handle();
+        sim.spawn("job1", async move {
+            let client = ArmClient::new(holder, Rank(0));
+            client.allocate(JobId(1), 1).await.unwrap();
+            h0.delay(SimDuration::from_millis(1)).await;
+            client.release_job(JobId(1)).await;
+        });
+        for (i, job) in [(0usize, 2u64), (1, 3)] {
+            let cn = cns.remove(0);
+            let h = sim.handle();
+            let order = Rc::clone(&order);
+            sim.spawn("waiter", async move {
+                // Stagger arrivals so queue order is deterministic.
+                h.delay(SimDuration::from_micros(10 * (i as u64 + 1))).await;
+                let client = ArmClient::new(cn, Rank(0));
+                client.allocate_waiting(JobId(job), 1).await.unwrap();
+                order.borrow_mut().push(job);
+                h.delay(SimDuration::from_micros(100)).await;
+                client.release_job(JobId(job)).await;
+                if job == 3 {
+                    client.shutdown().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod repair_tests {
+    use super::*;
+    use crate::client::ArmClient;
+    use crate::state::{inventory, AcceleratorId, Pool};
+    use dacc_fabric::mpi::Fabric;
+    use dacc_fabric::topology::{FabricParams, NodeId, Topology};
+
+    #[test]
+    fn repair_returns_accelerator_and_unblocks_queue() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 3, FabricParams::qdr_infiniband());
+        let fabric = Fabric::new(&h, topo);
+        let arm_ep = fabric.add_endpoint(NodeId(0));
+        let cn = fabric.add_endpoint(NodeId(1));
+        let pool = Pool::new(inventory(&[NodeId(2)], &[Rank(2)]));
+        sim.spawn("arm", async move {
+            run_arm_server(arm_ep, pool, ArmServerConfig::default()).await;
+        });
+        let out = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            // Break the only accelerator; allocation must fail.
+            client.mark_broken(AcceleratorId(0)).await.unwrap();
+            let err = client.allocate(JobId(1), 1).await.unwrap_err();
+            assert!(matches!(err, ArmError::Insufficient { free: 0, .. }));
+            // Repair it; allocation succeeds again.
+            client.repair(AcceleratorId(0)).await.unwrap();
+            let grants = client.allocate(JobId(1), 1).await.unwrap();
+            client.release_job(JobId(1)).await;
+            client.shutdown().await;
+            grants.len()
+        });
+        sim.run();
+        assert_eq!(out.try_take(), Some(1));
+    }
+}

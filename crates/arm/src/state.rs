@@ -1,0 +1,468 @@
+//! ARM pool state: the accelerator inventory and assignment bookkeeping.
+//!
+//! Pure, synchronous state machine — the async server in
+//! [`crate::server`] drives it. Keeping it pure makes the exclusivity and
+//! conservation invariants directly testable (including with proptest).
+
+use std::collections::HashMap;
+
+use dacc_fabric::mpi::Rank;
+use dacc_fabric::topology::NodeId;
+
+use crate::proto::{ArmError, GrantedAccelerator, PoolStats};
+
+/// Identifies one accelerator in the pool.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AcceleratorId(pub usize);
+
+/// Identifies a job (a set of cooperating compute-node processes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+/// Lifecycle state of one accelerator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccelState {
+    /// Available for assignment.
+    Free,
+    /// Exclusively assigned to a job.
+    Assigned(JobId),
+    /// Failed; removed from the pool until repaired.
+    Broken,
+}
+
+/// Static description of one accelerator.
+#[derive(Clone, Copy, Debug)]
+pub struct AcceleratorDesc {
+    /// Identity in the pool.
+    pub id: AcceleratorId,
+    /// Node the accelerator occupies.
+    pub node: NodeId,
+    /// Fabric rank of its back-end daemon.
+    pub daemon_rank: Rank,
+}
+
+/// Which free accelerator an allocation picks first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AllocPolicy {
+    /// Lowest id first (dense packing; predictable for tests).
+    #[default]
+    FirstFit,
+    /// Rotate the starting point so grants spread across the pool
+    /// (evens out per-accelerator wear and thermal load).
+    RoundRobin,
+}
+
+/// The ARM's pool: inventory plus assignment map.
+pub struct Pool {
+    accels: Vec<AcceleratorDesc>,
+    state: Vec<AccelState>,
+    held_by: HashMap<JobId, Vec<AcceleratorId>>,
+    total_grants: u64,
+    policy: AllocPolicy,
+    cursor: usize,
+}
+
+impl Pool {
+    /// Build a pool from an inventory.
+    pub fn new(accels: Vec<AcceleratorDesc>) -> Self {
+        for (i, a) in accels.iter().enumerate() {
+            assert_eq!(a.id.0, i, "accelerator ids must be dense and ordered");
+        }
+        let n = accels.len();
+        Pool {
+            accels,
+            state: vec![AccelState::Free; n],
+            held_by: HashMap::new(),
+            total_grants: 0,
+            policy: AllocPolicy::FirstFit,
+            cursor: 0,
+        }
+    }
+
+    /// Build a pool with an explicit allocation policy.
+    pub fn with_policy(accels: Vec<AcceleratorDesc>, policy: AllocPolicy) -> Self {
+        let mut p = Self::new(accels);
+        p.policy = policy;
+        p
+    }
+
+    /// The allocation policy in force.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Number of accelerators (any state).
+    pub fn len(&self) -> usize {
+        self.accels.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accels.is_empty()
+    }
+
+    /// Current state of one accelerator.
+    pub fn state_of(&self, id: AcceleratorId) -> Result<AccelState, ArmError> {
+        self.state
+            .get(id.0)
+            .copied()
+            .ok_or(ArmError::UnknownAccelerator)
+    }
+
+    /// Free accelerators right now.
+    pub fn free_count(&self) -> u32 {
+        self.state
+            .iter()
+            .filter(|s| matches!(s, AccelState::Free))
+            .count() as u32
+    }
+
+    /// Pool counters (queue depth filled in by the server).
+    pub fn stats(&self) -> PoolStats {
+        let mut s = PoolStats::default();
+        for st in &self.state {
+            match st {
+                AccelState::Free => s.free += 1,
+                AccelState::Assigned(_) => s.assigned += 1,
+                AccelState::Broken => s.broken += 1,
+            }
+        }
+        s
+    }
+
+    /// Total allocations granted over the pool's lifetime.
+    pub fn total_grants(&self) -> u64 {
+        self.total_grants
+    }
+
+    /// Accelerators currently held by `job` (empty if none).
+    pub fn held_by(&self, job: JobId) -> &[AcceleratorId] {
+        self.held_by.get(&job).map_or(&[], Vec::as_slice)
+    }
+
+    /// Try to assign `count` free accelerators to `job` (lowest ids first).
+    ///
+    /// All-or-nothing: on shortage nothing is assigned and
+    /// [`ArmError::Insufficient`] is returned.
+    pub fn try_allocate(
+        &mut self,
+        job: JobId,
+        count: u32,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        let free = self.free_count();
+        if free < count {
+            return Err(ArmError::Insufficient {
+                requested: count,
+                free,
+            });
+        }
+        let n = self.state.len();
+        let start = match self.policy {
+            AllocPolicy::FirstFit => 0,
+            AllocPolicy::RoundRobin => self.cursor % n.max(1),
+        };
+        let mut grants = Vec::with_capacity(count as usize);
+        for step in 0..n {
+            if grants.len() as u32 == count {
+                break;
+            }
+            let i = (start + step) % n;
+            if self.state[i] == AccelState::Free {
+                self.state[i] = AccelState::Assigned(job);
+                let d = self.accels[i];
+                grants.push(GrantedAccelerator {
+                    accel: d.id,
+                    daemon_rank: d.daemon_rank,
+                    node: d.node,
+                });
+                self.held_by.entry(job).or_default().push(d.id);
+                if self.policy == AllocPolicy::RoundRobin {
+                    self.cursor = i + 1;
+                }
+            }
+        }
+        self.total_grants += count as u64;
+        Ok(grants)
+    }
+
+    /// Release specific accelerators held by `job`. Broken accelerators are
+    /// acknowledged but stay broken. Returns how many returned to Free.
+    pub fn release(&mut self, job: JobId, accels: &[AcceleratorId]) -> Result<u32, ArmError> {
+        // Validate everything first: release is all-or-nothing.
+        for id in accels {
+            match self.state_of(*id)? {
+                AccelState::Assigned(owner) if owner == job => {}
+                AccelState::Broken
+                    if self.held_by.get(&job).is_some_and(|v| v.contains(id)) => {}
+                _ => return Err(ArmError::NotHeld),
+            }
+        }
+        let mut released = 0;
+        for id in accels {
+            if self.state[id.0] == AccelState::Assigned(job) {
+                self.state[id.0] = AccelState::Free;
+                released += 1;
+            }
+            if let Some(held) = self.held_by.get_mut(&job) {
+                held.retain(|h| h != id);
+            }
+        }
+        if self.held_by.get(&job).is_some_and(Vec::is_empty) {
+            self.held_by.remove(&job);
+        }
+        Ok(released)
+    }
+
+    /// Release everything `job` holds (automatic release at job end).
+    pub fn release_job(&mut self, job: JobId) -> u32 {
+        let held = self.held_by.remove(&job).unwrap_or_default();
+        let mut released = 0;
+        for id in held {
+            if self.state[id.0] == AccelState::Assigned(job) {
+                self.state[id.0] = AccelState::Free;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Mark an accelerator broken. A broken accelerator never gets assigned
+    /// again until [`Pool::repair`]; compute nodes are unaffected (§III-A:
+    /// fault isolation).
+    pub fn mark_broken(&mut self, id: AcceleratorId) -> Result<(), ArmError> {
+        match self.state_of(id)? {
+            AccelState::Broken => Ok(()),
+            _ => {
+                self.state[id.0] = AccelState::Broken;
+                Ok(())
+            }
+        }
+    }
+
+    /// Return a broken accelerator to service.
+    pub fn repair(&mut self, id: AcceleratorId) -> Result<(), ArmError> {
+        match self.state_of(id)? {
+            AccelState::Broken => {
+                // If some job still nominally holds it, hand it back to them?
+                // No: repair returns it to the free pool; the holding job
+                // already saw the failure.
+                for held in self.held_by.values_mut() {
+                    held.retain(|h| *h != id);
+                }
+                self.state[id.0] = AccelState::Free;
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Internal consistency check, used by tests:
+    /// every `Assigned(j)` appears exactly once in `held_by[j]` and
+    /// vice versa (modulo broken accelerators still charged to a job).
+    pub fn check_invariants(&self) {
+        for (i, st) in self.state.iter().enumerate() {
+            if let AccelState::Assigned(job) = st {
+                let held = self.held_by.get(job).expect("assigned but not held");
+                assert_eq!(
+                    held.iter().filter(|h| h.0 == i).count(),
+                    1,
+                    "accelerator {i} held {} times by {job:?}",
+                    held.iter().filter(|h| h.0 == i).count()
+                );
+            }
+        }
+        for (job, held) in &self.held_by {
+            for id in held {
+                match self.state[id.0] {
+                    AccelState::Assigned(owner) => assert_eq!(owner, *job, "cross-job hold"),
+                    AccelState::Broken => {}
+                    AccelState::Free => panic!("held accelerator {id:?} is Free"),
+                }
+            }
+        }
+    }
+}
+
+/// Build a dense inventory: accelerator `i` on `nodes[i]` with daemon rank
+/// `ranks[i]`.
+pub fn inventory(nodes: &[NodeId], ranks: &[Rank]) -> Vec<AcceleratorDesc> {
+    assert_eq!(nodes.len(), ranks.len());
+    nodes
+        .iter()
+        .zip(ranks)
+        .enumerate()
+        .map(|(i, (&node, &daemon_rank))| AcceleratorDesc {
+            id: AcceleratorId(i),
+            node,
+            daemon_rank,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Pool {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let ranks: Vec<Rank> = (100..100 + n).map(Rank).collect();
+        Pool::new(inventory(&nodes, &ranks))
+    }
+
+    #[test]
+    fn allocate_assigns_lowest_free_ids() {
+        let mut p = pool(4);
+        let g = p.try_allocate(JobId(1), 2).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].accel, AcceleratorId(0));
+        assert_eq!(g[1].accel, AcceleratorId(1));
+        assert_eq!(g[0].daemon_rank, Rank(100));
+        assert_eq!(p.free_count(), 2);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn round_robin_spreads_grants() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let ranks: Vec<Rank> = (100..104).map(Rank).collect();
+        let mut p = Pool::with_policy(inventory(&nodes, &ranks), AllocPolicy::RoundRobin);
+        // Allocate and release one accelerator repeatedly: the grants rotate
+        // through the pool instead of hammering accelerator 0.
+        let mut seen = Vec::new();
+        for j in 0..4 {
+            let g = p.try_allocate(JobId(j), 1).unwrap();
+            seen.push(g[0].accel.0);
+            p.release_job(JobId(j));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3], "grants did not rotate");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn round_robin_wraps_and_skips_busy() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let ranks: Vec<Rank> = (100..103).map(Rank).collect();
+        let mut p = Pool::with_policy(inventory(&nodes, &ranks), AllocPolicy::RoundRobin);
+        let g1 = p.try_allocate(JobId(1), 1).unwrap(); // accel 0
+        let g2 = p.try_allocate(JobId(2), 1).unwrap(); // accel 1
+        assert_eq!((g1[0].accel.0, g2[0].accel.0), (0, 1));
+        p.release_job(JobId(1)); // accel 0 free again
+        // Cursor sits past 1: next grant is 2, then wraps to 0.
+        let g3 = p.try_allocate(JobId(3), 2).unwrap();
+        let ids: Vec<usize> = g3.iter().map(|g| g.accel.0).collect();
+        assert_eq!(ids, vec![2, 0]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn allocation_is_all_or_nothing() {
+        let mut p = pool(3);
+        p.try_allocate(JobId(1), 2).unwrap();
+        let err = p.try_allocate(JobId(2), 2).unwrap_err();
+        assert_eq!(
+            err,
+            ArmError::Insufficient {
+                requested: 2,
+                free: 1
+            }
+        );
+        assert_eq!(p.free_count(), 1, "failed allocation must not leak");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn exclusive_assignment() {
+        let mut p = pool(2);
+        p.try_allocate(JobId(1), 1).unwrap();
+        p.try_allocate(JobId(2), 1).unwrap();
+        assert_eq!(p.state_of(AcceleratorId(0)), Ok(AccelState::Assigned(JobId(1))));
+        assert_eq!(p.state_of(AcceleratorId(1)), Ok(AccelState::Assigned(JobId(2))));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn release_returns_to_pool_and_is_reusable() {
+        let mut p = pool(2);
+        let g = p.try_allocate(JobId(1), 2).unwrap();
+        let ids: Vec<_> = g.iter().map(|g| g.accel).collect();
+        assert_eq!(p.release(JobId(1), &ids[..1]).unwrap(), 1);
+        assert_eq!(p.free_count(), 1);
+        let g2 = p.try_allocate(JobId(2), 1).unwrap();
+        assert_eq!(g2[0].accel, ids[0]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn release_of_unheld_is_rejected_atomically() {
+        let mut p = pool(3);
+        let g = p.try_allocate(JobId(1), 1).unwrap();
+        // One valid + one not held: nothing must change.
+        let err = p
+            .release(JobId(1), &[g[0].accel, AcceleratorId(2)])
+            .unwrap_err();
+        assert_eq!(err, ArmError::NotHeld);
+        assert_eq!(p.state_of(g[0].accel), Ok(AccelState::Assigned(JobId(1))));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn release_job_frees_everything() {
+        let mut p = pool(4);
+        p.try_allocate(JobId(1), 3).unwrap();
+        assert_eq!(p.release_job(JobId(1)), 3);
+        assert_eq!(p.free_count(), 4);
+        assert!(p.held_by(JobId(1)).is_empty());
+        p.check_invariants();
+    }
+
+    #[test]
+    fn broken_accelerator_not_assignable() {
+        let mut p = pool(2);
+        p.mark_broken(AcceleratorId(0)).unwrap();
+        let g = p.try_allocate(JobId(1), 1).unwrap();
+        assert_eq!(g[0].accel, AcceleratorId(1));
+        let err = p.try_allocate(JobId(2), 1).unwrap_err();
+        assert!(matches!(err, ArmError::Insufficient { free: 0, .. }));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn broken_while_assigned_release_acknowledged() {
+        let mut p = pool(1);
+        let g = p.try_allocate(JobId(1), 1).unwrap();
+        p.mark_broken(g[0].accel).unwrap();
+        // Job releases it at job end: acknowledged, stays broken.
+        assert_eq!(p.release(JobId(1), &[g[0].accel]).unwrap(), 0);
+        assert_eq!(p.state_of(g[0].accel), Ok(AccelState::Broken));
+        assert_eq!(p.free_count(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn repair_returns_to_free() {
+        let mut p = pool(1);
+        p.mark_broken(AcceleratorId(0)).unwrap();
+        p.repair(AcceleratorId(0)).unwrap();
+        assert_eq!(p.free_count(), 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn stats_count_states() {
+        let mut p = pool(4);
+        p.try_allocate(JobId(1), 2).unwrap();
+        p.mark_broken(AcceleratorId(3)).unwrap();
+        let s = p.stats();
+        assert_eq!((s.free, s.assigned, s.broken), (1, 2, 1));
+    }
+
+    #[test]
+    fn unknown_accelerator_errors() {
+        let mut p = pool(1);
+        assert_eq!(
+            p.mark_broken(AcceleratorId(5)),
+            Err(ArmError::UnknownAccelerator)
+        );
+        assert_eq!(p.state_of(AcceleratorId(9)), Err(ArmError::UnknownAccelerator));
+    }
+}

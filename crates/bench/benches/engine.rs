@@ -1,0 +1,80 @@
+//! Simulator-core performance: how fast the discrete-event engine and the
+//! fabric run on the host (events/second), so regressions in the engine
+//! itself are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dacc_fabric::prelude::*;
+use dacc_sim::prelude::*;
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("engine/10k_timers", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for i in 0..10_000u64 {
+                let h = sim.handle();
+                sim.spawn("t", async move {
+                    h.delay(SimDuration::from_nanos(i % 977)).await;
+                });
+            }
+            let out = sim.run();
+            assert_eq!(out.pending_tasks, 0);
+            out.events
+        })
+    });
+
+    c.bench_function("engine/channel_ping_1k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let (tx, rx) = channel::<u64>();
+            let (tx2, rx2) = channel::<u64>();
+            sim.spawn("a", async move {
+                for i in 0..1000u64 {
+                    tx.send(i).unwrap();
+                    rx2.recv().await.unwrap();
+                }
+            });
+            sim.spawn("b", async move {
+                while let Ok(v) = rx.recv().await {
+                    if tx2.send(v).is_err() {
+                        break;
+                    }
+                }
+            });
+            sim.run().events
+        })
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    c.bench_function("fabric/pingpong_1MiB", |b| {
+        b.iter(|| {
+            let pts = run_pingpong(FabricParams::qdr_infiniband(), &[1 << 20], 3);
+            pts[0].half_rtt
+        })
+    });
+
+    c.bench_function("fabric/500_small_messages", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let topo = Topology::new(&h, 2, FabricParams::qdr_infiniband());
+            let fabric = Fabric::new(&h, topo);
+            let a = fabric.add_endpoint(NodeId(0));
+            let bb = fabric.add_endpoint(NodeId(1));
+            sim.spawn("send", async move {
+                for i in 0..500u32 {
+                    a.send(Rank(1), Tag(i), Payload::size_only(512)).await;
+                }
+            });
+            sim.spawn("recv", async move {
+                for i in 0..500u32 {
+                    bb.recv(None, Some(Tag(i))).await;
+                }
+            });
+            sim.run().events
+        })
+    });
+}
+
+criterion_group!(benches, bench_executor, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Transfer-protocol simulations as host-side benchmarks: one point per
+//! figure-5/6 series (the full sweeps are the fig5–fig8 binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
+use dacc_runtime::prelude::TransferProtocol;
+use dacc_vgpu::bandwidth::{local_bandwidth_test, Direction};
+use dacc_vgpu::device::HostMemKind;
+use dacc_vgpu::params::GpuParams;
+
+fn bench_remote_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remote_copy_8MiB");
+    for (name, p) in [
+        ("naive", TransferProtocol::Naive),
+        ("pipeline_128K", TransferProtocol::Pipeline { block: 128 << 10 }),
+        ("pipeline_512K", TransferProtocol::Pipeline { block: 512 << 10 }),
+        ("adaptive", TransferProtocol::h2d_default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| remote_bandwidth(paper_spec(), p, p, &[8 << 20], Dir::H2D)[0].mib_s)
+        });
+    }
+    g.finish();
+}
+
+fn bench_local_copy(c: &mut Criterion) {
+    c.bench_function("local_bandwidth_sweep", |b| {
+        let sizes: Vec<u64> = (0..9).map(|i| 1024u64 << (2 * i)).collect();
+        b.iter(|| {
+            local_bandwidth_test(
+                GpuParams::tesla_c1060(),
+                &sizes,
+                HostMemKind::Pinned,
+                Direction::H2D,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_remote_copy, bench_local_copy);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Application-workload simulations as host-side benchmarks (reduced sizes;
+//! the paper-scale sweeps are the fig9–fig11 binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dacc_bench::linalg_runs::{run_factorization, Config, Routine};
+use dacc_bench::mp2c_runs::run_mp2c;
+use dacc_mp2c::app::Mp2cConfig;
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factorization_2048");
+    g.sample_size(10);
+    for (name, routine, config) in [
+        ("qr_local", Routine::Qr, Config::LocalGpu),
+        ("qr_3_remote", Routine::Qr, Config::RemoteGpus(3)),
+        ("cholesky_local", Routine::Cholesky, Config::LocalGpu),
+        ("cholesky_3_remote", Routine::Cholesky, Config::RemoteGpus(3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_factorization(routine, config, 2048))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mp2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mp2c_100k_30steps");
+    g.sample_size(10);
+    let cfg = Mp2cConfig {
+        steps: 30,
+        ..Mp2cConfig::default()
+    };
+    g.bench_function("local", |b| b.iter(|| run_mp2c(100_000, false, &cfg)));
+    g.bench_function("remote", |b| b.iter(|| run_mp2c(100_000, true, &cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_factorizations, bench_mp2c);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation A1: static vs. dynamic accelerator assignment (§III, and the
+//! paper's announced future work) under a workload whose jobs have phases
+//! of differing accelerator demand.
+//!
+//! Workload: 6 jobs on 2 compute nodes sharing a pool of 3 accelerators.
+//! Each job: a CPU phase (no accelerators), then a GPU phase needing 1–3
+//! accelerators, then another CPU phase. Static assignment holds the GPU
+//! maximum for the whole job; dynamic assignment acquires at the phase
+//! boundary and releases right after.
+
+use dacc_arm::state::JobId;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+#[derive(Clone, Copy)]
+struct JobSpec {
+    cpu_before: u64, // ms
+    gpus: u32,
+    gpu_ms: u64,
+    cpu_after: u64,
+}
+
+fn workload() -> Vec<JobSpec> {
+    vec![
+        JobSpec { cpu_before: 200, gpus: 2, gpu_ms: 400, cpu_after: 300 },
+        JobSpec { cpu_before: 50, gpus: 1, gpu_ms: 700, cpu_after: 100 },
+        JobSpec { cpu_before: 400, gpus: 3, gpu_ms: 300, cpu_after: 50 },
+        JobSpec { cpu_before: 100, gpus: 1, gpu_ms: 200, cpu_after: 500 },
+        JobSpec { cpu_before: 300, gpus: 2, gpu_ms: 500, cpu_after: 200 },
+        JobSpec { cpu_before: 150, gpus: 1, gpu_ms: 300, cpu_after: 350 },
+    ]
+}
+
+fn run(dynamic: bool) -> (SimDuration, f64) {
+    let mut sim = Sim::new();
+    let spec = ClusterSpec {
+        compute_nodes: 2,
+        accelerators: 3,
+        mode: ExecMode::TimingOnly,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let cluster = build_cluster(&sim, spec, KernelRegistry::new());
+    let arm_rank = cluster.arm_rank;
+    let h = sim.handle();
+    let busy = std::rc::Rc::new(std::cell::RefCell::new(SimDuration::ZERO));
+    let mut jobs = Vec::new();
+    for (i, job) in workload().into_iter().enumerate() {
+        // One process (endpoint) per job; jobs alternate over the two
+        // compute nodes.
+        let ep = cluster.fabric.add_endpoint(cluster.cn_node(i % 2));
+        let h = h.clone();
+        let busy = std::rc::Rc::clone(&busy);
+        jobs.push(sim.spawn("job", async move {
+            let proc = AcProcess::new(ep, arm_rank, JobId(i as u64), FrontendConfig::default());
+            if dynamic {
+                // Dynamic: hold accelerators only during the GPU phase.
+                h.delay(SimDuration::from_millis(job.cpu_before)).await;
+                let accels = proc.acquire_waiting(job.gpus).await.unwrap();
+                h.delay(SimDuration::from_millis(job.gpu_ms)).await;
+                *busy.borrow_mut() +=
+                    SimDuration::from_millis(job.gpu_ms) * job.gpus as u64;
+                drop(accels);
+                proc.finish().await;
+                h.delay(SimDuration::from_millis(job.cpu_after)).await;
+            } else {
+                // Static: hold the job's maximum for its whole duration.
+                let accels = proc.acquire_waiting(job.gpus).await.unwrap();
+                let total = job.cpu_before + job.gpu_ms + job.cpu_after;
+                h.delay(SimDuration::from_millis(total)).await;
+                *busy.borrow_mut() +=
+                    SimDuration::from_millis(job.gpu_ms) * job.gpus as u64;
+                drop(accels);
+                proc.finish().await;
+            }
+        }));
+    }
+    let out = sim.run();
+    let makespan = out.time.since(SimTime::ZERO);
+    let utilization =
+        busy.borrow().as_secs_f64() / (makespan.as_secs_f64() * 3.0);
+    (makespan, utilization)
+}
+
+fn main() {
+    let (static_make, static_util) = run(false);
+    let (dyn_make, dyn_util) = run(true);
+    println!("# Ablation: static vs dynamic accelerator assignment");
+    println!("  6 jobs, 2 compute nodes, pool of 3 accelerators\n");
+    println!("{:>28} {:>12} {:>16}", "policy", "makespan", "GPU utilization");
+    println!(
+        "{:>28} {:>12} {:>15.1}%",
+        "static (whole-job hold)",
+        format!("{static_make}"),
+        static_util * 100.0
+    );
+    println!(
+        "{:>28} {:>12} {:>15.1}%",
+        "dynamic (per-phase)",
+        format!("{dyn_make}"),
+        dyn_util * 100.0
+    );
+    println!(
+        "\nDynamic assignment shortens the makespan by {:.1}% and raises pool \
+         utilization — the motivation of §III and the paper's future work.",
+        (1.0 - dyn_make.as_secs_f64() / static_make.as_secs_f64()) * 100.0
+    );
+}

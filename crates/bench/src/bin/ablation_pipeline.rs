@@ -1,0 +1,62 @@
+//! Ablation A2: the pipeline protocol's design knobs — GPUDirect buffer
+//! sharing (vs. an extra host staging copy per block) and the pinned ring
+//! depth — measured on 16 MiB host-to-device transfers.
+
+use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
+use dacc_runtime::daemon::DaemonConfig;
+use dacc_runtime::prelude::*;
+
+fn measure(daemon: DaemonConfig, block: u64) -> f64 {
+    let spec = ClusterSpec {
+        daemon,
+        ..paper_spec()
+    };
+    let p = TransferProtocol::Pipeline { block };
+    remote_bandwidth(spec, p, p, &[16 << 20], Dir::H2D)[0].mib_s
+}
+
+fn main() {
+    println!("# Ablation: GPUDirect on/off (pipeline-512K, 16 MiB H2D)");
+    for (label, gpudirect) in [("GPUDirect v1 (shared pinned buffers)", true), ("no GPUDirect (staging copy per block)", false)] {
+        let bw = measure(
+            DaemonConfig {
+                gpudirect,
+                ..DaemonConfig::default()
+            },
+            512 << 10,
+        );
+        println!("{label:>42}: {bw:>7.1} MiB/s");
+    }
+
+    println!("\n# Ablation: pinned ring depth (pipeline-128K, 16 MiB H2D)");
+    for depth in [1usize, 2, 4, 8] {
+        let bw = measure(
+            DaemonConfig {
+                pinned_depth: depth,
+                ..DaemonConfig::default()
+            },
+            128 << 10,
+        );
+        println!("{depth:>4} buffers: {bw:>7.1} MiB/s");
+    }
+
+    println!("\n# Ablation: receive pre-posting depth (pipeline-128K, 16 MiB H2D)");
+    println!("  (1 = paper-era behaviour: CTS waits for the previous block)");
+    for prepost in [1usize, 2, 3, 4] {
+        let bw = measure(
+            DaemonConfig {
+                recv_prepost: prepost,
+                ..DaemonConfig::default()
+            },
+            128 << 10,
+        );
+        println!("{prepost:>4} posted ahead: {bw:>7.1} MiB/s");
+    }
+
+    println!("\n# Ablation: block size sweep (16 MiB H2D)");
+    for shift in [4u64, 5, 6, 7, 8, 9, 10] {
+        let block = 1u64 << (shift + 10);
+        let bw = measure(DaemonConfig::default(), block);
+        println!("{:>6} KiB blocks: {bw:>7.1} MiB/s", block >> 10);
+    }
+}

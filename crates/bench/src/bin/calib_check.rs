@@ -1,0 +1,37 @@
+//! Quick calibration probe (not a paper figure): prints remote H2D/D2H
+//! bandwidth for several protocols and sizes.
+
+use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
+use dacc_runtime::prelude::TransferProtocol;
+
+fn main() {
+    let sizes: Vec<u64> = [256, 1024, 4096, 8192, 16384, 32768, 65536]
+        .iter()
+        .map(|k| k * 1024)
+        .collect();
+    for (name, p) in [
+        ("naive", TransferProtocol::Naive),
+        ("pipe-128K", TransferProtocol::Pipeline { block: 128 << 10 }),
+        ("pipe-256K", TransferProtocol::Pipeline { block: 256 << 10 }),
+        ("pipe-512K", TransferProtocol::Pipeline { block: 512 << 10 }),
+    ] {
+        let pts = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::H2D);
+        print!("H2D {name:>10}: ");
+        for pt in &pts {
+            print!("{:>7.0}@{:<6}", pt.mib_s, pt.bytes / 1024);
+        }
+        println!();
+    }
+    for (name, p) in [
+        ("pipe-64K", TransferProtocol::Pipeline { block: 64 << 10 }),
+        ("pipe-128K", TransferProtocol::Pipeline { block: 128 << 10 }),
+        ("pipe-512K", TransferProtocol::Pipeline { block: 512 << 10 }),
+    ] {
+        let pts = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::D2H);
+        print!("D2H {name:>10}: ");
+        for pt in &pts {
+            print!("{:>7.0}@{:<6}", pt.mib_s, pt.bytes / 1024);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Calibration probe for the Figure 9/10 model (not a paper figure).
+
+use dacc_bench::linalg_runs::{run_factorization, Config, Routine};
+
+fn main() {
+    for routine in [Routine::Qr, Routine::Cholesky] {
+        println!("{routine:?}:");
+        for n in [1024usize, 4032, 10240] {
+            let local = run_factorization(routine, Config::LocalGpu, n);
+            let r1 = run_factorization(routine, Config::RemoteGpus(1), n);
+            let r2 = run_factorization(routine, Config::RemoteGpus(2), n);
+            let r3 = run_factorization(routine, Config::RemoteGpus(3), n);
+            println!(
+                "  N={n:>6}: local={local:>6.1}  1gpu={r1:>6.1}  2gpu={r2:>6.1}  3gpu={r3:>6.1}  speedup3={:.2}",
+                r3 / local
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 10: MAGMA-style Cholesky factorization GFlop/s — one node-local
+//! GPU vs. 1/2/3 network-attached GPUs.
+
+use dacc_bench::linalg_runs::{paper_sizes, run_factorization, Config, Routine};
+use dacc_bench::table::print_table;
+
+fn main() {
+    let sizes = paper_sizes();
+    let xs: Vec<String> = sizes.iter().map(|n| n.to_string()).collect();
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, config) in [
+        ("CUDA local GPU", Config::LocalGpu),
+        ("1 network-attached GPU", Config::RemoteGpus(1)),
+        ("2 network-attached GPUs", Config::RemoteGpus(2)),
+        ("3 network-attached GPUs", Config::RemoteGpus(3)),
+    ] {
+        let ys: Vec<f64> = sizes
+            .iter()
+            .map(|&n| run_factorization(Routine::Cholesky, config, n))
+            .collect();
+        series.push((name, ys));
+    }
+    print_table(
+        "Figure 10: Cholesky factorization (dpotrf_mgpu equivalent) [GFlop/s]",
+        "N of NxN matrix",
+        &xs,
+        &series,
+    );
+    let local = series[0].1.last().unwrap();
+    let net1 = series[1].1.last().unwrap();
+    println!(
+        "\n1 network GPU vs local at N=10240: {:.1}% slower (paper: Cholesky is \
+         less bandwidth-sensitive than QR)",
+        (1.0 - net1 / local) * 100.0
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 11: MP2C wall time — node-local GPUs vs. the dynamic
+//! architecture, for three particle counts on 2 ranks.
+
+use dacc_bench::mp2c_runs::{paper_particle_counts, run_mp2c};
+use dacc_bench::table::print_table;
+use dacc_mp2c::app::Mp2cConfig;
+
+fn main() {
+    let counts = paper_particle_counts();
+    let xs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    let cfg = Mp2cConfig::default();
+    let mut local = Vec::new();
+    let mut remote = Vec::new();
+    for &n in &counts {
+        let t_local = run_mp2c(n, false, &cfg);
+        let t_remote = run_mp2c(n, true, &cfg);
+        local.push(t_local.as_secs_f64() / 60.0);
+        remote.push(t_remote.as_secs_f64() / 60.0);
+    }
+    print_table(
+        "Figure 11: MP2C wall time, 2 ranks x 1 GPU, 300 steps (SRD every 5th) [min]",
+        "Particles",
+        &xs,
+        &[
+            ("CUDA local", local.clone()),
+            ("Dynamic cluster arch.", remote.clone()),
+        ],
+    );
+    for i in 0..counts.len() {
+        let pct = (remote[i] / local[i] - 1.0) * 100.0;
+        println!("{} particles: +{pct:.2}% (paper: at most 4%)", counts[i]);
+    }
+}

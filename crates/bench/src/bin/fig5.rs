@@ -1,0 +1,36 @@
+//! Figure 5: host-to-device bandwidth of `acMemCpy` vs. message size, for
+//! the naive protocol, fixed-block pipelines, the adaptive pipeline, and
+//! the raw MPI (IMB PingPong) ceiling.
+
+use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
+use dacc_bench::table::{kib, print_table};
+use dacc_fabric::imb::{paper_sizes, run_pingpong};
+use dacc_fabric::topology::FabricParams;
+use dacc_runtime::prelude::TransferProtocol;
+
+fn main() {
+    let sizes = paper_sizes();
+    let xs: Vec<String> = sizes.iter().map(|&b| kib(b)).collect();
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, p) in [
+        ("Dyn. arch (naive)", TransferProtocol::Naive),
+        ("Dyn. arch (pipeline-128K)", TransferProtocol::Pipeline { block: 128 << 10 }),
+        ("Dyn. arch (pipeline-256K)", TransferProtocol::Pipeline { block: 256 << 10 }),
+        ("Dyn. arch (pipeline-512K)", TransferProtocol::Pipeline { block: 512 << 10 }),
+        ("Dyn. arch (pipe-adaptive)", TransferProtocol::h2d_default()),
+    ] {
+        let pts = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::H2D);
+        series.push((name, pts.iter().map(|pt| pt.mib_s).collect()));
+    }
+    let mpi = run_pingpong(FabricParams::qdr_infiniband(), &sizes, 3);
+    series.push((
+        "MPI IB (IMB PingPong)",
+        mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
+    ));
+    print_table(
+        "Figure 5: Host-to-device bandwidth, pipeline protocol vs naive vs MPI [MiB/s]",
+        "Data size [KiB]",
+        &xs,
+        &series,
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 8: device-to-host bandwidth — node-attached GPU vs. MPI vs. the
+//! dynamic architecture's pipeline-128K.
+
+use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
+use dacc_bench::table::{kib, print_table};
+use dacc_fabric::imb::{paper_sizes, run_pingpong};
+use dacc_fabric::topology::FabricParams;
+use dacc_runtime::prelude::TransferProtocol;
+use dacc_vgpu::bandwidth::{local_bandwidth_test, Direction};
+use dacc_vgpu::device::HostMemKind;
+use dacc_vgpu::params::GpuParams;
+
+fn main() {
+    let sizes = paper_sizes();
+    let xs: Vec<String> = sizes.iter().map(|&b| kib(b)).collect();
+    let gpu = GpuParams::tesla_c1060();
+    let pinned = local_bandwidth_test(gpu, &sizes, HostMemKind::Pinned, Direction::D2H);
+    let pageable = local_bandwidth_test(gpu, &sizes, HostMemKind::Pageable, Direction::D2H);
+    let mpi = run_pingpong(FabricParams::qdr_infiniband(), &sizes, 3);
+    let p = TransferProtocol::d2h_default();
+    let dynarch = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::D2H);
+    print_table(
+        "Figure 8: D2H bandwidth, node-attached vs network-attached GPU [MiB/s]",
+        "Data size [KiB]",
+        &xs,
+        &[
+            ("CUDA local (pinned)", pinned.iter().map(|p| p.bandwidth_mib_s).collect()),
+            ("CUDA local (pageable)", pageable.iter().map(|p| p.bandwidth_mib_s).collect()),
+            ("MPI IB (IMB PingPong)", mpi.iter().map(|p| p.bandwidth_mib_s).collect()),
+            ("Dyn. arch (pipeline-128K)", dynarch.iter().map(|p| p.mib_s).collect()),
+        ],
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 9: MAGMA-style QR factorization GFlop/s — one node-local GPU vs.
+//! 1/2/3 network-attached GPUs on a single compute node.
+
+use dacc_bench::linalg_runs::{paper_sizes, run_factorization, Config, Routine};
+use dacc_bench::table::print_table;
+
+fn main() {
+    let sizes = paper_sizes();
+    let xs: Vec<String> = sizes.iter().map(|n| n.to_string()).collect();
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, config) in [
+        ("CUDA local GPU", Config::LocalGpu),
+        ("1 network-attached GPU", Config::RemoteGpus(1)),
+        ("2 network-attached GPUs", Config::RemoteGpus(2)),
+        ("3 network-attached GPUs", Config::RemoteGpus(3)),
+    ] {
+        let ys: Vec<f64> = sizes
+            .iter()
+            .map(|&n| run_factorization(Routine::Qr, config, n))
+            .collect();
+        series.push((name, ys));
+    }
+    print_table(
+        "Figure 9: QR factorization (dgeqrf2_mgpu equivalent) [GFlop/s]",
+        "N of NxN matrix",
+        &xs,
+        &series,
+    );
+    let s10240 = series[3].1.last().unwrap() / series[0].1.last().unwrap();
+    println!("\nSpeedup at N=10240, 3 network GPUs vs 1 local GPU: {s10240:.2} (paper: ~2.2)");
+}

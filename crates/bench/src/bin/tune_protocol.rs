@@ -1,0 +1,28 @@
+//! One-time protocol tuning for a testbed (§V.A's procedure, automated):
+//! prints the measured best block sizes and crossover for both directions.
+
+use dacc_bench::measure::{paper_spec, Dir};
+use dacc_bench::tune::tune;
+
+fn main() {
+    let candidates = [64u64 << 10, 128 << 10, 256 << 10, 512 << 10];
+    println!("# Protocol tuning on the calibrated testbed");
+    println!("  candidate blocks: 64K, 128K, 256K, 512K\n");
+    for (name, dir) in [("host-to-device", Dir::H2D), ("device-to-host", Dir::D2H)] {
+        let t = tune(paper_spec(), &candidates, dir);
+        if t.small_block == t.large_block {
+            println!("{name}: pipeline-{}K everywhere", t.small_block >> 10);
+        } else {
+            println!(
+                "{name}: {}K below {} MiB, {}K above (crossover measured, not assumed)",
+                t.small_block >> 10,
+                t.threshold >> 20,
+                t.large_block >> 10
+            );
+        }
+    }
+    println!(
+        "\n(The library defaults were produced by exactly this procedure —\n \
+         see TransferProtocol::h2d_default / d2h_default.)"
+    );
+}

@@ -1,0 +1,7 @@
+//! `dacc-bench` — figure regeneration harness and measurement helpers.
+
+pub mod linalg_runs;
+pub mod measure;
+pub mod mp2c_runs;
+pub mod table;
+pub mod tune;

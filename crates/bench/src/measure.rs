@@ -1,0 +1,98 @@
+//! Measurement harness: remote-copy bandwidth on a fresh cluster.
+
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+/// Transfer direction for remote bandwidth measurements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Host (compute node) → device (remote accelerator).
+    H2D,
+    /// Device (remote accelerator) → host (compute node).
+    D2H,
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct BwPoint {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Wall-clock (virtual) time of the `acMemCpy` call.
+    pub time: SimDuration,
+    /// Effective bandwidth in MiB/s.
+    pub mib_s: f64,
+}
+
+/// Measure `acMemCpy` bandwidth between a compute node and one remote
+/// accelerator for every size, with the given per-direction protocols.
+/// Timing-only mode: sizes up to 64 MiB cost no real memory.
+pub fn remote_bandwidth(
+    spec: ClusterSpec,
+    h2d: TransferProtocol,
+    d2h: TransferProtocol,
+    sizes: &[u64],
+    dir: Dir,
+) -> Vec<BwPoint> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        let mut sim = Sim::new();
+        let spec = ClusterSpec {
+            compute_nodes: 1,
+            accelerators: 1,
+            mode: ExecMode::TimingOnly,
+            frontend: FrontendConfig {
+                h2d,
+                d2h,
+                ..FrontendConfig::default()
+            },
+            ..spec
+        };
+        let mut cluster = build_cluster(&sim, spec, KernelRegistry::new());
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let h = sim.handle();
+        let result = sim.spawn("bw", async move {
+            let ac = RemoteAccelerator::new(ep, daemon, spec.frontend);
+            let ptr = ac.mem_alloc(bytes).await.unwrap();
+            // Warm-up transfer (fills pools, settles protocol state).
+            ac.mem_cpy_h2d(&Payload::size_only(bytes.min(1 << 20)), ptr)
+                .await
+                .unwrap();
+            let start = h.now();
+            match dir {
+                Dir::H2D => {
+                    ac.mem_cpy_h2d(&Payload::size_only(bytes), ptr).await.unwrap();
+                }
+                Dir::D2H => {
+                    ac.mem_cpy_d2h(ptr, bytes).await.unwrap();
+                }
+            }
+            let elapsed = h.now().since(start);
+            ac.shutdown().await.unwrap();
+            elapsed
+        });
+        sim.run();
+        let time = result.try_take().expect("bandwidth run did not finish");
+        out.push(BwPoint {
+            bytes,
+            time,
+            mib_s: observed_bandwidth(bytes, time).mib_per_sec(),
+        });
+    }
+    out
+}
+
+/// Default spec for bandwidth studies: paper testbed calibration.
+pub fn paper_spec() -> ClusterSpec {
+    ClusterSpec {
+        compute_nodes: 1,
+        accelerators: 1,
+        local_gpus: false,
+        mode: ExecMode::TimingOnly,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    }
+}

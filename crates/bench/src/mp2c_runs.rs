@@ -1,0 +1,72 @@
+//! Figure 11 measurement driver: MP2C at paper scale (timing-only).
+
+use dacc_mp2c::app::{run_rank, Mp2cConfig, RankCtx, Slab};
+use dacc_mp2c::srd::register_srd_kernel;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+/// The particle counts of Figure 11.
+pub fn paper_particle_counts() -> Vec<u64> {
+    vec![5_120_000, 7_290_000, 10_000_000]
+}
+
+/// Run MP2C on 2 ranks (the paper's setup) with `total_particles`, using
+/// local GPUs or one network-attached accelerator per rank. Returns the
+/// virtual wall time of the run.
+pub fn run_mp2c(total_particles: u64, remote: bool, cfg: &Mp2cConfig) -> SimDuration {
+    let ranks = 2usize;
+    let registry = KernelRegistry::new();
+    register_srd_kernel(&registry);
+    let mut sim = Sim::new();
+    let spec = ClusterSpec {
+        compute_nodes: ranks,
+        accelerators: if remote { ranks } else { 1 },
+        local_gpus: !remote,
+        mode: ExecMode::TimingOnly,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry);
+
+    // Box sized for 10 particles per cell, split into 2 slabs along x.
+    let n_local = (total_particles / ranks as u64) as usize;
+    let cells_total = (total_particles as f64 / 10.0).ceil() as usize;
+    // Roughly cubic grid with x divisible by the rank count.
+    let side = (cells_total as f64).cbrt().round() as usize;
+    let nx = side.next_multiple_of(ranks).max(ranks);
+    let slabs = Slab::decompose(nx, side.max(1), side.max(1), 1.0, ranks);
+
+    let group: Vec<_> = cluster.cn_endpoints.iter().map(|e| e.rank()).collect();
+    let h = sim.handle();
+    let eps = std::mem::take(&mut cluster.cn_endpoints);
+    for (i, ep) in eps.into_iter().enumerate() {
+        let device = if remote {
+            AcDevice::Remote(RemoteAccelerator::new(
+                ep.clone(),
+                cluster.daemon_rank(i),
+                FrontendConfig::default(),
+            ))
+        } else {
+            AcProcess::local_device(cluster.local_gpus[i].clone())
+        };
+        let ctx = RankCtx {
+            index: i,
+            group: group.clone(),
+            ep,
+            device,
+            slab: slabs[i],
+        };
+        let h = h.clone();
+        let cfg = *cfg;
+        sim.spawn("mp2c.rank", async move {
+            run_rank(&h, &ctx, &cfg, None, n_local).await.unwrap();
+            if let AcDevice::Remote(r) = &ctx.device {
+                let _ = r.shutdown().await;
+            }
+        });
+    }
+    let out = sim.run();
+    out.time.since(SimTime::ZERO)
+}

@@ -1,0 +1,26 @@
+//! Plain-text table printing for figure harnesses.
+
+/// Print a series table: first column = x values, then one column per series.
+pub fn print_table(title: &str, x_label: &str, xs: &[String], series: &[(&str, Vec<f64>)]) {
+    println!("\n# {title}");
+    print!("{x_label:>14}");
+    for (name, _) in series {
+        print!("  {name:>26}");
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:>14}");
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(v) => print!("  {v:>26.1}"),
+                None => print!("  {:>26}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Format a byte count as KiB (the paper's x-axis unit).
+pub fn kib(bytes: u64) -> String {
+    format!("{}", bytes / 1024)
+}

@@ -1,0 +1,127 @@
+//! Automatic transfer-protocol tuning.
+//!
+//! §V.A: "these parameters are highly system dependent, but tuning them has
+//! to be done only once. Afterwards, every user can benefit from better
+//! performance. Such initial optimizations are common practice for
+//! communication libraries." This module is that one-time procedure: sweep
+//! candidate block sizes over a size grid, pick the best small-message and
+//! large-message blocks, and locate the crossover.
+
+use dacc_runtime::prelude::*;
+
+use crate::measure::{remote_bandwidth, Dir};
+
+/// Outcome of a tuning run.
+#[derive(Clone, Copy, Debug)]
+pub struct Tuning {
+    /// Best block for messages below the threshold.
+    pub small_block: u64,
+    /// Best block for messages at or above the threshold.
+    pub large_block: u64,
+    /// Measured crossover size.
+    pub threshold: u64,
+}
+
+impl Tuning {
+    /// As a [`TransferProtocol`].
+    pub fn protocol(&self) -> TransferProtocol {
+        if self.small_block == self.large_block {
+            TransferProtocol::Pipeline {
+                block: self.small_block,
+            }
+        } else {
+            TransferProtocol::Adaptive {
+                small_block: self.small_block,
+                large_block: self.large_block,
+                threshold: self.threshold,
+            }
+        }
+    }
+}
+
+/// Bandwidth of `block` at `size` on `spec`'s testbed.
+fn bw(spec: ClusterSpec, block: u64, size: u64, dir: Dir) -> f64 {
+    let p = TransferProtocol::Pipeline { block };
+    remote_bandwidth(spec, p, p, &[size], dir)[0].mib_s
+}
+
+/// Tune the pipeline for one direction on the given testbed.
+///
+/// `candidates` are the block sizes to try (must be non-empty and within
+/// the daemon's pinned-buffer size). The small-message representative is
+/// 1 MiB, the large-message representative 64 MiB; the crossover is located
+/// by bisection over the probe grid.
+pub fn tune(spec: ClusterSpec, candidates: &[u64], dir: Dir) -> Tuning {
+    assert!(!candidates.is_empty());
+    let best_at = |size: u64| -> u64 {
+        *candidates
+            .iter()
+            .max_by(|&&a, &&b| {
+                bw(spec, a, size, dir)
+                    .partial_cmp(&bw(spec, b, size, dir))
+                    .unwrap()
+            })
+            .unwrap()
+    };
+    let small_block = best_at(1 << 20);
+    let large_block = best_at(64 << 20);
+    if small_block == large_block {
+        return Tuning {
+            small_block,
+            large_block,
+            threshold: 0,
+        };
+    }
+    // Locate the crossover: smallest probe size where the large block wins.
+    let mut threshold = 64 << 20;
+    let mut size = 1u64 << 20;
+    while size <= 64 << 20 {
+        if bw(spec, large_block, size, dir) >= bw(spec, small_block, size, dir) {
+            threshold = size;
+            break;
+        }
+        size *= 2;
+    }
+    Tuning {
+        small_block,
+        large_block,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::paper_spec;
+
+    #[test]
+    fn tuner_rediscovers_the_shipped_h2d_defaults() {
+        let candidates = [64 << 10, 128 << 10, 256 << 10, 512 << 10];
+        let t = tune(paper_spec(), &candidates, Dir::H2D);
+        assert_eq!(t.small_block, 128 << 10, "small block");
+        assert_eq!(t.large_block, 512 << 10, "large block");
+        // The shipped default threshold (4 MiB) must lie on the measured
+        // crossover probe.
+        assert_eq!(t.threshold, 4 << 20, "crossover");
+        // And the resulting protocol must match the library default.
+        assert_eq!(t.protocol(), TransferProtocol::h2d_default());
+    }
+
+    #[test]
+    fn tuned_adaptive_never_loses_to_its_parts() {
+        let candidates = [128 << 10, 512 << 10];
+        let t = tune(paper_spec(), &candidates, Dir::H2D);
+        let adaptive = t.protocol();
+        for size in [1u64 << 20, 16 << 20, 64 << 20] {
+            let a = remote_bandwidth(paper_spec(), adaptive, adaptive, &[size], Dir::H2D)[0].mib_s;
+            for &b in &candidates {
+                let fixed = TransferProtocol::Pipeline { block: b };
+                let f = remote_bandwidth(paper_spec(), fixed, fixed, &[size], Dir::H2D)[0].mib_s;
+                assert!(
+                    a >= f * 0.999,
+                    "adaptive {a} lost to fixed-{b} {f} at {size}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Cluster assembly: wire up ARM, daemons, compute nodes in one call.
+//!
+//! The canonical layout mirrors Figure 1: an accelerator resource manager,
+//! compute nodes, and accelerator nodes, all on one interconnect. Compute
+//! nodes may additionally carry a node-local GPU so the same experiment can
+//! be run against the classic static architecture (the paper's baselines).
+
+use dacc_arm::client::ArmClient;
+use dacc_arm::server::{run_arm_server, ArmServerConfig};
+use dacc_arm::state::{inventory, AllocPolicy, JobId, Pool};
+use dacc_fabric::mpi::{Endpoint, Fabric, Rank};
+use dacc_fabric::topology::{FabricParams, NodeId, Topology};
+use dacc_sim::prelude::*;
+use dacc_vgpu::device::{HostMemKind, VirtualGpu};
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+use crate::api::{AcDevice, AcError, FrontendConfig, RemoteAccelerator};
+use crate::daemon::{run_daemon, DaemonConfig, DaemonStats};
+
+/// Everything needed to stand up a cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub compute_nodes: usize,
+    /// Number of network-attached accelerators.
+    pub accelerators: usize,
+    /// Give each compute node a PCIe-attached GPU too (for baselines).
+    pub local_gpus: bool,
+    /// Interconnect parameters.
+    pub fabric: FabricParams,
+    /// GPU hardware parameters (same for local and network-attached).
+    pub gpu: GpuParams,
+    /// Functional or timing-only execution.
+    pub mode: ExecMode,
+    /// Daemon tuning.
+    pub daemon: DaemonConfig,
+    /// Front-end tuning.
+    pub frontend: FrontendConfig,
+    /// ARM allocation policy.
+    pub alloc_policy: AllocPolicy,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            compute_nodes: 1,
+            accelerators: 3,
+            local_gpus: false,
+            fabric: FabricParams::qdr_infiniband(),
+            gpu: GpuParams::tesla_c1060(),
+            mode: ExecMode::Functional,
+            daemon: DaemonConfig::default(),
+            frontend: FrontendConfig::default(),
+            alloc_policy: AllocPolicy::FirstFit,
+        }
+    }
+}
+
+/// A built cluster: handles to everything the application layer needs.
+pub struct Cluster {
+    /// The message fabric (node 0 hosts the ARM; compute nodes follow;
+    /// accelerator nodes last).
+    pub fabric: Fabric,
+    /// Rank of the accelerator resource manager.
+    pub arm_rank: Rank,
+    /// One endpoint per compute-node process (move each into its task).
+    pub cn_endpoints: Vec<Endpoint>,
+    /// Node-local GPUs, one per compute node (empty unless `local_gpus`).
+    pub local_gpus: Vec<VirtualGpu>,
+    /// The network-attached accelerators' GPUs (for test inspection).
+    pub accel_gpus: Vec<VirtualGpu>,
+    /// Daemon completion handles; resolve to [`DaemonStats`] at shutdown.
+    pub daemon_handles: Vec<JoinHandle<DaemonStats>>,
+    /// ARM completion handle; resolves to the final pool at shutdown.
+    pub arm_handle: JoinHandle<Pool>,
+    /// The kernel registry shared by every device.
+    pub registry: KernelRegistry,
+    /// The spec the cluster was built from.
+    pub spec: ClusterSpec,
+}
+
+impl Cluster {
+    /// Node id of compute node `i`.
+    pub fn cn_node(&self, i: usize) -> NodeId {
+        NodeId(1 + i)
+    }
+
+    /// Node id of accelerator `i`.
+    pub fn ac_node(&self, i: usize) -> NodeId {
+        NodeId(1 + self.spec.compute_nodes + i)
+    }
+
+    /// Daemon rank of accelerator `i`.
+    pub fn daemon_rank(&self, i: usize) -> Rank {
+        Rank(1 + self.spec.compute_nodes + i)
+    }
+}
+
+/// Build the cluster onto `sim`: spawns the ARM server and one daemon per
+/// accelerator, each with its own GPU sharing `registry`.
+pub fn build_cluster(sim: &Sim, spec: ClusterSpec, registry: KernelRegistry) -> Cluster {
+    let h = sim.handle();
+    let total_nodes = 1 + spec.compute_nodes + spec.accelerators;
+    let topo = Topology::new(&h, total_nodes, spec.fabric);
+    let fabric = Fabric::new(&h, topo);
+
+    // Rank 0: ARM.
+    let arm_ep = fabric.add_endpoint(NodeId(0));
+    let arm_rank = arm_ep.rank();
+
+    // Ranks 1..=CN: compute-node processes.
+    let cn_endpoints: Vec<Endpoint> = (0..spec.compute_nodes)
+        .map(|i| fabric.add_endpoint(NodeId(1 + i)))
+        .collect();
+
+    // Ranks CN+1..: accelerator daemons.
+    let mut accel_gpus = Vec::with_capacity(spec.accelerators);
+    let mut daemon_handles = Vec::with_capacity(spec.accelerators);
+    let mut daemon_ranks = Vec::with_capacity(spec.accelerators);
+    let mut daemon_nodes = Vec::with_capacity(spec.accelerators);
+    for i in 0..spec.accelerators {
+        let node = NodeId(1 + spec.compute_nodes + i);
+        let ep = fabric.add_endpoint(node);
+        daemon_ranks.push(ep.rank());
+        daemon_nodes.push(node);
+        let gpu = VirtualGpu::new(&h, "accel", spec.gpu, spec.mode, registry.clone());
+        accel_gpus.push(gpu.clone());
+        let daemon_cfg = spec.daemon;
+        daemon_handles.push(h.spawn("daemon", async move {
+            run_daemon(ep, gpu, daemon_cfg).await
+        }));
+    }
+
+    // The ARM's pool over the daemons.
+    let pool = Pool::with_policy(inventory(&daemon_nodes, &daemon_ranks), spec.alloc_policy);
+    let arm_handle = h.spawn("arm", async move {
+        run_arm_server(arm_ep, pool, ArmServerConfig::default()).await
+    });
+
+    let local_gpus = if spec.local_gpus {
+        (0..spec.compute_nodes)
+            .map(|_| VirtualGpu::new(&h, "local", spec.gpu, spec.mode, registry.clone()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Cluster {
+        fabric,
+        arm_rank,
+        cn_endpoints,
+        local_gpus,
+        accel_gpus,
+        daemon_handles,
+        arm_handle,
+        registry,
+        spec,
+    }
+}
+
+/// A compute-node process's view of the dynamic architecture: its fabric
+/// endpoint, its ARM connection, and its job identity.
+pub struct AcProcess {
+    ep: Endpoint,
+    arm: ArmClient,
+    job: JobId,
+    config: FrontendConfig,
+}
+
+impl AcProcess {
+    /// Create the process context (one per compute-node process).
+    pub fn new(ep: Endpoint, arm_rank: Rank, job: JobId, config: FrontendConfig) -> Self {
+        let arm = ArmClient::new(ep.clone(), arm_rank);
+        AcProcess {
+            ep,
+            arm,
+            job,
+            config,
+        }
+    }
+
+    /// This process's fabric endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// This process's job id.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The ARM client (for queries and fault reports).
+    pub fn arm(&self) -> &ArmClient {
+        &self.arm
+    }
+
+    /// Static/dynamic allocation: get `n` exclusive accelerators, failing
+    /// fast on shortage.
+    pub async fn acquire(&self, n: u32) -> Result<Vec<RemoteAccelerator>, AcError> {
+        let grants = self
+            .arm
+            .allocate(self.job, n)
+            .await
+            .map_err(|e| AcError::Local(e.to_string()))?;
+        Ok(grants
+            .into_iter()
+            .map(|g| RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config))
+            .collect())
+    }
+
+    /// Dynamic allocation that queues until accelerators free up.
+    pub async fn acquire_waiting(&self, n: u32) -> Result<Vec<RemoteAccelerator>, AcError> {
+        let grants = self
+            .arm
+            .allocate_waiting(self.job, n)
+            .await
+            .map_err(|e| AcError::Local(e.to_string()))?;
+        Ok(grants
+            .into_iter()
+            .map(|g| RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config))
+            .collect())
+    }
+
+    /// Job end: the middleware releases every accelerator the job holds
+    /// (§III-C "accelerators are automatically released").
+    pub async fn finish(&self) -> u32 {
+        self.arm.release_job(self.job).await
+    }
+
+    /// Wrap a set of remote accelerators as [`AcDevice`]s.
+    pub fn as_devices(accels: &[RemoteAccelerator]) -> Vec<AcDevice> {
+        accels.iter().cloned().map(AcDevice::Remote).collect()
+    }
+
+    /// Wrap a local GPU as an [`AcDevice`] (static-architecture baseline).
+    pub fn local_device(gpu: VirtualGpu) -> AcDevice {
+        AcDevice::Local {
+            gpu,
+            host_mem: HostMemKind::Pinned,
+        }
+    }
+}

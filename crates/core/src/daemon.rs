@@ -1,0 +1,486 @@
+//! The back-end daemon running on every accelerator (§IV).
+//!
+//! Receives requests from front-ends over the fabric and executes them on
+//! the local GPU through the (virtual) CUDA driver API. Bulk copies use
+//! either the naive protocol — receive everything into main memory, then one
+//! DMA — or the pipelined protocol: blocks are received into a bounded ring
+//! of GPUDirect pinned buffers and DMA'd onward while later blocks are still
+//! on the wire.
+
+use std::collections::HashMap;
+
+use dacc_fabric::mpi::{Endpoint, Rank, Tag};
+use dacc_fabric::payload::Payload;
+use dacc_sim::prelude::*;
+use dacc_vgpu::device::{GpuError, HostMemKind, VirtualGpu};
+use dacc_vgpu::kernel::{KernelArg, KernelError, LaunchConfig};
+use dacc_vgpu::memory::{DevicePtr, MemError};
+use dacc_vgpu::pinned::PinnedPool;
+
+use crate::proto::{ac_tags, Request, Response, Status, WireProtocol};
+
+/// Daemon tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// CPU cost to decode and dispatch one request.
+    pub request_cost: SimDuration,
+    /// CPU cost per pipeline block (progressing MPI, posting the DMA).
+    /// This sits between a block's arrival and the posting of the next
+    /// receive, so it shows up as the per-block wire gap the paper blames
+    /// for small-block overhead at large message sizes.
+    pub per_block_cost: SimDuration,
+    /// Number of pinned buffers in the GPUDirect ring.
+    pub pinned_depth: usize,
+    /// Size of each pinned buffer (must cover the largest pipeline block).
+    pub pinned_buffer: u64,
+    /// Whether GPUDirect NIC/GPU buffer sharing is enabled; when off, every
+    /// block pays a host staging copy.
+    pub gpudirect: bool,
+    /// Number of block receives posted ahead during pipelined H2D
+    /// transfers. With 1 (the paper-era behaviour) each block's rendezvous
+    /// clear-to-send waits for the previous block's arrival, leaving a
+    /// per-block wire gap; larger values pre-issue CTSs and close the gap
+    /// (bounded by `pinned_depth`).
+    pub recv_prepost: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            request_cost: SimDuration::from_micros(3),
+            per_block_cost: SimDuration::from_nanos(400),
+            pinned_depth: 4,
+            pinned_buffer: 1 << 20,
+            gpudirect: true,
+            recv_prepost: 1,
+        }
+    }
+}
+
+/// Daemon activity counters, returned when the daemon shuts down.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonStats {
+    /// Requests served (including the final shutdown).
+    pub requests: u64,
+    /// Payload bytes received from front-ends (H2D + peer).
+    pub bytes_in: u64,
+    /// Payload bytes sent to front-ends (D2H + peer).
+    pub bytes_out: u64,
+    /// Peak host-memory footprint of receive buffers. The naive protocol
+    /// needs the full message; the pipeline needs `depth × buffer` no matter
+    /// the message size (§V.A).
+    pub host_buffer_peak: u64,
+    /// Kernels launched on behalf of front-ends.
+    pub kernels: u64,
+}
+
+#[derive(Default)]
+struct Session {
+    kernel: Option<String>,
+    args: Vec<KernelArg>,
+}
+
+fn status_of_gpu_error(e: &GpuError) -> Status {
+    match e {
+        GpuError::Mem(MemError::OutOfMemory { .. }) => Status::OutOfMemory,
+        GpuError::Mem(MemError::InvalidPointer(_)) | GpuError::Mem(MemError::NotABase(_)) => {
+            Status::InvalidPointer
+        }
+        GpuError::Mem(MemError::OutOfBounds { .. }) => Status::OutOfBounds,
+        GpuError::Kernel(KernelError::UnknownKernel(_)) => Status::UnknownKernel,
+        GpuError::Kernel(KernelError::BadArg(_)) => Status::BadArgs,
+        GpuError::Kernel(KernelError::Mem(_)) => Status::OutOfBounds,
+        GpuError::Kernel(KernelError::Failed(_)) => Status::KernelFailed,
+    }
+}
+
+/// Run a back-end daemon on `ep`, driving `gpu`, until a front-end sends
+/// `Shutdown`. Returns the daemon's activity counters.
+pub async fn run_daemon(ep: Endpoint, gpu: VirtualGpu, config: DaemonConfig) -> DaemonStats {
+    run_daemon_traced(ep, gpu, config, Tracer::disabled()).await
+}
+
+fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::MemAlloc { .. } => "MemAlloc",
+        Request::MemFree { .. } => "MemFree",
+        Request::MemCpyH2D { .. } => "MemCpyH2D",
+        Request::MemCpyD2H { .. } => "MemCpyD2H",
+        Request::KernelCreate { .. } => "KernelCreate",
+        Request::KernelSetArgs { .. } => "KernelSetArgs",
+        Request::KernelRun { .. } => "KernelRun",
+        Request::PeerSend { .. } => "PeerSend",
+        Request::PeerRecv { .. } => "PeerRecv",
+        Request::MemSet { .. } => "MemSet",
+        Request::Ping => "Ping",
+        Request::Shutdown => "Shutdown",
+    }
+}
+
+/// [`run_daemon`] with an event tracer: every request is recorded as a
+/// `daemon.request` event (`<Kind> from rankN`).
+pub async fn run_daemon_traced(
+    ep: Endpoint,
+    gpu: VirtualGpu,
+    config: DaemonConfig,
+    tracer: Tracer,
+) -> DaemonStats {
+    let handle = ep.fabric().handle().clone();
+    let pool = PinnedPool::new(
+        &handle,
+        config.pinned_depth,
+        config.pinned_buffer,
+        config.gpudirect,
+        gpu.params().staging_rate,
+    );
+    let mut stats = DaemonStats::default();
+    let mut sessions: HashMap<Rank, Session> = HashMap::new();
+
+    loop {
+        let env = ep.recv(None, Some(ac_tags::REQUEST)).await;
+        let cn = env.src;
+        stats.requests += 1;
+        let req = match env.payload.bytes().map(|b| Request::decode(b)) {
+            Some(Ok(r)) => r,
+            _ => {
+                respond(&ep, cn, Response::err(Status::Malformed)).await;
+                continue;
+            }
+        };
+        handle.delay(config.request_cost).await;
+        tracer.record(&handle, "daemon.request", || {
+            format!("{} from {}", request_kind(&req), cn)
+        });
+
+        match req {
+            Request::MemAlloc { len } => {
+                let resp = match gpu.alloc(len).await {
+                    Ok(ptr) => Response {
+                        status: Status::Ok,
+                        value: ptr.0,
+                    },
+                    Err(e) => Response::err(status_of_gpu_error(&e)),
+                };
+                respond(&ep, cn, resp).await;
+            }
+            Request::MemFree { ptr } => {
+                let resp = match gpu.free(ptr).await {
+                    Ok(()) => Response::ok(),
+                    Err(e) => Response::err(status_of_gpu_error(&e)),
+                };
+                respond(&ep, cn, resp).await;
+            }
+            Request::MemCpyH2D { dst, len, protocol } => {
+                let resp = handle_h2d(
+                    &handle, &ep, &gpu, &pool, &config, &mut stats, cn, dst, len, protocol,
+                    ac_tags::DATA,
+                )
+                .await;
+                respond(&ep, cn, resp).await;
+            }
+            Request::MemCpyD2H { src, len, protocol } => {
+                // Validate before streaming so the front-end knows whether
+                // data messages will follow the response.
+                let valid = gpu.mem().resolve(src, len).map(|_| ());
+                let block_ok = match protocol {
+                    WireProtocol::Pipeline { .. } => {
+                        protocol.block_size(len) <= config.pinned_buffer
+                    }
+                    WireProtocol::Naive => true,
+                };
+                match valid {
+                    Err(e) => {
+                        respond(&ep, cn, Response::err(status_of_gpu_error(&e.into()))).await;
+                    }
+                    Ok(()) if !block_ok => {
+                        respond(&ep, cn, Response::err(Status::Malformed)).await;
+                    }
+                    Ok(()) => {
+                        respond(&ep, cn, Response::ok()).await;
+                        stream_d2h(
+                            &handle, &ep, &gpu, &pool, &config, &mut stats, cn, src, len,
+                            protocol,
+                            ac_tags::DATA,
+                        )
+                        .await;
+                    }
+                }
+            }
+            Request::KernelCreate { name } => {
+                let resp = if gpu.registry().contains(&name) {
+                    let session = sessions.entry(cn).or_default();
+                    session.kernel = Some(name);
+                    session.args.clear();
+                    Response::ok()
+                } else {
+                    Response::err(Status::UnknownKernel)
+                };
+                respond(&ep, cn, resp).await;
+            }
+            Request::KernelSetArgs { args } => {
+                sessions.entry(cn).or_default().args = args;
+                respond(&ep, cn, Response::ok()).await;
+            }
+            Request::KernelRun { grid, block } => {
+                let session = sessions.entry(cn).or_default();
+                let resp = match session.kernel.clone() {
+                    None => Response::err(Status::NoKernelBound),
+                    Some(name) => {
+                        let cfg = LaunchConfig { grid, block };
+                        let args = session.args.clone();
+                        match gpu.launch(&name, cfg, &args).await {
+                            Ok(()) => {
+                                stats.kernels += 1;
+                                Response::ok()
+                            }
+                            Err(e) => Response::err(status_of_gpu_error(&e)),
+                        }
+                    }
+                };
+                respond(&ep, cn, resp).await;
+            }
+            Request::PeerSend {
+                src,
+                len,
+                peer,
+                block,
+            } => {
+                let valid = gpu.mem().resolve(src, len).map(|_| ());
+                let resp = match valid {
+                    Err(e) => Response::err(status_of_gpu_error(&e.into())),
+                    Ok(()) => {
+                        stream_d2h(
+                            &handle,
+                            &ep,
+                            &gpu,
+                            &pool,
+                            &config,
+                            &mut stats,
+                            Rank(peer as usize),
+                            src,
+                            len,
+                            WireProtocol::Pipeline { block },
+                            ac_tags::PEER_DATA,
+                        )
+                        .await;
+                        Response::ok()
+                    }
+                };
+                respond(&ep, cn, resp).await;
+            }
+            Request::PeerRecv {
+                dst,
+                len,
+                from,
+                block,
+            } => {
+                let resp = handle_h2d(
+                    &handle,
+                    &ep,
+                    &gpu,
+                    &pool,
+                    &config,
+                    &mut stats,
+                    Rank(from as usize),
+                    dst,
+                    len,
+                    WireProtocol::Pipeline { block },
+                    ac_tags::PEER_DATA,
+                )
+                .await;
+                respond(&ep, cn, resp).await;
+            }
+            Request::MemSet { ptr, len, byte } => {
+                let resp = match gpu.memset(ptr, len, byte).await {
+                    Ok(()) => Response::ok(),
+                    Err(e) => Response::err(status_of_gpu_error(&e)),
+                };
+                respond(&ep, cn, resp).await;
+            }
+            Request::Ping => {
+                respond(&ep, cn, Response::ok()).await;
+            }
+            Request::Shutdown => {
+                respond(&ep, cn, Response::ok()).await;
+                return stats;
+            }
+        }
+    }
+}
+
+async fn respond(ep: &Endpoint, to: Rank, resp: Response) {
+    ep.send(to, ac_tags::RESPONSE, Payload::from_vec(resp.encode()))
+        .await;
+}
+
+/// Receive `len` bytes from `src_rank` (tagged `data_tag`) and move them to
+/// device memory at `dst`.
+#[allow(clippy::too_many_arguments)]
+async fn handle_h2d(
+    handle: &SimHandle,
+    ep: &Endpoint,
+    gpu: &VirtualGpu,
+    pool: &PinnedPool,
+    config: &DaemonConfig,
+    stats: &mut DaemonStats,
+    src_rank: Rank,
+    dst: DevicePtr,
+    len: u64,
+    protocol: WireProtocol,
+    data_tag: Tag,
+) -> Response {
+    let nblocks = protocol.block_count(len);
+    // Pre-validate the destination and the block size. On failure the data
+    // messages are already in flight; drain and discard them to keep the
+    // channel clean. (The memory lock must not be held across the drain:
+    // concurrent DMA tasks take the same lock, and the executor is
+    // single-threaded.)
+    let valid = gpu.mem().resolve(dst, len).map(|_| ());
+    let block_ok = match protocol {
+        WireProtocol::Pipeline { .. } => protocol.block_size(len) <= config.pinned_buffer,
+        WireProtocol::Naive => true,
+    };
+    if let Err(e) = valid {
+        for _ in 0..nblocks {
+            ep.recv(Some(src_rank), Some(data_tag)).await;
+        }
+        return Response::err(status_of_gpu_error(&e.into()));
+    }
+    if !block_ok {
+        for _ in 0..nblocks {
+            ep.recv(Some(src_rank), Some(data_tag)).await;
+        }
+        return Response::err(Status::Malformed);
+    }
+    if len == 0 {
+        return Response::ok();
+    }
+    stats.bytes_in += len;
+
+    match protocol {
+        WireProtocol::Naive => {
+            // Receive the whole message into main memory first: the host
+            // buffer must hold the complete payload (§V.A).
+            let env = ep.recv(Some(src_rank), Some(data_tag)).await;
+            stats.host_buffer_peak = stats.host_buffer_peak.max(len);
+            match gpu.memcpy_h2d(&env.payload, dst, HostMemKind::Pinned).await {
+                Ok(()) => Response::ok(),
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            }
+        }
+        WireProtocol::Pipeline { .. } => {
+            let block = protocol.block_size(len);
+            stats.host_buffer_peak = stats
+                .host_buffer_peak
+                .max(config.pinned_buffer * config.pinned_depth as u64);
+            let prepost = config.recv_prepost.max(1).min(config.pinned_depth);
+            let mut dmas = Vec::with_capacity(nblocks as usize);
+            // Receives in flight: posting a receive pre-issues the
+            // rendezvous CTS, so `prepost` controls how much of the
+            // handshake latency overlaps with earlier blocks' data.
+            let mut inflight: std::collections::VecDeque<_> = std::collections::VecDeque::new();
+            let mut post_offset = 0u64; // next block to post a receive for
+            let mut offset = 0u64; // next block to complete
+            while offset < len {
+                while post_offset < len && inflight.len() < prepost {
+                    let bs = block.min(len - post_offset);
+                    // Back-pressure: no free pinned buffer, no receive.
+                    let slot = pool.acquire(bs).await;
+                    let recv = ep.irecv(Some(src_rank), Some(data_tag));
+                    inflight.push_back((recv, slot, bs));
+                    post_offset += bs;
+                }
+                let (recv, slot, bs) = inflight.pop_front().expect("inflight underflow");
+                let env = recv.await;
+                handle.delay(config.per_block_cost).await;
+                let staging = pool.staging_cost(bs);
+                let gpu = gpu.clone();
+                let dptr = dst.offset(offset);
+                dmas.push(handle.spawn("daemon.h2d.dma", async move {
+                    let result = gpu.memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned).await;
+                    drop(slot);
+                    result
+                }));
+                // Non-GPUDirect: the staging memcpy occupies the daemon CPU
+                // before the DMA can even be posted.
+                if !staging.is_zero() {
+                    handle.delay(staging).await;
+                }
+                offset += bs;
+            }
+            let mut status = Status::Ok;
+            for dma in dmas {
+                if let Err(e) = dma.await {
+                    if status == Status::Ok {
+                        status = status_of_gpu_error(&e);
+                    }
+                }
+            }
+            Response {
+                status,
+                value: 0,
+            }
+        }
+    }
+}
+
+/// Stream `len` device bytes at `src` to `dst_rank` (tagged `data_tag`).
+#[allow(clippy::too_many_arguments)]
+async fn stream_d2h(
+    handle: &SimHandle,
+    ep: &Endpoint,
+    gpu: &VirtualGpu,
+    pool: &PinnedPool,
+    config: &DaemonConfig,
+    stats: &mut DaemonStats,
+    dst_rank: Rank,
+    src: DevicePtr,
+    len: u64,
+    protocol: WireProtocol,
+    data_tag: Tag,
+) {
+    if len == 0 {
+        return;
+    }
+    stats.bytes_out += len;
+    match protocol {
+        WireProtocol::Naive => {
+            stats.host_buffer_peak = stats.host_buffer_peak.max(len);
+            let payload = gpu
+                .memcpy_d2h(src, len, HostMemKind::Pinned)
+                .await
+                .expect("validated before streaming");
+            ep.send(dst_rank, data_tag, payload).await;
+        }
+        WireProtocol::Pipeline { .. } => {
+            let block = protocol.block_size(len);
+            stats.host_buffer_peak = stats
+                .host_buffer_peak
+                .max(config.pinned_buffer * config.pinned_depth as u64);
+            let mut sends = Vec::new();
+            let mut offset = 0u64;
+            while offset < len {
+                let bs = block.min(len - offset);
+                let slot = pool.acquire(bs).await;
+                let payload = gpu
+                    .memcpy_d2h(src.offset(offset), bs, HostMemKind::Pinned)
+                    .await
+                    .expect("validated before streaming");
+                let staging = pool.staging_cost(bs);
+                if !staging.is_zero() {
+                    handle.delay(staging).await;
+                }
+                handle.delay(config.per_block_cost).await;
+                let ep = ep.clone();
+                sends.push(handle.spawn("daemon.d2h.send", async move {
+                    ep.send(dst_rank, data_tag, payload).await;
+                    drop(slot);
+                }));
+                offset += bs;
+            }
+            for s in sends {
+                s.await;
+            }
+        }
+    }
+}

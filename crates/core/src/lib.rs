@@ -1,0 +1,68 @@
+//! `dacc-runtime` — the dynamic accelerator-cluster middleware.
+//!
+//! This is the paper's primary contribution: a software stack that makes
+//! network-attached accelerators appear locally attached to any compute
+//! node. A front-end library on each compute node translates CUDA-like API
+//! calls (`acMemAlloc`, `acMemCpy`, `acKernelCreate/SetArgs/Run`) into
+//! request messages; a back-end daemon on each accelerator executes them on
+//! its GPU; an efficient pipelined memory-copy protocol built on GPUDirect
+//! pinned buffers keeps remote-copy bandwidth close to the raw MPI ceiling.
+//!
+//! Modules:
+//! * [`proto`] — the wire protocol (request/response + data blocks).
+//! * [`daemon`] — the accelerator-side daemon.
+//! * [`api`] — the compute-node-side computation API and protocols.
+//! * [`opencl`] — an OpenCL-flavoured front-end over the same wire protocol.
+//! * [`cluster`] — one-call assembly of ARM + daemons + compute nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use dacc_runtime::prelude::*;
+//! use dacc_sim::prelude::*;
+//! use dacc_fabric::payload::Payload;
+//! use dacc_vgpu::kernel::KernelRegistry;
+//! use dacc_vgpu::params::ExecMode;
+//!
+//! let mut sim = Sim::new();
+//! let spec = ClusterSpec {
+//!     compute_nodes: 1,
+//!     accelerators: 1,
+//!     mode: ExecMode::Functional,
+//!     ..ClusterSpec::default()
+//! };
+//! let mut cluster = build_cluster(&sim, spec, KernelRegistry::new());
+//! let ep = cluster.cn_endpoints.remove(0);
+//! let daemon = cluster.daemon_rank(0);
+//! let out = sim.spawn("app", async move {
+//!     let ac = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+//!     let ptr = ac.mem_alloc(4).await.unwrap();
+//!     ac.mem_cpy_h2d(&Payload::from_vec(vec![1, 2, 3, 4]), ptr).await.unwrap();
+//!     let back = ac.mem_cpy_d2h(ptr, 4).await.unwrap();
+//!     ac.shutdown().await.unwrap();
+//!     back.expect_bytes().to_vec()
+//! });
+//! sim.run();
+//! assert_eq!(out.try_take().unwrap(), vec![1, 2, 3, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cluster;
+pub mod daemon;
+pub mod opencl;
+pub mod proto;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::api::{
+        device_to_device, AcDevice, AcError, FrontendConfig, RemoteAccelerator, TransferProtocol,
+    };
+    pub use crate::cluster::{build_cluster, AcProcess, Cluster, ClusterSpec};
+    pub use crate::daemon::{run_daemon, run_daemon_traced, DaemonConfig, DaemonStats};
+    pub use crate::opencl::{ClBuffer, ClCommandQueue, ClContext, ClKernel};
+    pub use crate::proto::{ac_tags, Request, Response, Status, WireProtocol};
+}
+
+pub use prelude::*;

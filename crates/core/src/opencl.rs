@@ -1,0 +1,309 @@
+//! An OpenCL-flavoured front-end over the same middleware.
+//!
+//! §IV: the software stack "is extensible to any accelerator programming
+//! interface and therefore not restricted to CUDA by design" (MGP, one of
+//! the related systems, is OpenCL-based). This module demonstrates that: a
+//! `clCreateBuffer` / `clSetKernelArg` / `clEnqueue*` shaped API that
+//! compiles down to exactly the same wire requests the CUDA-flavoured
+//! front-end sends. Nothing daemon-side changes.
+
+use dacc_fabric::payload::Payload;
+use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
+use dacc_vgpu::memory::DevicePtr;
+
+use crate::api::{AcDevice, AcError};
+
+/// An OpenCL-style context: one device (local or network-attached).
+pub struct ClContext {
+    device: AcDevice,
+}
+
+/// A device buffer (`cl_mem`).
+pub struct ClBuffer {
+    ptr: DevicePtr,
+    len: u64,
+}
+
+impl ClBuffer {
+    /// Buffer size in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying device pointer (for interop with the CUDA-style API).
+    pub fn device_ptr(&self) -> DevicePtr {
+        self.ptr
+    }
+}
+
+/// A kernel object: name plus positional arguments (`clSetKernelArg`).
+pub struct ClKernel {
+    name: String,
+    args: Vec<Option<KernelArg>>,
+}
+
+impl ClKernel {
+    /// Set argument `index` to a buffer.
+    pub fn set_arg_buffer(&mut self, index: usize, buf: &ClBuffer) {
+        self.set(index, KernelArg::Ptr(buf.ptr));
+    }
+
+    /// Set argument `index` to an integer.
+    pub fn set_arg_u64(&mut self, index: usize, v: u64) {
+        self.set(index, KernelArg::U64(v));
+    }
+
+    /// Set argument `index` to a double.
+    pub fn set_arg_f64(&mut self, index: usize, v: f64) {
+        self.set(index, KernelArg::F64(v));
+    }
+
+    fn set(&mut self, index: usize, arg: KernelArg) {
+        if self.args.len() <= index {
+            self.args.resize(index + 1, None);
+        }
+        self.args[index] = Some(arg);
+    }
+
+    fn collected(&self) -> Result<Vec<KernelArg>, AcError> {
+        self.args
+            .iter()
+            .cloned()
+            .map(|a| a.ok_or(AcError::Local("unset kernel argument".into())))
+            .collect()
+    }
+}
+
+/// An in-order command queue on the context's device.
+///
+/// Operations complete in enqueue order; each `enqueue_*` here resolves at
+/// operation completion (the blocking flavour of the OpenCL calls), and
+/// [`ClCommandQueue::finish`] is then a no-op kept for API fidelity.
+pub struct ClCommandQueue<'a> {
+    ctx: &'a ClContext,
+}
+
+impl ClContext {
+    /// Create a context on one device.
+    pub fn new(device: AcDevice) -> Self {
+        ClContext { device }
+    }
+
+    /// `clCreateBuffer`: allocate a device buffer.
+    pub async fn create_buffer(&self, len: u64) -> Result<ClBuffer, AcError> {
+        let ptr = self.device.mem_alloc(len).await?;
+        Ok(ClBuffer { ptr, len })
+    }
+
+    /// `clReleaseMemObject`: free a buffer.
+    pub async fn release_buffer(&self, buf: ClBuffer) -> Result<(), AcError> {
+        self.device.mem_free(buf.ptr).await
+    }
+
+    /// `clCreateKernel`: a kernel object for a registered kernel name.
+    pub fn create_kernel(&self, name: &str) -> ClKernel {
+        ClKernel {
+            name: name.to_owned(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Create the in-order command queue.
+    pub fn command_queue(&self) -> ClCommandQueue<'_> {
+        ClCommandQueue { ctx: self }
+    }
+}
+
+impl ClCommandQueue<'_> {
+    /// `clEnqueueWriteBuffer` (blocking): host → device.
+    pub async fn enqueue_write_buffer(
+        &self,
+        buf: &ClBuffer,
+        offset: u64,
+        data: &Payload,
+    ) -> Result<(), AcError> {
+        assert!(offset + data.len() <= buf.len, "write exceeds buffer");
+        self.ctx
+            .device
+            .mem_cpy_h2d(data, buf.ptr.offset(offset))
+            .await
+    }
+
+    /// `clEnqueueReadBuffer` (blocking): device → host.
+    pub async fn enqueue_read_buffer(
+        &self,
+        buf: &ClBuffer,
+        offset: u64,
+        len: u64,
+    ) -> Result<Payload, AcError> {
+        assert!(offset + len <= buf.len, "read exceeds buffer");
+        self.ctx.device.mem_cpy_d2h(buf.ptr.offset(offset), len).await
+    }
+
+    /// `clEnqueueFillBuffer`.
+    pub async fn enqueue_fill_buffer(
+        &self,
+        buf: &ClBuffer,
+        byte: u8,
+    ) -> Result<(), AcError> {
+        self.ctx.device.mem_set(buf.ptr, buf.len, byte).await
+    }
+
+    /// `clEnqueueNDRangeKernel`: launch with a global/local work size
+    /// (1-D, like the middleware's grid×block).
+    pub async fn enqueue_nd_range_kernel(
+        &self,
+        kernel: &ClKernel,
+        global_work_size: u64,
+        local_work_size: u32,
+    ) -> Result<(), AcError> {
+        let local = local_work_size.max(1);
+        let groups = global_work_size.div_ceil(local as u64).max(1) as u32;
+        self.ctx
+            .device
+            .launch(
+                &kernel.name,
+                LaunchConfig::linear(groups, local),
+                &kernel.collected()?,
+            )
+            .await
+    }
+
+    /// `clFinish`: every enqueued operation has already completed (the
+    /// blocking call flavour), so this is a no-op kept for API fidelity.
+    pub async fn finish(&self) -> Result<(), AcError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FrontendConfig, RemoteAccelerator};
+    use crate::cluster::{build_cluster, ClusterSpec};
+    use dacc_sim::prelude::*;
+    use dacc_vgpu::kernel::{register_builtin_kernels, KernelRegistry};
+    use dacc_vgpu::params::{ExecMode, GpuParams};
+
+    #[test]
+    fn opencl_flavoured_vec_add_on_remote_accelerator() {
+        let mut sim = Sim::new();
+        let registry = KernelRegistry::new();
+        register_builtin_kernels(&registry);
+        let spec = ClusterSpec {
+            compute_nodes: 1,
+            accelerators: 1,
+            mode: ExecMode::Functional,
+            gpu: GpuParams::tesla_c1060(),
+            ..ClusterSpec::default()
+        };
+        let mut cluster = build_cluster(&sim, spec, registry);
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+
+        let out = sim.spawn("cl", async move {
+            let remote = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+            let ctx = ClContext::new(AcDevice::Remote(remote.clone()));
+            let q = ctx.command_queue();
+
+            let n = 64u64;
+            let a = ctx.create_buffer(n * 8).await.unwrap();
+            let b = ctx.create_buffer(n * 8).await.unwrap();
+            let c = ctx.create_buffer(n * 8).await.unwrap();
+
+            let xs: Vec<u8> = (0..n).flat_map(|i| (i as f64).to_le_bytes()).collect();
+            let ys: Vec<u8> = (0..n).flat_map(|i| (2.0 * i as f64).to_le_bytes()).collect();
+            q.enqueue_write_buffer(&a, 0, &Payload::from_vec(xs)).await.unwrap();
+            q.enqueue_write_buffer(&b, 0, &Payload::from_vec(ys)).await.unwrap();
+
+            let mut k = ctx.create_kernel("vec_add");
+            k.set_arg_buffer(0, &a);
+            k.set_arg_buffer(1, &b);
+            k.set_arg_buffer(2, &c);
+            k.set_arg_u64(3, n);
+            q.enqueue_nd_range_kernel(&k, n, 32).await.unwrap();
+            q.finish().await.unwrap();
+
+            let back = q.enqueue_read_buffer(&c, 0, n * 8).await.unwrap();
+            ctx.release_buffer(a).await.unwrap();
+            ctx.release_buffer(b).await.unwrap();
+            ctx.release_buffer(c).await.unwrap();
+            remote.shutdown().await.unwrap();
+            back
+        });
+        sim.run();
+        let payload = out.try_take().expect("did not finish");
+        let vals: Vec<f64> = payload
+            .expect_bytes()
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f64, "c[{i}]");
+        }
+    }
+
+    #[test]
+    fn unset_argument_is_an_error() {
+        let mut sim = Sim::new();
+        let registry = KernelRegistry::new();
+        register_builtin_kernels(&registry);
+        let spec = ClusterSpec {
+            compute_nodes: 1,
+            accelerators: 1,
+            mode: ExecMode::Functional,
+            gpu: GpuParams::tesla_c1060(),
+            ..ClusterSpec::default()
+        };
+        let mut cluster = build_cluster(&sim, spec, registry);
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let out = sim.spawn("cl", async move {
+            let remote = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+            let ctx = ClContext::new(AcDevice::Remote(remote.clone()));
+            let q = ctx.command_queue();
+            let mut k = ctx.create_kernel("vec_add");
+            k.set_arg_u64(3, 4); // args 0..2 left unset
+            let err = q.enqueue_nd_range_kernel(&k, 4, 4).await.unwrap_err();
+            remote.shutdown().await.unwrap();
+            err
+        });
+        sim.run();
+        assert!(matches!(out.try_take().unwrap(), AcError::Local(_)));
+    }
+
+    #[test]
+    fn fill_buffer_works() {
+        let mut sim = Sim::new();
+        let registry = KernelRegistry::new();
+        register_builtin_kernels(&registry);
+        let spec = ClusterSpec {
+            compute_nodes: 1,
+            accelerators: 1,
+            mode: ExecMode::Functional,
+            gpu: GpuParams::tesla_c1060(),
+            ..ClusterSpec::default()
+        };
+        let mut cluster = build_cluster(&sim, spec, registry);
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let out = sim.spawn("cl", async move {
+            let remote = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+            let ctx = ClContext::new(AcDevice::Remote(remote.clone()));
+            let q = ctx.command_queue();
+            let buf = ctx.create_buffer(512).await.unwrap();
+            q.enqueue_fill_buffer(&buf, 0x77).await.unwrap();
+            let back = q.enqueue_read_buffer(&buf, 0, 512).await.unwrap();
+            remote.shutdown().await.unwrap();
+            back
+        });
+        sim.run();
+        let payload = out.try_take().unwrap();
+        assert!(payload.expect_bytes().iter().all(|&b| b == 0x77));
+    }
+}

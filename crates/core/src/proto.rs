@@ -1,0 +1,615 @@
+//! The middleware wire protocol.
+//!
+//! §IV: "each request involves two MPI messages. First, the front-end sends
+//! a request message to the back-end. Second, the back-end sends the results
+//! (e.g., error code or data) back to the front-end." Bulk payloads ride as
+//! separate data messages between the request and the response — one for
+//! the naive protocol, one per block for the pipeline protocol.
+
+use dacc_vgpu::kernel::KernelArg;
+use dacc_vgpu::memory::DevicePtr;
+
+/// Reserved fabric tags for middleware traffic.
+pub mod ac_tags {
+    use dacc_fabric::mpi::Tag;
+    /// Front-end → daemon request headers.
+    pub const REQUEST: Tag = Tag(0xFFFF_0020);
+    /// Daemon → front-end response headers.
+    pub const RESPONSE: Tag = Tag(0xFFFF_0021);
+    /// Bulk data blocks (either direction).
+    pub const DATA: Tag = Tag(0xFFFF_0022);
+    /// Accelerator-to-accelerator data blocks.
+    pub const PEER_DATA: Tag = Tag(0xFFFF_0023);
+}
+
+/// Transfer protocol selector carried in copy requests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireProtocol {
+    /// Single bulk message, fully received before one DMA.
+    Naive,
+    /// Split into blocks of the given size; network and DMA overlap.
+    Pipeline {
+        /// Block size in bytes.
+        block: u64,
+    },
+}
+
+impl WireProtocol {
+    /// Block size used on the wire (`len` itself for naive).
+    pub fn block_size(&self, len: u64) -> u64 {
+        match self {
+            WireProtocol::Naive => len.max(1),
+            WireProtocol::Pipeline { block } => (*block).min(len.max(1)),
+        }
+    }
+
+    /// Number of data messages for a `len`-byte transfer.
+    pub fn block_count(&self, len: u64) -> u64 {
+        if len == 0 {
+            0
+        } else {
+            len.div_ceil(self.block_size(len))
+        }
+    }
+}
+
+/// A front-end → daemon request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// `acMemAlloc`: allocate `len` bytes of device memory.
+    MemAlloc {
+        /// Allocation size in bytes.
+        len: u64,
+    },
+    /// `acMemFree`: free a device allocation.
+    MemFree {
+        /// Base pointer to free.
+        ptr: DevicePtr,
+    },
+    /// `acMemCpy` host→device: data messages follow this header.
+    MemCpyH2D {
+        /// Destination device pointer.
+        dst: DevicePtr,
+        /// Transfer length in bytes.
+        len: u64,
+        /// Protocol for the data messages.
+        protocol: WireProtocol,
+    },
+    /// `acMemCpy` device→host: daemon streams data messages, then responds.
+    MemCpyD2H {
+        /// Source device pointer.
+        src: DevicePtr,
+        /// Transfer length in bytes.
+        len: u64,
+        /// Protocol for the data messages.
+        protocol: WireProtocol,
+    },
+    /// `acKernelCreate`: bind the session to a named kernel.
+    KernelCreate {
+        /// Registered kernel name.
+        name: String,
+    },
+    /// `acKernelSetArgs`: set the bound kernel's arguments.
+    KernelSetArgs {
+        /// Argument list.
+        args: Vec<KernelArg>,
+    },
+    /// `acKernelRun`: launch the bound kernel with this configuration.
+    KernelRun {
+        /// Grid dimensions.
+        grid: (u32, u32, u32),
+        /// Block dimensions.
+        block: (u32, u32, u32),
+    },
+    /// Stream device data directly to a peer accelerator's daemon
+    /// (the paper's accelerator-to-accelerator exchange, §III-C).
+    PeerSend {
+        /// Source device pointer on this accelerator.
+        src: DevicePtr,
+        /// Bytes to stream.
+        len: u64,
+        /// Fabric rank of the receiving daemon.
+        peer: u32,
+        /// Pipeline block size.
+        block: u64,
+    },
+    /// Receive device data streamed by a peer accelerator's daemon.
+    PeerRecv {
+        /// Destination device pointer on this accelerator.
+        dst: DevicePtr,
+        /// Bytes expected.
+        len: u64,
+        /// Fabric rank of the sending daemon.
+        from: u32,
+        /// Pipeline block size.
+        block: u64,
+    },
+    /// `acMemSet`: fill `len` device bytes with `byte` (cuMemsetD8).
+    MemSet {
+        /// Destination device pointer.
+        ptr: DevicePtr,
+        /// Fill length in bytes.
+        len: u64,
+        /// Fill value.
+        byte: u8,
+    },
+    /// Liveness probe: the daemon answers immediately.
+    Ping,
+    /// Stop the daemon (orderly tear-down).
+    Shutdown,
+}
+
+/// Status codes carried in responses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Device out of memory.
+    OutOfMemory,
+    /// Invalid device pointer.
+    InvalidPointer,
+    /// Access out of bounds.
+    OutOfBounds,
+    /// Kernel name not registered.
+    UnknownKernel,
+    /// Kernel argument mismatch.
+    BadArgs,
+    /// Kernel body failed.
+    KernelFailed,
+    /// No kernel bound to the session (`acKernelRun` before `acKernelCreate`).
+    NoKernelBound,
+    /// Malformed request.
+    Malformed,
+}
+
+impl Status {
+    fn to_u8(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::OutOfMemory => 1,
+            Status::InvalidPointer => 2,
+            Status::OutOfBounds => 3,
+            Status::UnknownKernel => 4,
+            Status::BadArgs => 5,
+            Status::KernelFailed => 6,
+            Status::NoKernelBound => 7,
+            Status::Malformed => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::OutOfMemory,
+            2 => Status::InvalidPointer,
+            3 => Status::OutOfBounds,
+            4 => Status::UnknownKernel,
+            5 => Status::BadArgs,
+            6 => Status::KernelFailed,
+            7 => Status::NoKernelBound,
+            8 => Status::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+/// A daemon → front-end response: status plus one optional word
+/// (the allocated pointer for `MemAlloc`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Request-specific value (e.g. allocated pointer address).
+    pub value: u64,
+}
+
+impl Response {
+    /// A success response with no value.
+    pub fn ok() -> Self {
+        Response {
+            status: Status::Ok,
+            value: 0,
+        }
+    }
+
+    /// An error response.
+    pub fn err(status: Status) -> Self {
+        Response { status, value: 0 }
+    }
+}
+
+/// Codec failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError;
+
+struct W(Vec<u8>);
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+}
+
+struct R<'a>(&'a [u8], usize);
+impl<'a> R<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let v = *self.0.get(self.1).ok_or(DecodeError)?;
+        self.1 += 1;
+        Ok(v)
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.0.get(self.1..self.1 + 4).ok_or(DecodeError)?;
+        self.1 += 4;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.0.get(self.1..self.1 + 8).ok_or(DecodeError)?;
+        self.1 += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()? as usize;
+        let s = self.0.get(self.1..self.1 + n).ok_or(DecodeError)?;
+        self.1 += n;
+        Ok(s)
+    }
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.1 == self.0.len() {
+            Ok(())
+        } else {
+            Err(DecodeError)
+        }
+    }
+}
+
+fn encode_protocol(w: &mut W, p: &WireProtocol) {
+    match p {
+        WireProtocol::Naive => {
+            w.u8(0);
+            w.u64(0);
+        }
+        WireProtocol::Pipeline { block } => {
+            w.u8(1);
+            w.u64(*block);
+        }
+    }
+}
+
+fn decode_protocol(r: &mut R) -> Result<WireProtocol, DecodeError> {
+    let kind = r.u8()?;
+    let block = r.u64()?;
+    match kind {
+        0 => Ok(WireProtocol::Naive),
+        1 if block > 0 => Ok(WireProtocol::Pipeline { block }),
+        _ => Err(DecodeError),
+    }
+}
+
+fn encode_arg(w: &mut W, a: &KernelArg) {
+    match a {
+        KernelArg::Ptr(p) => {
+            w.u8(0);
+            w.u64(p.0);
+        }
+        KernelArg::U64(v) => {
+            w.u8(1);
+            w.u64(*v);
+        }
+        KernelArg::I64(v) => {
+            w.u8(2);
+            w.u64(*v as u64);
+        }
+        KernelArg::F64(v) => {
+            w.u8(3);
+            w.f64(*v);
+        }
+    }
+}
+
+fn decode_arg(r: &mut R) -> Result<KernelArg, DecodeError> {
+    Ok(match r.u8()? {
+        0 => KernelArg::Ptr(DevicePtr(r.u64()?)),
+        1 => KernelArg::U64(r.u64()?),
+        2 => KernelArg::I64(r.u64()? as i64),
+        3 => KernelArg::F64(r.f64()?),
+        _ => return Err(DecodeError),
+    })
+}
+
+impl Request {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W(Vec::with_capacity(32));
+        match self {
+            Request::MemAlloc { len } => {
+                w.u8(0);
+                w.u64(*len);
+            }
+            Request::MemFree { ptr } => {
+                w.u8(1);
+                w.u64(ptr.0);
+            }
+            Request::MemCpyH2D { dst, len, protocol } => {
+                w.u8(2);
+                w.u64(dst.0);
+                w.u64(*len);
+                encode_protocol(&mut w, protocol);
+            }
+            Request::MemCpyD2H { src, len, protocol } => {
+                w.u8(3);
+                w.u64(src.0);
+                w.u64(*len);
+                encode_protocol(&mut w, protocol);
+            }
+            Request::KernelCreate { name } => {
+                w.u8(4);
+                w.bytes(name.as_bytes());
+            }
+            Request::KernelSetArgs { args } => {
+                w.u8(5);
+                w.u32(args.len() as u32);
+                for a in args {
+                    encode_arg(&mut w, a);
+                }
+            }
+            Request::KernelRun { grid, block } => {
+                w.u8(6);
+                for v in [grid.0, grid.1, grid.2, block.0, block.1, block.2] {
+                    w.u32(v);
+                }
+            }
+            Request::PeerSend {
+                src,
+                len,
+                peer,
+                block,
+            } => {
+                w.u8(7);
+                w.u64(src.0);
+                w.u64(*len);
+                w.u32(*peer);
+                w.u64(*block);
+            }
+            Request::PeerRecv {
+                dst,
+                len,
+                from,
+                block,
+            } => {
+                w.u8(8);
+                w.u64(dst.0);
+                w.u64(*len);
+                w.u32(*from);
+                w.u64(*block);
+            }
+            Request::MemSet { ptr, len, byte } => {
+                w.u8(10);
+                w.u64(ptr.0);
+                w.u64(*len);
+                w.u8(*byte);
+            }
+            Request::Ping => w.u8(11),
+            Request::Shutdown => w.u8(9),
+        }
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = R(buf, 0);
+        let req = match r.u8()? {
+            0 => Request::MemAlloc { len: r.u64()? },
+            1 => Request::MemFree {
+                ptr: DevicePtr(r.u64()?),
+            },
+            2 => Request::MemCpyH2D {
+                dst: DevicePtr(r.u64()?),
+                len: r.u64()?,
+                protocol: decode_protocol(&mut r)?,
+            },
+            3 => Request::MemCpyD2H {
+                src: DevicePtr(r.u64()?),
+                len: r.u64()?,
+                protocol: decode_protocol(&mut r)?,
+            },
+            4 => Request::KernelCreate {
+                name: String::from_utf8(r.bytes()?.to_vec()).map_err(|_| DecodeError)?,
+            },
+            5 => {
+                let n = r.u32()?;
+                let mut args = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    args.push(decode_arg(&mut r)?);
+                }
+                Request::KernelSetArgs { args }
+            }
+            6 => {
+                let mut v = [0u32; 6];
+                for slot in &mut v {
+                    *slot = r.u32()?;
+                }
+                Request::KernelRun {
+                    grid: (v[0], v[1], v[2]),
+                    block: (v[3], v[4], v[5]),
+                }
+            }
+            7 => Request::PeerSend {
+                src: DevicePtr(r.u64()?),
+                len: r.u64()?,
+                peer: r.u32()?,
+                block: r.u64()?,
+            },
+            8 => Request::PeerRecv {
+                dst: DevicePtr(r.u64()?),
+                len: r.u64()?,
+                from: r.u32()?,
+                block: r.u64()?,
+            },
+            9 => Request::Shutdown,
+            10 => Request::MemSet {
+                ptr: DevicePtr(r.u64()?),
+                len: r.u64()?,
+                byte: r.u8()?,
+            },
+            11 => Request::Ping,
+            _ => return Err(DecodeError),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W(Vec::with_capacity(9));
+        w.u8(self.status.to_u8());
+        w.u64(self.value);
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = R(buf, 0);
+        let status = Status::from_u8(r.u8()?).ok_or(DecodeError)?;
+        let value = r.u64()?;
+        r.finish()?;
+        Ok(Response { status, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: Request) {
+        assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(Request::MemAlloc { len: 1 << 30 });
+        roundtrip(Request::MemFree {
+            ptr: DevicePtr(4096),
+        });
+        roundtrip(Request::MemCpyH2D {
+            dst: DevicePtr(512),
+            len: 10_000_000,
+            protocol: WireProtocol::Pipeline { block: 128 << 10 },
+        });
+        roundtrip(Request::MemCpyD2H {
+            src: DevicePtr(512),
+            len: 7,
+            protocol: WireProtocol::Naive,
+        });
+        roundtrip(Request::KernelCreate {
+            name: "dgemm_nt".into(),
+        });
+        roundtrip(Request::KernelSetArgs {
+            args: vec![
+                KernelArg::Ptr(DevicePtr(77)),
+                KernelArg::U64(9),
+                KernelArg::I64(-3),
+                KernelArg::F64(-1.25),
+            ],
+        });
+        roundtrip(Request::KernelRun {
+            grid: (16, 16, 1),
+            block: (32, 8, 1),
+        });
+        roundtrip(Request::PeerSend {
+            src: DevicePtr(1),
+            len: 2,
+            peer: 3,
+            block: 4,
+        });
+        roundtrip(Request::PeerRecv {
+            dst: DevicePtr(1),
+            len: 2,
+            from: 3,
+            block: 4,
+        });
+        roundtrip(Request::MemSet {
+            ptr: DevicePtr(64),
+            len: 1 << 20,
+            byte: 0xAB,
+        });
+        roundtrip(Request::Ping);
+        roundtrip(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for status in [
+            Status::Ok,
+            Status::OutOfMemory,
+            Status::InvalidPointer,
+            Status::OutOfBounds,
+            Status::UnknownKernel,
+            Status::BadArgs,
+            Status::KernelFailed,
+            Status::NoKernelBound,
+            Status::Malformed,
+        ] {
+            let r = Response { status, value: 42 };
+            assert_eq!(Response::decode(&r.encode()), Ok(r));
+        }
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let bytes = Request::MemCpyH2D {
+            dst: DevicePtr(1),
+            len: 2,
+            protocol: WireProtocol::Pipeline { block: 3 },
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Request::decode(&bytes[..cut]), Err(DecodeError));
+        }
+    }
+
+    #[test]
+    fn zero_block_pipeline_rejected() {
+        let mut bytes = Request::MemCpyH2D {
+            dst: DevicePtr(1),
+            len: 2,
+            protocol: WireProtocol::Pipeline { block: 1 },
+        }
+        .encode();
+        // Overwrite the block-size field (last 8 bytes) with zero.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(Request::decode(&bytes), Err(DecodeError));
+    }
+
+    #[test]
+    fn wire_protocol_block_math() {
+        let p = WireProtocol::Pipeline { block: 128 << 10 };
+        assert_eq!(p.block_count(0), 0);
+        assert_eq!(p.block_count(1), 1);
+        assert_eq!(p.block_count(128 << 10), 1);
+        assert_eq!(p.block_count((128 << 10) + 1), 2);
+        assert_eq!(p.block_count(64 << 20), 512);
+        let n = WireProtocol::Naive;
+        assert_eq!(n.block_count(64 << 20), 1);
+        assert_eq!(n.block_size(64 << 20), 64 << 20);
+        // Block larger than the message: clamp to the message.
+        assert_eq!(p.block_size(1000), 1000);
+    }
+}

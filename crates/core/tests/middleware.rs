@@ -1,0 +1,488 @@
+//! End-to-end middleware tests: front-end ↔ daemon over the simulated
+//! fabric, against a functional virtual GPU.
+
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{register_builtin_kernels, KernelArg, KernelRegistry, LaunchConfig};
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+fn functional_cluster(accels: usize) -> (Sim, Cluster) {
+    let sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    let spec = ClusterSpec {
+        compute_nodes: 1,
+        accelerators: accels,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let cluster = build_cluster(&sim, spec, registry);
+    (sim, cluster)
+}
+
+fn test_pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+#[test]
+fn listing2_alloc_copy_kernel_copy_free() {
+    // The paper's Listing 2, end to end: allocate, H2D, kernel (three-step),
+    // D2H, free — on a remote accelerator.
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let arm_rank = cluster.arm_rank;
+    let ep = cns.remove(0);
+    use dacc_arm::state::JobId;
+
+    let result = sim.spawn("app", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), FrontendConfig::default());
+        let accels = proc.acquire(1).await.unwrap();
+        let ac = &accels[0];
+
+        let n = 1000usize;
+        let ptr = ac.mem_alloc((n * 8) as u64).await.unwrap();
+
+        // acKernelCreate / acKernelSetArgs / acKernelRun.
+        ac.kernel_create("fill_f64").await.unwrap();
+        ac.kernel_set_args(&[
+            KernelArg::Ptr(ptr),
+            KernelArg::U64(n as u64),
+            KernelArg::F64(2.5),
+        ])
+        .await
+        .unwrap();
+        ac.kernel_run(LaunchConfig::linear(4, 256)).await.unwrap();
+
+        let back = ac.mem_cpy_d2h(ptr, (n * 8) as u64).await.unwrap();
+        ac.mem_free(ptr).await.unwrap();
+        let released = proc.finish().await;
+        ac.shutdown().await.unwrap();
+        proc.arm().shutdown().await;
+        (back, released)
+    });
+    let out = sim.run();
+    let (payload, released) = result.try_take().expect("app did not finish");
+    assert_eq!(released, 1);
+    let bytes = payload.expect_bytes();
+    let vals: Vec<f64> = bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(vals, vec![2.5; 1000]);
+    // After shutdown the only blocked tasks are the per-endpoint MPI
+    // dispatchers (idle progress engines); ARM, daemon and app all exited.
+    assert!(
+        sim.pending_task_names()
+            .iter()
+            .all(|n| *n == "mpi.dispatcher"),
+        "unexpected pending tasks: {:?}",
+        sim.pending_task_names()
+    );
+    assert_eq!(out.pending_tasks, 3);
+}
+
+#[test]
+fn h2d_roundtrip_byte_exact_across_protocols() {
+    for protocol in [
+        TransferProtocol::Naive,
+        TransferProtocol::Pipeline { block: 4 << 10 },
+        TransferProtocol::Pipeline { block: 64 << 10 },
+        TransferProtocol::h2d_default(),
+    ] {
+        for len in [1usize, 100, 4096, 65_537, 300_000] {
+            let (mut sim, mut cluster) = functional_cluster(1);
+            let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+            let ep = cns.remove(0);
+            let daemon = cluster.daemon_rank(0);
+            let data = test_pattern(len);
+            let expect = data.clone();
+
+            let cfg = FrontendConfig {
+                h2d: protocol,
+                d2h: protocol,
+                ..FrontendConfig::default()
+            };
+            let result = sim.spawn("app", async move {
+                let ac = RemoteAccelerator::new(ep, daemon, cfg);
+                let ptr = ac.mem_alloc(len as u64).await.unwrap();
+                ac.mem_cpy_h2d(&Payload::from_vec(data), ptr).await.unwrap();
+                let back = ac.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+                ac.shutdown().await.unwrap();
+                back
+            });
+            sim.run();
+            let back = result.try_take().expect("transfer did not finish");
+            assert_eq!(
+                back.expect_bytes().as_ref(),
+                expect.as_slice(),
+                "corruption with {protocol:?} len {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_length_copies_are_noops() {
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let result = sim.spawn("app", async move {
+        let ac = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+        let ptr = ac.mem_alloc(16).await.unwrap();
+        ac.mem_cpy_h2d(&Payload::empty(), ptr).await.unwrap();
+        let back = ac.mem_cpy_d2h(ptr, 0).await.unwrap();
+        ac.shutdown().await.unwrap();
+        back.len()
+    });
+    sim.run();
+    assert_eq!(result.try_take(), Some(0));
+}
+
+#[test]
+fn remote_errors_surface_with_status() {
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let result = sim.spawn("app", async move {
+        let ac = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+        // OOM: C1060 has 4 GiB.
+        let oom = ac.mem_alloc(64 << 30).await.unwrap_err();
+        // Invalid free.
+        let bad_free = ac.mem_free(dacc_vgpu::memory::DevicePtr(12345)).await.unwrap_err();
+        // Unknown kernel.
+        let bad_kernel = ac.kernel_create("does_not_exist").await.unwrap_err();
+        // Run without create.
+        let no_bind = ac.kernel_run(LaunchConfig::default()).await.unwrap_err();
+        // Copy to invalid pointer: daemon must drain data and answer.
+        let bad_copy = ac
+            .mem_cpy_h2d(
+                &Payload::from_vec(vec![0; 100_000]),
+                dacc_vgpu::memory::DevicePtr(999),
+            )
+            .await
+            .unwrap_err();
+        // The daemon is still healthy afterwards.
+        let ptr = ac.mem_alloc(64).await.unwrap();
+        ac.mem_free(ptr).await.unwrap();
+        ac.shutdown().await.unwrap();
+        (oom, bad_free, bad_kernel, no_bind, bad_copy)
+    });
+    sim.run();
+    let (oom, bad_free, bad_kernel, no_bind, bad_copy) = result.try_take().unwrap();
+    assert_eq!(oom, AcError::Remote(Status::OutOfMemory));
+    assert_eq!(bad_free, AcError::Remote(Status::InvalidPointer));
+    assert_eq!(bad_kernel, AcError::Remote(Status::UnknownKernel));
+    assert_eq!(no_bind, AcError::Remote(Status::NoKernelBound));
+    assert_eq!(bad_copy, AcError::Remote(Status::InvalidPointer));
+}
+
+#[test]
+fn device_to_device_streams_between_daemons() {
+    let (mut sim, mut cluster) = functional_cluster(2);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let d0 = cluster.daemon_rank(0);
+    let d1 = cluster.daemon_rank(1);
+    let data = test_pattern(700_000);
+    let expect = data.clone();
+    let result = sim.spawn("app", async move {
+        let a = RemoteAccelerator::new(ep.clone(), d0, FrontendConfig::default());
+        let b = RemoteAccelerator::new(ep, d1, FrontendConfig::default());
+        let pa = a.mem_alloc(700_000).await.unwrap();
+        let pb = b.mem_alloc(700_000).await.unwrap();
+        a.mem_cpy_h2d(&Payload::from_vec(data), pa).await.unwrap();
+        device_to_device(&a, pa, &b, pb, 700_000).await.unwrap();
+        let back = b.mem_cpy_d2h(pb, 700_000).await.unwrap();
+        a.shutdown().await.unwrap();
+        b.shutdown().await.unwrap();
+        back
+    });
+    sim.run();
+    let back = result.try_take().expect("d2d did not finish");
+    assert_eq!(back.expect_bytes().as_ref(), expect.as_slice());
+}
+
+#[test]
+fn d2d_bypasses_compute_node_nic() {
+    // The whole point of direct AC↔AC transfers: the CN's NIC carries only
+    // control messages, not the payload.
+    let (mut sim, mut cluster) = functional_cluster(2);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let cn_node = cluster.cn_node(0);
+    let d0 = cluster.daemon_rank(0);
+    let d1 = cluster.daemon_rank(1);
+    let fabric = cluster.fabric.clone();
+    let len = 1u64 << 20;
+    let result = sim.spawn("app", async move {
+        let a = RemoteAccelerator::new(ep.clone(), d0, FrontendConfig::default());
+        let b = RemoteAccelerator::new(ep, d1, FrontendConfig::default());
+        let pa = a.mem_alloc(len).await.unwrap();
+        let pb = b.mem_alloc(len).await.unwrap();
+        a.mem_cpy_h2d(&Payload::from_vec(vec![7; len as usize]), pa)
+            .await
+            .unwrap();
+        let tx_before = fabric.topology().nic_stats(cn_node).tx_bytes;
+        device_to_device(&a, pa, &b, pb, len).await.unwrap();
+        let tx_after = fabric.topology().nic_stats(cn_node).tx_bytes;
+        a.shutdown().await.unwrap();
+        b.shutdown().await.unwrap();
+        tx_after - tx_before
+    });
+    sim.run();
+    let cn_tx_delta = result.try_take().unwrap();
+    assert!(
+        cn_tx_delta < 1024,
+        "CN sent {cn_tx_delta} bytes during a D2D transfer (should be control only)"
+    );
+}
+
+#[test]
+fn naive_needs_full_buffer_pipeline_does_not() {
+    // §V.A: the naive protocol requires a host buffer of the full message
+    // size; the pipeline's footprint is independent of message size.
+    let run = |protocol: TransferProtocol| -> DaemonStats {
+        let (mut sim, mut cluster) = functional_cluster(1);
+        let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+        let ep = cns.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let cfg = FrontendConfig {
+            h2d: protocol,
+            ..FrontendConfig::default()
+        };
+        let daemon_handle = cluster.daemon_handles.remove(0);
+        sim.spawn("app", async move {
+            let ac = RemoteAccelerator::new(ep, daemon, cfg);
+            let len = 8u64 << 20;
+            let ptr = ac.mem_alloc(len).await.unwrap();
+            ac.mem_cpy_h2d(&Payload::from_vec(vec![1; len as usize]), ptr)
+                .await
+                .unwrap();
+            ac.shutdown().await.unwrap();
+        });
+        sim.run();
+        daemon_handle.try_take().expect("daemon did not shut down")
+    };
+    let naive = run(TransferProtocol::Naive);
+    let pipeline = run(TransferProtocol::Pipeline { block: 128 << 10 });
+    assert_eq!(naive.host_buffer_peak, 8 << 20);
+    assert!(
+        pipeline.host_buffer_peak <= 4 << 20,
+        "pipeline peak {} should be bounded by the pinned ring",
+        pipeline.host_buffer_peak
+    );
+}
+
+#[test]
+fn concurrent_transfers_to_multiple_accelerators() {
+    // One CN feeding 2 accelerators concurrently: transfers interleave on
+    // the CN NIC but both complete correctly.
+    let (mut sim, mut cluster) = functional_cluster(2);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let d0 = cluster.daemon_rank(0);
+    let d1 = cluster.daemon_rank(1);
+    let h = sim.handle();
+    let result = sim.spawn("app", async move {
+        let a = RemoteAccelerator::new(ep.clone(), d0, FrontendConfig::default());
+        let b = RemoteAccelerator::new(ep, d1, FrontendConfig::default());
+        let len = 500_000u64;
+        let pa = a.mem_alloc(len).await.unwrap();
+        let pb = b.mem_alloc(len).await.unwrap();
+        let da = test_pattern(len as usize);
+        let db: Vec<u8> = test_pattern(len as usize).iter().map(|b| b ^ 0xFF).collect();
+        let (ea, eb) = (da.clone(), db.clone());
+        let ta = {
+            let a = a.clone();
+            h.spawn("xfer.a", async move {
+                a.mem_cpy_h2d(&Payload::from_vec(da), pa).await.unwrap();
+                a.mem_cpy_d2h(pa, len).await.unwrap()
+            })
+        };
+        let tb = {
+            let b = b.clone();
+            h.spawn("xfer.b", async move {
+                b.mem_cpy_h2d(&Payload::from_vec(db), pb).await.unwrap();
+                b.mem_cpy_d2h(pb, len).await.unwrap()
+            })
+        };
+        let ra = ta.await;
+        let rb = tb.await;
+        a.shutdown().await.unwrap();
+        b.shutdown().await.unwrap();
+        (ra, ea, rb, eb)
+    });
+    sim.run();
+    let (ra, ea, rb, eb) = result.try_take().expect("did not finish");
+    assert_eq!(ra.expect_bytes().as_ref(), ea.as_slice());
+    assert_eq!(rb.expect_bytes().as_ref(), eb.as_slice());
+}
+
+#[test]
+fn request_roundtrip_overhead_is_microseconds() {
+    // §V.A: the per-request overhead (2 MPI messages + daemon handling) is
+    // a few microseconds — negligible against multi-MiB transfers.
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let h = sim.handle();
+    let result = sim.spawn("app", async move {
+        let ac = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+        let ptr = ac.mem_alloc(64).await.unwrap();
+        // Time an effectively-free operation: kernel_set_args.
+        let start = h.now();
+        ac.kernel_create("fill_f64").await.unwrap();
+        let elapsed = h.now().since(start);
+        ac.mem_free(ptr).await.unwrap();
+        ac.shutdown().await.unwrap();
+        elapsed
+    });
+    sim.run();
+    let rtt = result.try_take().unwrap();
+    let us = rtt.as_micros_f64();
+    assert!((4.0..=20.0).contains(&us), "request RTT {us} us");
+}
+
+#[test]
+fn deterministic_end_time() {
+    let run_once = || {
+        let (mut sim, mut cluster) = functional_cluster(1);
+        let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+        let ep = cns.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        sim.spawn("app", async move {
+            let ac = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+            let ptr = ac.mem_alloc(1 << 20).await.unwrap();
+            ac.mem_cpy_h2d(&Payload::from_vec(vec![3; 1 << 20]), ptr)
+                .await
+                .unwrap();
+            ac.shutdown().await.unwrap();
+        });
+        sim.run().time
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn mem_set_fills_device_memory() {
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let mut cns = std::mem::take(&mut cluster.cn_endpoints);
+    let ep = cns.remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let result = sim.spawn("app", async move {
+        let ac = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+        let ptr = ac.mem_alloc(4096).await.unwrap();
+        ac.mem_set(ptr, 4096, 0x5A).await.unwrap();
+        // Partial overwrite via offset pointer.
+        ac.mem_set(ptr.offset(1024), 512, 0xFF).await.unwrap();
+        let back = ac.mem_cpy_d2h(ptr, 4096).await.unwrap();
+        // Error path: out of bounds.
+        let err = ac.mem_set(ptr, 8192, 0).await.unwrap_err();
+        ac.shutdown().await.unwrap();
+        (back, err)
+    });
+    sim.run();
+    let (back, err) = result.try_take().unwrap();
+    let b = back.expect_bytes();
+    assert!(b[..1024].iter().all(|&x| x == 0x5A));
+    assert!(b[1024..1536].iter().all(|&x| x == 0xFF));
+    assert!(b[1536..].iter().all(|&x| x == 0x5A));
+    assert_eq!(err, AcError::Remote(Status::OutOfBounds));
+}
+
+#[test]
+fn daemon_trace_records_request_sequence() {
+    use dacc_sim::trace::Tracer;
+    let mut sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    // Hand-built two-node setup so we control the daemon spawn.
+    let h = sim.handle();
+    let topo = dacc_fabric::topology::Topology::new(
+        &h,
+        2,
+        dacc_fabric::topology::FabricParams::qdr_infiniband(),
+    );
+    let fabric = dacc_fabric::mpi::Fabric::new(&h, topo);
+    let cn = fabric.add_endpoint(dacc_fabric::topology::NodeId(0));
+    let daemon_ep = fabric.add_endpoint(dacc_fabric::topology::NodeId(1));
+    let gpu = dacc_vgpu::device::VirtualGpu::new(
+        &h,
+        "accel",
+        GpuParams::tesla_c1060(),
+        ExecMode::Functional,
+        registry,
+    );
+    let tracer = Tracer::new(64);
+    {
+        let tracer = tracer.clone();
+        sim.spawn("daemon", async move {
+            dacc_runtime::daemon::run_daemon_traced(
+                daemon_ep,
+                gpu,
+                DaemonConfig::default(),
+                tracer,
+            )
+            .await
+        });
+    }
+    sim.spawn("app", async move {
+        let ac = RemoteAccelerator::new(cn, dacc_fabric::mpi::Rank(1), FrontendConfig::default());
+        let ptr = ac.mem_alloc(1024).await.unwrap();
+        ac.mem_set(ptr, 1024, 1).await.unwrap();
+        ac.mem_free(ptr).await.unwrap();
+        ac.shutdown().await.unwrap();
+    });
+    sim.run();
+    let kinds: Vec<String> = tracer
+        .events_in("daemon.request")
+        .iter()
+        .map(|e| e.label.split(' ').next().unwrap().to_owned())
+        .collect();
+    assert_eq!(kinds, vec!["MemAlloc", "MemSet", "MemFree", "Shutdown"]);
+    // Events carry strictly nondecreasing times.
+    let times: Vec<_> = tracer.events().iter().map(|e| e.time).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn oversized_pipeline_block_rejected_cleanly() {
+    // A front-end configured with blocks larger than the daemon's pinned
+    // buffers must get an error, not a daemon crash — and the daemon must
+    // stay usable afterwards.
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let result = sim.spawn("app", async move {
+        let big_block = FrontendConfig {
+            h2d: TransferProtocol::Pipeline { block: 4 << 20 }, // > 1 MiB buffer
+            d2h: TransferProtocol::Pipeline { block: 4 << 20 },
+            ..FrontendConfig::default()
+        };
+        let bad = RemoteAccelerator::new(ep.clone(), daemon, big_block);
+        let ptr = bad.mem_alloc(8 << 20).await.unwrap();
+        let up = bad
+            .mem_cpy_h2d(&Payload::from_vec(vec![1; 8 << 20]), ptr)
+            .await
+            .unwrap_err();
+        let down = bad.mem_cpy_d2h(ptr, 8 << 20).await.unwrap_err();
+        // Same daemon, sane config: still healthy.
+        let good = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+        good.mem_cpy_h2d(&Payload::from_vec(vec![2; 1 << 20]), ptr)
+            .await
+            .unwrap();
+        let back = good.mem_cpy_d2h(ptr, 4).await.unwrap();
+        good.shutdown().await.unwrap();
+        (up, down, back.expect_bytes()[0])
+    });
+    sim.run();
+    let (up, down, byte) = result.try_take().expect("did not finish");
+    assert_eq!(up, AcError::Remote(Status::Malformed));
+    assert_eq!(down, AcError::Remote(Status::Malformed));
+    assert_eq!(byte, 2);
+}

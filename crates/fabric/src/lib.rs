@@ -1,0 +1,49 @@
+//! `dacc-fabric` — the simulated cluster interconnect and MPI-like layer.
+//!
+//! Reproduces the communication substrate of the paper's testbed: nodes with
+//! full-duplex NICs on a non-blocking switch (QDR Infiniband calibration),
+//! and an MPI-like endpoint layer with eager/rendezvous protocols, tag
+//! matching, wildcards, non-overtaking order, and collectives — everything
+//! the middleware's request/response and pipelined-copy protocols depend on.
+//!
+//! # Example
+//!
+//! ```
+//! use dacc_fabric::prelude::*;
+//! use dacc_sim::prelude::*;
+//!
+//! let mut sim = Sim::new();
+//! let h = sim.handle();
+//! let topo = Topology::new(&h, 2, FabricParams::qdr_infiniband());
+//! let fabric = Fabric::new(&h, topo);
+//! let a = fabric.add_endpoint(NodeId(0));
+//! let b = fabric.add_endpoint(NodeId(1));
+//! sim.spawn("a", async move {
+//!     a.send(Rank(1), Tag(1), Payload::from_vec(vec![42])).await;
+//! });
+//! let got = sim.spawn("b", async move { b.recv(None, None).await.payload });
+//! sim.run();
+//! assert_eq!(got.try_take().unwrap().expect_bytes().as_ref(), &[42]);
+//! ```
+
+#![warn(missing_docs)]
+// The engine is strictly single-threaded; `Arc` is used for `std::task::Wake`
+// compatibility, not cross-thread sharing, so non-Send contents are fine.
+#![allow(clippy::arc_with_non_send_sync)]
+
+pub mod collective;
+pub mod imb;
+pub mod mpi;
+pub mod payload;
+pub mod topology;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::collective::{bcast, coll_tags, gather, reduce_f64_sum};
+    pub use crate::imb::{dense_sizes, paper_sizes, run_pingpong, PingPongPoint};
+    pub use crate::mpi::{tags, Endpoint, Envelope, Fabric, Rank, Tag};
+    pub use crate::payload::Payload;
+    pub use crate::topology::{FabricParams, NicStats, NodeId, Topology};
+}
+
+pub use prelude::*;

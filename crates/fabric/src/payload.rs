@@ -1,0 +1,195 @@
+//! Message payloads.
+//!
+//! The middleware runs in two modes sharing one code path:
+//!
+//! * **Functional** — payloads carry real bytes ([`Payload::Bytes`]); kernels
+//!   compute real results; tests verify byte-exact delivery.
+//! * **Timing-only** — payloads carry just a size ([`Payload::Size`]); the
+//!   figure harnesses replay paper-scale transfers (tens of MiB) without
+//!   touching memory.
+//!
+//! All protocol code (splitting into pipeline blocks, reassembly) goes
+//! through this type so it cannot accidentally diverge between modes.
+
+use bytes::Bytes;
+
+/// A message payload: real bytes or a size-only stand-in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Real data (cheaply clonable / sliceable).
+    Bytes(Bytes),
+    /// Size-only stand-in for timing studies.
+    Size(u64),
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload::Bytes(Bytes::new())
+    }
+
+    /// Wrap owned bytes.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Payload::Bytes(Bytes::from(v))
+    }
+
+    /// A size-only payload.
+    pub fn size_only(len: u64) -> Self {
+        Payload::Size(len)
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Size(n) => *n,
+        }
+    }
+
+    /// True if zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if this payload carries real bytes.
+    pub fn is_functional(&self) -> bool {
+        matches!(self, Payload::Bytes(_))
+    }
+
+    /// Borrow the bytes; `None` for size-only payloads.
+    pub fn bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            Payload::Size(_) => None,
+        }
+    }
+
+    /// Copy out the bytes, panicking on a size-only payload. Use in
+    /// functional-mode code paths that already checked the mode.
+    pub fn expect_bytes(&self) -> &Bytes {
+        self.bytes()
+            .expect("expected a functional payload, found size-only")
+    }
+
+    /// Sub-range `[offset, offset+len)` of the payload.
+    ///
+    /// For byte payloads this is a zero-copy slice; for size-only payloads
+    /// just arithmetic. Panics if the range exceeds the payload.
+    pub fn slice(&self, offset: u64, len: u64) -> Payload {
+        let total = self.len();
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= total),
+            "slice [{offset}, {offset}+{len}) out of bounds for payload of {total} bytes"
+        );
+        match self {
+            Payload::Bytes(b) => Payload::Bytes(b.slice(offset as usize..(offset + len) as usize)),
+            Payload::Size(_) => Payload::Size(len),
+        }
+    }
+
+    /// Split into consecutive blocks of `block` bytes (last may be short).
+    ///
+    /// Panics if `block == 0`. An empty payload yields no blocks.
+    pub fn blocks(&self, block: u64) -> Vec<Payload> {
+        assert!(block > 0, "block size must be positive");
+        let total = self.len();
+        let mut out = Vec::with_capacity(total.div_ceil(block) as usize);
+        let mut off = 0;
+        while off < total {
+            let len = block.min(total - off);
+            out.push(self.slice(off, len));
+            off += len;
+        }
+        out
+    }
+
+    /// Reassemble consecutive blocks produced by [`Payload::blocks`].
+    ///
+    /// All blocks must be the same mode. Returns an empty byte payload for
+    /// no blocks.
+    pub fn concat(blocks: &[Payload]) -> Payload {
+        if blocks.is_empty() {
+            return Payload::empty();
+        }
+        if blocks.iter().all(|b| b.is_functional()) {
+            let total: usize = blocks.iter().map(|b| b.len() as usize).sum();
+            let mut v = Vec::with_capacity(total);
+            for b in blocks {
+                v.extend_from_slice(b.expect_bytes());
+            }
+            Payload::Bytes(Bytes::from(v))
+        } else {
+            assert!(
+                blocks.iter().all(|b| !b.is_functional()),
+                "cannot concat mixed functional/size-only blocks"
+            );
+            Payload::Size(blocks.iter().map(Payload::len).sum())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_modes() {
+        let b = Payload::from_vec(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(b.is_functional());
+        let s = Payload::size_only(1 << 20);
+        assert_eq!(s.len(), 1 << 20);
+        assert!(!s.is_functional());
+        assert!(Payload::empty().is_empty());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let p = Payload::from_vec((0u8..100).collect());
+        let s = p.slice(10, 5);
+        assert_eq!(s.expect_bytes().as_ref(), &[10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_oob_panics() {
+        Payload::from_vec(vec![0; 10]).slice(5, 6);
+    }
+
+    #[test]
+    fn blocks_roundtrip_bytes() {
+        let data: Vec<u8> = (0..=255).cycle().take(1000).map(|x: u16| x as u8).collect();
+        let p = Payload::from_vec(data.clone());
+        for block in [1u64, 7, 128, 999, 1000, 4096] {
+            let blocks = p.blocks(block);
+            let expected = (1000u64).div_ceil(block);
+            assert_eq!(blocks.len() as u64, expected, "block={block}");
+            let whole = Payload::concat(&blocks);
+            assert_eq!(whole.expect_bytes().as_ref(), data.as_slice());
+        }
+    }
+
+    #[test]
+    fn blocks_roundtrip_size_only() {
+        let p = Payload::size_only(10_000_000);
+        let blocks = p.blocks(128 * 1024);
+        assert_eq!(Payload::concat(&blocks).len(), 10_000_000);
+        assert!(blocks.iter().all(|b| !b.is_functional()));
+        // All but the last are full blocks.
+        for b in &blocks[..blocks.len() - 1] {
+            assert_eq!(b.len(), 128 * 1024);
+        }
+    }
+
+    #[test]
+    fn empty_payload_has_no_blocks() {
+        assert!(Payload::empty().blocks(64).is_empty());
+        assert_eq!(Payload::concat(&[]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed")]
+    fn concat_rejects_mixed_modes() {
+        Payload::concat(&[Payload::from_vec(vec![1]), Payload::size_only(1)]);
+    }
+}

@@ -1,0 +1,488 @@
+//! Cluster topology: nodes with full-duplex NICs on a non-blocking switch.
+//!
+//! The paper's testbed is QDR Infiniband through a single switch. We model
+//! each node's NIC as two FCFS resources — a transmit wire and a receive
+//! wire — and the switch as non-blocking: a message from A to B holds A's TX
+//! and B's RX for its serialization time, then experiences propagation
+//! latency off the wires. This makes the contention the experiments depend
+//! on emerge naturally: a compute node feeding three accelerators serializes
+//! on its own TX wire; two senders targeting one node serialize on its RX.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dacc_sim::prelude::*;
+
+/// Identifies a physical node (compute node or accelerator node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Interconnect parameters. Defaults are calibrated to the paper's testbed:
+/// QDR Infiniband with Open MPI 1.4.3 (≈ 2 µs small-message latency,
+/// ≈ 2660 MiB/s peak PingPong bandwidth at 64 MiB).
+#[derive(Clone, Copy, Debug)]
+pub struct FabricParams {
+    /// Propagation + switch latency (off-wire).
+    pub latency: SimDuration,
+    /// Wire serialization rate.
+    pub bandwidth: Bandwidth,
+    /// Per-message wire overhead (headers, framing, doorbell).
+    pub per_message: SimDuration,
+    /// Messages at or below this size use the eager protocol.
+    pub eager_threshold: u64,
+    /// Sender CPU overhead per message.
+    pub o_send: SimDuration,
+    /// Receiver CPU overhead per message.
+    pub o_recv: SimDuration,
+    /// Wire bytes added to every packet (envelope header).
+    pub header_bytes: u64,
+    /// Aggregate switch capacity. `None` models a non-blocking switch (the
+    /// paper's testbed). `Some(bw)` inserts a shared store-and-forward hop:
+    /// total traffic through the fabric saturates at `bw`, which is how
+    /// §III-A's warning about the accelerator:compute-node ratio becomes
+    /// measurable.
+    pub switch_bandwidth: Option<Bandwidth>,
+}
+
+impl FabricParams {
+    /// The paper's testbed: QDR IB, Open MPI 1.4.3.
+    pub fn qdr_infiniband() -> Self {
+        FabricParams {
+            latency: SimDuration::from_nanos(1_300),
+            bandwidth: Bandwidth::from_mib_per_sec(2670.0),
+            per_message: SimDuration::from_nanos(200),
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::from_nanos(300),
+            o_recv: SimDuration::from_nanos(200),
+            header_bytes: 64,
+            switch_bandwidth: None,
+        }
+    }
+
+    /// A TCP/IP transport over 10-Gigabit Ethernet — the class of fabric
+    /// rCUDA v3.2 and MGP used (§II). Socket-stack overheads dominate:
+    /// tens of microseconds of latency and per-message CPU cost, and a
+    /// ~1150 MiB/s ceiling.
+    pub fn ten_gige_tcp() -> Self {
+        FabricParams {
+            latency: SimDuration::from_micros(25),
+            bandwidth: Bandwidth::from_mib_per_sec(1150.0),
+            per_message: SimDuration::from_micros(2),
+            eager_threshold: 64 * 1024,
+            o_send: SimDuration::from_micros(3),
+            o_recv: SimDuration::from_micros(3),
+            header_bytes: 96,
+            switch_bandwidth: None,
+        }
+    }
+
+    /// TCP over commodity Gigabit Ethernet (the cheapest deployment).
+    pub fn gige_tcp() -> Self {
+        FabricParams {
+            latency: SimDuration::from_micros(50),
+            bandwidth: Bandwidth::from_mib_per_sec(112.0),
+            per_message: SimDuration::from_micros(5),
+            eager_threshold: 64 * 1024,
+            o_send: SimDuration::from_micros(5),
+            o_recv: SimDuration::from_micros(5),
+            header_bytes: 96,
+            switch_bandwidth: None,
+        }
+    }
+
+    /// An idealized zero-overhead fabric (unit tests of matching logic).
+    pub fn ideal() -> Self {
+        FabricParams {
+            latency: SimDuration::ZERO,
+            bandwidth: Bandwidth::from_gib_per_sec(1024.0),
+            per_message: SimDuration::ZERO,
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::ZERO,
+            o_recv: SimDuration::ZERO,
+            header_bytes: 0,
+            switch_bandwidth: None,
+        }
+    }
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        Self::qdr_infiniband()
+    }
+}
+
+pub(crate) struct NodeNic {
+    pub tx: Resource,
+    pub rx: Resource,
+    pub tx_bytes: AtomicU64,
+    pub rx_bytes: AtomicU64,
+    pub tx_msgs: AtomicU64,
+    pub rx_msgs: AtomicU64,
+}
+
+/// Per-node NIC traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Payload+header bytes sent.
+    pub tx_bytes: u64,
+    /// Payload+header bytes received.
+    pub rx_bytes: u64,
+    /// Packets sent.
+    pub tx_msgs: u64,
+    /// Packets received.
+    pub rx_msgs: u64,
+}
+
+struct TopologyInner {
+    params: FabricParams,
+    nics: Vec<NodeNic>,
+    switch: Option<Resource>,
+}
+
+/// The physical cluster: a set of nodes and the wires between them.
+#[derive(Clone)]
+pub struct Topology {
+    inner: Arc<TopologyInner>,
+    handle: SimHandle,
+}
+
+impl Topology {
+    /// A cluster of `nodes` nodes on a non-blocking switch.
+    pub fn new(handle: &SimHandle, nodes: usize, params: FabricParams) -> Self {
+        let nics = (0..nodes)
+            .map(|_| NodeNic {
+                tx: Resource::new(handle, "nic.tx", 1),
+                rx: Resource::new(handle, "nic.rx", 1),
+                tx_bytes: AtomicU64::new(0),
+                rx_bytes: AtomicU64::new(0),
+                tx_msgs: AtomicU64::new(0),
+                rx_msgs: AtomicU64::new(0),
+            })
+            .collect();
+        let switch = params
+            .switch_bandwidth
+            .map(|_| Resource::new(handle, "switch", 1));
+        Topology {
+            inner: Arc::new(TopologyInner {
+                params,
+                nics,
+                switch,
+            }),
+            handle: handle.clone(),
+        }
+    }
+
+    /// Interconnect parameters.
+    pub fn params(&self) -> FabricParams {
+        self.inner.params
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nics.len()
+    }
+
+    /// Traffic counters for one node's NIC.
+    pub fn nic_stats(&self, node: NodeId) -> NicStats {
+        let nic = &self.inner.nics[node.0];
+        NicStats {
+            tx_bytes: nic.tx_bytes.load(Ordering::Relaxed),
+            rx_bytes: nic.rx_bytes.load(Ordering::Relaxed),
+            tx_msgs: nic.tx_msgs.load(Ordering::Relaxed),
+            rx_msgs: nic.rx_msgs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// TX-wire utilization statistics for one node.
+    pub fn tx_stats(&self, node: NodeId) -> dacc_sim::resource::ResourceStats {
+        self.inner.nics[node.0].tx.stats()
+    }
+
+    /// Move `payload_bytes` (plus the envelope header) from `src` to `dst`.
+    ///
+    /// Resolves when the last byte has been **serialized** onto the wires
+    /// (the sender may then reuse its buffer); the returned [`EventFlag`] is
+    /// set when the last byte **arrives** at `dst` after propagation latency.
+    ///
+    /// Loopback (`src == dst`) charges no wire time and a small constant
+    /// copy cost, mirroring MPI shared-memory self-sends.
+    pub async fn transmit(&self, src: NodeId, dst: NodeId, payload_bytes: u64) -> EventFlag {
+        let p = self.inner.params;
+        let arrived = EventFlag::new();
+        let wire_bytes = payload_bytes + p.header_bytes;
+
+        if src == dst {
+            // Self-send: a memcpy, no NIC involvement.
+            let copy = SimDuration::from_secs_f64(
+                payload_bytes as f64 / Bandwidth::from_gib_per_sec(6.0).bytes_per_sec(),
+            );
+            self.handle.delay(p.per_message + copy).await;
+            arrived.set();
+            return arrived;
+        }
+
+        let src_nic = &self.inner.nics[src.0];
+        let dst_nic = &self.inner.nics[dst.0];
+
+        // Acquire TX then RX (fixed order, and TX/RX pools are disjoint, so
+        // no deadlock); hold both for the serialization time.
+        let tx_guard = src_nic.tx.acquire().await;
+        let rx_guard = dst_nic.rx.acquire().await;
+        let serialize = p.per_message + p.bandwidth.transfer_time(wire_bytes);
+        self.handle.delay(serialize).await;
+        drop(tx_guard);
+        drop(rx_guard);
+
+        // Oversubscribed switch: every message also serializes on the shared
+        // backplane (store-and-forward hop), so aggregate fabric throughput
+        // saturates at the switch capacity.
+        if let (Some(switch), Some(bw)) = (&self.inner.switch, p.switch_bandwidth) {
+            let guard = switch.acquire().await;
+            self.handle.delay(bw.transfer_time(wire_bytes)).await;
+            drop(guard);
+        }
+
+        src_nic.tx_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+        src_nic.tx_msgs.fetch_add(1, Ordering::Relaxed);
+        dst_nic.rx_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+        dst_nic.rx_msgs.fetch_add(1, Ordering::Relaxed);
+
+        // Propagation happens off the wires so back-to-back messages overlap.
+        let flag = arrived.clone();
+        let h = self.handle.clone();
+        self.handle.spawn("fabric.propagate", async move {
+            h.delay(p.latency).await;
+            flag.set();
+        });
+        arrived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn params_1gbps() -> FabricParams {
+        FabricParams {
+            latency: SimDuration::from_micros(2),
+            bandwidth: Bandwidth::from_bytes_per_sec(1e9),
+            per_message: SimDuration::ZERO,
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::ZERO,
+            o_recv: SimDuration::ZERO,
+            header_bytes: 0,
+            switch_bandwidth: None,
+        }
+    }
+
+    #[test]
+    fn transmit_charges_serialization_then_latency() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 2, params_1gbps());
+        let times = Rc::new(RefCell::new((0u64, 0u64)));
+        {
+            let topo = topo.clone();
+            let h = sim.handle();
+            let times = Rc::clone(&times);
+            sim.spawn("send", async move {
+                let arrived = topo.transmit(NodeId(0), NodeId(1), 10_000).await;
+                times.borrow_mut().0 = h.now().as_nanos(); // serialization done
+                arrived.wait().await;
+                times.borrow_mut().1 = h.now().as_nanos(); // arrival
+            });
+        }
+        sim.run();
+        let (ser, arr) = *times.borrow();
+        assert_eq!(ser, 10_000); // 10 KB at 1 GB/s = 10 us
+        assert_eq!(arr, 12_000); // + 2 us latency
+    }
+
+    #[test]
+    fn shared_tx_wire_serializes_two_destinations() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 3, params_1gbps());
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        for dst in [1usize, 2] {
+            let topo = topo.clone();
+            let h = sim.handle();
+            let arrivals = Rc::clone(&arrivals);
+            sim.spawn("send", async move {
+                let arrived = topo.transmit(NodeId(0), NodeId(dst), 10_000).await;
+                arrived.wait().await;
+                arrivals.borrow_mut().push((dst, h.now().as_nanos()));
+            });
+        }
+        sim.run();
+        // Both messages leave node 0: second serializes after the first.
+        assert_eq!(*arrivals.borrow(), vec![(1, 12_000), (2, 22_000)]);
+    }
+
+    #[test]
+    fn distinct_paths_do_not_contend() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 4, params_1gbps());
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        for (src, dst) in [(0usize, 1usize), (2, 3)] {
+            let topo = topo.clone();
+            let h = sim.handle();
+            let arrivals = Rc::clone(&arrivals);
+            sim.spawn("send", async move {
+                let arrived = topo.transmit(NodeId(src), NodeId(dst), 10_000).await;
+                arrived.wait().await;
+                arrivals.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(*arrivals.borrow(), vec![12_000, 12_000]);
+    }
+
+    #[test]
+    fn rx_wire_serializes_two_senders() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 3, params_1gbps());
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        for src in [0usize, 1] {
+            let topo = topo.clone();
+            let h = sim.handle();
+            let arrivals = Rc::clone(&arrivals);
+            sim.spawn("send", async move {
+                let arrived = topo.transmit(NodeId(src), NodeId(2), 10_000).await;
+                arrived.wait().await;
+                arrivals.borrow_mut().push((src, h.now().as_nanos()));
+            });
+        }
+        sim.run();
+        assert_eq!(*arrivals.borrow(), vec![(0, 12_000), (1, 22_000)]);
+    }
+
+    #[test]
+    fn nic_counters_accumulate() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let mut p = params_1gbps();
+        p.header_bytes = 64;
+        let topo = Topology::new(&h, 2, p);
+        {
+            let topo = topo.clone();
+            sim.spawn("send", async move {
+                topo.transmit(NodeId(0), NodeId(1), 1000).await;
+                topo.transmit(NodeId(0), NodeId(1), 2000).await;
+            });
+        }
+        sim.run();
+        let tx = topo.nic_stats(NodeId(0));
+        let rx = topo.nic_stats(NodeId(1));
+        assert_eq!(tx.tx_bytes, 3000 + 128);
+        assert_eq!(tx.tx_msgs, 2);
+        assert_eq!(rx.rx_bytes, 3000 + 128);
+        assert_eq!(rx.rx_msgs, 2);
+        assert_eq!(rx.tx_msgs, 0);
+    }
+
+    #[test]
+    fn loopback_skips_nic() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 1, params_1gbps());
+        {
+            let topo = topo.clone();
+            sim.spawn("self", async move {
+                let arrived = topo.transmit(NodeId(0), NodeId(0), 4096).await;
+                arrived.wait().await;
+            });
+        }
+        sim.run();
+        assert_eq!(topo.nic_stats(NodeId(0)), NicStats::default());
+    }
+}
+
+#[cfg(test)]
+mod switch_tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn oversubscribed_switch_saturates_aggregate_throughput() {
+        // Four disjoint pairs each move 1 MB. Non-blocking: all finish in
+        // ~1 ms (1 GB/s links). With a 2 GB/s switch the aggregate 4 MB
+        // takes ≥ 2 ms.
+        let run = |switch: Option<Bandwidth>| {
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let params = FabricParams {
+                latency: SimDuration::ZERO,
+                bandwidth: Bandwidth::from_bytes_per_sec(1e9),
+                per_message: SimDuration::ZERO,
+                eager_threshold: 12 * 1024,
+                o_send: SimDuration::ZERO,
+                o_recv: SimDuration::ZERO,
+                header_bytes: 0,
+                switch_bandwidth: switch,
+            };
+            let topo = Topology::new(&h, 8, params);
+            let end = Rc::new(RefCell::new(SimTime::ZERO));
+            for pair in 0..4usize {
+                let topo = topo.clone();
+                let h = sim.handle();
+                let end = Rc::clone(&end);
+                sim.spawn("xfer", async move {
+                    let arrived = topo
+                        .transmit(NodeId(2 * pair), NodeId(2 * pair + 1), 1_000_000)
+                        .await;
+                    arrived.wait().await;
+                    let mut e = end.borrow_mut();
+                    if h.now() > *e {
+                        *e = h.now();
+                    }
+                });
+            }
+            sim.run();
+            let t = *end.borrow();
+            t.as_nanos()
+        };
+        let nonblocking = run(None);
+        let oversub = run(Some(Bandwidth::from_bytes_per_sec(2e9)));
+        assert_eq!(nonblocking, 1_000_000, "non-blocking: all concurrent");
+        assert!(
+            oversub >= 2_000_000,
+            "oversubscribed switch should cap aggregate: {oversub}ns"
+        );
+    }
+
+    #[test]
+    fn unloaded_switch_adds_only_store_and_forward() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let params = FabricParams {
+            latency: SimDuration::ZERO,
+            bandwidth: Bandwidth::from_bytes_per_sec(1e9),
+            per_message: SimDuration::ZERO,
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::ZERO,
+            o_recv: SimDuration::ZERO,
+            header_bytes: 0,
+            switch_bandwidth: Some(Bandwidth::from_bytes_per_sec(4e9)),
+        };
+        let topo = Topology::new(&h, 2, params);
+        sim.spawn("xfer", async move {
+            let arrived = topo.transmit(NodeId(0), NodeId(1), 1_000_000).await;
+            arrived.wait().await;
+        });
+        let out = sim.run();
+        // 1 ms link serialization + 0.25 ms switch hop.
+        assert_eq!(out.time.as_nanos(), 1_250_000);
+    }
+}

@@ -1,0 +1,725 @@
+//! MAGMA-style hybrid CPU+GPU factorizations over the middleware API.
+//!
+//! The matrix is distributed over one or more accelerators in a 1-D
+//! block-cyclic column layout. Each iteration factors a panel on the
+//! compute node's CPU, sends it back, and updates the trailing matrix on
+//! the GPUs — the structure of `magma_dpotrf_mgpu` / `magma_dgeqrf2_mgpu`
+//! (MAGMA 1.1), ported to the dynamic architecture by replacing every
+//! `cudaMemcpy`/launch with its `acMemCpy`/`acKernel*` counterpart
+//! ([`AcDevice`] makes the two spellings identical — §V.B of the paper).
+//!
+//! Communication structure per iteration:
+//!
+//! * **Cholesky** — diagonal block D2H → CPU `dpotf2` → H2D; `dtrsm` on the
+//!   owner GPU; panel broadcast to the *other* GPUs only. With one GPU no
+//!   panel ever crosses the network, which is why Cholesky is insensitive
+//!   to remote attachment (Fig. 10).
+//! * **QR** — the whole panel comes to the CPU (`dgeqr2` + `dlarft`) and
+//!   goes back, every iteration, plus a broadcast of `V` and `T`. That
+//!   round-trip is why QR is the bandwidth-sensitive one (Fig. 9).
+
+use dacc_fabric::payload::Payload;
+use dacc_runtime::api::{device_to_device, AcDevice, AcError, RemoteAccelerator};
+use dacc_sim::prelude::*;
+use dacc_vgpu::memory::DevicePtr;
+
+/// Boxed per-device update future (heterogeneous: the lookahead owner runs
+/// a different body than the other devices).
+type UpdateFuture<'a> =
+    std::pin::Pin<Box<dyn std::future::Future<Output = Result<(), AcError>> + 'a>>;
+
+use crate::blas::Trans;
+use crate::gpu::args::{dgemm_args, dlarfb_args, dtrsm_rlt_args, launch_cfg};
+use crate::lapack::{dgeqr2, dlarft, dpotf2};
+use crate::matrix::{f64_to_payload, payload_to_f64, HostMatrix};
+
+/// How factored panels reach the non-owner devices each iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PanelBroadcast {
+    /// D2H to the compute node, then one H2D per device — every byte
+    /// crosses the compute node's NIC (the MAGMA-port structure of §V.B).
+    ViaHost,
+    /// Direct accelerator-to-accelerator streaming between the daemons
+    /// (§III-C: "accelerators can efficiently exchange data without
+    /// involving their associated compute nodes"). Falls back to the host
+    /// path for node-local devices, which have no daemon.
+    PeerDirect,
+}
+
+/// Tuning for the hybrid drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Panel width (MAGMA uses 128 for these routines on a C1060).
+    pub nb: usize,
+    /// CPU panel-factorization rate (GFlop/s, one socket of the testbed).
+    pub cpu_panel_gflops: f64,
+    /// Panel broadcast strategy for multi-GPU runs.
+    pub broadcast: PanelBroadcast,
+    /// Lookahead: overlap the *next* panel's fetch and CPU factorization
+    /// with the current trailing update (QR only). The paper-era MAGMA port
+    /// measured in Fig. 9 behaves like `false`; `true` shows the classic
+    /// optimization on top (see the `ablation_lookahead` study).
+    pub lookahead: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            nb: 128,
+            cpu_panel_gflops: 6.5,
+            broadcast: PanelBroadcast::ViaHost,
+            lookahead: false,
+        }
+    }
+}
+
+fn as_remote(dev: &AcDevice) -> Option<&RemoteAccelerator> {
+    match dev {
+        AcDevice::Remote(r) => Some(r),
+        AcDevice::Local { .. } => None,
+    }
+}
+
+/// Broadcast `bytes` of packed panel sitting in `owner`'s scratch buffer to
+/// each receiver's workspace: directly daemon-to-daemon where possible,
+/// else through the host.
+async fn broadcast_panel(
+    dist: &Dist,
+    owner: usize,
+    bytes: u64,
+    receivers: &[usize],
+    mode: PanelBroadcast,
+    host_copy: Option<&Payload>,
+) -> Result<(), AcError> {
+    for &d in receivers {
+        let src_slot = &dist.slots[owner];
+        let dst_slot = &dist.slots[d];
+        let direct = mode == PanelBroadcast::PeerDirect;
+        match (direct, as_remote(&src_slot.dev), as_remote(&dst_slot.dev)) {
+            (true, Some(src), Some(dst)) => {
+                device_to_device(src, src_slot.scratch, dst, dst_slot.panel_ws, bytes).await?;
+            }
+            _ => {
+                // Host path: reuse the host copy when the caller has one,
+                // otherwise pull the packed panel down once.
+                let payload = match host_copy {
+                    Some(p) => p.clone(),
+                    None => src_slot.dev.mem_cpy_d2h(src_slot.scratch, bytes).await?,
+                };
+                dst_slot.dev.mem_cpy_h2d(&payload, dst_slot.panel_ws).await?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a hybrid factorization.
+#[derive(Clone, Debug)]
+pub struct HybridReport {
+    /// Virtual time spent inside the factorization (excluding the initial
+    /// distribution and final collection, as MAGMA's timers do).
+    pub elapsed: SimDuration,
+    /// Nominal flop count of the factorization.
+    pub flops: f64,
+    /// `flops / elapsed`.
+    pub gflops: f64,
+    /// Householder scalars per panel (QR only, functional mode only).
+    pub tau: Vec<f64>,
+}
+
+/// Nominal flop count of a lower Cholesky factorization.
+pub fn cholesky_flops(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0
+}
+
+/// Nominal flop count of a Householder QR factorization (`m ≥ n`).
+pub fn qr_flops(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    2.0 * m * n * n - 2.0 * n * n * n / 3.0
+}
+
+/// Per-device state of the block-cyclic distribution.
+struct Slot {
+    dev: AcDevice,
+    /// Base of the local block-column buffer (`m × local_cols`, lda = m).
+    base: DevicePtr,
+    /// Contiguous panel workspace (`m × nb` doubles).
+    panel_ws: DevicePtr,
+    /// `T` workspace (`nb × nb` doubles, QR only but always allocated).
+    t_ws: DevicePtr,
+    /// Contiguous scratch for pack/unpack staging (`m × nb` doubles).
+    scratch: DevicePtr,
+    /// Number of local block columns.
+    local_blocks: usize,
+}
+
+struct Dist {
+    slots: Vec<Slot>,
+    m: usize,
+    n: usize,
+    nb: usize,
+    nblocks: usize,
+}
+
+impl Dist {
+    fn g(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn owner(&self, j: usize) -> usize {
+        j % self.g()
+    }
+
+    fn width(&self, j: usize) -> usize {
+        self.nb.min(self.n - j * self.nb)
+    }
+
+    /// Device pointer to the top of global block column `j` on its owner.
+    fn col_ptr(&self, j: usize) -> DevicePtr {
+        let slot = &self.slots[self.owner(j)];
+        slot.base.offset(((j / self.g()) * self.nb * self.m * 8) as u64)
+    }
+
+    /// Index of the first local block on device `d` whose global block
+    /// index is strictly greater than `k`.
+    fn first_trailing_local(&self, d: usize, k: usize) -> usize {
+        if d > k {
+            0
+        } else {
+            (k - d) / self.g() + 1
+        }
+    }
+
+    /// First local block index on device `d` strictly after global block
+    /// `k`, and the device pointer / column count of that trailing region.
+    fn trailing(&self, d: usize, k: usize) -> Option<(DevicePtr, usize)> {
+        let g = self.g();
+        let l0 = self.first_trailing_local(d, k);
+        let slot = &self.slots[d];
+        if l0 >= slot.local_blocks {
+            return None;
+        }
+        let ptr = slot.base.offset((l0 * self.nb * self.m * 8) as u64);
+        // All full blocks except possibly the final global block.
+        let mut cols = 0;
+        for l in l0..slot.local_blocks {
+            cols += self.width(l * g + d);
+        }
+        Some((ptr, cols))
+    }
+}
+
+async fn setup(
+    devices: &[AcDevice],
+    host: &HostMatrix,
+    nb: usize,
+) -> Result<Dist, AcError> {
+    let (m, n) = (host.rows(), host.cols());
+    assert!(m >= n, "hybrid factorizations require m >= n");
+    assert!(!devices.is_empty());
+    let g = devices.len();
+    let nblocks = n.div_ceil(nb);
+    let mut slots = Vec::with_capacity(g);
+    for (d, dev) in devices.iter().enumerate() {
+        let local_blocks = (nblocks + g - 1 - d) / g; // blocks j ≡ d (mod g)
+        let local_cols: usize = (0..local_blocks)
+            .map(|l| nb.min(n - (l * g + d) * nb))
+            .sum();
+        let base = dev.mem_alloc((m * local_cols.max(1) * 8) as u64).await?;
+        let panel_ws = dev.mem_alloc((m * nb * 8) as u64).await?;
+        let t_ws = dev.mem_alloc((nb * nb * 8) as u64).await?;
+        let scratch = dev.mem_alloc((m * nb * 8) as u64).await?;
+        slots.push(Slot {
+            dev: dev.clone(),
+            base,
+            panel_ws,
+            t_ws,
+            scratch,
+            local_blocks,
+        });
+    }
+    let dist = Dist {
+        slots,
+        m,
+        n,
+        nb,
+        nblocks,
+    };
+    // Distribute: every block column is a contiguous m × width slab.
+    for j in 0..nblocks {
+        let w = dist.width(j);
+        let payload = host.columns_payload(j * nb, w);
+        dist.slots[dist.owner(j)]
+            .dev
+            .mem_cpy_h2d(&payload, dist.col_ptr(j))
+            .await?;
+    }
+    Ok(dist)
+}
+
+async fn collect(dist: &Dist, host: &mut HostMatrix) -> Result<(), AcError> {
+    for j in 0..dist.nblocks {
+        let w = dist.width(j);
+        let payload = dist.slots[dist.owner(j)]
+            .dev
+            .mem_cpy_d2h(dist.col_ptr(j), (dist.m * w * 8) as u64)
+            .await?;
+        host.set_columns_payload(j * dist.nb, w, &payload);
+    }
+    for slot in &dist.slots {
+        slot.dev.mem_free(slot.base).await?;
+        slot.dev.mem_free(slot.panel_ws).await?;
+        slot.dev.mem_free(slot.t_ws).await?;
+        slot.dev.mem_free(slot.scratch).await?;
+    }
+    Ok(())
+}
+
+/// Pack an lda-strided `rows × cols` region into the slot's scratch buffer
+/// (no host transfer).
+async fn pack_to_scratch(
+    slot: &Slot,
+    src: DevicePtr,
+    ld: usize,
+    rows: usize,
+    cols: usize,
+) -> Result<(), AcError> {
+    use dacc_vgpu::kernel::KernelArg as A;
+    slot.dev
+        .launch(
+            "la.pack",
+            launch_cfg(rows, cols),
+            &[
+                A::Ptr(src),
+                A::U64(ld as u64),
+                A::U64(rows as u64),
+                A::U64(cols as u64),
+                A::Ptr(slot.scratch),
+            ],
+        )
+        .await?;
+    Ok(())
+}
+
+/// Fetch an lda-strided `rows × cols` region to the host: pack on the
+/// device into scratch, then one contiguous D2H.
+async fn fetch_strided(
+    slot: &Slot,
+    src: DevicePtr,
+    ld: usize,
+    rows: usize,
+    cols: usize,
+) -> Result<Payload, AcError> {
+    use dacc_vgpu::kernel::KernelArg as A;
+    slot.dev
+        .launch(
+            "la.pack",
+            launch_cfg(rows, cols),
+            &[
+                A::Ptr(src),
+                A::U64(ld as u64),
+                A::U64(rows as u64),
+                A::U64(cols as u64),
+                A::Ptr(slot.scratch),
+            ],
+        )
+        .await?;
+    slot.dev
+        .mem_cpy_d2h(slot.scratch, (rows * cols * 8) as u64)
+        .await
+}
+
+/// Store a dense host payload into an lda-strided region: one contiguous
+/// H2D into scratch, then unpack on the device.
+async fn store_strided(
+    slot: &Slot,
+    payload: &Payload,
+    dst: DevicePtr,
+    ld: usize,
+    rows: usize,
+    cols: usize,
+) -> Result<(), AcError> {
+    use dacc_vgpu::kernel::KernelArg as A;
+    slot.dev.mem_cpy_h2d(payload, slot.scratch).await?;
+    slot.dev
+        .launch(
+            "la.unpack",
+            launch_cfg(rows, cols),
+            &[
+                A::Ptr(slot.scratch),
+                A::Ptr(dst),
+                A::U64(ld as u64),
+                A::U64(rows as u64),
+                A::U64(cols as u64),
+            ],
+        )
+        .await?;
+    Ok(())
+}
+
+fn cpu_time(flops: f64, cfg: &HybridConfig) -> SimDuration {
+    SimDuration::from_secs_f64(flops / (cfg.cpu_panel_gflops * 1e9))
+}
+
+/// Hybrid lower Cholesky factorization (`magma_dpotrf_mgpu` equivalent).
+///
+/// `host` must be symmetric positive definite (functional mode); on return
+/// its lower triangle holds `L`. Works on 1…g devices, local or remote.
+pub async fn dpotrf_hybrid(
+    handle: &SimHandle,
+    devices: &[AcDevice],
+    host: &mut HostMatrix,
+    cfg: &HybridConfig,
+) -> Result<HybridReport, AcError> {
+    let n = host.cols();
+    assert_eq!(host.rows(), n, "Cholesky needs a square matrix");
+    let dist = setup(devices, host, cfg.nb).await?;
+    let start = handle.now();
+
+    for k in 0..dist.nblocks {
+        let kb = dist.width(k);
+        let col0 = k * cfg.nb;
+        let owner = dist.owner(k);
+        let col_ptr = dist.col_ptr(k);
+        let diag_ptr = col_ptr.offset((col0 * 8) as u64);
+        let owner_slot = &dist.slots[owner];
+
+        // 1. Diagonal block to the CPU, factor, and back (small: kb × kb).
+        let diag = fetch_strided(owner_slot, diag_ptr, dist.m, kb, kb).await?;
+        handle.delay(cpu_time(kb as f64 * kb as f64 * kb as f64 / 3.0, cfg)).await;
+        let factored = if host.is_real() {
+            let mut block = payload_to_f64(&diag);
+            dpotf2(kb, &mut block, kb)
+                .map_err(|e| AcError::Local(e.to_string()))?;
+            f64_to_payload(&block)
+        } else {
+            Payload::size_only((kb * kb * 8) as u64)
+        };
+        store_strided(owner_slot, &factored, diag_ptr, dist.m, kb, kb).await?;
+
+        let rows_below = n - col0 - kb;
+        if rows_below > 0 {
+            // 2. Panel solve on the owner GPU:
+            //    A[col0+kb.., k-block] ← A · L_kk⁻ᵀ.
+            let panel_ptr = col_ptr.offset(((col0 + kb) * 8) as u64);
+            owner_slot
+                .dev
+                .launch(
+                    "la.dtrsm_rlt",
+                    launch_cfg(rows_below, kb),
+                    &dtrsm_rlt_args(rows_below, kb, diag_ptr, dist.m, panel_ptr, dist.m),
+                )
+                .await?;
+
+            // 3. Broadcast the solved panel to the *other* devices (the
+            //    owner updates straight from its own column).
+            let receivers: Vec<usize> = (0..dist.g())
+                .filter(|&d| d != owner && dist.trailing(d, k).is_some())
+                .collect();
+            if !receivers.is_empty() {
+                let bytes = (rows_below * kb * 8) as u64;
+                match cfg.broadcast {
+                    PanelBroadcast::ViaHost => {
+                        // Pack + D2H once, then fan out over the CN's NIC.
+                        let ph =
+                            fetch_strided(owner_slot, panel_ptr, dist.m, rows_below, kb).await?;
+                        broadcast_panel(
+                            &dist,
+                            owner,
+                            bytes,
+                            &receivers,
+                            PanelBroadcast::ViaHost,
+                            Some(&ph),
+                        )
+                        .await?;
+                    }
+                    PanelBroadcast::PeerDirect => {
+                        // Pack on the owner, then stream daemon-to-daemon.
+                        pack_to_scratch(owner_slot, panel_ptr, dist.m, rows_below, kb).await?;
+                        broadcast_panel(
+                            &dist,
+                            owner,
+                            bytes,
+                            &receivers,
+                            PanelBroadcast::PeerDirect,
+                            None,
+                        )
+                        .await?;
+                    }
+                }
+            }
+
+            // 4. Trailing update on every device, concurrently.
+            let futures: Vec<_> = (0..dist.g())
+                .filter_map(|d| {
+                    let (trail_ptr, _cols) = dist.trailing(d, k)?;
+                    let slot = &dist.slots[d];
+                    let (p_ptr, p_ld) = if d == owner {
+                        (panel_ptr, dist.m)
+                    } else {
+                        (slot.panel_ws, rows_below)
+                    };
+                    let dist_ref = &dist;
+                    Some(async move {
+                        // Update each local trailing block column j:
+                        // A[j·nb.., j] −= P[j·nb−(col0+kb)..] · P_jᵀ.
+                        let g = dist_ref.g();
+                        let l0 = dist_ref.first_trailing_local(d, k);
+                        let mut local_off = 0usize;
+                        for l in l0..slot.local_blocks {
+                            let j = l * g + d;
+                            let jb = dist_ref.width(j);
+                            let jrow = j * cfg.nb;
+                            let mj = n - jrow;
+                            let c_ptr = trail_ptr
+                                .offset((local_off * dist_ref.m * 8) as u64)
+                                .offset((jrow * 8) as u64);
+                            let prow = jrow - (col0 + kb);
+                            let a_ptr = p_ptr.offset((prow * 8) as u64);
+                            let b_ptr = a_ptr;
+                            slot.dev
+                                .launch(
+                                    "la.dgemm",
+                                    launch_cfg(mj, jb),
+                                    &dgemm_args(
+                                        Trans::No,
+                                        Trans::Yes,
+                                        mj,
+                                        jb,
+                                        kb,
+                                        -1.0,
+                                        a_ptr,
+                                        p_ld,
+                                        b_ptr,
+                                        p_ld,
+                                        1.0,
+                                        c_ptr,
+                                        dist_ref.m,
+                                    ),
+                                )
+                                .await?;
+                            local_off += dist_ref.nb;
+                        }
+                        Ok::<(), AcError>(())
+                    })
+                })
+                .collect();
+            for r in join_all(futures).await {
+                r?;
+            }
+        }
+    }
+
+    let elapsed = handle.now().since(start);
+    collect(&dist, host).await?;
+    let flops = cholesky_flops(n);
+    Ok(HybridReport {
+        elapsed,
+        flops,
+        gflops: flops / elapsed.as_secs_f64() / 1e9,
+        tau: Vec::new(),
+    })
+}
+
+/// CPU-side panel factorization: charge the panel time, and in functional
+/// mode run the real `dgeqr2` + `dlarft`. Returns (factored panel, T, tau).
+async fn factor_panel(
+    handle: &SimHandle,
+    functional: bool,
+    cfg: &HybridConfig,
+    panel: Payload,
+    mk: usize,
+    kb: usize,
+) -> (Payload, Payload, Vec<f64>) {
+    let panel_flops = 2.5 * mk as f64 * (kb * kb) as f64;
+    handle.delay(cpu_time(panel_flops, cfg)).await;
+    if functional {
+        let mut p = payload_to_f64(&panel);
+        let tau = dgeqr2(mk, kb, &mut p, mk);
+        let t = dlarft(mk, kb, &p, mk, &tau);
+        (f64_to_payload(&p), f64_to_payload(&t), tau)
+    } else {
+        (
+            Payload::size_only((mk * kb * 8) as u64),
+            Payload::size_only((kb * kb * 8) as u64),
+            Vec::new(),
+        )
+    }
+}
+
+/// Hybrid Householder QR factorization (`magma_dgeqrf2_mgpu` equivalent).
+///
+/// On return `host` holds `R` on/above the diagonal and the reflectors
+/// below it; `tau` is in the report (functional mode).
+pub async fn dgeqrf_hybrid(
+    handle: &SimHandle,
+    devices: &[AcDevice],
+    host: &mut HostMatrix,
+    cfg: &HybridConfig,
+) -> Result<HybridReport, AcError> {
+    let (m, n) = (host.rows(), host.cols());
+    let dist = setup(devices, host, cfg.nb).await?;
+    let start = handle.now();
+    let mut tau_all = Vec::new();
+
+    // With lookahead, the panel for iteration k+1 is fetched and factored
+    // on the CPU while the devices run iteration k's trailing update.
+    let mut pending: Option<(Payload, Payload, Vec<f64>)> = None;
+
+    for k in 0..dist.nblocks {
+        let kb = dist.width(k);
+        let col0 = k * cfg.nb;
+        let mk = m - col0;
+        let owner = dist.owner(k);
+        let col_ptr = dist.col_ptr(k);
+        let panel_ptr = col_ptr.offset((col0 * 8) as u64);
+        let owner_slot = &dist.slots[owner];
+
+        // 1. Panel to the CPU (mk × kb), factor + build T, panel back —
+        //    unless the previous iteration already produced it (lookahead).
+        let (factored, t_payload, tau) = match pending.take() {
+            Some(x) => x,
+            None => {
+                let panel = fetch_strided(owner_slot, panel_ptr, dist.m, mk, kb).await?;
+                factor_panel(handle, host.is_real(), cfg, panel, mk, kb).await
+            }
+        };
+        tau_all.extend_from_slice(&tau);
+        store_strided(owner_slot, &factored, panel_ptr, dist.m, mk, kb).await?;
+
+        // 2. Broadcast V (the factored panel; unit-lower part is what the
+        //    kernel uses) and T to devices with trailing columns. After
+        //    `store_strided`, the owner's scratch still holds the packed
+        //    factored panel, so PeerDirect can stream it daemon-to-daemon.
+        let receivers: Vec<usize> = (0..dist.g())
+            .filter(|&d| d != owner && dist.trailing(d, k).is_some())
+            .collect();
+        broadcast_panel(
+            &dist,
+            owner,
+            (mk * kb * 8) as u64,
+            &receivers,
+            cfg.broadcast,
+            Some(&factored),
+        )
+        .await?;
+        for d in 0..dist.g() {
+            if dist.trailing(d, k).is_none() {
+                continue;
+            }
+            dist.slots[d].dev.mem_cpy_h2d(&t_payload, dist.slots[d].t_ws).await?;
+        }
+
+        // 3. Apply the block reflector to each device's trailing columns.
+        //    With lookahead, the device owning block k+1 updates that
+        //    column first, ships the next panel to the host, and only then
+        //    updates the rest — so the CPU factors panel k+1 concurrently.
+        let next_k = k + 1;
+        let lookahead = cfg.lookahead && next_k < dist.nblocks;
+        let owner_next = dist.owner(next_k % dist.nblocks.max(1));
+        let (panel_tx, panel_rx) = oneshot::<Payload>();
+        let mut panel_tx = Some(panel_tx);
+
+        let mut futures: Vec<UpdateFuture<'_>> = Vec::new();
+        for d in 0..dist.g() {
+            let Some((trail_ptr, cols)) = dist.trailing(d, k) else {
+                continue;
+            };
+            let slot = &dist.slots[d];
+            let (v_ptr, v_ld) = if d == owner {
+                (panel_ptr, dist.m)
+            } else {
+                (slot.panel_ws, mk)
+            };
+            let c_ptr = trail_ptr.offset((col0 * 8) as u64);
+            let ldm = dist.m;
+            let t_ws = slot.t_ws;
+            if lookahead && d == owner_next {
+                // This device's first trailing block IS block k+1.
+                let kb_next = dist.width(next_k);
+                let col0_next = next_k * cfg.nb;
+                let mk_next = m - col0_next;
+                let next_panel_ptr = dist
+                    .col_ptr(next_k)
+                    .offset((col0_next * 8) as u64);
+                let tx = panel_tx.take().expect("one lookahead owner");
+                let nb = cfg.nb;
+                futures.push(Box::pin(async move {
+                    // Update column block k+1 first...
+                    slot.dev
+                        .launch(
+                            "la.dlarfb",
+                            launch_cfg(mk, kb_next),
+                            &dlarfb_args(mk, kb_next, kb, v_ptr, v_ld, t_ws, c_ptr, ldm),
+                        )
+                        .await?;
+                    // ...ship the next panel to the host...
+                    let p =
+                        fetch_strided(slot, next_panel_ptr, ldm, mk_next, kb_next).await?;
+                    tx.send(p);
+                    // ...then update the remaining local columns.
+                    if cols > kb_next {
+                        let rest_ptr = trail_ptr
+                            .offset((nb * ldm * 8) as u64)
+                            .offset((col0 * 8) as u64);
+                        slot.dev
+                            .launch(
+                                "la.dlarfb",
+                                launch_cfg(mk, cols - kb_next),
+                                &dlarfb_args(
+                                    mk,
+                                    cols - kb_next,
+                                    kb,
+                                    v_ptr,
+                                    v_ld,
+                                    t_ws,
+                                    rest_ptr,
+                                    ldm,
+                                ),
+                            )
+                            .await?;
+                    }
+                    Ok(())
+                }));
+            } else {
+                futures.push(Box::pin(async move {
+                    slot.dev
+                        .launch(
+                            "la.dlarfb",
+                            launch_cfg(mk, cols),
+                            &dlarfb_args(mk, cols, kb, v_ptr, v_ld, t_ws, c_ptr, ldm),
+                        )
+                        .await
+                }));
+            }
+        }
+
+        let functional = host.is_real();
+        let panel_task = async {
+            if lookahead {
+                let p = panel_rx.await.expect("lookahead panel never shipped");
+                let kb_next = dist.width(next_k);
+                let mk_next = m - next_k * cfg.nb;
+                Some(factor_panel(handle, functional, cfg, p, mk_next, kb_next).await)
+            } else {
+                None
+            }
+        };
+        let (update_results, next_pending) = join2(join_all(futures), panel_task).await;
+        for r in update_results {
+            r?;
+        }
+        pending = next_pending;
+    }
+
+    let elapsed = handle.now().since(start);
+    collect(&dist, host).await?;
+    let flops = qr_flops(m, n);
+    Ok(HybridReport {
+        elapsed,
+        flops,
+        gflops: flops / elapsed.as_secs_f64() / 1e9,
+        tau: tau_all,
+    })
+}

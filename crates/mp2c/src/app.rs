@@ -1,0 +1,291 @@
+//! The distributed MP2C driver: geometric domain decomposition over fabric
+//! ranks, streaming + halo exchange every step, SRD offloaded to each
+//! rank's accelerator every `srd_every`-th step (§V.C of the paper).
+
+use dacc_fabric::mpi::{Endpoint, Rank, Tag};
+use dacc_fabric::payload::Payload;
+use dacc_runtime::api::{AcDevice, AcError};
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
+
+use crate::md::{md_step_time, stream_step};
+use crate::particles::{Particles, PARTICLE_BYTES};
+use crate::srd::SrdParams;
+
+/// Halo messages to the right neighbour.
+pub const TAG_HALO_RIGHT: Tag = Tag(0x2000);
+/// Halo messages to the left neighbour.
+pub const TAG_HALO_LEFT: Tag = Tag(0x2001);
+
+/// MP2C run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Mp2cConfig {
+    /// Total time steps (paper: 300).
+    pub steps: u32,
+    /// Run SRD every this many steps (paper: 5).
+    pub srd_every: u32,
+    /// Time-step length.
+    pub dt: f64,
+    /// SRD rotation angle (radians).
+    pub alpha: f64,
+    /// SRD cell edge (1.0; the box is sized in cells).
+    pub cell_size: f64,
+    /// CPU cost per particle per MD/streaming step (ns).
+    pub md_ns_per_particle: f64,
+    /// Timing-only mode: assumed fraction of local particles crossing a
+    /// slab boundary per step.
+    pub halo_fraction: f64,
+    /// RNG seed (SRD axes).
+    pub seed: u64,
+}
+
+impl Default for Mp2cConfig {
+    fn default() -> Self {
+        Mp2cConfig {
+            steps: 300,
+            srd_every: 5,
+            dt: 0.1,
+            alpha: 130.0_f64.to_radians(),
+            cell_size: 1.0,
+            md_ns_per_particle: 900.0,
+            halo_fraction: 0.02,
+            seed: 1,
+        }
+    }
+}
+
+/// One rank's domain: a slab `[x_lo, x_hi)` of the global box.
+#[derive(Clone, Copy, Debug)]
+pub struct Slab {
+    /// Global box edge lengths.
+    pub box_size: [f64; 3],
+    /// Slab lower x bound.
+    pub x_lo: f64,
+    /// Slab upper x bound.
+    pub x_hi: f64,
+}
+
+impl Slab {
+    /// Slabs for `ranks` ranks over a box of `nx × ny × nz` cells.
+    pub fn decompose(nx: usize, ny: usize, nz: usize, cell: f64, ranks: usize) -> Vec<Slab> {
+        assert!(nx.is_multiple_of(ranks), "x cells must divide evenly across ranks");
+        let box_size = [nx as f64 * cell, ny as f64 * cell, nz as f64 * cell];
+        let w = box_size[0] / ranks as f64;
+        (0..ranks)
+            .map(|r| Slab {
+                box_size,
+                x_lo: r as f64 * w,
+                x_hi: (r + 1) as f64 * w,
+            })
+            .collect()
+    }
+
+    /// True if the (wrapped) x coordinate lies in this slab.
+    pub fn contains_x(&self, x: f64) -> bool {
+        x >= self.x_lo && x < self.x_hi
+    }
+}
+
+/// One rank's context for a run.
+pub struct RankCtx {
+    /// This rank's position among the MP2C ranks (0-based).
+    pub index: usize,
+    /// Fabric ranks of all MP2C ranks, indexed by `index`.
+    pub group: Vec<Rank>,
+    /// This rank's fabric endpoint.
+    pub ep: Endpoint,
+    /// The accelerator assigned to this rank (local or remote).
+    pub device: AcDevice,
+    /// This rank's slab.
+    pub slab: Slab,
+}
+
+/// Result of one rank's run.
+pub struct RankReport {
+    /// Final local particles (functional runs only).
+    pub particles: Option<Particles>,
+    /// Number of SRD offloads performed.
+    pub srd_steps: u32,
+    /// Particles sent to neighbours over the whole run.
+    pub migrated_out: u64,
+}
+
+enum State {
+    Functional(Particles),
+    TimingOnly {
+        n_local: usize,
+    },
+}
+
+impl State {
+    fn len(&self) -> usize {
+        match self {
+            State::Functional(p) => p.len(),
+            State::TimingOnly { n_local } => *n_local,
+        }
+    }
+}
+
+/// Run MP2C on one rank. All ranks of `ctx.group` must run concurrently.
+///
+/// `initial`: real particles for functional runs, or `None` with
+/// `n_local` timing-only particles.
+pub async fn run_rank(
+    handle: &SimHandle,
+    ctx: &RankCtx,
+    cfg: &Mp2cConfig,
+    initial: Option<Particles>,
+    n_local: usize,
+) -> Result<RankReport, AcError> {
+    let mut state = match initial {
+        Some(p) => State::Functional(p),
+        None => State::TimingOnly { n_local },
+    };
+    let srd = SrdParams {
+        cell_size: cfg.cell_size,
+        alpha: cfg.alpha,
+        box_size: ctx.slab.box_size,
+    };
+    let ranks = ctx.group.len();
+
+    // Device buffers for the SRD offload, sized generously for migration.
+    let capacity = (state.len() * 3 / 2 + 64) as u64;
+    let pos_buf = ctx.device.mem_alloc(capacity * 24).await?;
+    let vel_buf = ctx.device.mem_alloc(capacity * 24).await?;
+
+    let mut srd_steps = 0u32;
+    let mut migrated_out = 0u64;
+
+    for step in 1..=cfg.steps {
+        // 1. MD / streaming phase on the CPU.
+        handle
+            .delay(md_step_time(state.len(), cfg.md_ns_per_particle))
+            .await;
+        if let State::Functional(p) = &mut state {
+            stream_step(p, cfg.dt, ctx.slab.box_size);
+        }
+
+        // 2. Halo exchange: migrate particles that left the slab.
+        if ranks > 1 {
+            migrated_out += halo_exchange(ctx, cfg, &mut state).await;
+        }
+
+        // 3. SRD collision on the accelerator every `srd_every`-th step.
+        if step % cfg.srd_every == 0 {
+            let n = state.len();
+            let (pos_payload, vel_payload) = match &state {
+                State::Functional(p) => (p.pos_payload(), p.vel_payload()),
+                State::TimingOnly { .. } => (
+                    Payload::size_only(n as u64 * PARTICLE_BYTES / 2),
+                    Payload::size_only(n as u64 * PARTICLE_BYTES / 2),
+                ),
+            };
+            ctx.device.mem_cpy_h2d(&pos_payload, pos_buf).await?;
+            ctx.device.mem_cpy_h2d(&vel_payload, vel_buf).await?;
+            ctx.device
+                .launch(
+                    "mp2c.srd",
+                    LaunchConfig::linear(n.div_ceil(256).max(1) as u32, 256),
+                    &[
+                        KernelArg::Ptr(pos_buf),
+                        KernelArg::Ptr(vel_buf),
+                        KernelArg::U64(n as u64),
+                        KernelArg::F64(srd.cell_size),
+                        KernelArg::F64(srd.alpha),
+                        KernelArg::F64(srd.box_size[0]),
+                        KernelArg::F64(srd.box_size[1]),
+                        KernelArg::F64(srd.box_size[2]),
+                        KernelArg::U64(cfg.seed),
+                        KernelArg::U64(step as u64),
+                    ],
+                )
+                .await?;
+            let vel_back = ctx
+                .device
+                .mem_cpy_d2h(vel_buf, n as u64 * PARTICLE_BYTES / 2)
+                .await?;
+            if let State::Functional(p) = &mut state {
+                p.set_vel_from_payload(&vel_back);
+            }
+            srd_steps += 1;
+        }
+    }
+
+    ctx.device.mem_free(pos_buf).await?;
+    ctx.device.mem_free(vel_buf).await?;
+
+    Ok(RankReport {
+        particles: match state {
+            State::Functional(p) => Some(p),
+            State::TimingOnly { .. } => None,
+        },
+        srd_steps,
+        migrated_out,
+    })
+}
+
+/// Exchange boundary-crossing particles with both neighbours (periodic).
+async fn halo_exchange(ctx: &RankCtx, cfg: &Mp2cConfig, state: &mut State) -> u64 {
+    let ranks = ctx.group.len();
+    let right = ctx.group[(ctx.index + 1) % ranks];
+    let left = ctx.group[(ctx.index + ranks - 1) % ranks];
+
+    let (to_right, to_left) = match state {
+        State::Functional(p) => {
+            let mut to_right = Particles::new();
+            let mut to_left = Particles::new();
+            let mut i = 0;
+            while i < p.len() {
+                let x = p.pos[3 * i];
+                if ctx.slab.contains_x(x) {
+                    i += 1;
+                    continue;
+                }
+                let (pos, vel) = p.swap_remove(i);
+                // Decide direction through the periodic metric: a particle
+                // below x_lo (or wrapped past the top) goes left, else right.
+                let box_x = ctx.slab.box_size[0];
+                let dist_right = (x - ctx.slab.x_hi).rem_euclid(box_x);
+                let dist_left = (ctx.slab.x_lo - x).rem_euclid(box_x);
+                if dist_left < dist_right {
+                    to_left.push(pos, vel);
+                } else {
+                    to_right.push(pos, vel);
+                }
+            }
+            (to_right.to_payload(), to_left.to_payload())
+        }
+        State::TimingOnly { n_local } => {
+            let each = ((*n_local as f64 * cfg.halo_fraction / 2.0) as u64).max(1);
+            (
+                Payload::size_only(each * PARTICLE_BYTES),
+                Payload::size_only(each * PARTICLE_BYTES),
+            )
+        }
+    };
+    let migrated = (to_right.len() + to_left.len()) / PARTICLE_BYTES;
+
+    // Nonblocking sends, then receive from both neighbours.
+    let s1 = ctx.ep.isend(right, TAG_HALO_RIGHT, to_right);
+    let s2 = ctx.ep.isend(left, TAG_HALO_LEFT, to_left);
+    let from_left = ctx.ep.recv(Some(left), Some(TAG_HALO_RIGHT)).await;
+    let from_right = ctx.ep.recv(Some(right), Some(TAG_HALO_LEFT)).await;
+    s1.await;
+    s2.await;
+
+    match state {
+        State::Functional(p) => {
+            for env in [from_left, from_right] {
+                let incoming = Particles::from_payload(&env.payload);
+                for i in 0..incoming.len() {
+                    p.push(incoming.position(i), incoming.velocity(i));
+                }
+            }
+        }
+        State::TimingOnly { n_local } => {
+            // Conservation by symmetry: inflow equals outflow in the model.
+            let _ = (*n_local, from_left, from_right);
+        }
+    }
+    migrated
+}

@@ -1,0 +1,193 @@
+//! Particle storage and wire encoding for the MP2C mini-app.
+
+use dacc_fabric::payload::Payload;
+use dacc_sim::rng::SimRng;
+
+/// Bytes per particle on the wire / device (position + velocity, 6 × f64).
+pub const PARTICLE_BYTES: u64 = 48;
+
+/// A set of particles, structure-of-arrays.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Particles {
+    /// Positions, `[x0, y0, z0, x1, …]`.
+    pub pos: Vec<f64>,
+    /// Velocities, same layout.
+    pub vel: Vec<f64>,
+}
+
+impl Particles {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.pos.len() / 3
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Uniformly random particles inside `[lo, hi)` per axis, with
+    /// Maxwell-ish normal velocities (unit thermal speed).
+    pub fn random(n: usize, lo: [f64; 3], hi: [f64; 3], rng: &mut SimRng) -> Self {
+        let mut p = Particles {
+            pos: Vec::with_capacity(3 * n),
+            vel: Vec::with_capacity(3 * n),
+        };
+        for _ in 0..n {
+            for a in 0..3 {
+                p.pos.push(rng.uniform_range(lo[a], hi[a]));
+                p.vel.push(rng.normal());
+            }
+        }
+        p
+    }
+
+    /// Position of particle `i`.
+    pub fn position(&self, i: usize) -> [f64; 3] {
+        [self.pos[3 * i], self.pos[3 * i + 1], self.pos[3 * i + 2]]
+    }
+
+    /// Velocity of particle `i`.
+    pub fn velocity(&self, i: usize) -> [f64; 3] {
+        [self.vel[3 * i], self.vel[3 * i + 1], self.vel[3 * i + 2]]
+    }
+
+    /// Append a particle.
+    pub fn push(&mut self, pos: [f64; 3], vel: [f64; 3]) {
+        self.pos.extend_from_slice(&pos);
+        self.vel.extend_from_slice(&vel);
+    }
+
+    /// Remove particle `i` (swap-remove; order not preserved).
+    pub fn swap_remove(&mut self, i: usize) -> ([f64; 3], [f64; 3]) {
+        let n = self.len();
+        let out = (self.position(i), self.velocity(i));
+        for a in (0..3).rev() {
+            self.pos.swap(3 * i + a, 3 * (n - 1) + a);
+            self.pos.pop();
+            self.vel.swap(3 * i + a, 3 * (n - 1) + a);
+            self.vel.pop();
+        }
+        out
+    }
+
+    /// Total momentum (mass 1).
+    pub fn total_momentum(&self) -> [f64; 3] {
+        let mut m = [0.0; 3];
+        for i in 0..self.len() {
+            for a in 0..3 {
+                m[a] += self.vel[3 * i + a];
+            }
+        }
+        m
+    }
+
+    /// Total kinetic energy (mass 1): `Σ ½v²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.vel.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Encode as a wire payload (pos then vel, little-endian f64).
+    pub fn to_payload(&self) -> Payload {
+        let mut bytes = Vec::with_capacity(self.pos.len() * 16);
+        for v in self.pos.iter().chain(self.vel.iter()) {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Payload::from_vec(bytes)
+    }
+
+    /// Positions only as a payload (`3·n·8` bytes).
+    pub fn pos_payload(&self) -> Payload {
+        let mut bytes = Vec::with_capacity(self.pos.len() * 8);
+        for v in &self.pos {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Payload::from_vec(bytes)
+    }
+
+    /// Velocities only as a payload (`3·n·8` bytes).
+    pub fn vel_payload(&self) -> Payload {
+        let mut bytes = Vec::with_capacity(self.vel.len() * 8);
+        for v in &self.vel {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Payload::from_vec(bytes)
+    }
+
+    /// Overwrite velocities from a payload produced by
+    /// [`Particles::vel_payload`].
+    pub fn set_vel_from_payload(&mut self, p: &Payload) {
+        assert_eq!(p.len() as usize, self.vel.len() * 8, "velocity payload size");
+        for (i, c) in p.expect_bytes().chunks_exact(8).enumerate() {
+            self.vel[i] = f64::from_le_bytes(c.try_into().unwrap());
+        }
+    }
+
+    /// Decode from a wire payload produced by [`Particles::to_payload`].
+    pub fn from_payload(p: &Payload) -> Self {
+        let vals: Vec<f64> = p
+            .expect_bytes()
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let half = vals.len() / 2;
+        Particles {
+            pos: vals[..half].to_vec(),
+            vel: vals[half..].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_particles_in_bounds() {
+        let mut rng = SimRng::new(1);
+        let p = Particles::random(100, [0.0, 0.0, 0.0], [4.0, 2.0, 2.0], &mut rng);
+        assert_eq!(p.len(), 100);
+        for i in 0..100 {
+            let r = p.position(i);
+            assert!(r[0] >= 0.0 && r[0] < 4.0);
+            assert!(r[1] >= 0.0 && r[1] < 2.0);
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut rng = SimRng::new(2);
+        let p = Particles::random(37, [0.0; 3], [1.0; 3], &mut rng);
+        let q = Particles::from_payload(&p.to_payload());
+        assert_eq!(p, q);
+        assert_eq!(p.to_payload().len(), 37 * PARTICLE_BYTES);
+    }
+
+    #[test]
+    fn swap_remove_keeps_others() {
+        let mut p = Particles::new();
+        p.push([1.0, 2.0, 3.0], [0.1, 0.2, 0.3]);
+        p.push([4.0, 5.0, 6.0], [0.4, 0.5, 0.6]);
+        p.push([7.0, 8.0, 9.0], [0.7, 0.8, 0.9]);
+        let (pos, vel) = p.swap_remove(0);
+        assert_eq!(pos, [1.0, 2.0, 3.0]);
+        assert_eq!(vel, [0.1, 0.2, 0.3]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.position(0), [7.0, 8.0, 9.0]);
+        assert_eq!(p.position(1), [4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn conserved_quantities_accumulate() {
+        let mut p = Particles::new();
+        p.push([0.0; 3], [1.0, 0.0, 0.0]);
+        p.push([0.0; 3], [-1.0, 2.0, 0.0]);
+        assert_eq!(p.total_momentum(), [0.0, 2.0, 0.0]);
+        assert_eq!(p.kinetic_energy(), 0.5 * (1.0 + 1.0 + 4.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Distributed MP2C: two ranks, halo migration, SRD offload — functional
+//! correctness on local and remote accelerators.
+
+use dacc_mp2c::app::{run_rank, Mp2cConfig, RankCtx, Slab};
+use dacc_mp2c::particles::Particles;
+use dacc_mp2c::srd::register_srd_kernel;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+fn registry() -> KernelRegistry {
+    let reg = KernelRegistry::new();
+    register_srd_kernel(&reg);
+    reg
+}
+
+struct RunResult {
+    reports: Vec<dacc_mp2c::app::RankReport>,
+    elapsed: SimTime,
+}
+
+/// Run the app on `ranks` ranks with `n_per_rank` real particles each.
+fn run_functional(ranks: usize, n_per_rank: usize, steps: u32, remote: bool) -> RunResult {
+    let mut sim = Sim::new();
+    let spec = ClusterSpec {
+        compute_nodes: ranks,
+        accelerators: if remote { ranks } else { 1 },
+        local_gpus: !remote,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry());
+    // 8 cells in x per rank; 4 × 4 in y, z.
+    let slabs = Slab::decompose(8 * ranks, 4, 4, 1.0, ranks);
+    let group: Vec<_> = cluster.cn_endpoints.iter().map(|e| e.rank()).collect();
+    let cfg = Mp2cConfig {
+        steps,
+        md_ns_per_particle: 100.0,
+        ..Mp2cConfig::default()
+    };
+    let h = sim.handle();
+    let mut handles = Vec::new();
+    let eps = std::mem::take(&mut cluster.cn_endpoints);
+    for (i, ep) in eps.into_iter().enumerate() {
+        let device = if remote {
+            AcDevice::Remote(RemoteAccelerator::new(
+                ep.clone(),
+                cluster.daemon_rank(i),
+                FrontendConfig::default(),
+            ))
+        } else {
+            AcProcess::local_device(cluster.local_gpus[i.min(cluster.local_gpus.len() - 1)].clone())
+        };
+        let ctx = RankCtx {
+            index: i,
+            group: group.clone(),
+            ep,
+            device,
+            slab: slabs[i],
+        };
+        let h = h.clone();
+        let mut rng = SimRng::derive(7, &format!("rank{i}"));
+        let particles = Particles::random(
+            n_per_rank,
+            [slabs[i].x_lo, 0.0, 0.0],
+            [slabs[i].x_hi, 4.0, 4.0],
+            &mut rng,
+        );
+        handles.push(sim.spawn("mp2c.rank", async move {
+            let report = run_rank(&h, &ctx, &cfg, Some(particles), n_per_rank)
+                .await
+                .unwrap();
+            if let AcDevice::Remote(r) = &ctx.device {
+                let _ = r.shutdown().await;
+            }
+            report
+        }));
+    }
+    let out = sim.run();
+    RunResult {
+        reports: handles
+            .into_iter()
+            .map(|h| h.try_take().expect("rank did not finish"))
+            .collect(),
+        elapsed: out.time,
+    }
+}
+
+#[test]
+fn particle_count_conserved_across_migration() {
+    let res = run_functional(2, 400, 25, true);
+    let total: usize = res
+        .reports
+        .iter()
+        .map(|r| r.particles.as_ref().unwrap().len())
+        .sum();
+    assert_eq!(total, 800, "particles lost or duplicated");
+    let migrated: u64 = res.reports.iter().map(|r| r.migrated_out).sum();
+    assert!(migrated > 0, "no migration happened in 25 steps");
+}
+
+#[test]
+fn momentum_and_energy_conserved_globally() {
+    // Streaming conserves both; SRD conserves both; migration moves
+    // particles but not physics.
+    let res = run_functional(2, 300, 20, true);
+    let mut momentum = [0.0f64; 3];
+    let mut energy = 0.0;
+    for r in &res.reports {
+        let p = r.particles.as_ref().unwrap();
+        let m = p.total_momentum();
+        for a in 0..3 {
+            momentum[a] += m[a];
+        }
+        energy += p.kinetic_energy();
+    }
+    // Compare against the initial ensemble.
+    let mut momentum0 = [0.0f64; 3];
+    let mut energy0 = 0.0;
+    let slabs = Slab::decompose(16, 4, 4, 1.0, 2);
+    for (i, slab) in slabs.iter().enumerate() {
+        let mut rng = SimRng::derive(7, &format!("rank{i}"));
+        let p = Particles::random(
+            300,
+            [slab.x_lo, 0.0, 0.0],
+            [slab.x_hi, 4.0, 4.0],
+            &mut rng,
+        );
+        let m = p.total_momentum();
+        for a in 0..3 {
+            momentum0[a] += m[a];
+        }
+        energy0 += p.kinetic_energy();
+    }
+    for a in 0..3 {
+        assert!(
+            (momentum[a] - momentum0[a]).abs() < 1e-8,
+            "momentum axis {a}: {} -> {}",
+            momentum0[a],
+            momentum[a]
+        );
+    }
+    assert!(
+        (energy - energy0).abs() / energy0 < 1e-10,
+        "energy drift {energy0} -> {energy}"
+    );
+}
+
+#[test]
+fn srd_steps_match_schedule() {
+    let res = run_functional(2, 200, 25, true);
+    for r in &res.reports {
+        assert_eq!(r.srd_steps, 5, "25 steps, SRD every 5th");
+    }
+}
+
+#[test]
+fn local_and_remote_agree_exactly() {
+    // Same physics whichever accelerator runs the SRD kernel.
+    let local = run_functional(2, 250, 15, false);
+    let remote = run_functional(2, 250, 15, true);
+    for (l, r) in local.reports.iter().zip(&remote.reports) {
+        let lp = l.particles.as_ref().unwrap();
+        let rp = r.particles.as_ref().unwrap();
+        assert_eq!(lp.len(), rp.len());
+        assert_eq!(lp.pos, rp.pos, "positions diverged");
+        assert_eq!(lp.vel, rp.vel, "velocities diverged");
+    }
+    // ... but the remote run takes longer (network-attached accelerator).
+    assert!(
+        remote.elapsed > local.elapsed,
+        "remote {} should exceed local {}",
+        remote.elapsed,
+        local.elapsed
+    );
+}
+
+#[test]
+fn single_rank_runs_without_exchange() {
+    let res = run_functional(1, 500, 10, true);
+    assert_eq!(res.reports[0].migrated_out, 0);
+    assert_eq!(res.reports[0].particles.as_ref().unwrap().len(), 500);
+}
+
+#[test]
+fn timing_only_two_ranks() {
+    // Shape-only run at a larger scale: deterministic elapsed time, remote
+    // slower than local, penalty small (the paper's Fig. 11 claim).
+    let run = |remote: bool| {
+        let mut sim = Sim::new();
+        let spec = ClusterSpec {
+            compute_nodes: 2,
+            accelerators: if remote { 2 } else { 1 },
+            local_gpus: !remote,
+            mode: ExecMode::TimingOnly,
+            gpu: GpuParams::tesla_c1060(),
+            ..ClusterSpec::default()
+        };
+        let mut cluster = build_cluster(&sim, spec, registry());
+        let slabs = Slab::decompose(40, 20, 20, 1.0, 2);
+        let group: Vec<_> = cluster.cn_endpoints.iter().map(|e| e.rank()).collect();
+        let cfg = Mp2cConfig {
+            steps: 30,
+            ..Mp2cConfig::default()
+        };
+        let h = sim.handle();
+        let eps = std::mem::take(&mut cluster.cn_endpoints);
+        let n_local = 80_000;
+        for (i, ep) in eps.into_iter().enumerate() {
+            let device = if remote {
+                AcDevice::Remote(RemoteAccelerator::new(
+                    ep.clone(),
+                    cluster.daemon_rank(i),
+                    FrontendConfig::default(),
+                ))
+            } else {
+                AcProcess::local_device(cluster.local_gpus[i].clone())
+            };
+            let ctx = RankCtx {
+                index: i,
+                group: group.clone(),
+                ep,
+                device,
+                slab: slabs[i],
+            };
+            let h = h.clone();
+            sim.spawn("mp2c.rank", async move {
+                run_rank(&h, &ctx, &cfg, None, n_local).await.unwrap();
+                if let AcDevice::Remote(r) = &ctx.device {
+                    let _ = r.shutdown().await;
+                }
+            });
+        }
+        sim.run().time
+    };
+    let local = run(false);
+    let remote = run(true);
+    assert!(remote > local);
+    let penalty = (remote.as_secs_f64() - local.as_secs_f64()) / local.as_secs_f64();
+    assert!(
+        penalty < 0.10,
+        "remote penalty {penalty:.3} should be small (paper: ≤ 4%)"
+    );
+}

@@ -1,0 +1,604 @@
+//! A deterministic, single-threaded async executor driven by a virtual clock.
+//!
+//! Simulation "processes" (MPI ranks, accelerator daemons, the resource
+//! manager) are plain `async fn`s. Blocking operations — timers, channel
+//! receives, resource acquisition — are hand-written futures that park the
+//! task and register a wake-up, either immediately (ready queue) or at a
+//! future virtual time (the event calendar).
+//!
+//! Determinism: the run loop drains the ready queue in FIFO order, then pops
+//! the calendar entry with the smallest `(time, sequence)` key. Sequence
+//! numbers break ties in insertion order, so two runs of the same program
+//! with the same seeds produce identical event orderings.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task, unique within one [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A calendar entry: wake `waker` at `time`.
+struct CalEntry {
+    time: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for CalEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for CalEntry {}
+impl PartialOrd for CalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CalEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The ready queue, split out from [`SimCore`] so wakers (which must be
+/// `Send + Sync` by `std::task::Wake`'s signature) never reference the
+/// non-`Send` task futures. The engine itself is strictly single-threaded.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        let mut q = self.queue.lock();
+        // A task woken several times before being polled runs once.
+        if !q.contains(&id) {
+            q.push_back(id);
+        }
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+/// Shared mutable state of the simulation.
+///
+/// The engine is strictly single-threaded; the mutexes exist only to provide
+/// safe interior mutability behind `Arc` (they are never contended).
+pub(crate) struct SimCore {
+    now: Mutex<SimTime>,
+    seq: AtomicU64,
+    calendar: Mutex<BinaryHeap<Reverse<CalEntry>>>,
+    ready: Arc<ReadyQueue>,
+    /// Tasks not currently being polled. A task being polled is temporarily
+    /// removed so a re-entrant wake cannot alias it.
+    tasks: Mutex<HashMap<TaskId, BoxedFuture>>,
+    /// Tasks spawned while another task is being polled; drained by the loop.
+    newly_spawned: Mutex<Vec<(TaskId, BoxedFuture, &'static str)>>,
+    names: Mutex<HashMap<TaskId, &'static str>>,
+    next_task: AtomicU64,
+    events_processed: AtomicU64,
+}
+
+impl SimCore {
+    fn new() -> Self {
+        SimCore {
+            now: Mutex::new(SimTime::ZERO),
+            seq: AtomicU64::new(0),
+            calendar: Mutex::new(BinaryHeap::new()),
+            ready: Arc::new(ReadyQueue {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            tasks: Mutex::new(HashMap::new()),
+            newly_spawned: Mutex::new(Vec::new()),
+            names: Mutex::new(HashMap::new()),
+            next_task: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        *self.now.lock()
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register `waker` to fire at absolute time `at`.
+    pub(crate) fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        debug_assert!(at >= self.now(), "cannot schedule a wake in the past");
+        let seq = self.next_seq();
+        self.calendar.lock().push(Reverse(CalEntry {
+            time: at,
+            seq,
+            waker,
+        }));
+    }
+
+    fn enqueue_ready(&self, id: TaskId) {
+        self.ready.push(id);
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Virtual time when the run loop stopped.
+    pub time: SimTime,
+    /// Tasks still alive but blocked with no event that could ever wake them
+    /// (e.g. daemons parked on a channel whose senders are still live).
+    /// Zero means every task ran to completion.
+    pub pending_tasks: usize,
+    /// Total calendar + ready events processed (for engine benchmarks).
+    pub events: u64,
+}
+
+/// The discrete-event simulation: owns the run loop.
+pub struct Sim {
+    core: Arc<SimCore>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        Sim {
+            core: Arc::new(SimCore::new()),
+        }
+    }
+
+    /// A cheaply clonable handle for spawning tasks and creating timers.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Spawn a root task. See [`SimHandle::spawn`].
+    pub fn spawn<F>(&self, name: &'static str, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.handle().spawn(name, fut)
+    }
+
+    /// Run until no future event exists or `deadline` is reached.
+    ///
+    /// Returns the stop time and the number of still-blocked tasks. Tasks
+    /// blocked forever (e.g. server loops awaiting closed-over channels that
+    /// are never written again) are reported, not treated as errors: it is up
+    /// to the caller to decide whether that is expected.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            // Adopt tasks spawned since the last iteration.
+            self.adopt_spawned();
+
+            // Drain the ready queue at the current time, FIFO.
+            loop {
+                let next = self.core.ready.pop();
+                match next {
+                    Some(id) => {
+                        self.poll_task(id);
+                        self.adopt_spawned();
+                        self.core.events_processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+
+            // Advance to the next calendar event.
+            let entry = {
+                let mut cal = self.core.calendar.lock();
+                match cal.peek() {
+                    Some(Reverse(e)) if e.time <= deadline => cal.pop().map(|Reverse(e)| e),
+                    _ => None,
+                }
+            };
+            match entry {
+                Some(e) => {
+                    {
+                        let mut now = self.core.now.lock();
+                        debug_assert!(e.time >= *now, "calendar went backwards");
+                        *now = e.time;
+                    }
+                    self.core.events_processed.fetch_add(1, Ordering::Relaxed);
+                    e.waker.wake();
+                }
+                None => break,
+            }
+        }
+        // With no event left before the deadline, the clock still advances
+        // to it: "run for one second" means one second elapses.
+        if deadline != SimTime::MAX {
+            let mut now = self.core.now.lock();
+            if *now < deadline {
+                *now = deadline;
+            }
+        }
+        RunOutcome {
+            time: self.core.now(),
+            pending_tasks: self.core.tasks.lock().len(),
+            events: self.core.events_processed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run until the event calendar and ready queue are exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Names of tasks that are still blocked (diagnostics for stalls).
+    pub fn pending_task_names(&self) -> Vec<&'static str> {
+        let tasks = self.core.tasks.lock();
+        let names = self.core.names.lock();
+        let mut v: Vec<&'static str> = tasks
+            .keys()
+            .map(|id| names.get(id).copied().unwrap_or("<unnamed>"))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn adopt_spawned(&self) {
+        let spawned: Vec<_> = self.core.newly_spawned.lock().drain(..).collect();
+        for (id, fut, name) in spawned {
+            self.core.tasks.lock().insert(id, fut);
+            self.core.names.lock().insert(id, name);
+            self.core.enqueue_ready(id);
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Remove while polling so a re-entrant wake cannot alias the future.
+        let fut = self.core.tasks.lock().remove(&id);
+        let Some(mut fut) = fut else {
+            return; // already completed; spurious wake
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.core.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.core.names.lock().remove(&id);
+            }
+            Poll::Pending => {
+                self.core.tasks.lock().insert(id, fut);
+            }
+        }
+    }
+}
+
+/// Cheap handle onto a [`Sim`]: spawn tasks, read the clock, create timers.
+#[derive(Clone)]
+pub struct SimHandle {
+    core: Arc<SimCore>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed.load(Ordering::Relaxed)
+    }
+
+    /// Spawn a task. It starts running at the current virtual time, after
+    /// already-ready tasks. The returned [`JoinHandle`] can be awaited for
+    /// the task's output; dropping it detaches the task.
+    pub fn spawn<F>(&self, name: &'static str, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let id = TaskId(self.core.next_task.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Arc::clone(&state);
+        let wrapped: BoxedFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut s = state2.lock();
+            s.result = Some(out);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        self.core.newly_spawned.lock().push((id, wrapped, name));
+        JoinHandle { state, id }
+    }
+
+    /// Sleep for `dur` of virtual time.
+    pub fn delay(&self, dur: SimDuration) -> Timer {
+        Timer {
+            core: Arc::clone(&self.core),
+            deadline: self.core.now() + dur,
+            registered: false,
+        }
+    }
+
+    /// Sleep until the absolute virtual time `at` (no-op if already past).
+    pub fn delay_until(&self, at: SimTime) -> Timer {
+        Timer {
+            core: Arc::clone(&self.core),
+            deadline: at,
+            registered: false,
+        }
+    }
+
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Awaitable completion of a spawned task.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+    id: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawned task's id (diagnostics).
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True once the task has finished (its result not yet taken).
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().result.is_some()
+    }
+
+    /// Take the result if the task has finished (useful after `Sim::run`
+    /// from outside async context).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.lock().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.lock();
+        match s.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`SimHandle::delay`].
+pub struct Timer {
+    core: Arc<SimCore>,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Timer {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.core.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.core
+                .schedule_wake(self.deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        // If the task is polled again before the deadline (woken by something
+        // else), re-register with the fresh waker: wakers are one-shot.
+        else {
+            self.core
+                .schedule_wake(self.deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Yield once: reschedules the task at the current time, behind the ready
+/// queue. Useful to model "the CPU gets around to it" orderings in tests.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let mut sim = Sim::new();
+        let out = sim.run();
+        assert_eq!(out.time, SimTime::ZERO);
+        assert_eq!(out.pending_tasks, 0);
+    }
+
+    #[test]
+    fn timer_advances_clock() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let done = Rc::new(RefCell::new(None));
+        let done2 = Rc::clone(&done);
+        sim.spawn("t", async move {
+            h.delay(SimDuration::from_micros(10)).await;
+            *done2.borrow_mut() = Some(h.now());
+        });
+        let out = sim.run();
+        assert_eq!(
+            *done.borrow(),
+            Some(SimTime::ZERO + SimDuration::from_micros(10))
+        );
+        assert_eq!(out.pending_tasks, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_fifo_ties() {
+        let mut sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, us) in [(0u32, 30u64), (1, 10), (2, 20), (3, 10)] {
+            let h = sim.handle();
+            let order = Rc::clone(&order);
+            sim.spawn("t", async move {
+                h.delay(SimDuration::from_micros(us)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        // 10us ties resolve in spawn order: 1 before 3.
+        assert_eq!(*order.borrow(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let jh = sim.spawn("child", async move {
+            h.delay(SimDuration::from_micros(1)).await;
+            42u32
+        });
+        let h2 = sim.handle();
+        let result = Rc::new(RefCell::new(0));
+        let result2 = Rc::clone(&result);
+        sim.spawn("parent", async move {
+            let _ = &h2;
+            *result2.borrow_mut() = jh.await;
+        });
+        sim.run();
+        assert_eq!(*result.borrow(), 42);
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let flag = Rc::new(RefCell::new(false));
+        let flag2 = Rc::clone(&flag);
+        sim.spawn("outer", async move {
+            let inner_flag = Rc::clone(&flag2);
+            let hh = h.clone();
+            let jh = h.spawn("inner", async move {
+                hh.delay(SimDuration::from_micros(5)).await;
+                *inner_flag.borrow_mut() = true;
+            });
+            jh.await;
+        });
+        let out = sim.run();
+        assert!(*flag.borrow());
+        assert_eq!(out.time, SimTime::ZERO + SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn("late", async move {
+            h.delay(SimDuration::from_secs(100)).await;
+        });
+        let out = sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(out.time, SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(out.pending_tasks, 1);
+        assert_eq!(sim.pending_task_names(), vec!["late"]);
+    }
+
+    #[test]
+    fn yield_now_interleaves() {
+        let mut sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2 {
+            let order = Rc::clone(&order);
+            sim.spawn("y", async move {
+                order.borrow_mut().push((i, 0));
+                yield_now().await;
+                order.borrow_mut().push((i, 1));
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn determinism_same_program_same_event_count() {
+        fn run_once() -> (u64, SimTime) {
+            let mut sim = Sim::new();
+            for i in 0..50u64 {
+                let h = sim.handle();
+                sim.spawn("t", async move {
+                    h.delay(SimDuration::from_nanos(i * 7 % 13)).await;
+                    h.delay(SimDuration::from_nanos(i)).await;
+                });
+            }
+            let out = sim.run();
+            (out.events, out.time)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,180 @@
+//! Small future combinators for simulation code.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Run a set of futures concurrently and collect their outputs in order.
+///
+/// Unlike spawning, the futures may borrow from the caller's scope — used
+/// for per-device work inside the hybrid factorization drivers.
+pub fn join_all<F: Future>(futures: Vec<F>) -> JoinAll<F> {
+    let n = futures.len();
+    JoinAll {
+        futures: futures.into_iter().map(|f| Some(Box::pin(f))).collect(),
+        outputs: (0..n).map(|_| None).collect(),
+    }
+}
+
+/// Future returned by [`join_all`].
+pub struct JoinAll<F: Future> {
+    futures: Vec<Option<Pin<Box<F>>>>,
+    outputs: Vec<Option<F::Output>>,
+}
+
+impl<F: Future> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut all_done = true;
+        for (slot, out) in this.futures.iter_mut().zip(this.outputs.iter_mut()) {
+            if let Some(fut) = slot {
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(v) => {
+                        *out = Some(v);
+                        *slot = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(this.outputs.iter_mut().map(|o| o.take().unwrap()).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Run two futures concurrently, returning both outputs.
+pub async fn join2<A: Future, B: Future>(a: A, b: B) -> (A::Output, B::Output) {
+    let mut a = Box::pin(a);
+    let mut b = Box::pin(b);
+    let mut ra = None;
+    let mut rb = None;
+    std::future::poll_fn(|cx| {
+        if ra.is_none() {
+            if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                ra = Some(v);
+            }
+        }
+        if rb.is_none() {
+            if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                rb = Some(v);
+            }
+        }
+        if ra.is_some() && rb.is_some() {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await;
+    (ra.unwrap(), rb.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn join_all_runs_concurrently() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let end = Rc::new(RefCell::new(0u64));
+        {
+            let end = Rc::clone(&end);
+            let h2 = h.clone();
+            sim.spawn("t", async move {
+                let futs: Vec<_> = (1..=3u64)
+                    .map(|i| {
+                        let h = h2.clone();
+                        async move {
+                            h.delay(SimDuration::from_micros(i * 10)).await;
+                            i
+                        }
+                    })
+                    .collect();
+                let out = join_all(futs).await;
+                assert_eq!(out, vec![1, 2, 3]);
+                *end.borrow_mut() = h2.now().as_nanos();
+            });
+        }
+        sim.run();
+        // Concurrent: total time = max (30us), not sum (60us).
+        assert_eq!(*end.borrow(), 30_000);
+    }
+
+    #[test]
+    fn join_all_empty() {
+        let mut sim = Sim::new();
+        let done = Rc::new(RefCell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn("t", async move {
+            let out: Vec<u8> = join_all(Vec::<std::future::Ready<u8>>::new()).await;
+            assert!(out.is_empty());
+            *done2.borrow_mut() = true;
+        });
+        sim.run();
+        assert!(*done.borrow());
+    }
+
+    #[test]
+    fn join2_returns_both() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let got = Rc::new(RefCell::new((0u32, 0u64)));
+        {
+            let got = Rc::clone(&got);
+            sim.spawn("t", async move {
+                let a = {
+                    let h = h.clone();
+                    async move {
+                        h.delay(SimDuration::from_micros(5)).await;
+                        7u32
+                    }
+                };
+                let b = {
+                    let h = h.clone();
+                    async move {
+                        h.delay(SimDuration::from_micros(3)).await;
+                        9u64
+                    }
+                };
+                *got.borrow_mut() = join2(a, b).await;
+            });
+        }
+        let out = sim.run();
+        assert_eq!(*got.borrow(), (7, 9));
+        assert_eq!(out.time.as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn join_all_borrowing_futures() {
+        // The point of join_all over spawn: futures may borrow locals.
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn("t", async move {
+            let data = vec![1u64, 2, 3];
+            let futs: Vec<_> = data
+                .iter()
+                .map(|&x| {
+                    let h = h.clone();
+                    async move {
+                        h.delay(SimDuration::from_nanos(x)).await;
+                        x * 2
+                    }
+                })
+                .collect();
+            let out = join_all(futs).await;
+            assert_eq!(out, vec![2, 4, 6]);
+            drop(data);
+        });
+        let out = sim.run();
+        assert_eq!(out.pending_tasks, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Lightweight measurement helpers used by benchmarks and experiments.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Online mean/min/max/stddev accumulator (Welford).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 if fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A `(time, value)` series, e.g. queue depth or utilization over time.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a sample; times must be non-decreasing.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries: time went backwards");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Time-weighted average over the recorded span (step interpolation).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |&(_, v)| v);
+        }
+        let mut acc = 0.0;
+        let mut dur = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.since(w[0].0).as_secs_f64();
+            acc += w[0].1 * dt;
+            dur += dt;
+        }
+        if dur == 0.0 {
+            self.points[0].1
+        } else {
+            acc / dur
+        }
+    }
+}
+
+/// A stopwatch over virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: SimTime,
+}
+
+impl Stopwatch {
+    /// Start at `now`.
+    pub fn start_at(now: SimTime) -> Self {
+        Stopwatch { start: now }
+    }
+
+    /// Elapsed since start.
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138_089_935_299_395).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn time_weighted_mean_steps() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_nanos(0), 1.0);
+        ts.record(SimTime::from_nanos(10), 3.0);
+        ts.record(SimTime::from_nanos(30), 0.0);
+        // 1.0 for 10ns, 3.0 for 20ns => (10 + 60)/30
+        assert!((ts.time_weighted_mean() - 70.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_series_rejects_backwards() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_nanos(10), 1.0);
+        ts.record(SimTime::from_nanos(5), 1.0);
+    }
+
+    #[test]
+    fn stopwatch_elapsed() {
+        let sw = Stopwatch::start_at(SimTime::from_nanos(100));
+        assert_eq!(
+            sw.elapsed(SimTime::from_nanos(250)),
+            SimDuration::from_nanos(150)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Local `bandwidthTest` equivalent.
+//!
+//! The paper ports the CUDA SDK 3.2 `bandwidthTest` to its architecture
+//! (§V.A) and compares against node-local `cudaMemcpy` results for pinned
+//! and pageable host memory (Figures 7 and 8). This module produces the
+//! node-local curves.
+
+use dacc_fabric::payload::Payload;
+use dacc_sim::prelude::*;
+
+use crate::device::{HostMemKind, VirtualGpu};
+use crate::kernel::KernelRegistry;
+use crate::params::{ExecMode, GpuParams};
+
+/// Transfer direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// One bandwidth measurement point.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthPoint {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Measured transfer time.
+    pub time: SimDuration,
+    /// Effective bandwidth in MiB/s.
+    pub bandwidth_mib_s: f64,
+}
+
+/// Measure node-local copy bandwidth for each size.
+pub fn local_bandwidth_test(
+    params: GpuParams,
+    sizes: &[u64],
+    kind: HostMemKind,
+    dir: Direction,
+) -> Vec<BandwidthPoint> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let gpu = VirtualGpu::new(
+            &h,
+            "local",
+            params,
+            ExecMode::TimingOnly,
+            KernelRegistry::new(),
+        );
+        let result = sim.spawn("bwtest", {
+            let h = h.clone();
+            async move {
+                let ptr = gpu.alloc(bytes).await.unwrap();
+                let start = h.now();
+                match dir {
+                    Direction::H2D => {
+                        gpu.memcpy_h2d(&Payload::size_only(bytes), ptr, kind)
+                            .await
+                            .unwrap();
+                    }
+                    Direction::D2H => {
+                        gpu.memcpy_d2h(ptr, bytes, kind).await.unwrap();
+                    }
+                }
+                h.now().since(start)
+            }
+        });
+        sim.run();
+        let time = result.try_take().expect("bandwidth test did not finish");
+        out.push(BandwidthPoint {
+            bytes,
+            time,
+            bandwidth_mib_s: observed_bandwidth(bytes, time).mib_per_sec(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_h2d_peak_matches_paper() {
+        // Fig. 7: ~5700 MiB/s for 64 MiB pinned H2D.
+        let pts = local_bandwidth_test(
+            GpuParams::tesla_c1060(),
+            &[64 << 20],
+            HostMemKind::Pinned,
+            Direction::H2D,
+        );
+        let bw = pts[0].bandwidth_mib_s;
+        assert!((5600.0..=5800.0).contains(&bw), "{bw}");
+    }
+
+    #[test]
+    fn pageable_h2d_peak_matches_paper() {
+        // Fig. 7: ~4700 MiB/s for 64 MiB pageable H2D.
+        let pts = local_bandwidth_test(
+            GpuParams::tesla_c1060(),
+            &[64 << 20],
+            HostMemKind::Pageable,
+            Direction::H2D,
+        );
+        let bw = pts[0].bandwidth_mib_s;
+        assert!((4600.0..=4800.0).contains(&bw), "{bw}");
+    }
+
+    #[test]
+    fn curve_rises_with_size() {
+        let sizes: Vec<u64> = (0..9).map(|i| 1024u64 << (2 * i)).collect();
+        let pts = local_bandwidth_test(
+            GpuParams::tesla_c1060(),
+            &sizes,
+            HostMemKind::Pinned,
+            Direction::H2D,
+        );
+        for w in pts.windows(2) {
+            assert!(w[1].bandwidth_mib_s > w[0].bandwidth_mib_s);
+        }
+    }
+
+    #[test]
+    fn d2h_slightly_slower_than_h2d() {
+        let p = GpuParams::tesla_c1060();
+        let h2d = local_bandwidth_test(p, &[64 << 20], HostMemKind::Pinned, Direction::H2D);
+        let d2h = local_bandwidth_test(p, &[64 << 20], HostMemKind::Pinned, Direction::D2H);
+        assert!(d2h[0].bandwidth_mib_s < h2d[0].bandwidth_mib_s);
+    }
+}

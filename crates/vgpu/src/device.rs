@@ -1,0 +1,502 @@
+//! The virtual GPU device: memory, copy engine, compute engine.
+//!
+//! A device owns a [`DeviceMem`], a PCIe copy engine, and a compute engine —
+//! both FCFS servers, so copies serialize with copies, kernels with kernels,
+//! while copy/compute overlap (the C1060 has one copy engine and one compute
+//! engine). All operations charge virtual time from [`GpuParams`]; in
+//! functional mode they also move real bytes and execute kernel bodies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dacc_fabric::payload::Payload;
+use dacc_sim::prelude::*;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::kernel::{KernelArg, KernelError, KernelRegistry, LaunchConfig};
+use crate::memory::{DeviceMem, DevicePtr, MemError};
+use crate::params::{ExecMode, GpuParams, XferParams};
+
+/// Whether a host buffer is pinned (page-locked, DMA-capable) or pageable
+/// (transfers go through CPU programmed I/O).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostMemKind {
+    /// Page-locked host memory: GPU DMA engine path.
+    Pinned,
+    /// Ordinary pageable host memory: CPU PIO path.
+    Pageable,
+}
+
+/// Errors from device operations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GpuError {
+    /// Device memory error.
+    Mem(MemError),
+    /// Kernel error.
+    Kernel(KernelError),
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::Mem(e) => write!(f, "{e}"),
+            GpuError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for GpuError {}
+
+impl From<MemError> for GpuError {
+    fn from(e: MemError) -> Self {
+        GpuError::Mem(e)
+    }
+}
+impl From<KernelError> for GpuError {
+    fn from(e: KernelError) -> Self {
+        GpuError::Kernel(e)
+    }
+}
+
+/// Cumulative device activity counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GpuCounters {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Host→device bytes copied.
+    pub h2d_bytes: u64,
+    /// Device→host bytes copied.
+    pub d2h_bytes: u64,
+    /// Device→device bytes copied (within this device).
+    pub d2d_bytes: u64,
+}
+
+struct GpuInner {
+    name: &'static str,
+    params: GpuParams,
+    mem: Mutex<DeviceMem>,
+    compute: Server,
+    copy_engine: Server,
+    registry: KernelRegistry,
+    handle: SimHandle,
+    kernels: AtomicU64,
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+    d2d_bytes: AtomicU64,
+}
+
+/// A virtual CUDA-like GPU. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct VirtualGpu {
+    inner: Arc<GpuInner>,
+}
+
+impl VirtualGpu {
+    /// Create a device with the given parameters and kernel registry.
+    pub fn new(
+        handle: &SimHandle,
+        name: &'static str,
+        params: GpuParams,
+        mode: ExecMode,
+        registry: KernelRegistry,
+    ) -> Self {
+        VirtualGpu {
+            inner: Arc::new(GpuInner {
+                name,
+                params,
+                mem: Mutex::new(DeviceMem::new(params.memory_capacity, mode)),
+                compute: Server::new(handle, "gpu.compute"),
+                copy_engine: Server::new(handle, "gpu.copy"),
+                registry,
+                handle: handle.clone(),
+                kernels: AtomicU64::new(0),
+                h2d_bytes: AtomicU64::new(0),
+                d2h_bytes: AtomicU64::new(0),
+                d2d_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Device name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Hardware parameters.
+    pub fn params(&self) -> GpuParams {
+        self.inner.params
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.inner.mem.lock().mode()
+    }
+
+    /// Kernel registry.
+    pub fn registry(&self) -> &KernelRegistry {
+        &self.inner.registry
+    }
+
+    /// Direct access to device memory (tests, kernel verification).
+    pub fn mem(&self) -> MutexGuard<'_, DeviceMem> {
+        self.inner.mem.lock()
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> GpuCounters {
+        GpuCounters {
+            kernels: self.inner.kernels.load(Ordering::Relaxed),
+            h2d_bytes: self.inner.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.inner.d2h_bytes.load(Ordering::Relaxed),
+            d2d_bytes: self.inner.d2d_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compute-engine utilization statistics.
+    pub fn compute_stats(&self) -> dacc_sim::resource::ResourceStats {
+        self.inner.compute.stats()
+    }
+
+    /// Allocate device memory (charges the driver-call cost).
+    pub async fn alloc(&self, len: u64) -> Result<DevicePtr, GpuError> {
+        self.inner.handle.delay(self.inner.params.alloc_cost).await;
+        Ok(self.inner.mem.lock().alloc(len)?)
+    }
+
+    /// Free device memory (charges the driver-call cost).
+    pub async fn free(&self, ptr: DevicePtr) -> Result<(), GpuError> {
+        self.inner.handle.delay(self.inner.params.alloc_cost).await;
+        Ok(self.inner.mem.lock().free(ptr)?)
+    }
+
+    fn h2d_path(&self, kind: HostMemKind) -> XferParams {
+        match kind {
+            HostMemKind::Pinned => self.inner.params.h2d_pinned,
+            HostMemKind::Pageable => self.inner.params.h2d_pageable,
+        }
+    }
+
+    fn d2h_path(&self, kind: HostMemKind) -> XferParams {
+        match kind {
+            HostMemKind::Pinned => self.inner.params.d2h_pinned,
+            HostMemKind::Pageable => self.inner.params.d2h_pageable,
+        }
+    }
+
+    /// Copy a host payload to device memory at `dst`.
+    pub async fn memcpy_h2d(
+        &self,
+        src: &Payload,
+        dst: DevicePtr,
+        kind: HostMemKind,
+    ) -> Result<(), GpuError> {
+        // Validate before charging time, like the driver would.
+        self.inner.mem.lock().resolve(dst, src.len())?;
+        let path = self.h2d_path(kind);
+        self.inner.copy_engine.serve(path.time(src.len())).await;
+        self.inner.mem.lock().write_payload(dst, src)?;
+        self.inner.h2d_bytes.fetch_add(src.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Copy `len` device bytes at `src` back to the host.
+    pub async fn memcpy_d2h(
+        &self,
+        src: DevicePtr,
+        len: u64,
+        kind: HostMemKind,
+    ) -> Result<Payload, GpuError> {
+        self.inner.mem.lock().resolve(src, len)?;
+        let path = self.d2h_path(kind);
+        self.inner.copy_engine.serve(path.time(len)).await;
+        let payload = self.inner.mem.lock().read_payload(src, len)?;
+        self.inner.d2h_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(payload)
+    }
+
+    /// Set `len` device bytes at `dst` to `byte` (like `cuMemsetD8`).
+    pub async fn memset(&self, dst: DevicePtr, len: u64, byte: u8) -> Result<(), GpuError> {
+        self.inner.mem.lock().resolve(dst, len)?;
+        // Device-memory fill at GDDR write bandwidth.
+        let rate = Bandwidth::from_gib_per_sec(50.0);
+        self.inner
+            .copy_engine
+            .serve(SimDuration::from_micros(3) + rate.transfer_time(len))
+            .await;
+        let mut mem = self.inner.mem.lock();
+        if mem.mode() == crate::params::ExecMode::Functional {
+            mem.write_payload(dst, &Payload::from_vec(vec![byte; len as usize]))?;
+        }
+        Ok(())
+    }
+
+    /// Copy within this device (device-to-device over the memory bus).
+    pub async fn memcpy_d2d(
+        &self,
+        src: DevicePtr,
+        dst: DevicePtr,
+        len: u64,
+    ) -> Result<(), GpuError> {
+        {
+            let mem = self.inner.mem.lock();
+            mem.resolve(src, len)?;
+            mem.resolve(dst, len)?;
+        }
+        // On-device copies run at roughly device memory bandwidth; the
+        // C1060's GDDR3 moves ~70 GiB/s bidirectional, ~35 GiB/s effective.
+        let rate = Bandwidth::from_gib_per_sec(35.0);
+        self.inner
+            .copy_engine
+            .serve(SimDuration::from_micros(4) + rate.transfer_time(len))
+            .await;
+        self.inner.mem.lock().copy_within(src, dst, len)?;
+        self.inner.d2d_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Launch a registered kernel and wait for its completion.
+    ///
+    /// Charges launch overhead plus the kernel's modelled cost on the
+    /// compute engine; in functional mode also runs the kernel body.
+    pub async fn launch(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<(), GpuError> {
+        let def = self.inner.registry.get(name)?;
+        let cost = (def.cost)(&cfg, args, &self.inner.params);
+        let guard = self.inner.compute.acquire().await;
+        self.inner
+            .handle
+            .delay(self.inner.params.launch_overhead + cost)
+            .await;
+        let result = {
+            let mut mem = self.inner.mem.lock();
+            match mem.mode() {
+                ExecMode::Functional => (def.body)(&mut mem, &cfg, args),
+                ExecMode::TimingOnly => Ok(()),
+            }
+        };
+        drop(guard);
+        self.inner.kernels.fetch_add(1, Ordering::Relaxed);
+        result?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::register_builtin_kernels;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn gpu(sim: &Sim, params: GpuParams, mode: ExecMode) -> VirtualGpu {
+        let reg = KernelRegistry::new();
+        register_builtin_kernels(&reg);
+        VirtualGpu::new(&sim.handle(), "gpu0", params, mode, reg)
+    }
+
+    #[test]
+    fn h2d_then_d2h_roundtrip() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::Functional);
+        let out = sim.spawn("t", async move {
+            let p = g.alloc(100).await.unwrap();
+            g.memcpy_h2d(&Payload::from_vec(vec![5u8; 100]), p, HostMemKind::Pinned)
+                .await
+                .unwrap();
+            let back = g.memcpy_d2h(p, 100, HostMemKind::Pinned).await.unwrap();
+            g.free(p).await.unwrap();
+            back
+        });
+        sim.run();
+        assert_eq!(out.try_take().unwrap().expect_bytes().as_ref(), &[5u8; 100]);
+    }
+
+    #[test]
+    fn copy_charges_modeled_time() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::tesla_c1060(), ExecMode::TimingOnly);
+        let h = sim.handle();
+        let elapsed = Rc::new(RefCell::new(SimDuration::ZERO));
+        {
+            let elapsed = Rc::clone(&elapsed);
+            sim.spawn("t", async move {
+                let p = g.alloc(1 << 20).await.unwrap();
+                let start = h.now();
+                g.memcpy_h2d(&Payload::size_only(1 << 20), p, HostMemKind::Pinned)
+                    .await
+                    .unwrap();
+                *elapsed.borrow_mut() = h.now().since(start);
+            });
+        }
+        sim.run();
+        let expect = GpuParams::tesla_c1060().h2d_pinned.time(1 << 20);
+        assert_eq!(*elapsed.borrow(), expect);
+    }
+
+    #[test]
+    fn pageable_slower_than_pinned() {
+        let p = GpuParams::tesla_c1060();
+        let bytes = 16u64 << 20;
+        assert!(p.h2d_pageable.time(bytes) > p.h2d_pinned.time(bytes));
+    }
+
+    #[test]
+    fn kernel_launch_executes_body() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::Functional);
+        let g2 = g.clone();
+        sim.spawn("t", async move {
+            let p = g2.alloc(80).await.unwrap();
+            g2.launch(
+                "fill_f64",
+                LaunchConfig::linear(1, 10),
+                &[KernelArg::Ptr(p), KernelArg::U64(10), KernelArg::F64(3.5)],
+            )
+            .await
+            .unwrap();
+            assert_eq!(g2.mem().read_f64(p, 10).unwrap(), vec![3.5; 10]);
+        });
+        let out = sim.run();
+        assert_eq!(out.pending_tasks, 0);
+        assert_eq!(g.counters().kernels, 1);
+    }
+
+    #[test]
+    fn timing_only_skips_body_but_charges_time() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::tesla_c1060(), ExecMode::TimingOnly);
+        let h = sim.handle();
+        let elapsed = Rc::new(RefCell::new(SimDuration::ZERO));
+        {
+            let elapsed = Rc::clone(&elapsed);
+            sim.spawn("t", async move {
+                let p = g.alloc(8 * 1000).await.unwrap();
+                let start = h.now();
+                g.launch(
+                    "fill_f64",
+                    LaunchConfig::linear(1, 1),
+                    &[KernelArg::Ptr(p), KernelArg::U64(1000), KernelArg::F64(0.0)],
+                )
+                .await
+                .unwrap();
+                *elapsed.borrow_mut() = h.now().since(start);
+            });
+        }
+        sim.run();
+        // launch overhead (7us) + 1000 elems at 78/8 GFlop/s.
+        assert!(*elapsed.borrow() >= SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn unknown_kernel_errors() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::Functional);
+        let out = sim.spawn("t", async move {
+            g.launch("nope", LaunchConfig::default(), &[]).await
+        });
+        sim.run();
+        assert!(matches!(
+            out.try_take().unwrap(),
+            Err(GpuError::Kernel(KernelError::UnknownKernel(_)))
+        ));
+    }
+
+    #[test]
+    fn copies_serialize_on_copy_engine() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::TimingOnly);
+        let h = sim.handle();
+        let done = Rc::new(RefCell::new(Vec::new()));
+        // 1 MiB buffers... tiny device has 1 MiB total; use 64 KiB each.
+        let len = 64u64 << 10;
+        for i in 0..2 {
+            let g = g.clone();
+            let h = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn("copy", async move {
+                let p = g.alloc(len).await.unwrap();
+                g.memcpy_h2d(&Payload::size_only(len), p, HostMemKind::Pinned)
+                    .await
+                    .unwrap();
+                done.borrow_mut().push((i, h.now().as_nanos()));
+            });
+        }
+        sim.run();
+        let done = done.borrow();
+        // 64 KiB at 1 GiB/s = 61.035us each, strictly serialized.
+        assert_eq!(done[0].0, 0);
+        assert!(done[1].1 >= 2 * done[0].1, "copies overlapped: {done:?}");
+    }
+
+    #[test]
+    fn copy_and_compute_overlap() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::TimingOnly);
+        let h = sim.handle();
+        let t_end = Rc::new(RefCell::new(0u64));
+        {
+            let g = g.clone();
+            let t_end = Rc::clone(&t_end);
+            sim.spawn("both", async move {
+                let p = g.alloc(512 << 10).await.unwrap();
+                let n_elems = 50_000u64; // compute cost 50k/(1e9/8) = 400us
+                let copy_len = 400u64 << 10; // ~400us at 1 GiB/s
+                let g2 = g.clone();
+                let kernel = h.spawn("k", async move {
+                    g2.launch(
+                        "fill_f64",
+                        LaunchConfig::default(),
+                        &[KernelArg::Ptr(p), KernelArg::U64(n_elems), KernelArg::F64(0.0)],
+                    )
+                    .await
+                    .unwrap();
+                });
+                g.memcpy_h2d(&Payload::size_only(copy_len), p, HostMemKind::Pinned)
+                    .await
+                    .unwrap();
+                kernel.await;
+                *t_end.borrow_mut() = h.now().as_nanos();
+            });
+        }
+        sim.run();
+        // If serialized this would take ~800us; overlapped it is ~400us.
+        assert!(
+            *t_end.borrow() < 600_000,
+            "no copy/compute overlap: {}ns",
+            t_end.borrow()
+        );
+    }
+
+    #[test]
+    fn d2d_copy_moves_bytes() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::Functional);
+        let ok = sim.spawn("t", async move {
+            let a = g.alloc(64).await.unwrap();
+            let b = g.alloc(64).await.unwrap();
+            g.memcpy_h2d(&Payload::from_vec((0..64).collect()), a, HostMemKind::Pinned)
+                .await
+                .unwrap();
+            g.memcpy_d2d(a, b, 64).await.unwrap();
+            let back = g.memcpy_d2h(b, 64, HostMemKind::Pinned).await.unwrap();
+            back.expect_bytes().as_ref() == (0..64).collect::<Vec<u8>>().as_slice()
+        });
+        sim.run();
+        assert!(ok.try_take().unwrap());
+    }
+
+    #[test]
+    fn oom_surfaces_as_error() {
+        let mut sim = Sim::new();
+        let g = gpu(&sim, GpuParams::test_tiny(), ExecMode::Functional);
+        let out = sim.spawn("t", async move { g.alloc(2 << 20).await });
+        sim.run();
+        assert!(matches!(
+            out.try_take().unwrap(),
+            Err(GpuError::Mem(MemError::OutOfMemory { .. }))
+        ));
+    }
+}

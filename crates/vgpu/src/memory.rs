@@ -1,0 +1,435 @@
+//! Device memory: a first-fit allocator over a virtual address space, with
+//! optional real backing storage.
+//!
+//! Pointers are plain addresses, so pointer arithmetic works exactly as with
+//! CUDA device pointers (`ptr + offset` addresses into an allocation) — the
+//! linear-algebra routines rely on sub-matrix pointers.
+
+use std::collections::BTreeMap;
+
+use dacc_fabric::payload::Payload;
+
+use crate::params::ExecMode;
+
+/// Allocation alignment (matches CUDA's 256-byte guarantee).
+pub const ALIGN: u64 = 256;
+
+/// A device pointer: an address in one device's virtual address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// Pointer `bytes` past this one (must stay inside the allocation to be
+    /// usable).
+    pub fn offset(self, bytes: u64) -> DevicePtr {
+        DevicePtr(self.0 + bytes)
+    }
+}
+
+/// Errors from device memory operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// Not enough contiguous free device memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free (possibly fragmented).
+        free: u64,
+    },
+    /// The pointer does not fall inside any live allocation.
+    InvalidPointer(DevicePtr),
+    /// The access runs past the end of its allocation.
+    OutOfBounds {
+        /// Accessed pointer.
+        ptr: DevicePtr,
+        /// Access length.
+        len: u64,
+    },
+    /// `free` was called with a pointer that is not an allocation base.
+    NotABase(DevicePtr),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested}, free {free}")
+            }
+            MemError::InvalidPointer(p) => write!(f, "invalid device pointer {p:?}"),
+            MemError::OutOfBounds { ptr, len } => {
+                write!(f, "device access out of bounds: {ptr:?} + {len}")
+            }
+            MemError::NotABase(p) => write!(f, "free of non-base pointer {p:?}"),
+        }
+    }
+}
+impl std::error::Error for MemError {}
+
+struct Allocation {
+    len: u64,
+    data: Option<Vec<u8>>,
+}
+
+/// One device's memory: allocator plus (in functional mode) backing bytes.
+pub struct DeviceMem {
+    capacity: u64,
+    mode: ExecMode,
+    /// Free ranges `(addr, len)`, sorted by address, coalesced.
+    free: Vec<(u64, u64)>,
+    /// Live allocations keyed by base address.
+    allocs: BTreeMap<u64, Allocation>,
+    used: u64,
+}
+
+impl DeviceMem {
+    /// Fresh device memory. Addresses start at `ALIGN` (0 is the null page).
+    pub fn new(capacity: u64, mode: ExecMode) -> Self {
+        assert!(capacity > ALIGN, "capacity too small");
+        DeviceMem {
+            capacity,
+            mode,
+            free: vec![(ALIGN, capacity - ALIGN)],
+            allocs: BTreeMap::new(),
+            used: 0,
+        }
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free (possibly fragmented).
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Allocate `len` bytes (first fit, 256-byte aligned).
+    pub fn alloc(&mut self, len: u64) -> Result<DevicePtr, MemError> {
+        let want = len.max(1).next_multiple_of(ALIGN);
+        let slot = self.free.iter().position(|&(_, flen)| flen >= want);
+        let Some(i) = slot else {
+            return Err(MemError::OutOfMemory {
+                requested: len,
+                free: self.free_bytes(),
+            });
+        };
+        let (addr, flen) = self.free[i];
+        if flen == want {
+            self.free.remove(i);
+        } else {
+            self.free[i] = (addr + want, flen - want);
+        }
+        let data = match self.mode {
+            ExecMode::Functional => Some(vec![0u8; len as usize]),
+            ExecMode::TimingOnly => None,
+        };
+        self.allocs.insert(addr, Allocation { len, data });
+        self.used += want;
+        Ok(DevicePtr(addr))
+    }
+
+    /// Free an allocation by its base pointer.
+    pub fn free(&mut self, ptr: DevicePtr) -> Result<(), MemError> {
+        let Some(alloc) = self.allocs.remove(&ptr.0) else {
+            // Distinguish interior pointers from unknown ones for a better
+            // diagnostic.
+            return if self.resolve(ptr, 0).is_ok() {
+                Err(MemError::NotABase(ptr))
+            } else {
+                Err(MemError::InvalidPointer(ptr))
+            };
+        };
+        let want = alloc.len.max(1).next_multiple_of(ALIGN);
+        self.used -= want;
+        // Insert into the free list, coalescing neighbours.
+        let pos = self.free.partition_point(|&(a, _)| a < ptr.0);
+        self.free.insert(pos, (ptr.0, want));
+        self.coalesce_around(pos);
+        Ok(())
+    }
+
+    fn coalesce_around(&mut self, pos: usize) {
+        // Merge with successor first (indices stay valid), then predecessor.
+        if pos + 1 < self.free.len() {
+            let (a, l) = self.free[pos];
+            let (na, nl) = self.free[pos + 1];
+            if a + l == na {
+                self.free[pos] = (a, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (pa, pl) = self.free[pos - 1];
+            let (a, l) = self.free[pos];
+            if pa + pl == a {
+                self.free[pos - 1] = (pa, pl + l);
+                self.free.remove(pos);
+            }
+        }
+    }
+
+    /// Find the allocation containing `[ptr, ptr+len)`; returns
+    /// `(base, offset)`.
+    pub fn resolve(&self, ptr: DevicePtr, len: u64) -> Result<(u64, u64), MemError> {
+        let (base, alloc) = self
+            .allocs
+            .range(..=ptr.0)
+            .next_back()
+            .ok_or(MemError::InvalidPointer(ptr))?;
+        let offset = ptr.0 - base;
+        if offset >= alloc.len && !(offset == alloc.len && len == 0) {
+            return Err(MemError::InvalidPointer(ptr));
+        }
+        if offset + len > alloc.len {
+            return Err(MemError::OutOfBounds { ptr, len });
+        }
+        Ok((*base, offset))
+    }
+
+    /// Write payload bytes at `ptr`. In timing-only mode this is a bounds
+    /// check; size-only payloads in functional mode are also only
+    /// bounds-checked (they carry no data to write).
+    pub fn write_payload(&mut self, ptr: DevicePtr, payload: &Payload) -> Result<(), MemError> {
+        let (base, offset) = self.resolve(ptr, payload.len())?;
+        if let (Some(bytes), Some(data)) = (
+            payload.bytes(),
+            self.allocs.get_mut(&base).and_then(|a| a.data.as_mut()),
+        ) {
+            data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `ptr` as a payload (size-only in timing mode).
+    pub fn read_payload(&self, ptr: DevicePtr, len: u64) -> Result<Payload, MemError> {
+        let (base, offset) = self.resolve(ptr, len)?;
+        match self.allocs[&base].data.as_ref() {
+            Some(data) => Ok(Payload::from_vec(
+                data[offset as usize..(offset + len) as usize].to_vec(),
+            )),
+            None => Ok(Payload::size_only(len)),
+        }
+    }
+
+    /// Copy `len` bytes device-to-device (within this device).
+    pub fn copy_within(
+        &mut self,
+        src: DevicePtr,
+        dst: DevicePtr,
+        len: u64,
+    ) -> Result<(), MemError> {
+        let payload = self.read_payload(src, len)?;
+        self.write_payload(dst, &payload)
+    }
+
+    /// Read `count` little-endian `f64`s starting at `ptr`.
+    ///
+    /// Panics in timing-only mode — numeric access requires functional mode.
+    pub fn read_f64(&self, ptr: DevicePtr, count: usize) -> Result<Vec<f64>, MemError> {
+        let (base, offset) = self.resolve(ptr, (count * 8) as u64)?;
+        let data = self.allocs[&base]
+            .data
+            .as_ref()
+            .expect("read_f64 requires functional mode");
+        let start = offset as usize;
+        Ok(data[start..start + count * 8]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Write `f64`s at `ptr` (little-endian).
+    ///
+    /// Panics in timing-only mode — numeric access requires functional mode.
+    pub fn write_f64(&mut self, ptr: DevicePtr, values: &[f64]) -> Result<(), MemError> {
+        let (base, offset) = self.resolve(ptr, (values.len() * 8) as u64)?;
+        let data = self
+            .allocs
+            .get_mut(&base)
+            .unwrap()
+            .data
+            .as_mut()
+            .expect("write_f64 requires functional mode");
+        let start = offset as usize;
+        for (i, v) in values.iter().enumerate() {
+            data[start + i * 8..start + (i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DeviceMem {
+        DeviceMem::new(1 << 20, ExecMode::Functional)
+    }
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut m = mem();
+        let p = m.alloc(100).unwrap();
+        m.write_payload(p, &Payload::from_vec(vec![7u8; 100])).unwrap();
+        let back = m.read_payload(p, 100).unwrap();
+        assert_eq!(back.expect_bytes().as_ref(), &[7u8; 100]);
+    }
+
+    #[test]
+    fn fresh_allocation_is_zeroed() {
+        let mut m = mem();
+        let p = m.alloc(64).unwrap();
+        assert_eq!(m.read_payload(p, 64).unwrap().expect_bytes().as_ref(), &[0u8; 64]);
+    }
+
+    #[test]
+    fn interior_pointer_resolves() {
+        let mut m = mem();
+        let p = m.alloc(1000).unwrap();
+        m.write_payload(p.offset(500), &Payload::from_vec(vec![9u8; 10]))
+            .unwrap();
+        let back = m.read_payload(p.offset(500), 10).unwrap();
+        assert_eq!(back.expect_bytes().as_ref(), &[9u8; 10]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = mem();
+        let p = m.alloc(100).unwrap();
+        assert!(matches!(
+            m.read_payload(p, 101),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.write_payload(p.offset(50), &Payload::from_vec(vec![0; 51])),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut m = DeviceMem::new(4096, ExecMode::Functional);
+        match m.alloc(1 << 20) {
+            Err(MemError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 1 << 20);
+                assert_eq!(free, 4096 - ALIGN);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_reuses_space() {
+        let mut m = DeviceMem::new(ALIGN + 3 * ALIGN, ExecMode::Functional);
+        let a = m.alloc(ALIGN).unwrap();
+        let _b = m.alloc(ALIGN).unwrap();
+        let _c = m.alloc(ALIGN).unwrap();
+        assert!(m.alloc(1).is_err());
+        m.free(a).unwrap();
+        let d = m.alloc(ALIGN).unwrap();
+        assert_eq!(d, a, "first-fit should reuse the freed slot");
+    }
+
+    #[test]
+    fn free_coalesces_neighbours() {
+        let mut m = mem();
+        let a = m.alloc(ALIGN).unwrap();
+        let b = m.alloc(ALIGN).unwrap();
+        let c = m.alloc(ALIGN).unwrap();
+        let free_before = m.free_bytes();
+        m.free(a).unwrap();
+        m.free(c).unwrap();
+        m.free(b).unwrap();
+        assert_eq!(m.free_bytes(), free_before + 3 * ALIGN);
+        // After coalescing everything, a capacity-filling alloc succeeds.
+        let big = m.free_bytes();
+        assert!(m.alloc(big).is_ok());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut m = mem();
+        let p = m.alloc(10).unwrap();
+        m.free(p).unwrap();
+        assert!(matches!(m.free(p), Err(MemError::InvalidPointer(_))));
+    }
+
+    #[test]
+    fn free_of_interior_pointer_rejected() {
+        let mut m = mem();
+        let p = m.alloc(1000).unwrap();
+        assert_eq!(m.free(p.offset(8)), Err(MemError::NotABase(p.offset(8))));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = mem();
+        let p = m.alloc(80).unwrap();
+        let vals: Vec<f64> = (0..10).map(|i| i as f64 * 1.5).collect();
+        m.write_f64(p, &vals).unwrap();
+        assert_eq!(m.read_f64(p, 10).unwrap(), vals);
+        // Offset access (element 4 onwards).
+        assert_eq!(m.read_f64(p.offset(32), 3).unwrap(), vec![6.0, 7.5, 9.0]);
+    }
+
+    #[test]
+    fn timing_only_checks_bounds_without_data() {
+        let mut m = DeviceMem::new(1 << 20, ExecMode::TimingOnly);
+        let p = m.alloc(1 << 10).unwrap();
+        m.write_payload(p, &Payload::size_only(1 << 10)).unwrap();
+        let r = m.read_payload(p, 512).unwrap();
+        assert_eq!(r, Payload::size_only(512));
+        assert!(m.write_payload(p, &Payload::size_only(2 << 10)).is_err());
+    }
+
+    #[test]
+    fn copy_within_moves_bytes() {
+        let mut m = mem();
+        let a = m.alloc(16).unwrap();
+        let b = m.alloc(16).unwrap();
+        m.write_payload(a, &Payload::from_vec((0..16).collect())).unwrap();
+        m.copy_within(a, b, 16).unwrap();
+        assert_eq!(
+            m.read_payload(b, 16).unwrap().expect_bytes().as_ref(),
+            (0..16).collect::<Vec<u8>>().as_slice()
+        );
+    }
+}
+
+#[cfg(test)]
+mod alignment_tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_256_byte_aligned() {
+        let mut m = DeviceMem::new(1 << 20, ExecMode::Functional);
+        for len in [1u64, 7, 255, 256, 257, 4096, 100_000] {
+            let p = m.alloc(len).unwrap();
+            assert_eq!(p.0 % ALIGN, 0, "len {len} gave unaligned {p:?}");
+        }
+    }
+
+    #[test]
+    fn null_page_never_allocated() {
+        let mut m = DeviceMem::new(1 << 16, ExecMode::Functional);
+        let p = m.alloc(1).unwrap();
+        assert!(p.0 >= ALIGN, "allocation landed in the null page");
+        assert!(m.resolve(DevicePtr(0), 1).is_err());
+    }
+}

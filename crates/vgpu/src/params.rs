@@ -1,0 +1,191 @@
+//! GPU hardware parameters and calibration presets.
+
+use dacc_sim::prelude::*;
+
+/// How a device executes work.
+///
+/// Both modes run the *same* protocol and scheduling code; they differ only
+/// in whether payload bytes exist.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Allocations are backed by real memory; kernels compute real results.
+    Functional,
+    /// Allocations track sizes only; kernel bodies are skipped (their cost
+    /// model still charges virtual time). Used for paper-scale experiments.
+    TimingOnly,
+}
+
+/// Parameters of one host↔device transfer path.
+#[derive(Clone, Copy, Debug)]
+pub struct XferParams {
+    /// Fixed per-transfer setup cost (DMA descriptor, driver entry).
+    pub setup: SimDuration,
+    /// Sustained transfer rate.
+    pub rate: Bandwidth,
+}
+
+impl XferParams {
+    /// Total time to move `bytes` over this path.
+    pub fn time(&self, bytes: u64) -> SimDuration {
+        self.setup + self.rate.transfer_time(bytes)
+    }
+}
+
+/// Hardware parameters of a virtual GPU.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuParams {
+    /// Device memory capacity in bytes.
+    pub memory_capacity: u64,
+    /// Host→device via pinned memory (GPU DMA engine).
+    pub h2d_pinned: XferParams,
+    /// Device→host via pinned memory (GPU DMA engine).
+    pub d2h_pinned: XferParams,
+    /// Host→device via pageable memory (CPU programmed I/O).
+    pub h2d_pageable: XferParams,
+    /// Device→host via pageable memory (CPU programmed I/O).
+    pub d2h_pageable: XferParams,
+    /// Kernel launch overhead (driver + hardware dispatch).
+    pub launch_overhead: SimDuration,
+    /// Cost of a device allocation / free (driver call).
+    pub alloc_cost: SimDuration,
+    /// Peak double-precision rate, used by kernel cost models.
+    pub fp64_peak_flops: f64,
+    /// Host memcpy rate for staging copies when GPUDirect is unavailable.
+    pub staging_rate: Bandwidth,
+}
+
+impl GpuParams {
+    /// NVIDIA Tesla C1060 on PCIe 2.0 x16 — the paper's device (§V).
+    ///
+    /// Calibration targets from Figures 7 and 8: pinned ≈ 5700 MiB/s (H2D
+    /// DMA), pageable ≈ 4700 MiB/s (H2D PIO), D2H slightly lower; 78 GFlop/s
+    /// fp64 peak.
+    pub fn tesla_c1060() -> Self {
+        GpuParams {
+            memory_capacity: 4 << 30,
+            h2d_pinned: XferParams {
+                setup: SimDuration::from_micros(12),
+                rate: Bandwidth::from_mib_per_sec(5710.0),
+            },
+            d2h_pinned: XferParams {
+                setup: SimDuration::from_micros(12),
+                rate: Bandwidth::from_mib_per_sec(5520.0),
+            },
+            h2d_pageable: XferParams {
+                setup: SimDuration::from_micros(15),
+                rate: Bandwidth::from_mib_per_sec(4710.0),
+            },
+            d2h_pageable: XferParams {
+                setup: SimDuration::from_micros(15),
+                rate: Bandwidth::from_mib_per_sec(4450.0),
+            },
+            launch_overhead: SimDuration::from_micros(7),
+            alloc_cost: SimDuration::from_micros(10),
+            fp64_peak_flops: 78.0e9,
+            staging_rate: Bandwidth::from_gib_per_sec(5.0),
+        }
+    }
+
+    /// Intel Xeon Phi (Knights Corner) — the "emerging Many Integrated
+    /// Core architecture" the paper's outlook (§VI) names as the next
+    /// accelerator its generic software stack would support. Same PCIe 2.0
+    /// transfer generation as the C1060, ~1 TFlop/s fp64 peak, 8 GiB GDDR5.
+    pub fn xeon_phi_knc() -> Self {
+        GpuParams {
+            memory_capacity: 8 << 30,
+            h2d_pinned: XferParams {
+                setup: SimDuration::from_micros(10),
+                rate: Bandwidth::from_mib_per_sec(6000.0),
+            },
+            d2h_pinned: XferParams {
+                setup: SimDuration::from_micros(10),
+                rate: Bandwidth::from_mib_per_sec(5800.0),
+            },
+            h2d_pageable: XferParams {
+                setup: SimDuration::from_micros(15),
+                rate: Bandwidth::from_mib_per_sec(4800.0),
+            },
+            d2h_pageable: XferParams {
+                setup: SimDuration::from_micros(15),
+                rate: Bandwidth::from_mib_per_sec(4600.0),
+            },
+            launch_overhead: SimDuration::from_micros(12),
+            alloc_cost: SimDuration::from_micros(10),
+            fp64_peak_flops: 1.0e12,
+            staging_rate: Bandwidth::from_gib_per_sec(5.0),
+        }
+    }
+
+    /// A tiny, fast device for unit tests (small memory so out-of-memory
+    /// paths are easy to exercise; zero overheads so timings are trivial).
+    pub fn test_tiny() -> Self {
+        GpuParams {
+            memory_capacity: 1 << 20,
+            h2d_pinned: XferParams {
+                setup: SimDuration::ZERO,
+                rate: Bandwidth::from_gib_per_sec(1.0),
+            },
+            d2h_pinned: XferParams {
+                setup: SimDuration::ZERO,
+                rate: Bandwidth::from_gib_per_sec(1.0),
+            },
+            h2d_pageable: XferParams {
+                setup: SimDuration::ZERO,
+                rate: Bandwidth::from_gib_per_sec(1.0),
+            },
+            d2h_pageable: XferParams {
+                setup: SimDuration::ZERO,
+                rate: Bandwidth::from_gib_per_sec(1.0),
+            },
+            launch_overhead: SimDuration::ZERO,
+            alloc_cost: SimDuration::ZERO,
+            fp64_peak_flops: 1.0e9,
+            staging_rate: Bandwidth::from_gib_per_sec(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1060_pinned_h2d_peak_near_5700() {
+        let p = GpuParams::tesla_c1060();
+        let bytes = 64u64 << 20;
+        let t = p.h2d_pinned.time(bytes);
+        let bw = observed_bandwidth(bytes, t).mib_per_sec();
+        assert!((5650.0..=5750.0).contains(&bw), "H2D pinned {bw} MiB/s");
+    }
+
+    #[test]
+    fn c1060_pageable_h2d_peak_near_4700() {
+        let p = GpuParams::tesla_c1060();
+        let bytes = 64u64 << 20;
+        let bw = observed_bandwidth(bytes, p.h2d_pageable.time(bytes)).mib_per_sec();
+        assert!((4650.0..=4750.0).contains(&bw), "H2D pageable {bw} MiB/s");
+    }
+
+    #[test]
+    fn mic_preset_is_faster_but_same_transfer_generation() {
+        // §VI: the MIC slots into the same architecture — only the device
+        // model changes.
+        let mic = GpuParams::xeon_phi_knc();
+        let c1060 = GpuParams::tesla_c1060();
+        assert!(mic.fp64_peak_flops > 10.0 * c1060.fp64_peak_flops);
+        let bytes = 64u64 << 20;
+        let r_mic = observed_bandwidth(bytes, mic.h2d_pinned.time(bytes)).mib_per_sec();
+        let r_gpu = observed_bandwidth(bytes, c1060.h2d_pinned.time(bytes)).mib_per_sec();
+        assert!((r_mic / r_gpu - 1.0).abs() < 0.15, "same PCIe generation");
+    }
+
+    #[test]
+    fn setup_dominates_small_transfers() {
+        let p = GpuParams::tesla_c1060();
+        let t_small = p.h2d_pinned.time(1024);
+        // 1 KiB at full rate would take ~0.17us; setup is 8us.
+        assert!(t_small >= SimDuration::from_micros(8));
+        let bw = observed_bandwidth(1024, t_small).mib_per_sec();
+        assert!(bw < 200.0, "small-transfer bandwidth should collapse: {bw}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Batch operation (§V.B): users submit job scripts requesting compute
+//! nodes plus accelerators per node; the scheduler starts each job when
+//! both are available, the middleware runs the work, and everything is
+//! released at job end. Backfilling keeps the pool busy.
+//!
+//! Run with: `cargo run -p dacc-examples --bin batch_cluster`
+
+use dacc_arm::batch::{BatchPolicy, BatchRequest, BatchScheduler};
+use dacc_arm::state::{inventory, JobId, Pool};
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{register_builtin_kernels, KernelArg, KernelRegistry, LaunchConfig};
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+fn main() {
+    let mut sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    let spec = ClusterSpec {
+        compute_nodes: 2,
+        accelerators: 3,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let cluster = build_cluster(&sim, spec, registry);
+    let h = sim.handle();
+
+    // The batch system owns its own view of the pool (it is the sole
+    // allocator in this deployment; the ARM server handles the dynamic
+    // path, exercised in the `dynamic_allocation` example).
+    let daemon_ranks: Vec<_> = (0..3).map(|i| cluster.daemon_rank(i)).collect();
+    let nodes: Vec<_> = (0..3).map(|i| cluster.ac_node(i)).collect();
+    let pool = Pool::new(inventory(&nodes, &daemon_ranks));
+    let mut scheduler = BatchScheduler::new(2, BatchPolicy::Backfill);
+
+    // The job scripts: (compute nodes, accelerators per node, kernel size).
+    let scripts = [(1u32, 2u32, 400_000u64), (2, 1, 250_000), (1, 1, 150_000), (1, 0, 0)];
+    for (i, &(cns, apn, _)) in scripts.iter().enumerate() {
+        scheduler.submit(BatchRequest {
+            job: JobId(i as u64),
+            compute_nodes: cns,
+            accels_per_node: apn,
+        });
+    }
+    println!("submitted {} job scripts; policy = backfill\n", scripts.len());
+
+    // Drive the scheduler: start whatever fits, run started jobs as tasks,
+    // recycle resources as they finish.
+    let (done_tx, done_rx) = channel::<JobId>();
+    let fabric = cluster.fabric.clone();
+    let cn_nodes: Vec<_> = (0..2).map(|i| cluster.cn_node(i)).collect();
+    let h2 = h.clone();
+    sim.spawn("batch-system", async move {
+        let mut pool = pool;
+        let mut remaining = scripts.len();
+        loop {
+            for started in scheduler.try_start(&mut pool) {
+                let job = started.request.job;
+                let n = scripts[job.0 as usize].2;
+                println!(
+                    "[{}] job{} starts: {} CN(s), {} accel(s)",
+                    h2.now(),
+                    job.0,
+                    started.request.compute_nodes,
+                    started.grants.len()
+                );
+                // One process per granted compute node; each drives its
+                // share of the accelerators.
+                let ep = fabric.add_endpoint(cn_nodes[job.0 as usize % 2]);
+                let grants = started.grants.clone();
+                let done = done_tx.clone();
+                let h3 = h2.clone();
+                h2.spawn("job", async move {
+                    for g in &grants {
+                        let ac = RemoteAccelerator::new(
+                            ep.clone(),
+                            g.daemon_rank,
+                            FrontendConfig::default(),
+                        );
+                        if n > 0 {
+                            let buf = ac.mem_alloc(n * 8).await.unwrap();
+                            ac.launch(
+                                "fill_f64",
+                                LaunchConfig::linear(64, 256),
+                                &[KernelArg::Ptr(buf), KernelArg::U64(n), KernelArg::F64(1.0)],
+                            )
+                            .await
+                            .unwrap();
+                            ac.mem_free(buf).await.unwrap();
+                        }
+                    }
+                    // CPU-only jobs still burn some node time.
+                    h3.delay(SimDuration::from_millis(2)).await;
+                    let _ = done.send(job);
+                });
+            }
+            if remaining == 0 {
+                break;
+            }
+            match done_rx.recv().await {
+                Ok(job) => {
+                    println!("[{}] job{} finished", h2.now(), job.0);
+                    scheduler.finish(job, &mut pool);
+                    remaining -= 1;
+                }
+                Err(_) => break,
+            }
+        }
+        println!(
+            "\nall jobs done at {}; pool free again: {}",
+            h2.now(),
+            pool.free_count()
+        );
+    });
+    sim.run();
+}

@@ -1,0 +1,85 @@
+//! The paper's headline scenario (§V.B): a single compute node factorizing
+//! a matrix with one, two, or three network-attached GPUs — speedup without
+//! any cross-node MPI parallelism — verified functionally at a small size,
+//! then timed at paper scale.
+//!
+//! Run with: `cargo run -p dacc-examples --bin multi_gpu_factorization --release`
+
+use dacc_arm::state::JobId;
+use dacc_linalg::gpu::{register_linalg_kernels, register_staging_kernels};
+use dacc_linalg::hybrid::{dgeqrf_hybrid, HybridConfig};
+use dacc_linalg::lapack::qr_residuals;
+use dacc_linalg::matrix::{HostMatrix, Matrix};
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+fn registry() -> KernelRegistry {
+    let reg = KernelRegistry::new();
+    register_linalg_kernels(&reg);
+    register_staging_kernels(&reg);
+    reg
+}
+
+fn run(n: usize, gpus: u32, mode: ExecMode) -> (SimDuration, f64) {
+    let mut sim = Sim::new();
+    let spec = ClusterSpec {
+        compute_nodes: 1,
+        accelerators: gpus as usize,
+        mode,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry());
+    let ep = cluster.cn_endpoints.remove(0);
+    let arm_rank = cluster.arm_rank;
+    let h = sim.handle();
+    let out = sim.spawn("qr", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), FrontendConfig::default());
+        let accels = proc.acquire(gpus).await.expect("not enough accelerators");
+        let devices = AcProcess::as_devices(&accels);
+        let mut host = match mode {
+            ExecMode::Functional => {
+                HostMatrix::Real(Matrix::random(n, n, &mut SimRng::new(3)))
+            }
+            ExecMode::TimingOnly => HostMatrix::Shape { rows: n, cols: n },
+        };
+        let cfg = HybridConfig {
+            nb: if n <= 256 { 32 } else { 128 },
+            ..HybridConfig::default()
+        };
+        let report = dgeqrf_hybrid(&h, &devices, &mut host, &cfg).await.unwrap();
+        // Verify numerics in functional mode.
+        if let HostMatrix::Real(f) = &host {
+            let a = Matrix::random(n, n, &mut SimRng::new(3));
+            let (resid, orth) = qr_residuals(&a, f, &report.tau);
+            assert!(resid < 1e-8 && orth < 1e-10, "QR verification failed");
+            println!("  functional check: ||A-QR|| rel {resid:.2e}, ||QtQ-I|| {orth:.2e}");
+        }
+        proc.finish().await;
+        for a in &accels {
+            let _ = a.shutdown().await;
+        }
+        (report.elapsed, report.gflops)
+    });
+    sim.run();
+    out.try_take().expect("run did not finish")
+}
+
+fn main() {
+    println!("Functional verification (N=96, 3 network-attached GPUs):");
+    let (t, g) = run(96, 3, ExecMode::Functional);
+    println!("  elapsed {t}, {g:.1} GFlop/s\n");
+
+    println!("Paper-scale timing (N=10240), one compute node:");
+    let (t1, g1) = run(10240, 1, ExecMode::TimingOnly);
+    println!("  1 network GPU : {t1} ({g1:.1} GFlop/s)");
+    let (t3, g3) = run(10240, 3, ExecMode::TimingOnly);
+    println!("  3 network GPUs: {t3} ({g3:.1} GFlop/s)");
+    println!(
+        "  speedup {:.2}x without any cross-node MPI parallelism — the\n  \
+         flexibility argument of §V.B (paper reports ~2.2x vs one local GPU)",
+        g3 / g1
+    );
+}

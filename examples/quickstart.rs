@@ -1,0 +1,88 @@
+//! Quickstart: stand up a dynamic accelerator cluster, allocate a remote
+//! accelerator through the ARM, and run the paper's Listing 2 — allocate
+//! device memory, copy data in, launch a kernel (create / set-args / run),
+//! copy the result back, free.
+//!
+//! Run with: `cargo run -p dacc-examples --bin quickstart`
+
+use dacc_arm::state::JobId;
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{register_builtin_kernels, KernelArg, KernelRegistry, LaunchConfig};
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+fn main() {
+    // A deterministic simulated cluster: 1 compute node, a pool of 3
+    // network-attached accelerators, QDR-Infiniband-like interconnect,
+    // Tesla-C1060-like GPUs, fully functional execution.
+    let mut sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    let spec = ClusterSpec {
+        compute_nodes: 1,
+        accelerators: 3,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry);
+    let ep = cluster.cn_endpoints.remove(0);
+    let arm_rank = cluster.arm_rank;
+    let h = sim.handle();
+
+    let app = sim.spawn("app", async move {
+        // Resource-management API: ask the ARM for one exclusive
+        // accelerator (static assignment, §III-C).
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), FrontendConfig::default());
+        let accels = proc.acquire(1).await.expect("allocation failed");
+        let ac = &accels[0];
+        println!("granted accelerator daemon at fabric {}", ac.daemon_rank());
+
+        // Computation API (Listing 2): acMemAlloc / acMemCpy /
+        // acKernelCreate / acKernelSetArgs / acKernelRun / acMemCpy /
+        // acMemFree.
+        let n = 1_000u64;
+        let x = ac.mem_alloc(n * 8).await.unwrap();
+        let host: Vec<u8> = (0..n).flat_map(|i| (i as f64).to_le_bytes()).collect();
+        ac.mem_cpy_h2d(&Payload::from_vec(host), x).await.unwrap();
+
+        // y <- 1.0 everywhere, then y <- 2x + y.
+        let y = ac.mem_alloc(n * 8).await.unwrap();
+        ac.kernel_create("fill_f64").await.unwrap();
+        ac.kernel_set_args(&[KernelArg::Ptr(y), KernelArg::U64(n), KernelArg::F64(1.0)])
+            .await
+            .unwrap();
+        ac.kernel_run(LaunchConfig::linear(4, 256)).await.unwrap();
+        ac.kernel_create("daxpy").await.unwrap();
+        ac.kernel_set_args(&[
+            KernelArg::Ptr(x),
+            KernelArg::Ptr(y),
+            KernelArg::U64(n),
+            KernelArg::F64(2.0),
+        ])
+        .await
+        .unwrap();
+        ac.kernel_run(LaunchConfig::linear(4, 256)).await.unwrap();
+
+        let back = ac.mem_cpy_d2h(y, n * 8).await.unwrap();
+        let last = f64::from_le_bytes(
+            back.expect_bytes()[(n as usize - 1) * 8..].try_into().unwrap(),
+        );
+        println!("y[{}] = {last} (expected {})", n - 1, 2.0 * (n - 1) as f64 + 1.0);
+        assert_eq!(last, 2.0 * (n - 1) as f64 + 1.0);
+
+        ac.mem_free(x).await.unwrap();
+        ac.mem_free(y).await.unwrap();
+
+        // Job end: automatic release of everything the job holds.
+        let released = proc.finish().await;
+        println!("job finished; {released} accelerator(s) returned to the pool");
+        ac.shutdown().await.unwrap();
+        proc.arm().shutdown().await;
+        h.now()
+    });
+    sim.run();
+    let t = app.try_take().expect("example did not finish");
+    println!("virtual time elapsed: {t}");
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{register_builtin_kernels, KernelRegistry};
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+/// Build a functional cluster with every kernel family registered.
+pub fn full_cluster(compute_nodes: usize, accelerators: usize, mode: ExecMode) -> (Sim, Cluster) {
+    let sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    dacc_linalg::gpu::register_linalg_kernels(&registry);
+    dacc_linalg::gpu::register_staging_kernels(&registry);
+    dacc_mp2c::srd::register_srd_kernel(&registry);
+    let spec = ClusterSpec {
+        compute_nodes,
+        accelerators,
+        local_gpus: true,
+        mode,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let cluster = build_cluster(&sim, spec, registry);
+    (sim, cluster)
+}
+
+/// Deterministic byte pattern.
+pub fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64 * 131 + salt as u64 * 7919) % 251) as u8)
+        .collect()
+}

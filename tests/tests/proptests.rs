@@ -1,0 +1,303 @@
+//! Property-based tests over the core invariants of every subsystem.
+
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_tests::{full_cluster, pattern};
+use dacc_vgpu::memory::{DeviceMem, DevicePtr, ALIGN};
+use dacc_vgpu::params::ExecMode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting any payload into any block size and reassembling is
+    /// lossless, in both functional and size-only modes.
+    #[test]
+    fn payload_block_roundtrip(len in 0usize..10_000, block in 1u64..5_000, salt: u8) {
+        let data = pattern(len, salt);
+        let p = Payload::from_vec(data.clone());
+        let blocks = p.blocks(block);
+        let back = Payload::concat(&blocks);
+        prop_assert_eq!(back.expect_bytes().as_ref(), data.as_slice());
+
+        let s = Payload::size_only(len as u64);
+        prop_assert_eq!(Payload::concat(&s.blocks(block)).len(), len as u64);
+    }
+
+    /// The device allocator never hands out overlapping regions, and
+    /// free+coalesce conserves capacity.
+    #[test]
+    fn allocator_no_overlap_no_leak(ops in proptest::collection::vec((0u8..2, 1u64..5000), 1..60)) {
+        let capacity = 1u64 << 20;
+        let mut mem = DeviceMem::new(capacity, ExecMode::TimingOnly);
+        let mut live: Vec<(DevicePtr, u64)> = Vec::new();
+        for (op, len) in ops {
+            if op == 0 || live.is_empty() {
+                if let Ok(ptr) = mem.alloc(len) {
+                    // Overlap check against all live allocations.
+                    let a0 = ptr.0;
+                    let a1 = ptr.0 + len;
+                    for &(q, qlen) in &live {
+                        let b0 = q.0;
+                        let b1 = q.0 + qlen;
+                        prop_assert!(a1 <= b0 || b1 <= a0,
+                            "overlap: [{a0},{a1}) vs [{b0},{b1})");
+                    }
+                    live.push((ptr, len));
+                }
+            } else {
+                let idx = (len as usize) % live.len();
+                let (ptr, _) = live.swap_remove(idx);
+                prop_assert!(mem.free(ptr).is_ok());
+            }
+        }
+        // Free everything: the full capacity must come back.
+        for (ptr, _) in live {
+            prop_assert!(mem.free(ptr).is_ok());
+        }
+        prop_assert_eq!(mem.free_bytes(), capacity - ALIGN);
+        prop_assert_eq!(mem.used(), 0);
+        prop_assert_eq!(mem.allocation_count(), 0);
+    }
+
+    /// The ARM pool keeps exclusivity and conservation under arbitrary
+    /// allocate/release/break sequences.
+    #[test]
+    fn arm_pool_invariants(ops in proptest::collection::vec((0u8..4, 0u64..6, 1u32..4), 1..80)) {
+        use dacc_arm::state::{inventory, AcceleratorId, JobId, Pool};
+        use dacc_fabric::mpi::Rank;
+        use dacc_fabric::topology::NodeId;
+        let n = 5;
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let ranks: Vec<Rank> = (10..10 + n).map(Rank).collect();
+        let mut pool = Pool::new(inventory(&nodes, &ranks));
+        for (op, job, count) in ops {
+            let job = JobId(job);
+            match op {
+                0 => {
+                    let _ = pool.try_allocate(job, count);
+                }
+                1 => {
+                    let held: Vec<AcceleratorId> = pool.held_by(job).to_vec();
+                    if !held.is_empty() {
+                        let take = (count as usize).min(held.len());
+                        let _ = pool.release(job, &held[..take]);
+                    }
+                }
+                2 => {
+                    pool.release_job(job);
+                }
+                _ => {
+                    let _ = pool.mark_broken(AcceleratorId(count as usize % n));
+                }
+            }
+            pool.check_invariants();
+            let s = pool.stats();
+            prop_assert_eq!(s.free + s.assigned + s.broken, n as u32);
+        }
+    }
+
+    /// Wire-protocol requests survive encode/decode for arbitrary field
+    /// values.
+    #[test]
+    fn request_codec_roundtrip(
+        op in 0u8..7,
+        a: u64, b: u64, c: u32,
+        name in "[a-z_.]{1,24}",
+    ) {
+        use dacc_runtime::proto::{Request, WireProtocol};
+        let req = match op {
+            0 => Request::MemAlloc { len: a },
+            1 => Request::MemFree { ptr: DevicePtr(a) },
+            2 => Request::MemCpyH2D {
+                dst: DevicePtr(a),
+                len: b,
+                protocol: if c % 2 == 0 {
+                    WireProtocol::Naive
+                } else {
+                    WireProtocol::Pipeline { block: (c as u64).max(1) }
+                },
+            },
+            3 => Request::MemCpyD2H {
+                src: DevicePtr(a),
+                len: b,
+                protocol: WireProtocol::Pipeline { block: (c as u64).max(1) },
+            },
+            4 => Request::KernelCreate { name },
+            5 => Request::PeerSend { src: DevicePtr(a), len: b, peer: c, block: (a % 997).max(1) },
+            _ => Request::PeerRecv { dst: DevicePtr(a), len: b, from: c, block: (b % 997).max(1) },
+        };
+        prop_assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    /// SRD conserves momentum and kinetic energy for arbitrary particle
+    /// ensembles and rotation angles.
+    #[test]
+    fn srd_conservation(n in 2usize..300, seed: u64, alpha in 0.1f64..3.0) {
+        use dacc_mp2c::particles::Particles;
+        use dacc_mp2c::srd::{srd_collide, SrdParams};
+        let mut rng = SimRng::new(seed);
+        let mut p = Particles::random(n, [0.0; 3], [4.0; 3], &mut rng);
+        let m0 = p.total_momentum();
+        let e0 = p.kinetic_energy();
+        srd_collide(&mut p, &SrdParams { cell_size: 1.0, alpha, box_size: [4.0; 3] }, seed, 1);
+        let m1 = p.total_momentum();
+        for a in 0..3 {
+            prop_assert!((m0[a] - m1[a]).abs() < 1e-8);
+        }
+        prop_assert!((e0 - p.kinetic_energy()).abs() / e0.max(1e-9) < 1e-10);
+    }
+
+    /// CPU Cholesky then reconstruction matches the original for random SPD
+    /// matrices.
+    #[test]
+    fn cpu_cholesky_reconstructs(n in 1usize..40, seed: u64, nb in 1usize..12) {
+        use dacc_linalg::lapack::{cholesky_residual, dpotrf};
+        use dacc_linalg::matrix::Matrix;
+        let a = Matrix::random_spd(n, &mut SimRng::new(seed));
+        let mut f = a.clone();
+        prop_assert!(dpotrf(n, f.as_mut_slice(), n, nb).is_ok());
+        prop_assert!(cholesky_residual(&a, &f) < 1e-10);
+    }
+
+    /// CPU blocked QR reproduces A for random shapes.
+    #[test]
+    fn cpu_qr_reconstructs(m in 1usize..30, extra in 0usize..10, seed: u64, nb in 1usize..8) {
+        use dacc_linalg::lapack::{dgeqrf, qr_residuals};
+        use dacc_linalg::matrix::Matrix;
+        let n = m; // square up to...
+        let m = m + extra; // ...tall
+        let a = Matrix::random(m, n, &mut SimRng::new(seed));
+        let mut f = a.clone();
+        let tau = dgeqrf(m, n, f.as_mut_slice(), m, nb);
+        let (resid, orth) = qr_residuals(&a, &f, &tau);
+        prop_assert!(resid < 1e-8, "residual {}", resid);
+        prop_assert!(orth < 1e-10, "orthogonality {}", orth);
+    }
+}
+
+proptest! {
+    // End-to-end transfers spin up a whole cluster per case: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full middleware path delivers bytes exactly for arbitrary sizes
+    /// and pipeline block sizes (the paper's byte-exactness requirement).
+    #[test]
+    fn middleware_transfer_byte_exact(
+        len in 1usize..200_000,
+        block in 1u64..300_000,
+        salt: u8,
+    ) {
+        let (mut sim, mut cluster) = full_cluster(1, 1, ExecMode::Functional);
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let data = pattern(len, salt);
+        let expect = data.clone();
+        let cfg = FrontendConfig {
+            h2d: TransferProtocol::Pipeline { block },
+            d2h: TransferProtocol::Pipeline { block },
+            ..FrontendConfig::default()
+        };
+        let out = sim.spawn("xfer", async move {
+            let ac = RemoteAccelerator::new(ep, daemon, cfg);
+            let ptr = ac.mem_alloc(len as u64).await.unwrap();
+            ac.mem_cpy_h2d(&Payload::from_vec(data), ptr).await.unwrap();
+            let back = ac.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+            ac.shutdown().await.unwrap();
+            back
+        });
+        sim.run();
+        let back = out.try_take().expect("did not finish");
+        prop_assert_eq!(back.expect_bytes().as_ref(), expect.as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-(source, tag) message order is never violated, for arbitrary
+    /// interleavings of small (eager) and large (rendezvous) messages
+    /// across several tags.
+    #[test]
+    fn fabric_non_overtaking_random_messages(
+        msgs in proptest::collection::vec((0u32..3, 1u64..60_000), 1..30),
+    ) {
+        use dacc_fabric::prelude::*;
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 2, FabricParams::qdr_infiniband());
+        let fabric = Fabric::new(&h, topo);
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        // Sequence numbers per tag, stamped into the first 4 payload bytes.
+        let mut per_tag: std::collections::HashMap<u32, u32> = Default::default();
+        let plan: Vec<(u32, u64, u32)> = msgs
+            .iter()
+            .map(|&(tag, len)| {
+                let seq = per_tag.entry(tag).or_insert(0);
+                let s = *seq;
+                *seq += 1;
+                (tag, len.max(4), s)
+            })
+            .collect();
+        let plan2 = plan.clone();
+        sim.spawn("sender", async move {
+            for (tag, len, seq) in plan2 {
+                let mut data = vec![0u8; len as usize];
+                data[..4].copy_from_slice(&seq.to_le_bytes());
+                a.send(Rank(1), Tag(tag), Payload::from_vec(data)).await;
+            }
+        });
+        let counts = per_tag.clone();
+        let ok = sim.spawn("receiver", async move {
+            let mut next: std::collections::HashMap<u32, u32> = Default::default();
+            let total: u32 = counts.values().sum();
+            for _ in 0..total {
+                let env = b.recv(Some(Rank(0)), None).await;
+                let seq = u32::from_le_bytes(
+                    env.payload.expect_bytes()[..4].try_into().unwrap(),
+                );
+                let expect = next.entry(env.tag.0).or_insert(0);
+                if seq != *expect {
+                    return false;
+                }
+                *expect += 1;
+            }
+            true
+        });
+        sim.run();
+        prop_assert!(ok.try_take().unwrap(), "per-tag order violated");
+    }
+
+    /// Broadcast delivers the identical payload to every member for any
+    /// group size and root.
+    #[test]
+    fn fabric_bcast_any_group(n in 1usize..9, root_sel: u8, len in 0usize..5000) {
+        use dacc_fabric::prelude::*;
+        let root = root_sel as usize % n;
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, n, FabricParams::qdr_infiniband());
+        let fabric = Fabric::new(&h, topo);
+        let eps: Vec<_> = (0..n).map(|i| fabric.add_endpoint(NodeId(i))).collect();
+        let ranks: Vec<Rank> = eps.iter().map(|e| e.rank()).collect();
+        let data = pattern(len, root as u8);
+        let results: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                let group = ranks.clone();
+                let payload = (i == root).then(|| Payload::from_vec(data.clone()));
+                sim.spawn("p", async move {
+                    dacc_fabric::collective::bcast(&ep, &group, root, payload).await
+                })
+            })
+            .collect();
+        sim.run();
+        for r in results {
+            let p = r.try_take().expect("bcast did not finish");
+            prop_assert_eq!(p.expect_bytes().as_ref(), data.as_slice());
+        }
+    }
+}
