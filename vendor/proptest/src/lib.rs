@@ -1,0 +1,413 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` line, `x in strategy` and `x: Type`
+//! parameter forms, range / tuple / `collection::vec` / regex-string
+//! strategies, and `prop_assert*` macros. Cases are generated from a
+//! deterministic per-test RNG. **No shrinking**: a failing case panics with
+//! the case number so it can be re-run, but is not minimised.
+
+pub mod test_runner {
+    /// Subset of proptest's config: how many cases to run per property.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG (SplitMix64): seeded from the property
+    /// name and case number, so every run of the suite sees the same cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of property `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased uniform in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            let mut m = (self.next_u64() as u128) * (bound as u128);
+            let mut lo = m as u64;
+            if lo < bound {
+                let t = bound.wrapping_neg() % bound;
+                while lo < t {
+                    m = (self.next_u64() as u128) * (bound as u128);
+                    lo = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. Unlike upstream there is no value tree and no
+    /// shrinking — `generate` produces the final value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy producing a constant.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as u64).wrapping_sub(*self.start() as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (*self.start() as u64).wrapping_add(rng.below(span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple!(A: 0);
+    impl_tuple!(A: 0, B: 1);
+    impl_tuple!(A: 0, B: 1, C: 2);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// String strategy from a regex subset: literal characters and
+    /// `[class]` atoms (with `a-z` ranges), each optionally quantified by
+    /// `{n}` or `{m,n}`. Enough for patterns like `"[a-z_.]{1,24}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0;
+            while i < chars.len() {
+                // Parse one atom: a char class or a literal.
+                let mut alphabet: Vec<char> = Vec::new();
+                if chars[i] == '[' {
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            assert!(lo <= hi, "bad class range in {self:?}");
+                            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                            i += 3;
+                        } else {
+                            alphabet.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {self:?}");
+                    i += 1; // closing ']'
+                } else {
+                    alphabet.push(chars[i]);
+                    i += 1;
+                }
+                // Parse an optional {n} / {m,n} quantifier.
+                let (mut lo, mut hi) = (1u64, 1u64);
+                if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    if let Some((a, b)) = body.split_once(',') {
+                        lo = a.trim().parse().expect("bad quantifier");
+                        hi = b.trim().parse().expect("bad quantifier");
+                    } else {
+                        lo = body.trim().parse().expect("bad quantifier");
+                        hi = lo;
+                    }
+                    i = close + 1;
+                }
+                let reps = lo + rng.below(hi - lo + 1);
+                for _ in 0..reps {
+                    out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`, and the
+    /// `x: Type` parameter form in [`crate::proptest!`]).
+    pub trait Arbitrary: Sized {
+        /// Sample an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated labels debuggable.
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+        }
+    }
+
+    /// Strategy wrapper for [`Arbitrary`] types.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths drawn from `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            assert!(span > 0, "empty length range");
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Define property tests. Each function body runs once per generated case;
+/// parameters are bound either from an explicit strategy (`x in strat`) or
+/// from the type's [`arbitrary::Arbitrary`] impl (`x: Type`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case as u64);
+                $crate::__proptest_bind!(__rng, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $var = $crate::strategy::Strategy::generate(&$strat, &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $var:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $var = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in 0usize..=4, salt: u8) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b <= 4);
+            let _ = salt;
+        }
+
+        #[test]
+        fn tuples_and_vecs(ops in crate::collection::vec((0u8..2, 1u64..5000), 1..60)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 60);
+            for (op, len) in ops {
+                prop_assert!(op < 2);
+                prop_assert!((1..5000).contains(&len));
+            }
+        }
+
+        #[test]
+        fn regex_strings(name in "[a-z_.]{1,24}") {
+            prop_assert!(!name.is_empty() && name.len() <= 24);
+            prop_assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (0u8..5, 10u64..1000);
+        let mut a = TestRng::for_case("determinism", 3);
+        let mut b = TestRng::for_case("determinism", 3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides the trait surface this workspace relies on — [`RngCore`],
+//! [`SeedableRng`], [`Rng`] (with `gen`, `gen_range`, `gen_bool`) and
+//! [`Error`] — with rand-0.8-compatible semantics: `seed_from_u64` expands
+//! the seed via SplitMix64 exactly like upstream, and `gen::<f64>()` uses
+//! the upstream 53-bit mantissa construction, so streams are stable and of
+//! equivalent quality. Distribution machinery, thread RNGs, and everything
+//! else of the real crate are intentionally absent.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (never produced by shim RNGs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+    /// Fallible fill (infallible for in-memory generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 (identical to
+    /// upstream rand 0.8, so seeded streams match across implementations
+    /// that share the same core generator).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sealed {
+    /// Integer sampled uniformly from a range via Lemire-style widening
+    /// multiply (unbiased thanks to a rejection step).
+    pub trait UniformInt: Copy + PartialOrd {
+        fn sample_below<R: crate::RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64;
+        fn to_u64(self) -> u64;
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl UniformInt for $t {
+                fn sample_below<R: crate::RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+                    debug_assert!(bound > 0);
+                    // Unbiased bounded sampling (Lemire 2019).
+                    let mut m = (rng.next_u64() as u128) * (bound as u128);
+                    let mut lo = m as u64;
+                    if lo < bound {
+                        let t = bound.wrapping_neg() % bound;
+                        while lo < t {
+                            m = (rng.next_u64() as u128) * (bound as u128);
+                            lo = m as u64;
+                        }
+                    }
+                    (m >> 64) as u64
+                }
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Types producible by [`Rng::gen`] (stand-in for upstream's
+/// `Standard: Distribution<T>` bound).
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1), as in upstream rand.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: sealed::UniformInt> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "gen_range: empty range");
+        T::from_u64(lo + T::sample_below::<R>(rng, hi - lo))
+    }
+}
+
+impl<T: sealed::UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + T::sample_below::<R>(rng, span + 1))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` (uniform over the type's natural domain;
+    /// `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // xorshift so high bits move too (gen_range uses them).
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = self.0;
+            x ^ (x >> 33)
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Counter(1);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = r.gen_range(0..=4);
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = Counter(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        assert!(r.try_fill_bytes(&mut buf).is_ok());
+    }
+}
