@@ -341,11 +341,26 @@ mod tests {
     #[test]
     fn replay_backfill_beats_fifo_on_mixed_workload() {
         let jobs = vec![
-            ReplayJob { request: req(1, 2, 1), duration: 10.0 },
-            ReplayJob { request: req(2, 4, 0), duration: 5.0 }, // wide CPU job
-            ReplayJob { request: req(3, 1, 1), duration: 8.0 },
-            ReplayJob { request: req(4, 1, 0), duration: 3.0 },
-            ReplayJob { request: req(5, 2, 1), duration: 6.0 },
+            ReplayJob {
+                request: req(1, 2, 1),
+                duration: 10.0,
+            },
+            ReplayJob {
+                request: req(2, 4, 0),
+                duration: 5.0,
+            }, // wide CPU job
+            ReplayJob {
+                request: req(3, 1, 1),
+                duration: 8.0,
+            },
+            ReplayJob {
+                request: req(4, 1, 0),
+                duration: 3.0,
+            },
+            ReplayJob {
+                request: req(5, 2, 1),
+                duration: 6.0,
+            },
         ];
         let fifo = run(&jobs, 4, pool(3), BatchPolicy::Fifo);
         let backfill = run(&jobs, 4, pool(3), BatchPolicy::Backfill);

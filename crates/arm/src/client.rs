@@ -32,10 +32,7 @@ impl ArmClient {
         self.ep
             .send(self.arm, arm_tags::REQUEST, Payload::from_vec(req.encode()))
             .await;
-        let env = self
-            .ep
-            .recv(Some(self.arm), Some(arm_tags::RESPONSE))
-            .await;
+        let env = self.ep.recv(Some(self.arm), Some(arm_tags::RESPONSE)).await;
         match env.payload.bytes() {
             Some(b) => ArmResponse::decode(b).unwrap_or(ArmResponse::Error(ArmError::Malformed)),
             None => ArmResponse::Error(ArmError::Malformed),
@@ -66,7 +63,10 @@ impl ArmClient {
         count: u32,
         wait: bool,
     ) -> Result<Vec<GrantedAccelerator>, ArmError> {
-        match self.request(ArmRequest::Allocate { job, count, wait }).await {
+        match self
+            .request(ArmRequest::Allocate { job, count, wait })
+            .await
+        {
             ArmResponse::Granted(g) => Ok(g),
             ArmResponse::Error(e) => Err(e),
             other => panic!("unexpected ARM response to allocate: {other:?}"),
@@ -93,6 +93,22 @@ impl ArmClient {
         match self.request(ArmRequest::ReleaseJob { job }).await {
             ArmResponse::Released { released } => released,
             other => panic!("unexpected ARM response to release_job: {other:?}"),
+        }
+    }
+
+    /// Failover (§III-A): report `accel` dead and receive a replacement
+    /// grant in the same round trip. The broken accelerator is excluded
+    /// from all future grants until repaired.
+    pub async fn report_failure(
+        &self,
+        job: JobId,
+        accel: AcceleratorId,
+    ) -> Result<GrantedAccelerator, ArmError> {
+        match self.request(ArmRequest::ReportFailure { job, accel }).await {
+            ArmResponse::Granted(mut g) if g.len() == 1 => Ok(g.remove(0)),
+            ArmResponse::Granted(_) => Err(ArmError::Malformed),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to report_failure: {other:?}"),
         }
     }
 

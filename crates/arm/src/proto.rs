@@ -57,6 +57,15 @@ pub enum ArmRequest {
     },
     /// Stop the ARM server (orderly simulation tear-down).
     Shutdown,
+    /// Failover report (§III-A): `accel` stopped answering `job`'s
+    /// requests. The ARM marks it broken and, in the same round trip,
+    /// grants the job one replacement accelerator if capacity allows.
+    ReportFailure {
+        /// The job that observed the failure.
+        job: JobId,
+        /// The unresponsive accelerator.
+        accel: AcceleratorId,
+    },
 }
 
 /// A granted accelerator: everything a compute node needs to reach it.
@@ -121,7 +130,10 @@ impl std::fmt::Display for ArmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArmError::Insufficient { requested, free } => {
-                write!(f, "insufficient accelerators: requested {requested}, free {free}")
+                write!(
+                    f,
+                    "insufficient accelerators: requested {requested}, free {free}"
+                )
             }
             ArmError::NotHeld => write!(f, "accelerator not held by this job"),
             ArmError::UnknownAccelerator => write!(f, "unknown accelerator"),
@@ -218,6 +230,11 @@ impl ArmRequest {
                 w.u8(6);
                 w.u32(accel.0 as u32);
             }
+            ArmRequest::ReportFailure { job, accel } => {
+                w.u8(7);
+                w.u64(job.0);
+                w.u32(accel.0 as u32);
+            }
         }
         w.0
     }
@@ -240,13 +257,19 @@ impl ArmRequest {
                 }
                 ArmRequest::Release { job, accels }
             }
-            2 => ArmRequest::ReleaseJob { job: JobId(r.u64()?) },
+            2 => ArmRequest::ReleaseJob {
+                job: JobId(r.u64()?),
+            },
             3 => ArmRequest::MarkBroken {
                 accel: AcceleratorId(r.u32()? as usize),
             },
             4 => ArmRequest::Query,
             5 => ArmRequest::Shutdown,
             6 => ArmRequest::Repair {
+                accel: AcceleratorId(r.u32()? as usize),
+            },
+            7 => ArmRequest::ReportFailure {
+                job: JobId(r.u64()?),
                 accel: AcceleratorId(r.u32()? as usize),
             },
             _ => return Err(ArmError::Malformed),
@@ -369,6 +392,10 @@ mod tests {
         roundtrip_req(ArmRequest::Shutdown);
         roundtrip_req(ArmRequest::Repair {
             accel: AcceleratorId(1),
+        });
+        roundtrip_req(ArmRequest::ReportFailure {
+            job: JobId(7),
+            accel: AcceleratorId(3),
         });
     }
 

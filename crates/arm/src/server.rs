@@ -36,7 +36,18 @@ struct Waiting {
 /// Waiting allocation requests are served strictly FIFO: releases only ever
 /// satisfy the queue head first, so large requests cannot be starved by a
 /// stream of small ones.
-pub async fn run_arm_server(ep: Endpoint, mut pool: Pool, config: ArmServerConfig) -> Pool {
+pub async fn run_arm_server(ep: Endpoint, pool: Pool, config: ArmServerConfig) -> Pool {
+    run_arm_server_traced(ep, pool, config, Tracer::disabled()).await
+}
+
+/// [`run_arm_server`] with a tracer; failover handling records
+/// `arm.failover` events into it.
+pub async fn run_arm_server_traced(
+    ep: Endpoint,
+    mut pool: Pool,
+    config: ArmServerConfig,
+    tracer: Tracer,
+) -> Pool {
     let mut queue: VecDeque<Waiting> = VecDeque::new();
     loop {
         let env = ep.recv(None, Some(arm_tags::REQUEST)).await;
@@ -115,6 +126,36 @@ pub async fn run_arm_server(ep: Endpoint, mut pool: Pool, config: ArmServerConfi
                 respond(&ep, requester, resp).await;
                 // A repaired accelerator may satisfy a queued request.
                 drain_queue(&ep, &mut pool, &mut queue).await;
+            }
+            ArmRequest::ReportFailure { job, accel } => {
+                // Mark broken, then grant a substitute in the same round
+                // trip so the front-end can fail over without a second
+                // request. The broken accelerator stays nominally held by
+                // the job until `ReleaseJob` (release tolerates broken).
+                let resp = match pool.mark_broken(accel) {
+                    Err(e) => ArmResponse::Error(e),
+                    Ok(()) => match pool.try_allocate(job, 1) {
+                        Ok(grants) => {
+                            tracer.record(ep.fabric().handle(), "arm.failover", || {
+                                format!(
+                                    "job {} lost accel {}; replacement accel {} (rank {})",
+                                    job.0, accel.0, grants[0].accel.0, grants[0].daemon_rank.0
+                                )
+                            });
+                            ArmResponse::Granted(grants)
+                        }
+                        Err(e) => {
+                            tracer.record(ep.fabric().handle(), "arm.failover", || {
+                                format!(
+                                    "job {} lost accel {}; no replacement ({e})",
+                                    job.0, accel.0
+                                )
+                            });
+                            ArmResponse::Error(e)
+                        }
+                    },
+                };
+                respond(&ep, requester, resp).await;
             }
             ArmRequest::Shutdown => {
                 respond(&ep, requester, ArmResponse::Released { released: 0 }).await;
@@ -272,6 +313,51 @@ mod tests {
         });
         sim.run();
         assert_eq!(got.try_take(), Some(AcceleratorId(1)));
+    }
+
+    #[test]
+    fn report_failure_marks_broken_and_grants_replacement() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 3);
+        let tracer = Tracer::new(64);
+        {
+            let nodes: Vec<NodeId> = (0..3).map(|i| NodeId(2 + i)).collect();
+            let ranks: Vec<Rank> = (0..3).map(|i| Rank(2 + i)).collect();
+            let pool = Pool::new(inventory(&nodes, &ranks));
+            let tracer = tracer.clone();
+            sim.spawn("arm", async move {
+                run_arm_server_traced(arm_ep, pool, ArmServerConfig::default(), tracer).await;
+            });
+        }
+        let cn = cns.remove(0);
+        let out = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            let grants = client.allocate(JobId(1), 1).await.unwrap();
+            let lost = grants[0].accel;
+            // The accelerator dies; report it and get a substitute.
+            let replacement = client.report_failure(JobId(1), lost).await.unwrap();
+            assert_ne!(replacement.accel, lost);
+            let stats = client.query().await;
+            assert_eq!((stats.broken, stats.assigned), (1, 1));
+            // A second failure still finds capacity; a third does not.
+            let replacement2 = client
+                .report_failure(JobId(1), replacement.accel)
+                .await
+                .unwrap();
+            let err = client
+                .report_failure(JobId(1), replacement2.accel)
+                .await
+                .unwrap_err();
+            assert!(matches!(err, ArmError::Insufficient { free: 0, .. }));
+            client.release_job(JobId(1)).await;
+            client.shutdown().await;
+            true
+        });
+        sim.run();
+        assert_eq!(out.try_take(), Some(true));
+        assert!(
+            tracer.events_in("arm.failover").len() >= 3,
+            "failover decisions must be traced"
+        );
     }
 
     #[test]

@@ -192,8 +192,7 @@ impl Pool {
         for id in accels {
             match self.state_of(*id)? {
                 AccelState::Assigned(owner) if owner == job => {}
-                AccelState::Broken
-                    if self.held_by.get(&job).is_some_and(|v| v.contains(id)) => {}
+                AccelState::Broken if self.held_by.get(&job).is_some_and(|v| v.contains(id)) => {}
                 _ => return Err(ArmError::NotHeld),
             }
         }
@@ -347,7 +346,7 @@ mod tests {
         let g2 = p.try_allocate(JobId(2), 1).unwrap(); // accel 1
         assert_eq!((g1[0].accel.0, g2[0].accel.0), (0, 1));
         p.release_job(JobId(1)); // accel 0 free again
-        // Cursor sits past 1: next grant is 2, then wraps to 0.
+                                 // Cursor sits past 1: next grant is 2, then wraps to 0.
         let g3 = p.try_allocate(JobId(3), 2).unwrap();
         let ids: Vec<usize> = g3.iter().map(|g| g.accel.0).collect();
         assert_eq!(ids, vec![2, 0]);
@@ -375,8 +374,14 @@ mod tests {
         let mut p = pool(2);
         p.try_allocate(JobId(1), 1).unwrap();
         p.try_allocate(JobId(2), 1).unwrap();
-        assert_eq!(p.state_of(AcceleratorId(0)), Ok(AccelState::Assigned(JobId(1))));
-        assert_eq!(p.state_of(AcceleratorId(1)), Ok(AccelState::Assigned(JobId(2))));
+        assert_eq!(
+            p.state_of(AcceleratorId(0)),
+            Ok(AccelState::Assigned(JobId(1)))
+        );
+        assert_eq!(
+            p.state_of(AcceleratorId(1)),
+            Ok(AccelState::Assigned(JobId(2)))
+        );
         p.check_invariants();
     }
 
@@ -463,6 +468,9 @@ mod tests {
             p.mark_broken(AcceleratorId(5)),
             Err(ArmError::UnknownAccelerator)
         );
-        assert_eq!(p.state_of(AcceleratorId(9)), Err(ArmError::UnknownAccelerator));
+        assert_eq!(
+            p.state_of(AcceleratorId(9)),
+            Err(ArmError::UnknownAccelerator)
+        );
     }
 }

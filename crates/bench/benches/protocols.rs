@@ -12,8 +12,14 @@ fn bench_remote_copy(c: &mut Criterion) {
     let mut g = c.benchmark_group("remote_copy_8MiB");
     for (name, p) in [
         ("naive", TransferProtocol::Naive),
-        ("pipeline_128K", TransferProtocol::Pipeline { block: 128 << 10 }),
-        ("pipeline_512K", TransferProtocol::Pipeline { block: 512 << 10 }),
+        (
+            "pipeline_128K",
+            TransferProtocol::Pipeline { block: 128 << 10 },
+        ),
+        (
+            "pipeline_512K",
+            TransferProtocol::Pipeline { block: 512 << 10 },
+        ),
         ("adaptive", TransferProtocol::h2d_default()),
     ] {
         g.bench_function(name, |b| {

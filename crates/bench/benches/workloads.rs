@@ -13,7 +13,11 @@ fn bench_factorizations(c: &mut Criterion) {
         ("qr_local", Routine::Qr, Config::LocalGpu),
         ("qr_3_remote", Routine::Qr, Config::RemoteGpus(3)),
         ("cholesky_local", Routine::Cholesky, Config::LocalGpu),
-        ("cholesky_3_remote", Routine::Cholesky, Config::RemoteGpus(3)),
+        (
+            "cholesky_3_remote",
+            Routine::Cholesky,
+            Config::RemoteGpus(3),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| run_factorization(routine, config, 2048))

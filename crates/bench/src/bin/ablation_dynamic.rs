@@ -24,12 +24,42 @@ struct JobSpec {
 
 fn workload() -> Vec<JobSpec> {
     vec![
-        JobSpec { cpu_before: 200, gpus: 2, gpu_ms: 400, cpu_after: 300 },
-        JobSpec { cpu_before: 50, gpus: 1, gpu_ms: 700, cpu_after: 100 },
-        JobSpec { cpu_before: 400, gpus: 3, gpu_ms: 300, cpu_after: 50 },
-        JobSpec { cpu_before: 100, gpus: 1, gpu_ms: 200, cpu_after: 500 },
-        JobSpec { cpu_before: 300, gpus: 2, gpu_ms: 500, cpu_after: 200 },
-        JobSpec { cpu_before: 150, gpus: 1, gpu_ms: 300, cpu_after: 350 },
+        JobSpec {
+            cpu_before: 200,
+            gpus: 2,
+            gpu_ms: 400,
+            cpu_after: 300,
+        },
+        JobSpec {
+            cpu_before: 50,
+            gpus: 1,
+            gpu_ms: 700,
+            cpu_after: 100,
+        },
+        JobSpec {
+            cpu_before: 400,
+            gpus: 3,
+            gpu_ms: 300,
+            cpu_after: 50,
+        },
+        JobSpec {
+            cpu_before: 100,
+            gpus: 1,
+            gpu_ms: 200,
+            cpu_after: 500,
+        },
+        JobSpec {
+            cpu_before: 300,
+            gpus: 2,
+            gpu_ms: 500,
+            cpu_after: 200,
+        },
+        JobSpec {
+            cpu_before: 150,
+            gpus: 1,
+            gpu_ms: 300,
+            cpu_after: 350,
+        },
     ]
 }
 
@@ -60,8 +90,7 @@ fn run(dynamic: bool) -> (SimDuration, f64) {
                 h.delay(SimDuration::from_millis(job.cpu_before)).await;
                 let accels = proc.acquire_waiting(job.gpus).await.unwrap();
                 h.delay(SimDuration::from_millis(job.gpu_ms)).await;
-                *busy.borrow_mut() +=
-                    SimDuration::from_millis(job.gpu_ms) * job.gpus as u64;
+                *busy.borrow_mut() += SimDuration::from_millis(job.gpu_ms) * job.gpus as u64;
                 drop(accels);
                 proc.finish().await;
                 h.delay(SimDuration::from_millis(job.cpu_after)).await;
@@ -70,8 +99,7 @@ fn run(dynamic: bool) -> (SimDuration, f64) {
                 let accels = proc.acquire_waiting(job.gpus).await.unwrap();
                 let total = job.cpu_before + job.gpu_ms + job.cpu_after;
                 h.delay(SimDuration::from_millis(total)).await;
-                *busy.borrow_mut() +=
-                    SimDuration::from_millis(job.gpu_ms) * job.gpus as u64;
+                *busy.borrow_mut() += SimDuration::from_millis(job.gpu_ms) * job.gpus as u64;
                 drop(accels);
                 proc.finish().await;
             }
@@ -79,8 +107,7 @@ fn run(dynamic: bool) -> (SimDuration, f64) {
     }
     let out = sim.run();
     let makespan = out.time.since(SimTime::ZERO);
-    let utilization =
-        busy.borrow().as_secs_f64() / (makespan.as_secs_f64() * 3.0);
+    let utilization = busy.borrow().as_secs_f64() / (makespan.as_secs_f64() * 3.0);
     (makespan, utilization)
 }
 
@@ -89,7 +116,10 @@ fn main() {
     let (dyn_make, dyn_util) = run(true);
     println!("# Ablation: static vs dynamic accelerator assignment");
     println!("  6 jobs, 2 compute nodes, pool of 3 accelerators\n");
-    println!("{:>28} {:>12} {:>16}", "policy", "makespan", "GPU utilization");
+    println!(
+        "{:>28} {:>12} {:>16}",
+        "policy", "makespan", "GPU utilization"
+    );
     println!(
         "{:>28} {:>12} {:>15.1}%",
         "static (whole-job hold)",

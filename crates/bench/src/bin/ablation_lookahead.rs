@@ -54,7 +54,10 @@ fn run(n: usize, g: usize, lookahead: bool) -> f64 {
 
 fn main() {
     println!("# Ablation: QR panel lookahead (network-attached GPUs)\n");
-    println!("{:>8} {:>6} {:>16} {:>16} {:>8}", "N", "GPUs", "no lookahead", "lookahead", "gain");
+    println!(
+        "{:>8} {:>6} {:>16} {:>16} {:>8}",
+        "N", "GPUs", "no lookahead", "lookahead", "gain"
+    );
     for (n, g) in [(4032usize, 1usize), (4032, 3), (10240, 1), (10240, 3)] {
         let base = run(n, g, false);
         let la = run(n, g, true);

@@ -17,7 +17,10 @@ fn measure(daemon: DaemonConfig, block: u64) -> f64 {
 
 fn main() {
     println!("# Ablation: GPUDirect on/off (pipeline-512K, 16 MiB H2D)");
-    for (label, gpudirect) in [("GPUDirect v1 (shared pinned buffers)", true), ("no GPUDirect (staging copy per block)", false)] {
+    for (label, gpudirect) in [
+        ("GPUDirect v1 (shared pinned buffers)", true),
+        ("no GPUDirect (staging copy per block)", false),
+    ] {
         let bw = measure(
             DaemonConfig {
                 gpudirect,

@@ -37,9 +37,8 @@ fn run(accels_in_use: usize) -> SimDuration {
         let daemon = (i < accels_in_use).then(|| cluster.daemon_rank(i));
         let h = h.clone();
         sim.spawn("rank", async move {
-            let accel = daemon.map(|d| {
-                RemoteAccelerator::new(ep.clone(), d, FrontendConfig::default())
-            });
+            let accel =
+                daemon.map(|d| RemoteAccelerator::new(ep.clone(), d, FrontendConfig::default()));
             let buf = match &accel {
                 Some(a) => Some(a.mem_alloc(8 << 20).await.unwrap()),
                 None => None,
@@ -55,7 +54,9 @@ fn run(accels_in_use: usize) -> SimDuration {
                 s.await;
                 // Accelerator offload traffic on GPU-using ranks.
                 if let (Some(a), Some(b)) = (&accel, buf) {
-                    a.mem_cpy_h2d(&Payload::size_only(8 << 20), b).await.unwrap();
+                    a.mem_cpy_h2d(&Payload::size_only(8 << 20), b)
+                        .await
+                        .unwrap();
                     a.mem_cpy_d2h(b, 8 << 20).await.unwrap();
                 }
                 let _ = h.now();
@@ -74,7 +75,10 @@ fn main() {
     println!("  4 compute nodes, CN-CN halo traffic every step; 0-4 ranks also");
     println!("  stream 16 MiB/step to a network-attached accelerator\n");
     let base = run(0);
-    println!("{:>16} {:>14} {:>22}", "accels in use", "makespan", "vs CPU-only traffic");
+    println!(
+        "{:>16} {:>14} {:>22}",
+        "accels in use", "makespan", "vs CPU-only traffic"
+    );
     for g in 0..=4usize {
         let t = run(g);
         println!(

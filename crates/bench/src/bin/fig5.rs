@@ -14,9 +14,18 @@ fn main() {
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     for (name, p) in [
         ("Dyn. arch (naive)", TransferProtocol::Naive),
-        ("Dyn. arch (pipeline-128K)", TransferProtocol::Pipeline { block: 128 << 10 }),
-        ("Dyn. arch (pipeline-256K)", TransferProtocol::Pipeline { block: 256 << 10 }),
-        ("Dyn. arch (pipeline-512K)", TransferProtocol::Pipeline { block: 512 << 10 }),
+        (
+            "Dyn. arch (pipeline-128K)",
+            TransferProtocol::Pipeline { block: 128 << 10 },
+        ),
+        (
+            "Dyn. arch (pipeline-256K)",
+            TransferProtocol::Pipeline { block: 256 << 10 },
+        ),
+        (
+            "Dyn. arch (pipeline-512K)",
+            TransferProtocol::Pipeline { block: 512 << 10 },
+        ),
         ("Dyn. arch (pipe-adaptive)", TransferProtocol::h2d_default()),
     ] {
         let pts = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::H2D);

@@ -25,10 +25,22 @@ fn main() {
         "Data size [KiB]",
         &xs,
         &[
-            ("CUDA local (pinned)", pinned.iter().map(|p| p.bandwidth_mib_s).collect()),
-            ("CUDA local (pageable)", pageable.iter().map(|p| p.bandwidth_mib_s).collect()),
-            ("MPI IB (IMB PingPong)", mpi.iter().map(|p| p.bandwidth_mib_s).collect()),
-            ("Dyn. arch (pipe-adaptive)", dynarch.iter().map(|p| p.mib_s).collect()),
+            (
+                "CUDA local (pinned)",
+                pinned.iter().map(|p| p.bandwidth_mib_s).collect(),
+            ),
+            (
+                "CUDA local (pageable)",
+                pageable.iter().map(|p| p.bandwidth_mib_s).collect(),
+            ),
+            (
+                "MPI IB (IMB PingPong)",
+                mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
+            ),
+            (
+                "Dyn. arch (pipe-adaptive)",
+                dynarch.iter().map(|p| p.mib_s).collect(),
+            ),
         ],
     );
 }

@@ -24,10 +24,22 @@ fn main() {
         "Data size [KiB]",
         &xs,
         &[
-            ("CUDA local (pinned)", pinned.iter().map(|p| p.bandwidth_mib_s).collect()),
-            ("CUDA local (pageable)", pageable.iter().map(|p| p.bandwidth_mib_s).collect()),
-            ("MPI IB (IMB PingPong)", mpi.iter().map(|p| p.bandwidth_mib_s).collect()),
-            ("Dyn. arch (pipeline-128K)", dynarch.iter().map(|p| p.mib_s).collect()),
+            (
+                "CUDA local (pinned)",
+                pinned.iter().map(|p| p.bandwidth_mib_s).collect(),
+            ),
+            (
+                "CUDA local (pageable)",
+                pageable.iter().map(|p| p.bandwidth_mib_s).collect(),
+            ),
+            (
+                "MPI IB (IMB PingPong)",
+                mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
+            ),
+            (
+                "Dyn. arch (pipeline-128K)",
+                dynarch.iter().map(|p| p.mib_s).collect(),
+            ),
         ],
     );
 }

@@ -28,7 +28,10 @@ fn main() {
     ];
 
     println!("# Remote acMemCpy H2D bandwidth by transport [MiB/s]");
-    println!("{:>28} {:>10} {:>10} {:>10}", "transport", "256 KiB", "4 MiB", "64 MiB");
+    println!(
+        "{:>28} {:>10} {:>10} {:>10}",
+        "transport", "256 KiB", "4 MiB", "64 MiB"
+    );
     let p = TransferProtocol::h2d_default();
     for (name, fabric) in transports {
         let pts = remote_bandwidth(

@@ -64,7 +64,9 @@ pub fn remote_bandwidth(
             let start = h.now();
             match dir {
                 Dir::H2D => {
-                    ac.mem_cpy_h2d(&Payload::size_only(bytes), ptr).await.unwrap();
+                    ac.mem_cpy_h2d(&Payload::size_only(bytes), ptr)
+                        .await
+                        .unwrap();
                 }
                 Dir::D2H => {
                     ac.mem_cpy_d2h(ptr, bytes).await.unwrap();

@@ -1,0 +1,377 @@
+//! `dacc-chaos` — deterministic, seeded fault injection.
+//!
+//! A [`ChaosPlane`] implements [`FaultHook`] and is installed into the
+//! topology (per-transmission verdicts) and the daemons (per-request
+//! process state) via `build_cluster_chaos`. Faults are declared up front
+//! in a [`FaultSchedule`] — *inject X at virtual time T* or *after N fabric
+//! transmissions* — and every probabilistic decision draws from a seeded
+//! [`SimRng`], so a chaos run is a pure function of `(seed, schedule,
+//! workload)`: two runs with the same inputs produce the identical fault
+//! sequence, event for event. That determinism is what makes failover bugs
+//! reproducible and is regression-tested in `tests/`.
+//!
+//! The plane only *decides*; the effects live where the state lives: the
+//! topology charges the sender and suppresses delivery on `Drop`, stretches
+//! serialization on `Degrade`, and the daemon loop returns (crash) or
+//! pauses (hang) on process faults. Crash and hang verdicts are therefore
+//! observed at the daemon's next request, which keeps them deterministic
+//! with respect to the request stream rather than racing a timer.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use dacc_sim::fault::{FaultHook, LinkFault, ProcessFault};
+use dacc_sim::rng::SimRng;
+use dacc_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+/// When a scheduled fault arms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trigger {
+    /// Arm at virtual time `t` (first hook consultation at or after `t`).
+    At(SimTime),
+    /// Arm once the plane has observed this many fabric transmissions.
+    AfterEvents(u64),
+}
+
+/// A fault to inject. Link faults select traffic by optional source and
+/// destination rank (`None` = any); process faults select a daemon by rank.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Fault {
+    /// Drop the next `count` matching messages outright, then disarm.
+    DropMessages {
+        /// Source rank filter (`None` matches all).
+        src: Option<usize>,
+        /// Destination rank filter (`None` matches all).
+        dst: Option<usize>,
+        /// How many matching messages to drop.
+        count: u32,
+    },
+    /// Drop each matching message with probability `p` (seeded; stays
+    /// armed once triggered).
+    DropRandomly {
+        /// Source rank filter (`None` matches all).
+        src: Option<usize>,
+        /// Destination rank filter (`None` matches all).
+        dst: Option<usize>,
+        /// Per-message drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Multiply matching messages' serialization time by `factor` (stays
+    /// armed once triggered).
+    DegradeLink {
+        /// Source rank filter (`None` matches all).
+        src: Option<usize>,
+        /// Destination rank filter (`None` matches all).
+        dst: Option<usize>,
+        /// Serialization-time multiplier (> 1 slows the link).
+        factor: f64,
+    },
+    /// Kill the daemon at `rank`: it consumes its next request and returns
+    /// without responding, permanently (the accelerator is dead).
+    CrashProcess {
+        /// The daemon's fabric rank.
+        rank: usize,
+    },
+    /// Pause the daemon at `rank` for `pause` before it serves its next
+    /// request, once, then disarm (a transient stall, not a death).
+    HangProcess {
+        /// The daemon's fabric rank.
+        rank: usize,
+        /// Stall duration.
+        pause: SimDuration,
+    },
+}
+
+impl Fault {
+    /// Shorthand: kill the accelerator daemon at `rank`.
+    pub fn kill_daemon(rank: usize) -> Fault {
+        Fault::CrashProcess { rank }
+    }
+}
+
+fn link_matches(src_sel: Option<usize>, dst_sel: Option<usize>, src: usize, dst: usize) -> bool {
+    src_sel.is_none_or(|s| s == src) && dst_sel.is_none_or(|d| d == dst)
+}
+
+/// A declarative fault plan: `(trigger, fault)` pairs, built fluently.
+///
+/// ```
+/// use dacc_chaos::{Fault, FaultSchedule};
+/// use dacc_sim::time::{SimDuration, SimTime};
+///
+/// let schedule = FaultSchedule::new()
+///     .after_events(100, Fault::DropMessages { src: None, dst: None, count: 3 })
+///     .at(
+///         SimTime::ZERO + SimDuration::from_millis(2),
+///         Fault::kill_daemon(2),
+///     );
+/// assert_eq!(schedule.len(), 2);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct FaultSchedule {
+    entries: Vec<(Trigger, Fault)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (a chaos plane over it injects nothing).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Arm `fault` at virtual time `t`.
+    pub fn at(mut self, t: SimTime, fault: Fault) -> Self {
+        self.entries.push((Trigger::At(t), fault));
+        self
+    }
+
+    /// Arm `fault` after `n` observed fabric transmissions.
+    pub fn after_events(mut self, n: u64, fault: Fault) -> Self {
+        self.entries.push((Trigger::AfterEvents(n), fault));
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Counters of what the plane has actually injected.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ChaosCounters {
+    /// Fabric transmissions observed.
+    pub events: u64,
+    /// Messages dropped.
+    pub drops: u64,
+    /// Messages degraded.
+    pub degrades: u64,
+    /// Crash verdicts returned (one per request the dead daemon consumed).
+    pub crashes: u64,
+    /// Hang verdicts returned.
+    pub hangs: u64,
+}
+
+struct State {
+    pending: Vec<(Trigger, Fault)>,
+    active: Vec<Fault>,
+    rng: SimRng,
+    counters: ChaosCounters,
+}
+
+/// The seeded fault-injection plane (see crate docs).
+pub struct ChaosPlane {
+    state: Mutex<State>,
+}
+
+impl ChaosPlane {
+    /// Build a plane over `schedule`; `seed` drives every probabilistic
+    /// decision ([`Fault::DropRandomly`]).
+    pub fn new(seed: u64, schedule: FaultSchedule) -> Arc<Self> {
+        Arc::new(ChaosPlane {
+            state: Mutex::new(State {
+                pending: schedule.entries,
+                active: Vec::new(),
+                rng: SimRng::derive(seed, "chaos"),
+                counters: ChaosCounters::default(),
+            }),
+        })
+    }
+
+    /// What has been injected so far.
+    pub fn counters(&self) -> ChaosCounters {
+        self.state.lock().counters
+    }
+}
+
+fn arm_due(st: &mut State, now: SimTime) {
+    let events = st.counters.events;
+    let mut i = 0;
+    while i < st.pending.len() {
+        let due = match st.pending[i].0 {
+            Trigger::At(t) => now >= t,
+            Trigger::AfterEvents(n) => events >= n,
+        };
+        if due {
+            let (_, fault) = st.pending.remove(i);
+            st.active.push(fault);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+impl FaultHook for ChaosPlane {
+    fn on_transmit(&self, src: usize, dst: usize, _payload_bytes: u64, now: SimTime) -> LinkFault {
+        let mut st = self.state.lock();
+        st.counters.events += 1;
+        arm_due(&mut st, now);
+        // Drops take priority over degradation; first matching armed fault
+        // of each kind decides.
+        for i in 0..st.active.len() {
+            match st.active[i].clone() {
+                Fault::DropMessages {
+                    src: s,
+                    dst: d,
+                    count,
+                } if link_matches(s, d, src, dst) => {
+                    if count <= 1 {
+                        st.active.remove(i);
+                    } else if let Fault::DropMessages { count, .. } = &mut st.active[i] {
+                        *count -= 1;
+                    }
+                    st.counters.drops += 1;
+                    return LinkFault::Drop;
+                }
+                Fault::DropRandomly { src: s, dst: d, p }
+                    if link_matches(s, d, src, dst) && st.rng.uniform() < p =>
+                {
+                    st.counters.drops += 1;
+                    return LinkFault::Drop;
+                }
+                _ => {}
+            }
+        }
+        for f in &st.active {
+            if let Fault::DegradeLink {
+                src: s,
+                dst: d,
+                factor,
+            } = *f
+            {
+                if link_matches(s, d, src, dst) {
+                    st.counters.degrades += 1;
+                    return LinkFault::Degrade(factor);
+                }
+            }
+        }
+        LinkFault::Deliver
+    }
+
+    fn process_state(&self, process: usize, now: SimTime) -> ProcessFault {
+        let mut st = self.state.lock();
+        arm_due(&mut st, now);
+        if st
+            .active
+            .iter()
+            .any(|f| matches!(f, Fault::CrashProcess { rank } if *rank == process))
+        {
+            st.counters.crashes += 1;
+            return ProcessFault::Crash;
+        }
+        if let Some(i) = st
+            .active
+            .iter()
+            .position(|f| matches!(f, Fault::HangProcess { rank, .. } if *rank == process))
+        {
+            let Fault::HangProcess { pause, .. } = st.active.remove(i) else {
+                unreachable!()
+            };
+            st.counters.hangs += 1;
+            return ProcessFault::Hang(pause);
+        }
+        ProcessFault::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn counted_drops_disarm_after_exhaustion() {
+        let plane = ChaosPlane::new(
+            1,
+            FaultSchedule::new().after_events(
+                2,
+                Fault::DropMessages {
+                    src: Some(1),
+                    dst: Some(2),
+                    count: 2,
+                },
+            ),
+        );
+        // Events 1: not armed yet. Event 2 arms it (>= 2) and drops.
+        assert_eq!(plane.on_transmit(1, 2, 64, t(0)), LinkFault::Deliver);
+        assert_eq!(plane.on_transmit(1, 2, 64, t(1)), LinkFault::Drop);
+        // Non-matching traffic unaffected.
+        assert_eq!(plane.on_transmit(2, 1, 64, t(2)), LinkFault::Deliver);
+        assert_eq!(plane.on_transmit(1, 2, 64, t(3)), LinkFault::Drop);
+        // Exhausted.
+        assert_eq!(plane.on_transmit(1, 2, 64, t(4)), LinkFault::Deliver);
+        assert_eq!(plane.counters().drops, 2);
+    }
+
+    #[test]
+    fn time_triggered_degradation_and_crash() {
+        let plane = ChaosPlane::new(
+            7,
+            FaultSchedule::new()
+                .at(
+                    t(10),
+                    Fault::DegradeLink {
+                        src: None,
+                        dst: Some(3),
+                        factor: 4.0,
+                    },
+                )
+                .at(t(20), Fault::kill_daemon(3))
+                .at(
+                    t(20),
+                    Fault::HangProcess {
+                        rank: 4,
+                        pause: SimDuration::from_micros(50),
+                    },
+                ),
+        );
+        assert_eq!(plane.on_transmit(0, 3, 64, t(5)), LinkFault::Deliver);
+        assert_eq!(plane.on_transmit(0, 3, 64, t(10)), LinkFault::Degrade(4.0));
+        assert_eq!(plane.process_state(3, t(15)), ProcessFault::Healthy);
+        assert_eq!(plane.process_state(3, t(20)), ProcessFault::Crash);
+        // Crash is permanent; hang fires once then disarms.
+        assert_eq!(plane.process_state(3, t(30)), ProcessFault::Crash);
+        assert_eq!(
+            plane.process_state(4, t(30)),
+            ProcessFault::Hang(SimDuration::from_micros(50))
+        );
+        assert_eq!(plane.process_state(4, t(31)), ProcessFault::Healthy);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_same_verdicts() {
+        let schedule = FaultSchedule::new().after_events(
+            1,
+            Fault::DropRandomly {
+                src: None,
+                dst: None,
+                p: 0.3,
+            },
+        );
+        let a = ChaosPlane::new(42, schedule.clone());
+        let b = ChaosPlane::new(42, schedule.clone());
+        let c = ChaosPlane::new(43, schedule);
+        let va: Vec<LinkFault> = (0..256)
+            .map(|i| a.on_transmit(i % 5, (i + 1) % 5, 128, t(i as u64)))
+            .collect();
+        let vb: Vec<LinkFault> = (0..256)
+            .map(|i| b.on_transmit(i % 5, (i + 1) % 5, 128, t(i as u64)))
+            .collect();
+        let vc: Vec<LinkFault> = (0..256)
+            .map(|i| c.on_transmit(i % 5, (i + 1) % 5, 128, t(i as u64)))
+            .collect();
+        assert_eq!(va, vb, "same seed must reproduce the fault sequence");
+        assert_ne!(vc, va, "a different seed must explore a different sequence");
+        assert!(va.contains(&LinkFault::Drop));
+        assert!(va.contains(&LinkFault::Deliver));
+    }
+}

@@ -9,13 +9,18 @@
 //! application code runs in both configurations (that is exactly the
 //! "port by substituting calls" exercise of §V.B/§V.C).
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
+use dacc_sim::time::SimDuration;
+use dacc_sim::trace::Tracer;
 use dacc_vgpu::device::{GpuError, HostMemKind, VirtualGpu};
 use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 use dacc_vgpu::memory::DevicePtr;
 
-use crate::proto::{ac_tags, Request, Response, Status, WireProtocol};
+use crate::proto::{ac_tags, Request, RequestFrame, Response, Status, WireProtocol};
 
 /// Transfer-protocol selection policy for one direction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,6 +92,39 @@ impl TransferProtocol {
     }
 }
 
+/// Per-request fault-tolerance policy (§III-A).
+///
+/// When set, every request carries an operation id and an attempt number
+/// ([`RequestFrame`]); the response is awaited on an attempt-scoped tag with
+/// a deadline, and a silent accelerator is retried with exponential backoff.
+/// The daemon dedupes replayed requests by operation id, so retries of
+/// non-idempotent operations (allocations, kernel launches) are safe: a
+/// replay whose original execution succeeded gets the cached response
+/// instead of a second execution. Once every attempt has timed out the
+/// operation fails with [`AcError::Unreachable`] — the accelerator is
+/// presumed dead and should be reported to the ARM for replacement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Per-attempt response deadline. Must comfortably exceed the longest
+    /// legitimate operation (large transfer, long kernel) or healthy slow
+    /// operations will be spuriously retried.
+    pub timeout: SimDuration,
+    /// Additional attempts after the first (0 = timeout only, no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_millis(50),
+            max_retries: 3,
+            backoff: SimDuration::from_micros(500),
+        }
+    }
+}
+
 /// Front-end configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct FrontendConfig {
@@ -96,6 +134,9 @@ pub struct FrontendConfig {
     pub d2h: TransferProtocol,
     /// Block size for accelerator-to-accelerator transfers.
     pub peer_block: u64,
+    /// Timeout/retry policy; `None` (the default) waits forever, exactly
+    /// the pre-fault-tolerance behavior.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for FrontendConfig {
@@ -104,6 +145,7 @@ impl Default for FrontendConfig {
             h2d: TransferProtocol::h2d_default(),
             d2h: TransferProtocol::d2h_default(),
             peer_block: 512 << 10,
+            retry: None,
         }
     }
 }
@@ -117,6 +159,9 @@ pub enum AcError {
     Protocol,
     /// A local GPU operation failed (local-device configurations).
     Local(String),
+    /// The accelerator did not answer within the retry budget and is
+    /// presumed dead (report it to the ARM and fail over).
+    Unreachable,
 }
 
 impl std::fmt::Display for AcError {
@@ -125,6 +170,7 @@ impl std::fmt::Display for AcError {
             AcError::Remote(s) => write!(f, "remote accelerator error: {s:?}"),
             AcError::Protocol => write!(f, "middleware protocol error"),
             AcError::Local(e) => write!(f, "local accelerator error: {e}"),
+            AcError::Unreachable => write!(f, "accelerator unreachable (retry budget exhausted)"),
         }
     }
 }
@@ -150,12 +196,39 @@ pub struct RemoteAccelerator {
     ep: Endpoint,
     daemon: Rank,
     config: FrontendConfig,
+    /// Monotonic operation-id counter, shared by clones of this handle so
+    /// the daemon's dedupe cache sees one id sequence per front-end.
+    next_op: Rc<Cell<u64>>,
+    tracer: Tracer,
 }
 
 impl RemoteAccelerator {
     /// Bind a front-end endpoint to the daemon at `daemon`.
     pub fn new(ep: Endpoint, daemon: Rank, config: FrontendConfig) -> Self {
-        RemoteAccelerator { ep, daemon, config }
+        RemoteAccelerator {
+            ep,
+            daemon,
+            config,
+            next_op: Rc::new(Cell::new(0)),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a tracer; `retry.*` events are recorded into it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    fn alloc_op(&self) -> u64 {
+        let id = self.next_op.get();
+        self.next_op.set(id + 1);
+        id
+    }
+
+    fn trace(&self, category: &'static str, label: impl FnOnce() -> String) {
+        self.tracer
+            .record(self.ep.fabric().handle(), category, label);
     }
 
     /// The daemon's fabric rank.
@@ -174,10 +247,19 @@ impl RemoteAccelerator {
     }
 
     async fn call(&self, req: Request) -> Result<Response, AcError> {
-        self.ep
-            .send(self.daemon, ac_tags::REQUEST, Payload::from_vec(req.encode()))
-            .await;
-        self.recv_response().await
+        match self.config.retry {
+            None => {
+                self.ep
+                    .send(
+                        self.daemon,
+                        ac_tags::REQUEST,
+                        Payload::from_vec(req.encode()),
+                    )
+                    .await;
+                self.recv_response().await
+            }
+            Some(policy) => self.call_retry(req, policy).await,
+        }
     }
 
     async fn recv_response(&self) -> Result<Response, AcError> {
@@ -189,6 +271,78 @@ impl RemoteAccelerator {
             .bytes()
             .and_then(|b| Response::decode(b).ok())
             .ok_or(AcError::Protocol)
+    }
+
+    /// Send one framed attempt of `req` on the request tag.
+    async fn send_attempt(&self, op_id: u64, attempt: u32, req: &Request) {
+        let frame = RequestFrame {
+            op_id,
+            attempt,
+            req: req.clone(),
+        };
+        self.ep
+            .send(
+                self.daemon,
+                ac_tags::REQUEST,
+                Payload::from_vec(frame.encode()),
+            )
+            .await;
+    }
+
+    /// Await the response to attempt `attempt` of operation `op_id`.
+    async fn recv_attempt(
+        &self,
+        op_id: u64,
+        attempt: u32,
+        timeout: SimDuration,
+    ) -> Option<Result<Response, AcError>> {
+        let env = self
+            .ep
+            .recv_timeout(
+                Some(self.daemon),
+                Some(ac_tags::response_tag(op_id, attempt)),
+                timeout,
+            )
+            .await?;
+        Some(
+            env.payload
+                .bytes()
+                .and_then(|b| Response::decode(b).ok())
+                .ok_or(AcError::Protocol),
+        )
+    }
+
+    /// Backoff before retry number `attempt` (1-based), with tracing.
+    async fn backoff(&self, policy: RetryPolicy, op_id: u64, attempt: u32) {
+        self.trace("retry.attempt", || {
+            format!("op {op_id} attempt {attempt} after timeout")
+        });
+        let pause = policy.backoff.saturating_mul(1u64 << (attempt - 1).min(20));
+        self.ep.fabric().handle().delay(pause).await;
+    }
+
+    /// Framed request/response with deadline, retry, and backoff.
+    async fn call_retry(&self, req: Request, policy: RetryPolicy) -> Result<Response, AcError> {
+        let op_id = self.alloc_op();
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.backoff(policy, op_id, attempt).await;
+            }
+            self.send_attempt(op_id, attempt, &req).await;
+            match self.recv_attempt(op_id, attempt, policy.timeout).await {
+                Some(resp) => return resp,
+                None => self.trace("retry.timeout", || {
+                    format!("op {op_id} attempt {attempt} timed out")
+                }),
+            }
+        }
+        self.trace("retry.gave_up", || {
+            format!(
+                "op {op_id} unreachable after {} attempts",
+                policy.max_retries + 1
+            )
+        });
+        Err(AcError::Unreachable)
     }
 
     /// `acMemAlloc`: allocate `len` bytes on the accelerator.
@@ -209,6 +363,13 @@ impl RemoteAccelerator {
 
     /// `acMemCpy` host→device: copy `src` to device memory at `dst`.
     pub async fn mem_cpy_h2d(&self, src: &Payload, dst: DevicePtr) -> Result<(), AcError> {
+        match self.config.retry {
+            None => self.mem_cpy_h2d_bare(src, dst).await,
+            Some(policy) => self.mem_cpy_h2d_retry(src, dst, policy).await,
+        }
+    }
+
+    async fn mem_cpy_h2d_bare(&self, src: &Payload, dst: DevicePtr) -> Result<(), AcError> {
         let len = src.len();
         let protocol = self.config.h2d.wire(len);
         self.ep
@@ -239,12 +400,84 @@ impl RemoteAccelerator {
         check(resp).map(|_| ())
     }
 
+    /// Host→device copy under a [`RetryPolicy`]: each attempt sends the
+    /// framed request, then paces the data blocks sequentially with
+    /// [`Endpoint::send_timeout`] on an attempt-scoped tag so a dead
+    /// receiver cannot wedge the sender. A lost block, a daemon-reported
+    /// `Status::Timeout`, or a missing response retries the whole copy —
+    /// the daemon re-executes it (same bytes, same destination), so the
+    /// replay is idempotent.
+    async fn mem_cpy_h2d_retry(
+        &self,
+        src: &Payload,
+        dst: DevicePtr,
+        policy: RetryPolicy,
+    ) -> Result<(), AcError> {
+        let len = src.len();
+        let protocol = self.config.h2d.wire(len);
+        let block = protocol.block_size(len);
+        let op_id = self.alloc_op();
+        let req = Request::MemCpyH2D { dst, len, protocol };
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.backoff(policy, op_id, attempt).await;
+            }
+            self.send_attempt(op_id, attempt, &req).await;
+            let dtag = ac_tags::data_tag(op_id, attempt);
+            let mut delivered = true;
+            let mut offset = 0u64;
+            while offset < len {
+                let bs = block.min(len - offset);
+                if !self
+                    .ep
+                    .send_timeout(self.daemon, dtag, src.slice(offset, bs), policy.timeout)
+                    .await
+                {
+                    delivered = false;
+                    break;
+                }
+                offset += bs;
+            }
+            // Collect the response even after a lost block — the daemon's
+            // own data timeout produces a `Status::Timeout` answer.
+            match self.recv_attempt(op_id, attempt, policy.timeout).await {
+                Some(resp) => {
+                    let resp = resp?;
+                    match resp.status {
+                        Status::Ok if delivered => return Ok(()),
+                        // Timeout (either side lost data): retry the copy.
+                        Status::Ok | Status::Timeout => self.trace("retry.timeout", || {
+                            format!("op {op_id} h2d attempt {attempt}: data phase lost")
+                        }),
+                        // Hard daemon errors are not retryable.
+                        _ => return check(resp).map(|_| ()),
+                    }
+                }
+                None => self.trace("retry.timeout", || {
+                    format!("op {op_id} h2d attempt {attempt} timed out")
+                }),
+            }
+        }
+        self.trace("retry.gave_up", || {
+            format!(
+                "op {op_id} h2d unreachable after {} attempts",
+                policy.max_retries + 1
+            )
+        });
+        Err(AcError::Unreachable)
+    }
+
     /// `acMemCpy` device→host: copy `len` device bytes at `src` back.
     pub async fn mem_cpy_d2h(&self, src: DevicePtr, len: u64) -> Result<Payload, AcError> {
+        match self.config.retry {
+            None => self.mem_cpy_d2h_bare(src, len).await,
+            Some(policy) => self.mem_cpy_d2h_retry(src, len, policy).await,
+        }
+    }
+
+    async fn mem_cpy_d2h_bare(&self, src: DevicePtr, len: u64) -> Result<Payload, AcError> {
         let protocol = self.config.d2h.wire(len);
-        let resp = self
-            .call(Request::MemCpyD2H { src, len, protocol })
-            .await?;
+        let resp = self.call(Request::MemCpyD2H { src, len, protocol }).await?;
         check(resp)?;
         let nblocks = protocol.block_count(len);
         let mut blocks = Vec::with_capacity(nblocks as usize);
@@ -253,6 +486,66 @@ impl RemoteAccelerator {
             blocks.push(env.payload);
         }
         Ok(Payload::concat(&blocks))
+    }
+
+    /// Device→host copy under a [`RetryPolicy`]: the framed request's
+    /// response and every data block are awaited with a deadline; a lost
+    /// block retries the whole copy on a fresh attempt tag (stale blocks
+    /// from the abandoned attempt are ignored by tag).
+    async fn mem_cpy_d2h_retry(
+        &self,
+        src: DevicePtr,
+        len: u64,
+        policy: RetryPolicy,
+    ) -> Result<Payload, AcError> {
+        let protocol = self.config.d2h.wire(len);
+        let nblocks = protocol.block_count(len);
+        let op_id = self.alloc_op();
+        let req = Request::MemCpyD2H { src, len, protocol };
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.backoff(policy, op_id, attempt).await;
+            }
+            self.send_attempt(op_id, attempt, &req).await;
+            match self.recv_attempt(op_id, attempt, policy.timeout).await {
+                Some(resp) => check(resp?)?,
+                None => {
+                    self.trace("retry.timeout", || {
+                        format!("op {op_id} d2h attempt {attempt} timed out")
+                    });
+                    continue;
+                }
+            };
+            let dtag = ac_tags::data_tag(op_id, attempt);
+            let mut blocks = Vec::with_capacity(nblocks as usize);
+            for _ in 0..nblocks {
+                match self
+                    .ep
+                    .recv_timeout(Some(self.daemon), Some(dtag), policy.timeout)
+                    .await
+                {
+                    Some(env) => blocks.push(env.payload),
+                    None => break,
+                }
+            }
+            if blocks.len() == nblocks as usize {
+                return Ok(Payload::concat(&blocks));
+            }
+            self.trace("retry.timeout", || {
+                format!(
+                    "op {op_id} d2h attempt {attempt}: {}/{} blocks",
+                    blocks.len(),
+                    nblocks
+                )
+            });
+        }
+        self.trace("retry.gave_up", || {
+            format!(
+                "op {op_id} d2h unreachable after {} attempts",
+                policy.max_retries + 1
+            )
+        });
+        Err(AcError::Unreachable)
     }
 
     /// `acKernelCreate`: bind this session to kernel `name`.
@@ -329,6 +622,11 @@ impl RemoteAccelerator {
 /// Direct accelerator-to-accelerator transfer (§III-C): move `len` bytes
 /// from `src_ptr` on `src` to `dst_ptr` on `dst` without staging the data
 /// through the compute node. The two daemons stream blocks directly.
+///
+/// Peer transfers are **not** covered by [`RetryPolicy`]: a replay would
+/// have to coordinate two daemons' data cursors, which the middleware does
+/// not attempt. Under fault injection, route peer traffic around injected
+/// faults (or fall back to staging through the host).
 pub async fn device_to_device(
     src: &RemoteAccelerator,
     src_ptr: DevicePtr,
@@ -352,10 +650,18 @@ pub async fn device_to_device(
         block,
     };
     dst.ep
-        .send(dst.daemon, ac_tags::REQUEST, Payload::from_vec(recv_req.encode()))
+        .send(
+            dst.daemon,
+            ac_tags::REQUEST,
+            Payload::from_vec(recv_req.encode()),
+        )
         .await;
     src.ep
-        .send(src.daemon, ac_tags::REQUEST, Payload::from_vec(send_req.encode()))
+        .send(
+            src.daemon,
+            ac_tags::REQUEST,
+            Payload::from_vec(send_req.encode()),
+        )
         .await;
     let r1 = dst.recv_response().await?;
     let r2 = src.recv_response().await?;
@@ -380,6 +686,10 @@ pub enum AcDevice {
     },
     /// A network-attached accelerator reached through the middleware.
     Remote(RemoteAccelerator),
+    /// A network-attached accelerator behind the failover plane: on
+    /// accelerator death the session acquires an ARM-granted replacement
+    /// and replays its command log (§III-A).
+    Resilient(crate::failover::FailoverSession),
 }
 
 impl AcDevice {
@@ -388,6 +698,7 @@ impl AcDevice {
         match self {
             AcDevice::Local { gpu, .. } => Ok(gpu.alloc(len).await?),
             AcDevice::Remote(r) => r.mem_alloc(len).await,
+            AcDevice::Resilient(s) => s.mem_alloc(len).await,
         }
     }
 
@@ -396,6 +707,7 @@ impl AcDevice {
         match self {
             AcDevice::Local { gpu, .. } => Ok(gpu.free(ptr).await?),
             AcDevice::Remote(r) => r.mem_free(ptr).await,
+            AcDevice::Resilient(s) => s.mem_free(ptr).await,
         }
     }
 
@@ -404,6 +716,7 @@ impl AcDevice {
         match self {
             AcDevice::Local { gpu, host_mem } => Ok(gpu.memcpy_h2d(src, dst, *host_mem).await?),
             AcDevice::Remote(r) => r.mem_cpy_h2d(src, dst).await,
+            AcDevice::Resilient(s) => s.mem_cpy_h2d(src, dst).await,
         }
     }
 
@@ -412,6 +725,7 @@ impl AcDevice {
         match self {
             AcDevice::Local { gpu, .. } => Ok(gpu.memset(ptr, len, byte).await?),
             AcDevice::Remote(r) => r.mem_set(ptr, len, byte).await,
+            AcDevice::Resilient(s) => s.mem_set(ptr, len, byte).await,
         }
     }
 
@@ -420,6 +734,7 @@ impl AcDevice {
         match self {
             AcDevice::Local { gpu, host_mem } => Ok(gpu.memcpy_d2h(src, len, *host_mem).await?),
             AcDevice::Remote(r) => r.mem_cpy_d2h(src, len).await,
+            AcDevice::Resilient(s) => s.mem_cpy_d2h(src, len).await,
         }
     }
 
@@ -433,12 +748,13 @@ impl AcDevice {
         match self {
             AcDevice::Local { gpu, .. } => Ok(gpu.launch(name, cfg, args).await?),
             AcDevice::Remote(r) => r.launch(name, cfg, args).await,
+            AcDevice::Resilient(s) => s.launch(name, cfg, args).await,
         }
     }
 
     /// True for network-attached accelerators.
     pub fn is_remote(&self) -> bool {
-        matches!(self, AcDevice::Remote(_))
+        !matches!(self, AcDevice::Local { .. })
     }
 }
 

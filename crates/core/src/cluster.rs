@@ -5,18 +5,22 @@
 //! nodes may additionally carry a node-local GPU so the same experiment can
 //! be run against the classic static architecture (the paper's baselines).
 
+use std::sync::Arc;
+
 use dacc_arm::client::ArmClient;
-use dacc_arm::server::{run_arm_server, ArmServerConfig};
+use dacc_arm::server::{run_arm_server_traced, ArmServerConfig};
 use dacc_arm::state::{inventory, AllocPolicy, JobId, Pool};
 use dacc_fabric::mpi::{Endpoint, Fabric, Rank};
 use dacc_fabric::topology::{FabricParams, NodeId, Topology};
+use dacc_sim::fault::FaultHook;
 use dacc_sim::prelude::*;
 use dacc_vgpu::device::{HostMemKind, VirtualGpu};
 use dacc_vgpu::kernel::KernelRegistry;
 use dacc_vgpu::params::{ExecMode, GpuParams};
 
 use crate::api::{AcDevice, AcError, FrontendConfig, RemoteAccelerator};
-use crate::daemon::{run_daemon, DaemonConfig, DaemonStats};
+use crate::daemon::{run_daemon_chaos, DaemonConfig, DaemonStats};
+use crate::failover::FailoverSession;
 
 /// Everything needed to stand up a cluster.
 #[derive(Clone, Copy, Debug)]
@@ -100,9 +104,26 @@ impl Cluster {
 /// Build the cluster onto `sim`: spawns the ARM server and one daemon per
 /// accelerator, each with its own GPU sharing `registry`.
 pub fn build_cluster(sim: &Sim, spec: ClusterSpec, registry: KernelRegistry) -> Cluster {
+    build_cluster_chaos(sim, spec, registry, Tracer::disabled(), None)
+}
+
+/// [`build_cluster`] with a fault plane: `tracer` receives `fault.*`,
+/// `retry.*` and `arm.failover` events from every layer, and `fault` (if
+/// set) is consulted by the topology on every transmission and by each
+/// daemon on every request, so a seeded schedule can drop messages, degrade
+/// links, and crash or hang daemons deterministically.
+pub fn build_cluster_chaos(
+    sim: &Sim,
+    spec: ClusterSpec,
+    registry: KernelRegistry,
+    tracer: Tracer,
+    fault: Option<Arc<dyn FaultHook>>,
+) -> Cluster {
     let h = sim.handle();
     let total_nodes = 1 + spec.compute_nodes + spec.accelerators;
     let topo = Topology::new(&h, total_nodes, spec.fabric);
+    topo.set_tracer(tracer.clone());
+    topo.set_fault_hook(fault.clone());
     let fabric = Fabric::new(&h, topo);
 
     // Rank 0: ARM.
@@ -127,15 +148,18 @@ pub fn build_cluster(sim: &Sim, spec: ClusterSpec, registry: KernelRegistry) -> 
         let gpu = VirtualGpu::new(&h, "accel", spec.gpu, spec.mode, registry.clone());
         accel_gpus.push(gpu.clone());
         let daemon_cfg = spec.daemon;
+        let daemon_tracer = tracer.clone();
+        let daemon_fault = fault.clone();
         daemon_handles.push(h.spawn("daemon", async move {
-            run_daemon(ep, gpu, daemon_cfg).await
+            run_daemon_chaos(ep, gpu, daemon_cfg, daemon_tracer, daemon_fault).await
         }));
     }
 
     // The ARM's pool over the daemons.
     let pool = Pool::with_policy(inventory(&daemon_nodes, &daemon_ranks), spec.alloc_policy);
+    let arm_tracer = tracer.clone();
     let arm_handle = h.spawn("arm", async move {
-        run_arm_server(arm_ep, pool, ArmServerConfig::default()).await
+        run_arm_server_traced(arm_ep, pool, ArmServerConfig::default(), arm_tracer).await
     });
 
     let local_gpus = if spec.local_gpus {
@@ -166,6 +190,7 @@ pub struct AcProcess {
     arm: ArmClient,
     job: JobId,
     config: FrontendConfig,
+    tracer: Tracer,
 }
 
 impl AcProcess {
@@ -177,7 +202,15 @@ impl AcProcess {
             arm,
             job,
             config,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; accelerators acquired afterwards record `retry.*`
+    /// and `arm.failover` events into it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// This process's fabric endpoint.
@@ -219,6 +252,31 @@ impl AcProcess {
         Ok(grants
             .into_iter()
             .map(|g| RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config))
+            .collect())
+    }
+
+    /// Acquire `n` accelerators behind the failover plane (§III-A): each
+    /// session retries silently-dropped requests and, when its accelerator
+    /// dies, reports it to the ARM and replays onto a replacement grant.
+    /// `config.retry` should be set — it is the failure detector.
+    pub async fn acquire_resilient(&self, n: u32) -> Result<Vec<FailoverSession>, AcError> {
+        let grants = self
+            .arm
+            .allocate(self.job, n)
+            .await
+            .map_err(|e| AcError::Local(e.to_string()))?;
+        Ok(grants
+            .into_iter()
+            .map(|g| {
+                FailoverSession::new(
+                    self.ep.clone(),
+                    self.arm.clone(),
+                    self.job,
+                    g,
+                    self.config,
+                    self.tracer.clone(),
+                )
+            })
             .collect())
     }
 

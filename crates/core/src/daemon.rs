@@ -8,16 +8,18 @@
 //! on the wire.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dacc_fabric::mpi::{Endpoint, Rank, Tag};
 use dacc_fabric::payload::Payload;
+use dacc_sim::fault::{FaultHook, ProcessFault};
 use dacc_sim::prelude::*;
 use dacc_vgpu::device::{GpuError, HostMemKind, VirtualGpu};
 use dacc_vgpu::kernel::{KernelArg, KernelError, LaunchConfig};
 use dacc_vgpu::memory::{DevicePtr, MemError};
 use dacc_vgpu::pinned::PinnedPool;
 
-use crate::proto::{ac_tags, Request, Response, Status, WireProtocol};
+use crate::proto::{ac_tags, AnyRequest, Request, Response, Status, WireProtocol};
 
 /// Daemon tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +44,11 @@ pub struct DaemonConfig {
     /// per-block wire gap; larger values pre-issue CTSs and close the gap
     /// (bounded by `pinned_depth`).
     pub recv_prepost: usize,
+    /// How long to wait for each data-phase message before aborting the
+    /// operation with [`Status::Timeout`]. `None` (the default) waits
+    /// forever, which is correct on a lossless fabric; runs with injected
+    /// message drops must set this or a lost block wedges the daemon.
+    pub data_timeout: Option<SimDuration>,
 }
 
 impl Default for DaemonConfig {
@@ -53,6 +60,7 @@ impl Default for DaemonConfig {
             pinned_buffer: 1 << 20,
             gpudirect: true,
             recv_prepost: 1,
+            data_timeout: None,
         }
     }
 }
@@ -125,7 +133,37 @@ pub async fn run_daemon_traced(
     config: DaemonConfig,
     tracer: Tracer,
 ) -> DaemonStats {
+    run_daemon_chaos(ep, gpu, config, tracer, None).await
+}
+
+/// True for operations whose bulk-data phase must be re-executed on a
+/// replayed request (the front-end re-drives the data messages); all other
+/// operations answer a replay from the dedupe cache without re-executing.
+fn has_data_phase(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::MemCpyH2D { .. }
+            | Request::MemCpyD2H { .. }
+            | Request::PeerSend { .. }
+            | Request::PeerRecv { .. }
+    )
+}
+
+/// [`run_daemon_traced`] with an optional fault hook, consulted once per
+/// request: `Crash` makes the daemon vanish mid-service (no response, no
+/// tear-down), `Hang` stalls it. Framed requests (see
+/// [`crate::proto::RequestFrame`]) are deduplicated against the last
+/// completed operation per front-end so a retried request whose response
+/// was lost is not executed twice.
+pub async fn run_daemon_chaos(
+    ep: Endpoint,
+    gpu: VirtualGpu,
+    config: DaemonConfig,
+    tracer: Tracer,
+    fault: Option<Arc<dyn FaultHook>>,
+) -> DaemonStats {
     let handle = ep.fabric().handle().clone();
+    let me = ep.rank();
     let pool = PinnedPool::new(
         &handle,
         config.pinned_depth,
@@ -135,48 +173,86 @@ pub async fn run_daemon_traced(
     );
     let mut stats = DaemonStats::default();
     let mut sessions: HashMap<Rank, Session> = HashMap::new();
+    // Last completed framed operation per front-end: (op_id, response).
+    let mut completed: HashMap<Rank, (u64, Response)> = HashMap::new();
 
     loop {
         let env = ep.recv(None, Some(ac_tags::REQUEST)).await;
         let cn = env.src;
+        if let Some(hook) = &fault {
+            match hook.process_state(me.0, handle.now()) {
+                ProcessFault::Healthy => {}
+                ProcessFault::Hang(d) => {
+                    tracer.record(&handle, "fault.hang", || format!("{me} stalls for {d}"));
+                    handle.delay(d).await;
+                }
+                ProcessFault::Crash => {}
+            }
+            // Re-check after a possible stall: a hang may straddle the
+            // crash time.
+            if hook.process_state(me.0, handle.now()) == ProcessFault::Crash {
+                tracer.record(&handle, "fault.crash", || format!("{me} dies"));
+                return stats;
+            }
+        }
         stats.requests += 1;
-        let req = match env.payload.bytes().map(|b| Request::decode(b)) {
-            Some(Ok(r)) => r,
+        let (framed, op_id, attempt, req) = match env.payload.bytes().map(|b| AnyRequest::decode(b))
+        {
+            Some(Ok(AnyRequest::Bare(r))) => (false, 0, 0, r),
+            Some(Ok(AnyRequest::Framed(f))) => (true, f.op_id, f.attempt, f.req),
             _ => {
-                respond(&ep, cn, Response::err(Status::Malformed)).await;
+                respond(&ep, cn, ac_tags::RESPONSE, Response::err(Status::Malformed)).await;
                 continue;
             }
+        };
+        let resp_tag = if framed {
+            ac_tags::response_tag(op_id, attempt)
+        } else {
+            ac_tags::RESPONSE
+        };
+        let data_tag = if framed {
+            ac_tags::data_tag(op_id, attempt)
+        } else {
+            ac_tags::DATA
         };
         handle.delay(config.request_cost).await;
         tracer.record(&handle, "daemon.request", || {
             format!("{} from {}", request_kind(&req), cn)
         });
 
-        match req {
-            Request::MemAlloc { len } => {
-                let resp = match gpu.alloc(len).await {
-                    Ok(ptr) => Response {
-                        status: Status::Ok,
-                        value: ptr.0,
-                    },
-                    Err(e) => Response::err(status_of_gpu_error(&e)),
-                };
-                respond(&ep, cn, resp).await;
+        // A replayed operation (same op id as the last one this front-end
+        // completed) is answered from the cache unless its data phase must
+        // be re-driven; data-phase ops are idempotent re-executions.
+        if framed && !has_data_phase(&req) {
+            if let Some((last_op, last_resp)) = completed.get(&cn) {
+                if *last_op == op_id {
+                    tracer.record(&handle, "daemon.dedupe", || {
+                        format!("replay op {op_id} attempt {attempt} from {cn}")
+                    });
+                    respond(&ep, cn, resp_tag, *last_resp).await;
+                    continue;
+                }
             }
-            Request::MemFree { ptr } => {
-                let resp = match gpu.free(ptr).await {
-                    Ok(()) => Response::ok(),
-                    Err(e) => Response::err(status_of_gpu_error(&e)),
-                };
-                respond(&ep, cn, resp).await;
-            }
+        }
+
+        let resp = match req {
+            Request::MemAlloc { len } => match gpu.alloc(len).await {
+                Ok(ptr) => Response {
+                    status: Status::Ok,
+                    value: ptr.0,
+                },
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            },
+            Request::MemFree { ptr } => match gpu.free(ptr).await {
+                Ok(()) => Response::ok(),
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            },
             Request::MemCpyH2D { dst, len, protocol } => {
-                let resp = handle_h2d(
+                handle_h2d(
                     &handle, &ep, &gpu, &pool, &config, &mut stats, cn, dst, len, protocol,
-                    ac_tags::DATA,
+                    data_tag,
                 )
-                .await;
-                respond(&ep, cn, resp).await;
+                .await
             }
             Request::MemCpyD2H { src, len, protocol } => {
                 // Validate before streaming so the front-end knows whether
@@ -190,40 +266,45 @@ pub async fn run_daemon_traced(
                 };
                 match valid {
                     Err(e) => {
-                        respond(&ep, cn, Response::err(status_of_gpu_error(&e.into()))).await;
+                        respond(
+                            &ep,
+                            cn,
+                            resp_tag,
+                            Response::err(status_of_gpu_error(&e.into())),
+                        )
+                        .await;
                     }
                     Ok(()) if !block_ok => {
-                        respond(&ep, cn, Response::err(Status::Malformed)).await;
+                        respond(&ep, cn, resp_tag, Response::err(Status::Malformed)).await;
                     }
                     Ok(()) => {
-                        respond(&ep, cn, Response::ok()).await;
+                        respond(&ep, cn, resp_tag, Response::ok()).await;
                         stream_d2h(
-                            &handle, &ep, &gpu, &pool, &config, &mut stats, cn, src, len,
-                            protocol,
-                            ac_tags::DATA,
+                            &handle, &ep, &gpu, &pool, &config, &mut stats, cn, src, len, protocol,
+                            data_tag,
                         )
                         .await;
                     }
                 }
+                continue;
             }
             Request::KernelCreate { name } => {
-                let resp = if gpu.registry().contains(&name) {
+                if gpu.registry().contains(&name) {
                     let session = sessions.entry(cn).or_default();
                     session.kernel = Some(name);
                     session.args.clear();
                     Response::ok()
                 } else {
                     Response::err(Status::UnknownKernel)
-                };
-                respond(&ep, cn, resp).await;
+                }
             }
             Request::KernelSetArgs { args } => {
                 sessions.entry(cn).or_default().args = args;
-                respond(&ep, cn, Response::ok()).await;
+                Response::ok()
             }
             Request::KernelRun { grid, block } => {
                 let session = sessions.entry(cn).or_default();
-                let resp = match session.kernel.clone() {
+                match session.kernel.clone() {
                     None => Response::err(Status::NoKernelBound),
                     Some(name) => {
                         let cfg = LaunchConfig { grid, block };
@@ -236,8 +317,7 @@ pub async fn run_daemon_traced(
                             Err(e) => Response::err(status_of_gpu_error(&e)),
                         }
                     }
-                };
-                respond(&ep, cn, resp).await;
+                }
             }
             Request::PeerSend {
                 src,
@@ -246,7 +326,7 @@ pub async fn run_daemon_traced(
                 block,
             } => {
                 let valid = gpu.mem().resolve(src, len).map(|_| ());
-                let resp = match valid {
+                match valid {
                     Err(e) => Response::err(status_of_gpu_error(&e.into())),
                     Ok(()) => {
                         stream_d2h(
@@ -265,8 +345,7 @@ pub async fn run_daemon_traced(
                         .await;
                         Response::ok()
                     }
-                };
-                respond(&ep, cn, resp).await;
+                }
             }
             Request::PeerRecv {
                 dst,
@@ -274,7 +353,7 @@ pub async fn run_daemon_traced(
                 from,
                 block,
             } => {
-                let resp = handle_h2d(
+                handle_h2d(
                     &handle,
                     &ep,
                     &gpu,
@@ -287,30 +366,70 @@ pub async fn run_daemon_traced(
                     WireProtocol::Pipeline { block },
                     ac_tags::PEER_DATA,
                 )
-                .await;
-                respond(&ep, cn, resp).await;
+                .await
             }
-            Request::MemSet { ptr, len, byte } => {
-                let resp = match gpu.memset(ptr, len, byte).await {
-                    Ok(()) => Response::ok(),
-                    Err(e) => Response::err(status_of_gpu_error(&e)),
-                };
-                respond(&ep, cn, resp).await;
-            }
-            Request::Ping => {
-                respond(&ep, cn, Response::ok()).await;
-            }
+            Request::MemSet { ptr, len, byte } => match gpu.memset(ptr, len, byte).await {
+                Ok(()) => Response::ok(),
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            },
+            Request::Ping => Response::ok(),
             Request::Shutdown => {
-                respond(&ep, cn, Response::ok()).await;
+                respond(&ep, cn, resp_tag, Response::ok()).await;
                 return stats;
             }
+        };
+        // Remember the outcome so a replayed request (lost response) is
+        // answered without re-execution; timeouts must re-execute.
+        if framed && resp.status != Status::Timeout {
+            completed.insert(cn, (op_id, resp));
         }
+        respond(&ep, cn, resp_tag, resp).await;
     }
 }
 
-async fn respond(ep: &Endpoint, to: Rank, resp: Response) {
-    ep.send(to, ac_tags::RESPONSE, Payload::from_vec(resp.encode()))
-        .await;
+async fn respond(ep: &Endpoint, to: Rank, tag: Tag, resp: Response) {
+    ep.send(to, tag, Payload::from_vec(resp.encode())).await;
+}
+
+/// One data-phase receive, bounded by `config.data_timeout` when set.
+async fn recv_data(
+    ep: &Endpoint,
+    config: &DaemonConfig,
+    src_rank: Rank,
+    data_tag: Tag,
+) -> Option<dacc_fabric::mpi::Envelope> {
+    match config.data_timeout {
+        Some(t) => ep.recv_timeout(Some(src_rank), Some(data_tag), t).await,
+        None => Some(ep.recv(Some(src_rank), Some(data_tag)).await),
+    }
+}
+
+/// One data-phase send, abandoned after `config.data_timeout` when set
+/// (the receiver may have given up on this attempt; a wedged send would
+/// hold its pinned-pool slot forever).
+async fn send_data(
+    ep: &Endpoint,
+    config: &DaemonConfig,
+    dst_rank: Rank,
+    data_tag: Tag,
+    payload: Payload,
+) {
+    match config.data_timeout {
+        Some(t) => {
+            ep.send_timeout(dst_rank, data_tag, payload, t).await;
+        }
+        None => ep.send(dst_rank, data_tag, payload).await,
+    }
+}
+
+/// Discard the in-flight data messages of a rejected transfer, giving up
+/// per message after `config.data_timeout` (lost blocks never arrive).
+async fn drain(ep: &Endpoint, config: &DaemonConfig, src_rank: Rank, data_tag: Tag, nblocks: u64) {
+    for _ in 0..nblocks {
+        if recv_data(ep, config, src_rank, data_tag).await.is_none() {
+            break;
+        }
+    }
 }
 
 /// Receive `len` bytes from `src_rank` (tagged `data_tag`) and move them to
@@ -341,15 +460,11 @@ async fn handle_h2d(
         WireProtocol::Naive => true,
     };
     if let Err(e) = valid {
-        for _ in 0..nblocks {
-            ep.recv(Some(src_rank), Some(data_tag)).await;
-        }
+        drain(ep, config, src_rank, data_tag, nblocks).await;
         return Response::err(status_of_gpu_error(&e.into()));
     }
     if !block_ok {
-        for _ in 0..nblocks {
-            ep.recv(Some(src_rank), Some(data_tag)).await;
-        }
+        drain(ep, config, src_rank, data_tag, nblocks).await;
         return Response::err(Status::Malformed);
     }
     if len == 0 {
@@ -361,12 +476,62 @@ async fn handle_h2d(
         WireProtocol::Naive => {
             // Receive the whole message into main memory first: the host
             // buffer must hold the complete payload (§V.A).
-            let env = ep.recv(Some(src_rank), Some(data_tag)).await;
+            let env = match recv_data(ep, config, src_rank, data_tag).await {
+                Some(env) => env,
+                None => return Response::err(Status::Timeout),
+            };
             stats.host_buffer_peak = stats.host_buffer_peak.max(len);
             match gpu.memcpy_h2d(&env.payload, dst, HostMemKind::Pinned).await {
                 Ok(()) => Response::ok(),
                 Err(e) => Response::err(status_of_gpu_error(&e)),
             }
+        }
+        WireProtocol::Pipeline { .. } if config.data_timeout.is_some() => {
+            // Fault-tolerant path: one bounded receive at a time (no
+            // pre-posting) so a lost block aborts the operation instead of
+            // wedging the daemon; the front-end sees `Timeout` and retries
+            // the whole transfer under a fresh attempt tag.
+            let block = protocol.block_size(len);
+            stats.host_buffer_peak = stats
+                .host_buffer_peak
+                .max(config.pinned_buffer * config.pinned_depth as u64);
+            let mut dmas = Vec::with_capacity(nblocks as usize);
+            let mut offset = 0u64;
+            let mut status = Status::Ok;
+            while offset < len {
+                let bs = block.min(len - offset);
+                let slot = pool.acquire(bs).await;
+                let env = match recv_data(ep, config, src_rank, data_tag).await {
+                    Some(env) => env,
+                    None => {
+                        status = Status::Timeout;
+                        break;
+                    }
+                };
+                handle.delay(config.per_block_cost).await;
+                let staging = pool.staging_cost(bs);
+                let gpu = gpu.clone();
+                let dptr = dst.offset(offset);
+                dmas.push(handle.spawn("daemon.h2d.dma", async move {
+                    let result = gpu
+                        .memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned)
+                        .await;
+                    drop(slot);
+                    result
+                }));
+                if !staging.is_zero() {
+                    handle.delay(staging).await;
+                }
+                offset += bs;
+            }
+            for dma in dmas {
+                if let Err(e) = dma.await {
+                    if status == Status::Ok {
+                        status = status_of_gpu_error(&e);
+                    }
+                }
+            }
+            Response { status, value: 0 }
         }
         WireProtocol::Pipeline { .. } => {
             let block = protocol.block_size(len);
@@ -397,7 +562,9 @@ async fn handle_h2d(
                 let gpu = gpu.clone();
                 let dptr = dst.offset(offset);
                 dmas.push(handle.spawn("daemon.h2d.dma", async move {
-                    let result = gpu.memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned).await;
+                    let result = gpu
+                        .memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned)
+                        .await;
                     drop(slot);
                     result
                 }));
@@ -416,10 +583,7 @@ async fn handle_h2d(
                     }
                 }
             }
-            Response {
-                status,
-                value: 0,
-            }
+            Response { status, value: 0 }
         }
     }
 }
@@ -450,7 +614,7 @@ async fn stream_d2h(
                 .memcpy_d2h(src, len, HostMemKind::Pinned)
                 .await
                 .expect("validated before streaming");
-            ep.send(dst_rank, data_tag, payload).await;
+            send_data(ep, config, dst_rank, data_tag, payload).await;
         }
         WireProtocol::Pipeline { .. } => {
             let block = protocol.block_size(len);
@@ -472,8 +636,9 @@ async fn stream_d2h(
                 }
                 handle.delay(config.per_block_cost).await;
                 let ep = ep.clone();
+                let config = *config;
                 sends.push(handle.spawn("daemon.d2h.send", async move {
-                    ep.send(dst_rank, data_tag, payload).await;
+                    send_data(&ep, &config, dst_rank, data_tag, payload).await;
                     drop(slot);
                 }));
                 offset += bs;

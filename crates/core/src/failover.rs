@@ -1,0 +1,394 @@
+//! ARM-driven accelerator failover (§III-A).
+//!
+//! A [`FailoverSession`] wraps one granted accelerator behind the same
+//! `mem_*` / `launch` surface as [`RemoteAccelerator`], but records every
+//! state-changing operation in a command log. When the accelerator stops
+//! answering ([`AcError::Unreachable`] from the retry plane), the session
+//! reports the failure to the ARM, receives a replacement grant in the same
+//! round trip, and **replays** the log against the replacement — allocations
+//! re-issued, host→device copies re-driven from their retained payloads,
+//! kernels re-run in order — so the in-flight job completes with degraded
+//! timing instead of failing.
+//!
+//! Device pointers handed out by the session are *virtual*: the session
+//! mints them from its own address space and translates on every call, so
+//! pointers held by the application (including interior pointers formed by
+//! raw [`DevicePtr::offset`] arithmetic, as the hybrid linear-algebra
+//! routines do) survive re-allocation at different physical addresses on the
+//! replacement device.
+//!
+//! Limitations, by design of the prototype: the command log grows with the
+//! session (no checkpoint compaction); peer-to-peer transfers are not
+//! covered (see [`device_to_device`](crate::api::device_to_device)); and the
+//! ARM control plane itself is assumed reliable. Failure detection requires
+//! `config.retry` to be set — without it, calls wait forever and failover
+//! never triggers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dacc_arm::client::ArmClient;
+use dacc_arm::proto::GrantedAccelerator;
+use dacc_arm::state::{AcceleratorId, JobId};
+use dacc_fabric::mpi::Endpoint;
+use dacc_fabric::payload::Payload;
+use dacc_sim::trace::Tracer;
+use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
+use dacc_vgpu::memory::DevicePtr;
+
+use crate::api::{AcError, FrontendConfig, RemoteAccelerator};
+
+/// Base of the session's virtual device address space — far above any
+/// physical device address the simulated GPUs hand out, so a virtual
+/// pointer accidentally passed to a raw handle fails fast.
+const VIRT_BASE: u64 = 1 << 48;
+/// Alignment of minted virtual bases.
+const VIRT_ALIGN: u64 = 256;
+
+fn round_up(v: u64, align: u64) -> u64 {
+    v.div_ceil(align) * align
+}
+
+/// One logged state-changing operation (replayed on failover).
+#[derive(Clone)]
+enum LoggedOp {
+    Alloc {
+        virt: u64,
+        len: u64,
+    },
+    Free {
+        virt: u64,
+    },
+    H2D {
+        virt: u64,
+        data: Payload,
+    },
+    MemSet {
+        virt: u64,
+        len: u64,
+        byte: u8,
+    },
+    Launch {
+        name: String,
+        cfg: LaunchConfig,
+        args: Vec<KernelArg>,
+    },
+}
+
+/// A live virtual allocation and its current physical backing.
+struct Region {
+    virt: u64,
+    len: u64,
+    real: DevicePtr,
+}
+
+fn translate_in(regions: &[Region], p: DevicePtr) -> Result<DevicePtr, AcError> {
+    for r in regions {
+        if p.0 >= r.virt && p.0 < r.virt + r.len {
+            return Ok(DevicePtr(r.real.0 + (p.0 - r.virt)));
+        }
+    }
+    Err(AcError::Local(format!(
+        "pointer {:#x} is not inside any live session allocation",
+        p.0
+    )))
+}
+
+fn translate_args(regions: &[Region], args: &[KernelArg]) -> Result<Vec<KernelArg>, AcError> {
+    args.iter()
+        .map(|a| match a {
+            KernelArg::Ptr(p) => translate_in(regions, *p).map(KernelArg::Ptr),
+            other => Ok(*other),
+        })
+        .collect()
+}
+
+struct Inner {
+    accel: RemoteAccelerator,
+    accel_id: AcceleratorId,
+    regions: Vec<Region>,
+    log: Vec<LoggedOp>,
+    next_virt: u64,
+    failovers: u32,
+}
+
+/// A fault-tolerant session on one accelerator (see module docs).
+///
+/// Clones share state: all clones observe a failover together.
+#[derive(Clone)]
+pub struct FailoverSession {
+    ep: Endpoint,
+    arm: ArmClient,
+    job: JobId,
+    config: FrontendConfig,
+    tracer: Tracer,
+    max_failovers: u32,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl FailoverSession {
+    /// Wrap the granted accelerator in a failover session. `config.retry`
+    /// should be set — it is the failure detector.
+    pub fn new(
+        ep: Endpoint,
+        arm: ArmClient,
+        job: JobId,
+        grant: GrantedAccelerator,
+        config: FrontendConfig,
+        tracer: Tracer,
+    ) -> Self {
+        let accel = RemoteAccelerator::new(ep.clone(), grant.daemon_rank, config)
+            .with_tracer(tracer.clone());
+        FailoverSession {
+            ep,
+            arm,
+            job,
+            config,
+            tracer,
+            max_failovers: 4,
+            inner: Rc::new(RefCell::new(Inner {
+                accel,
+                accel_id: grant.accel,
+                regions: Vec::new(),
+                log: Vec::new(),
+                next_virt: VIRT_BASE,
+                failovers: 0,
+            })),
+        }
+    }
+
+    /// Cap on accelerator replacements over the session's lifetime
+    /// (default 4).
+    pub fn with_max_failovers(mut self, n: u32) -> Self {
+        self.max_failovers = n;
+        self
+    }
+
+    /// The identity of the accelerator currently serving the session.
+    pub fn accel_id(&self) -> AcceleratorId {
+        self.inner.borrow().accel_id
+    }
+
+    /// How many times the session has failed over.
+    pub fn failovers(&self) -> u32 {
+        self.inner.borrow().failovers
+    }
+
+    /// The raw handle onto the current accelerator (e.g. for shutdown).
+    /// Pointers minted by this session are virtual and must not be passed
+    /// to the raw handle.
+    pub fn current_accelerator(&self) -> RemoteAccelerator {
+        self.inner.borrow().accel.clone()
+    }
+
+    fn current(&self) -> RemoteAccelerator {
+        self.inner.borrow().accel.clone()
+    }
+
+    fn translate(&self, p: DevicePtr) -> Result<DevicePtr, AcError> {
+        translate_in(&self.inner.borrow().regions, p)
+    }
+
+    /// Report the current accelerator dead, obtain a replacement, replay
+    /// the command log onto it.
+    async fn failover(&self) -> Result<(), AcError> {
+        let old_id = self.inner.borrow().accel_id;
+        self.tracer
+            .record(self.ep.fabric().handle(), "arm.failover", || {
+                format!(
+                    "job {}: accel {} unreachable, requesting replacement",
+                    self.job.0, old_id.0
+                )
+            });
+        let grant = self
+            .arm
+            .report_failure(self.job, old_id)
+            .await
+            .map_err(|e| AcError::Local(format!("failover denied: {e}")))?;
+        let accel = RemoteAccelerator::new(self.ep.clone(), grant.daemon_rank, self.config)
+            .with_tracer(self.tracer.clone());
+        // Snapshot the log (payload clones are reference-counted), then
+        // replay without holding the borrow across awaits.
+        let log: Vec<LoggedOp> = self.inner.borrow().log.clone();
+        let mut regions: Vec<Region> = Vec::new();
+        for op in &log {
+            match op {
+                LoggedOp::Alloc { virt, len } => {
+                    let real = accel.mem_alloc(*len).await?;
+                    regions.push(Region {
+                        virt: *virt,
+                        len: (*len).max(1),
+                        real,
+                    });
+                }
+                LoggedOp::Free { virt } => {
+                    let real = translate_in(&regions, DevicePtr(*virt))?;
+                    accel.mem_free(real).await?;
+                    regions.retain(|r| r.virt != *virt);
+                }
+                LoggedOp::H2D { virt, data } => {
+                    let real = translate_in(&regions, DevicePtr(*virt))?;
+                    accel.mem_cpy_h2d(data, real).await?;
+                }
+                LoggedOp::MemSet { virt, len, byte } => {
+                    let real = translate_in(&regions, DevicePtr(*virt))?;
+                    accel.mem_set(real, *len, *byte).await?;
+                }
+                LoggedOp::Launch { name, cfg, args } => {
+                    let real_args = translate_args(&regions, args)?;
+                    accel.launch(name, *cfg, &real_args).await?;
+                }
+            }
+        }
+        let replayed = log.len();
+        let mut inner = self.inner.borrow_mut();
+        inner.accel = accel;
+        inner.accel_id = grant.accel;
+        inner.regions = regions;
+        inner.failovers += 1;
+        drop(inner);
+        self.tracer
+            .record(self.ep.fabric().handle(), "arm.failover", || {
+                format!(
+                    "job {}: failed over accel {} -> accel {} (rank {}), {replayed} ops replayed",
+                    self.job.0, old_id.0, grant.accel.0, grant.daemon_rank.0
+                )
+            });
+        Ok(())
+    }
+
+    /// Allocate `len` device bytes; returns a session-virtual pointer.
+    pub async fn mem_alloc(&self, len: u64) -> Result<DevicePtr, AcError> {
+        let mut tries = 0;
+        loop {
+            match self.current().mem_alloc(len).await {
+                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                    tries += 1;
+                    self.failover().await?;
+                }
+                Err(e) => return Err(e),
+                Ok(real) => {
+                    let mut inner = self.inner.borrow_mut();
+                    let virt = inner.next_virt;
+                    inner.next_virt += round_up(len.max(1), VIRT_ALIGN);
+                    inner.regions.push(Region {
+                        virt,
+                        len: len.max(1),
+                        real,
+                    });
+                    inner.log.push(LoggedOp::Alloc { virt, len });
+                    return Ok(DevicePtr(virt));
+                }
+            }
+        }
+    }
+
+    /// Free a session allocation (`ptr` must be the allocation base).
+    pub async fn mem_free(&self, ptr: DevicePtr) -> Result<(), AcError> {
+        let mut tries = 0;
+        loop {
+            let real = self.translate(ptr)?;
+            match self.current().mem_free(real).await {
+                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                    tries += 1;
+                    self.failover().await?;
+                }
+                Err(e) => return Err(e),
+                Ok(()) => {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.regions.retain(|r| r.virt != ptr.0);
+                    inner.log.push(LoggedOp::Free { virt: ptr.0 });
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Copy host data to device memory; the payload is retained for replay.
+    pub async fn mem_cpy_h2d(&self, src: &Payload, dst: DevicePtr) -> Result<(), AcError> {
+        let mut tries = 0;
+        loop {
+            let real = self.translate(dst)?;
+            match self.current().mem_cpy_h2d(src, real).await {
+                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                    tries += 1;
+                    self.failover().await?;
+                }
+                Err(e) => return Err(e),
+                Ok(()) => {
+                    self.inner.borrow_mut().log.push(LoggedOp::H2D {
+                        virt: dst.0,
+                        data: src.clone(),
+                    });
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Fill device memory with a byte value.
+    pub async fn mem_set(&self, ptr: DevicePtr, len: u64, byte: u8) -> Result<(), AcError> {
+        let mut tries = 0;
+        loop {
+            let real = self.translate(ptr)?;
+            match self.current().mem_set(real, len, byte).await {
+                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                    tries += 1;
+                    self.failover().await?;
+                }
+                Err(e) => return Err(e),
+                Ok(()) => {
+                    self.inner.borrow_mut().log.push(LoggedOp::MemSet {
+                        virt: ptr.0,
+                        len,
+                        byte,
+                    });
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Copy device data back to the host (read-only; not logged).
+    pub async fn mem_cpy_d2h(&self, src: DevicePtr, len: u64) -> Result<Payload, AcError> {
+        let mut tries = 0;
+        loop {
+            let real = self.translate(src)?;
+            match self.current().mem_cpy_d2h(real, len).await {
+                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                    tries += 1;
+                    self.failover().await?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Launch a named kernel and wait for completion; logged for replay.
+    pub async fn launch(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<(), AcError> {
+        let mut tries = 0;
+        loop {
+            let real_args = translate_args(&self.inner.borrow().regions, args)?;
+            match self.current().launch(name, cfg, &real_args).await {
+                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                    tries += 1;
+                    self.failover().await?;
+                }
+                Err(e) => return Err(e),
+                Ok(()) => {
+                    self.inner.borrow_mut().log.push(LoggedOp::Launch {
+                        name: name.to_owned(),
+                        cfg,
+                        args: args.to_vec(),
+                    });
+                    return Ok(());
+                }
+            }
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`proto`] — the wire protocol (request/response + data blocks).
 //! * [`daemon`] — the accelerator-side daemon.
 //! * [`api`] — the compute-node-side computation API and protocols.
+//! * [`failover`] — command-log replay onto ARM-granted replacement
+//!   accelerators when one dies mid-job.
 //! * [`opencl`] — an OpenCL-flavoured front-end over the same wire protocol.
 //! * [`cluster`] — one-call assembly of ARM + daemons + compute nodes.
 //!
@@ -51,18 +53,23 @@
 pub mod api;
 pub mod cluster;
 pub mod daemon;
+pub mod failover;
 pub mod opencl;
 pub mod proto;
 
 /// Common imports.
 pub mod prelude {
     pub use crate::api::{
-        device_to_device, AcDevice, AcError, FrontendConfig, RemoteAccelerator, TransferProtocol,
+        device_to_device, AcDevice, AcError, FrontendConfig, RemoteAccelerator, RetryPolicy,
+        TransferProtocol,
     };
-    pub use crate::cluster::{build_cluster, AcProcess, Cluster, ClusterSpec};
-    pub use crate::daemon::{run_daemon, run_daemon_traced, DaemonConfig, DaemonStats};
+    pub use crate::cluster::{build_cluster, build_cluster_chaos, AcProcess, Cluster, ClusterSpec};
+    pub use crate::daemon::{
+        run_daemon, run_daemon_chaos, run_daemon_traced, DaemonConfig, DaemonStats,
+    };
+    pub use crate::failover::FailoverSession;
     pub use crate::opencl::{ClBuffer, ClCommandQueue, ClContext, ClKernel};
-    pub use crate::proto::{ac_tags, Request, Response, Status, WireProtocol};
+    pub use crate::proto::{ac_tags, Request, RequestFrame, Response, Status, WireProtocol};
 }
 
 pub use prelude::*;

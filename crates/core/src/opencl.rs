@@ -142,15 +142,14 @@ impl ClCommandQueue<'_> {
         len: u64,
     ) -> Result<Payload, AcError> {
         assert!(offset + len <= buf.len, "read exceeds buffer");
-        self.ctx.device.mem_cpy_d2h(buf.ptr.offset(offset), len).await
+        self.ctx
+            .device
+            .mem_cpy_d2h(buf.ptr.offset(offset), len)
+            .await
     }
 
     /// `clEnqueueFillBuffer`.
-    pub async fn enqueue_fill_buffer(
-        &self,
-        buf: &ClBuffer,
-        byte: u8,
-    ) -> Result<(), AcError> {
+    pub async fn enqueue_fill_buffer(&self, buf: &ClBuffer, byte: u8) -> Result<(), AcError> {
         self.ctx.device.mem_set(buf.ptr, buf.len, byte).await
     }
 
@@ -217,9 +216,15 @@ mod tests {
             let c = ctx.create_buffer(n * 8).await.unwrap();
 
             let xs: Vec<u8> = (0..n).flat_map(|i| (i as f64).to_le_bytes()).collect();
-            let ys: Vec<u8> = (0..n).flat_map(|i| (2.0 * i as f64).to_le_bytes()).collect();
-            q.enqueue_write_buffer(&a, 0, &Payload::from_vec(xs)).await.unwrap();
-            q.enqueue_write_buffer(&b, 0, &Payload::from_vec(ys)).await.unwrap();
+            let ys: Vec<u8> = (0..n)
+                .flat_map(|i| (2.0 * i as f64).to_le_bytes())
+                .collect();
+            q.enqueue_write_buffer(&a, 0, &Payload::from_vec(xs))
+                .await
+                .unwrap();
+            q.enqueue_write_buffer(&b, 0, &Payload::from_vec(ys))
+                .await
+                .unwrap();
 
             let mut k = ctx.create_kernel("vec_add");
             k.set_arg_buffer(0, &a);

@@ -20,6 +20,33 @@ pub mod ac_tags {
     pub const DATA: Tag = Tag(0xFFFF_0022);
     /// Accelerator-to-accelerator data blocks.
     pub const PEER_DATA: Tag = Tag(0xFFFF_0023);
+
+    /// Response tag scoped to one `(op_id, attempt)` of a framed request.
+    ///
+    /// Retried requests listen on a fresh tag per attempt so a late
+    /// response from an abandoned attempt can never be mistaken for the
+    /// current one — it rots in the unexpected queue instead (a bounded
+    /// leak the simulation tolerates). Response tags live in
+    /// `0x4000_0000..0x8000_0000` and data tags in
+    /// `0x8000_0000..0xC000_0000`, disjoint from each other, from the
+    /// reserved `0xFFFF_00xx` tags, and from ordinary application tags
+    /// (which stay small). The 30-bit scramble can alias two operations
+    /// only if a stale message additionally survives with the same source
+    /// rank, which bounded-retry clients never produce.
+    pub fn response_tag(op_id: u64, attempt: u32) -> Tag {
+        Tag(0x4000_0000 | scramble(op_id, attempt))
+    }
+
+    /// Data-block tag scoped to one `(op_id, attempt)` of a framed request.
+    pub fn data_tag(op_id: u64, attempt: u32) -> Tag {
+        Tag(0x8000_0000 | scramble(op_id, attempt))
+    }
+
+    fn scramble(op_id: u64, attempt: u32) -> u32 {
+        let mix = (op_id ^ ((attempt as u64) << 40).wrapping_add(attempt as u64))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mix >> 34) as u32) & 0x3FFF_FFFF
+    }
 }
 
 /// Transfer protocol selector carried in copy requests.
@@ -160,6 +187,9 @@ pub enum Status {
     NoKernelBound,
     /// Malformed request.
     Malformed,
+    /// The daemon gave up waiting for the request's data phase (lost
+    /// blocks); the front-end should retry the whole operation.
+    Timeout,
 }
 
 impl Status {
@@ -174,6 +204,7 @@ impl Status {
             Status::KernelFailed => 6,
             Status::NoKernelBound => 7,
             Status::Malformed => 8,
+            Status::Timeout => 9,
         }
     }
 
@@ -188,6 +219,7 @@ impl Status {
             6 => Status::KernelFailed,
             7 => Status::NoKernelBound,
             8 => Status::Malformed,
+            9 => Status::Timeout,
             _ => return None,
         })
     }
@@ -474,6 +506,77 @@ impl Request {
     }
 }
 
+/// Marker byte distinguishing a [`RequestFrame`] from a bare [`Request`]
+/// on the wire (bare request opcodes stay below it).
+pub const FRAME_MARKER: u8 = 0xFB;
+
+/// A retryable request envelope: a [`Request`] plus the sequence numbers
+/// the daemon needs to dedupe replays.
+///
+/// `op_id` identifies the logical operation (monotonic per front-end
+/// session); `attempt` counts retransmissions of that operation. The
+/// daemon replies on [`ac_tags::response_tag`]`(op_id, attempt)` and the
+/// data phase (if any) uses [`ac_tags::data_tag`]`(op_id, attempt)`, so
+/// traffic from an abandoned attempt can never satisfy the current one.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RequestFrame {
+    /// Logical operation id, monotonic per front-end.
+    pub op_id: u64,
+    /// Retransmission counter, 0 for the first send.
+    pub attempt: u32,
+    /// The operation itself.
+    pub req: Request,
+}
+
+impl RequestFrame {
+    /// Encode to wire bytes (marker, op_id, attempt, request).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W(Vec::with_capacity(45));
+        w.u8(FRAME_MARKER);
+        w.u64(self.op_id);
+        w.u32(self.attempt);
+        w.0.extend_from_slice(&self.req.encode());
+        w.0
+    }
+
+    /// Decode a framed request (the marker byte is required).
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = R(buf, 0);
+        if r.u8()? != FRAME_MARKER {
+            return Err(DecodeError);
+        }
+        let op_id = r.u64()?;
+        let attempt = r.u32()?;
+        let req = Request::decode(&buf[r.1..])?;
+        Ok(RequestFrame {
+            op_id,
+            attempt,
+            req,
+        })
+    }
+}
+
+/// A decoded request header: either a legacy bare [`Request`] (replies on
+/// [`ac_tags::RESPONSE`], no dedupe) or a [`RequestFrame`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum AnyRequest {
+    /// Unframed request from a client without retry enabled.
+    Bare(Request),
+    /// Framed, retryable request.
+    Framed(RequestFrame),
+}
+
+impl AnyRequest {
+    /// Decode either wire form, keyed on the marker byte.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.first() == Some(&FRAME_MARKER) {
+            Ok(AnyRequest::Framed(RequestFrame::decode(buf)?))
+        } else {
+            Ok(AnyRequest::Bare(Request::decode(buf)?))
+        }
+    }
+}
+
 impl Response {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
@@ -551,6 +654,65 @@ mod tests {
         });
         roundtrip(Request::Ping);
         roundtrip(Request::Shutdown);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_coexist_with_bare_requests() {
+        let frame = RequestFrame {
+            op_id: 0xDEAD_BEEF_0042,
+            attempt: 3,
+            req: Request::MemCpyH2D {
+                dst: DevicePtr(512),
+                len: 1 << 20,
+                protocol: WireProtocol::Pipeline { block: 128 << 10 },
+            },
+        };
+        let bytes = frame.encode();
+        assert_eq!(RequestFrame::decode(&bytes), Ok(frame.clone()));
+        assert_eq!(AnyRequest::decode(&bytes), Ok(AnyRequest::Framed(frame)));
+        // Bare requests still decode through the same entry point.
+        let bare = Request::Ping.encode();
+        assert_eq!(
+            AnyRequest::decode(&bare),
+            Ok(AnyRequest::Bare(Request::Ping))
+        );
+        // Truncated frames fail cleanly.
+        let long = RequestFrame {
+            op_id: 7,
+            attempt: 0,
+            req: Request::KernelCreate { name: "qr".into() },
+        }
+        .encode();
+        for cut in 0..long.len() {
+            assert_eq!(RequestFrame::decode(&long[..cut]), Err(DecodeError));
+        }
+    }
+
+    #[test]
+    fn attempt_scoped_tags_are_distinct() {
+        use dacc_fabric::mpi::Tag;
+        // Distinct attempts of one op and adjacent ops must get distinct
+        // tags, and none may collide with the reserved base tags.
+        let mut seen = std::collections::HashSet::new();
+        for op in 0..64u64 {
+            for attempt in 0..4u32 {
+                for tag in [
+                    ac_tags::response_tag(op, attempt),
+                    ac_tags::data_tag(op, attempt),
+                ] {
+                    assert!(seen.insert(tag), "tag collision at op={op} att={attempt}");
+                    for base in [
+                        ac_tags::REQUEST,
+                        ac_tags::RESPONSE,
+                        ac_tags::DATA,
+                        ac_tags::PEER_DATA,
+                    ] {
+                        assert_ne!(tag, base);
+                    }
+                }
+            }
+        }
+        let _: Tag = ac_tags::response_tag(0, 0);
     }
 
     #[test]

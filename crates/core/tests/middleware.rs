@@ -152,7 +152,10 @@ fn remote_errors_surface_with_status() {
         // OOM: C1060 has 4 GiB.
         let oom = ac.mem_alloc(64 << 30).await.unwrap_err();
         // Invalid free.
-        let bad_free = ac.mem_free(dacc_vgpu::memory::DevicePtr(12345)).await.unwrap_err();
+        let bad_free = ac
+            .mem_free(dacc_vgpu::memory::DevicePtr(12345))
+            .await
+            .unwrap_err();
         // Unknown kernel.
         let bad_kernel = ac.kernel_create("does_not_exist").await.unwrap_err();
         // Run without create.
@@ -294,7 +297,10 @@ fn concurrent_transfers_to_multiple_accelerators() {
         let pa = a.mem_alloc(len).await.unwrap();
         let pb = b.mem_alloc(len).await.unwrap();
         let da = test_pattern(len as usize);
-        let db: Vec<u8> = test_pattern(len as usize).iter().map(|b| b ^ 0xFF).collect();
+        let db: Vec<u8> = test_pattern(len as usize)
+            .iter()
+            .map(|b| b ^ 0xFF)
+            .collect();
         let (ea, eb) = (da.clone(), db.clone());
         let ta = {
             let a = a.clone();
@@ -422,13 +428,8 @@ fn daemon_trace_records_request_sequence() {
     {
         let tracer = tracer.clone();
         sim.spawn("daemon", async move {
-            dacc_runtime::daemon::run_daemon_traced(
-                daemon_ep,
-                gpu,
-                DaemonConfig::default(),
-                tracer,
-            )
-            .await
+            dacc_runtime::daemon::run_daemon_traced(daemon_ep, gpu, DaemonConfig::default(), tracer)
+                .await
         });
     }
     sim.spawn("app", async move {

@@ -118,7 +118,8 @@ pub async fn reduce_f64_sum(
             let dst_v = vrank & !bit;
             let dst = group[(dst_v + root_index) % p];
             let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
-            ep.send(dst, coll_tags::REDUCE, Payload::from_vec(bytes)).await;
+            ep.send(dst, coll_tags::REDUCE, Payload::from_vec(bytes))
+                .await;
             return None;
         } else if vrank | bit < p {
             // Receive from the partner above and fold in.
@@ -170,8 +171,8 @@ mod tests {
                     let group = ranks.clone();
                     let got = Rc::clone(&got);
                     sim.spawn("p", async move {
-                        let payload = (i == root)
-                            .then(|| Payload::from_vec(vec![7, 8, 9, root as u8]));
+                        let payload =
+                            (i == root).then(|| Payload::from_vec(vec![7, 8, 9, root as u8]));
                         let out = bcast(&ep, &group, root, payload).await;
                         got.borrow_mut()[i] = out.expect_bytes().to_vec();
                     });
@@ -179,7 +180,11 @@ mod tests {
                 let out = sim.run();
                 assert_eq!(out.pending_tasks, n, "only dispatchers remain");
                 for (i, v) in got.borrow().iter().enumerate() {
-                    assert_eq!(v, &vec![7, 8, 9, root as u8], "rank {i}, n={n}, root={root}");
+                    assert_eq!(
+                        v,
+                        &vec![7, 8, 9, root as u8],
+                        "rank {i}, n={n}, root={root}"
+                    );
                 }
             }
         }

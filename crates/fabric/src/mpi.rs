@@ -106,11 +106,7 @@ impl Unexpected {
 
 enum MatchOutcome {
     Immediate(Envelope),
-    AwaitData(
-        dacc_sim::channel::oneshot::OneReceiver<Envelope>,
-        Rank,
-        u64,
-    ),
+    AwaitData(dacc_sim::channel::oneshot::OneReceiver<Envelope>, Rank, u64),
     Posted(dacc_sim::channel::oneshot::OneReceiver<Envelope>, u64),
 }
 
@@ -121,11 +117,25 @@ struct Posted {
     tx: OneSender<Envelope>,
 }
 
+/// State of one rendezvous message whose CTS has been issued.
+enum DataWaiter {
+    /// A receive is waiting for the payload.
+    Deliver(OneSender<Envelope>),
+    /// The receive was abandoned (deadline); discard the payload if it
+    /// ever arrives. Tombstones for payloads lost in the fabric persist —
+    /// a bounded leak proportional to the number of abandoned receives.
+    Discard,
+}
+
 #[derive(Default)]
 struct EpState {
     unexpected: VecDeque<Unexpected>,
     posted: VecDeque<Posted>,
-    data_waiting: HashMap<u64, OneSender<Envelope>>,
+    data_waiting: HashMap<u64, DataWaiter>,
+    /// Posted receives that matched an RTS and now await its payload:
+    /// posted id → rendezvous msg id. Entries are removed when the payload
+    /// arrives or the receive gives up.
+    matched_msg: HashMap<u64, u64>,
     cts_waiting: HashMap<u64, OneSender<()>>,
     next_posted_id: u64,
 }
@@ -322,6 +332,99 @@ impl Endpoint {
         }
     }
 
+    /// [`Endpoint::send`] with a deadline on the rendezvous clear-to-send.
+    ///
+    /// Returns `false` if the message is rendezvous-sized and no CTS
+    /// arrived within `timeout` (the receiver never matched, or the
+    /// handshake was lost in the fabric): the send is abandoned and the
+    /// payload is **not** delivered. Eager-sized messages are handed to
+    /// the NIC immediately and always return `true` — on a lossy fabric
+    /// that is fire-and-forget, not a delivery guarantee.
+    pub async fn send_timeout(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        timeout: SimDuration,
+    ) -> bool {
+        let p = self.fabric.topo.params();
+        self.fabric.handle.delay(p.o_send).await;
+        let size = payload.len();
+        if size <= p.eager_threshold {
+            let fabric = self.fabric.clone();
+            let src_node = self.node;
+            let src_rank = self.rank;
+            self.fabric.handle.spawn("mpi.eager", async move {
+                fabric
+                    .wire_send(
+                        src_node,
+                        dst,
+                        size,
+                        Packet::Eager {
+                            src: src_rank,
+                            tag,
+                            payload,
+                        },
+                    )
+                    .await;
+            });
+            return true;
+        }
+        let msg_id = self.fabric.next_msg_id();
+        let (cts_tx, cts_rx) = oneshot::<()>();
+        self.state.lock().cts_waiting.insert(msg_id, cts_tx);
+        self.fabric
+            .wire_send(
+                self.node,
+                dst,
+                CONTROL_BYTES,
+                Packet::Rts {
+                    src: self.rank,
+                    tag,
+                    size,
+                    msg_id,
+                },
+            )
+            .await;
+        // Race the CTS against the deadline.
+        let mut cts_rx = Box::pin(cts_rx);
+        let mut timer = Box::pin(self.fabric.handle.delay(timeout));
+        use std::future::{poll_fn, Future};
+        use std::task::Poll;
+        let granted = poll_fn(|cx| {
+            if let Poll::Ready(r) = cts_rx.as_mut().poll(cx) {
+                return Poll::Ready(Some(r));
+            }
+            match timer.as_mut().poll(cx) {
+                Poll::Ready(()) => Poll::Ready(None),
+                Poll::Pending => Poll::Pending,
+            }
+        })
+        .await;
+        if granted.is_none() {
+            // Deadline hit; unless the CTS won the race at this instant,
+            // withdraw the message (a late CTS is then ignored).
+            if self.state.lock().cts_waiting.remove(&msg_id).is_some() {
+                return false;
+            }
+            cts_rx.await.expect("CTS dropped: dispatcher died");
+        }
+        self.fabric
+            .wire_send(
+                self.node,
+                dst,
+                size,
+                Packet::Data {
+                    src: self.rank,
+                    tag,
+                    msg_id,
+                    payload,
+                },
+            )
+            .await;
+        true
+    }
+
     /// Nonblocking send: runs [`Endpoint::send`] in a helper task. Await the
     /// returned handle to complete the request (like `MPI_Wait`).
     pub fn isend(&self, dst: Rank, tag: Tag, payload: Payload) -> JoinHandle<()> {
@@ -369,7 +472,7 @@ impl Endpoint {
                 Unexpected::Eager(env) => MatchOutcome::Immediate(env),
                 Unexpected::Rts { src, msg_id, .. } => {
                     let (tx, rx) = oneshot::<Envelope>();
-                    st.data_waiting.insert(msg_id, tx);
+                    st.data_waiting.insert(msg_id, DataWaiter::Deliver(tx));
                     MatchOutcome::AwaitData(rx, src, msg_id)
                 }
             }
@@ -394,32 +497,37 @@ impl Endpoint {
         env_rx.await.expect("recv dropped: dispatcher died")
     }
 
-    /// Blocking receive with a deadline on the *match*: returns `None` if
-    /// no message has matched within `timeout`. Once a message has matched
-    /// (including a rendezvous handshake already answered), the receive
-    /// completes normally even if the data lands after the deadline — a
-    /// matched message cannot be un-received.
+    /// Blocking receive with a deadline: returns `None` if the message has
+    /// not been **fully received** within `timeout`. Unlike a plain
+    /// [`Endpoint::recv`], the deadline also covers the rendezvous data
+    /// phase, so a payload lost in the fabric after its handshake cannot
+    /// wedge the receiver: the receive is abandoned and a tombstone
+    /// discards the payload if it ever shows up late.
     pub async fn recv_timeout(
         &self,
         src: Option<Rank>,
         tag: Option<Tag>,
         timeout: SimDuration,
     ) -> Option<Envelope> {
+        enum Waiting {
+            /// Still unmatched; holds the posted-receive id.
+            Posted(u64),
+            /// Matched an RTS; holds the rendezvous msg id being awaited.
+            Data(u64),
+        }
         let p = self.fabric.topo.params();
-        let (env_rx, posted_id) = match self.try_match(src, tag) {
+        let (env_rx, how) = match self.try_match(src, tag) {
             MatchOutcome::Immediate(env) => {
                 self.fabric.handle.delay(p.o_recv).await;
                 return Some(env);
             }
             MatchOutcome::AwaitData(rx, rts_src, msg_id) => {
                 self.send_cts(rts_src, msg_id);
-                let env = rx.await.expect("recv dropped: dispatcher died");
-                self.fabric.handle.delay(p.o_recv).await;
-                return Some(env);
+                (rx, Waiting::Data(msg_id))
             }
-            MatchOutcome::Posted(rx, id) => (rx, id),
+            MatchOutcome::Posted(rx, id) => (rx, Waiting::Posted(id)),
         };
-        // Race the posted receive against the deadline.
+        // Race the receive against the deadline.
         let mut env_rx = Box::pin(env_rx);
         let mut timer = Box::pin(self.fabric.handle.delay(timeout));
         use std::future::{poll_fn, Future};
@@ -440,26 +548,37 @@ impl Endpoint {
                 Some(env.expect("recv dropped: dispatcher died"))
             }
             None => {
-                // Deadline hit: cancel the posted receive if it is still
-                // unmatched; otherwise the match won the race at the same
-                // instant — take it.
-                let removed = {
+                // Deadline hit: abandon whatever stage the receive reached,
+                // unless completion won the race at this same instant.
+                let msg_id = {
                     let mut st = self.state.lock();
-                    let pos = st.posted.iter().position(|pr| pr.id == posted_id);
-                    if let Some(pos) = pos {
-                        st.posted.remove(pos);
-                        true
-                    } else {
-                        false
+                    match how {
+                        Waiting::Data(msg_id) => Some(msg_id),
+                        Waiting::Posted(id) => {
+                            if let Some(pos) = st.posted.iter().position(|pr| pr.id == id) {
+                                // Never matched: cancel the posted receive.
+                                st.posted.remove(pos);
+                                return None;
+                            }
+                            st.matched_msg.remove(&id)
+                        }
                     }
                 };
-                if removed {
-                    None
-                } else {
-                    let env = env_rx.await.expect("recv dropped: dispatcher died");
-                    self.fabric.handle.delay(p.o_recv).await;
-                    Some(env)
+                if let Some(msg_id) = msg_id {
+                    let mut st = self.state.lock();
+                    if let std::collections::hash_map::Entry::Occupied(mut e) =
+                        st.data_waiting.entry(msg_id)
+                    {
+                        // CTS answered but the payload is still outstanding:
+                        // leave a tombstone so a late arrival is discarded.
+                        e.insert(DataWaiter::Discard);
+                        return None;
+                    }
                 }
+                // Fully delivered at the deadline instant — take it.
+                let env = env_rx.await.expect("recv dropped: dispatcher died");
+                self.fabric.handle.delay(p.o_recv).await;
+                Some(env)
             }
         }
     }
@@ -482,7 +601,11 @@ impl Endpoint {
                     let env = Envelope { src, tag, payload };
                     match posted {
                         Some(p) => p.tx.send(env),
-                        None => self.state.lock().unexpected.push_back(Unexpected::Eager(env)),
+                        None => self
+                            .state
+                            .lock()
+                            .unexpected
+                            .push_back(Unexpected::Eager(env)),
                     }
                 }
                 Packet::Rts {
@@ -494,7 +617,11 @@ impl Endpoint {
                     let posted = self.take_posted(src, tag);
                     match posted {
                         Some(p) => {
-                            self.state.lock().data_waiting.insert(msg_id, p.tx);
+                            {
+                                let mut st = self.state.lock();
+                                st.data_waiting.insert(msg_id, DataWaiter::Deliver(p.tx));
+                                st.matched_msg.insert(p.id, msg_id);
+                            }
                             self.send_cts(src, msg_id);
                         }
                         None => self.state.lock().unexpected.push_back(Unexpected::Rts {
@@ -506,10 +633,11 @@ impl Endpoint {
                     }
                 }
                 Packet::Cts { msg_id } => {
-                    let waiter = self.state.lock().cts_waiting.remove(&msg_id);
-                    waiter
-                        .expect("CTS for unknown message id")
-                        .send(());
+                    // A missing waiter means the sender abandoned the
+                    // message (send deadline passed); ignore the late CTS.
+                    if let Some(w) = self.state.lock().cts_waiting.remove(&msg_id) {
+                        w.send(());
+                    }
                 }
                 Packet::Data {
                     src,
@@ -517,10 +645,16 @@ impl Endpoint {
                     msg_id,
                     payload,
                 } => {
-                    let waiter = self.state.lock().data_waiting.remove(&msg_id);
-                    waiter
-                        .expect("DATA for unmatched message id")
-                        .send(Envelope { src, tag, payload });
+                    let waiter = {
+                        let mut st = self.state.lock();
+                        st.matched_msg.retain(|_, m| *m != msg_id);
+                        st.data_waiting.remove(&msg_id)
+                    };
+                    match waiter {
+                        Some(DataWaiter::Deliver(tx)) => tx.send(Envelope { src, tag, payload }),
+                        // Receive abandoned after the handshake: discard.
+                        Some(DataWaiter::Discard) | None => {}
+                    }
                 }
             }
         }
@@ -915,10 +1049,10 @@ mod timeout_tests {
     }
 
     #[test]
-    fn matched_rendezvous_completes_despite_timeout() {
+    fn matched_rendezvous_completes_within_deadline() {
         // A large (rendezvous) message whose RTS arrived before the recv:
-        // the handshake is answered, so the receive completes even with a
-        // short timeout.
+        // the handshake is answered and the payload lands well inside a
+        // generous deadline.
         let (mut sim, fabric) = setup();
         let a = fabric.add_endpoint(NodeId(0));
         let b = fabric.add_endpoint(NodeId(1));
@@ -930,7 +1064,7 @@ mod timeout_tests {
                 // Let the RTS arrive first.
                 h.delay(SimDuration::from_micros(50)).await;
                 let env = a
-                    .recv_timeout(None, Some(Tag(4)), SimDuration::from_nanos(1))
+                    .recv_timeout(None, Some(Tag(4)), SimDuration::from_secs(1))
                     .await
                     .expect("matched rendezvous must complete");
                 *done.borrow_mut() = env.payload.len();
@@ -941,6 +1075,114 @@ mod timeout_tests {
         });
         sim.run();
         assert_eq!(*done.borrow(), 1 << 20);
+    }
+
+    #[test]
+    fn deadline_covers_rendezvous_data_phase() {
+        // The payload of a matched rendezvous is lost in the fabric: the
+        // deadline must still fire (old semantics wedged here), and the
+        // receiver must stay usable for later traffic.
+        use dacc_sim::fault::{FaultHook, LinkFault};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Drops the 3rd wire message (RTS, CTS, then Data) only.
+        struct DropData(AtomicUsize);
+        impl FaultHook for DropData {
+            fn on_transmit(&self, _: usize, _: usize, _: u64, _: SimTime) -> LinkFault {
+                if self.0.fetch_add(1, Ordering::Relaxed) == 2 {
+                    LinkFault::Drop
+                } else {
+                    LinkFault::Deliver
+                }
+            }
+        }
+
+        let (mut sim, fabric) = setup();
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        fabric
+            .topology()
+            .set_fault_hook(Some(Arc::new(DropData(AtomicUsize::new(0)))));
+        {
+            let fabric = fabric.clone();
+            sim.spawn("send", async move {
+                b.send(Rank(0), Tag(4), Payload::size_only(1 << 20)).await;
+                // Second, intact message after the fault window.
+                fabric.topology().set_fault_hook(None);
+                b.send(Rank(0), Tag(4), Payload::size_only(128)).await;
+            });
+        }
+        let out = sim.spawn("recv", async move {
+            let lost = a
+                .recv_timeout(None, Some(Tag(4)), SimDuration::from_millis(1))
+                .await;
+            let next = a
+                .recv_timeout(None, Some(Tag(4)), SimDuration::from_secs(1))
+                .await;
+            (lost.is_none(), next.map(|e| e.payload.len()))
+        });
+        sim.run();
+        let (timed_out, next) = out.try_take().unwrap();
+        assert!(timed_out, "lost payload must not wedge the receiver");
+        assert_eq!(next, Some(128));
+    }
+
+    #[test]
+    fn send_timeout_abandons_unanswered_rendezvous() {
+        // No receiver ever posts: a rendezvous send_timeout gives up and
+        // returns false; an eager-sized one returns true immediately.
+        let (mut sim, fabric) = setup();
+        let a = fabric.add_endpoint(NodeId(0));
+        let _b = fabric.add_endpoint(NodeId(1));
+        let h = sim.handle();
+        let out = sim.spawn("send", async move {
+            let t0 = h.now();
+            let big = a
+                .send_timeout(
+                    Rank(1),
+                    Tag(7),
+                    Payload::size_only(1 << 20),
+                    SimDuration::from_millis(1),
+                )
+                .await;
+            let waited = h.now().since(t0);
+            let small = a
+                .send_timeout(
+                    Rank(1),
+                    Tag(7),
+                    Payload::from_vec(vec![1]),
+                    SimDuration::from_millis(1),
+                )
+                .await;
+            (big, waited, small)
+        });
+        sim.run();
+        let (big, waited, small) = out.try_take().unwrap();
+        assert!(!big, "unanswered rendezvous must be abandoned");
+        assert!(waited >= SimDuration::from_millis(1));
+        assert!(small, "eager sends are fire-and-forget");
+    }
+
+    #[test]
+    fn send_timeout_delivers_when_cts_arrives() {
+        let (mut sim, fabric) = setup();
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        sim.spawn("recv", async move {
+            let env = b.recv(None, Some(Tag(8))).await;
+            assert_eq!(env.payload.len(), 1 << 20);
+        });
+        let out = sim.spawn("send", async move {
+            a.send_timeout(
+                Rank(1),
+                Tag(8),
+                Payload::size_only(1 << 20),
+                SimDuration::from_secs(1),
+            )
+            .await
+        });
+        sim.run();
+        assert_eq!(out.try_take(), Some(true));
     }
 }
 
@@ -1004,7 +1246,8 @@ mod iprobe_tests {
         let b = fabric.add_endpoint(NodeId(1));
         sim.spawn("send", async move {
             // Small (eager) and large (rendezvous) messages.
-            a.send(Rank(1), Tag(1), Payload::from_vec(vec![1, 2, 3])).await;
+            a.send(Rank(1), Tag(1), Payload::from_vec(vec![1, 2, 3]))
+                .await;
             a.send(Rank(1), Tag(2), Payload::size_only(1 << 20)).await;
         });
         let out = sim.spawn("probe", {

@@ -11,7 +11,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dacc_sim::fault::{FaultHook, LinkFault};
 use dacc_sim::prelude::*;
+use parking_lot::Mutex;
 
 /// Identifies a physical node (compute node or accelerator node).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -143,6 +145,12 @@ struct TopologyInner {
     params: FabricParams,
     nics: Vec<NodeNic>,
     switch: Option<Resource>,
+    /// Optional fault-injection hook consulted once per transmitted message.
+    fault: Mutex<Option<Arc<dyn FaultHook>>>,
+    /// Records `fault.drop` / `fault.degrade` events when enabled.
+    tracer: Mutex<Tracer>,
+    dropped_msgs: AtomicU64,
+    degraded_msgs: AtomicU64,
 }
 
 /// The physical cluster: a set of nodes and the wires between them.
@@ -173,9 +181,34 @@ impl Topology {
                 params,
                 nics,
                 switch,
+                fault: Mutex::new(None),
+                tracer: Mutex::new(Tracer::disabled()),
+                dropped_msgs: AtomicU64::new(0),
+                degraded_msgs: AtomicU64::new(0),
             }),
             handle: handle.clone(),
         }
+    }
+
+    /// Install a fault-injection hook consulted once per message; `None`
+    /// restores the healthy fabric.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        *self.inner.fault.lock() = hook;
+    }
+
+    /// Install a tracer for `fault.drop` / `fault.degrade` events.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.lock() = tracer;
+    }
+
+    /// Messages silently dropped by the fault hook so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.inner.dropped_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered with degraded serialization so far.
+    pub fn degraded_messages(&self) -> u64 {
+        self.inner.degraded_msgs.load(Ordering::Relaxed)
     }
 
     /// Interconnect parameters.
@@ -227,6 +260,17 @@ impl Topology {
             return arrived;
         }
 
+        // Ask the fault plane (if any) what happens to this message. The
+        // hook is consulted exactly once per message, before wire time, so
+        // seeded hooks see a deterministic call sequence.
+        let verdict = {
+            let hook = self.inner.fault.lock();
+            match hook.as_ref() {
+                Some(h) => h.on_transmit(src.0, dst.0, payload_bytes, self.handle.now()),
+                None => LinkFault::Deliver,
+            }
+        };
+
         let src_nic = &self.inner.nics[src.0];
         let dst_nic = &self.inner.nics[dst.0];
 
@@ -234,10 +278,36 @@ impl Topology {
         // no deadlock); hold both for the serialization time.
         let tx_guard = src_nic.tx.acquire().await;
         let rx_guard = dst_nic.rx.acquire().await;
-        let serialize = p.per_message + p.bandwidth.transfer_time(wire_bytes);
+        let mut serialize = p.per_message + p.bandwidth.transfer_time(wire_bytes);
+        if let LinkFault::Degrade(factor) = verdict {
+            self.inner.degraded_msgs.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .tracer
+                .lock()
+                .record(&self.handle, "fault.degrade", || {
+                    format!("{src}->{dst} {payload_bytes}B x{factor:.2}")
+                });
+            serialize = SimDuration::from_secs_f64(serialize.as_secs_f64() * factor.max(0.0));
+        }
         self.handle.delay(serialize).await;
         drop(tx_guard);
         drop(rx_guard);
+
+        if verdict == LinkFault::Drop {
+            // The frame occupied both wires but is lost in the fabric: the
+            // sender has paid serialization, the receiver never learns of
+            // it, and the arrival flag stays unset forever.
+            src_nic.tx_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+            src_nic.tx_msgs.fetch_add(1, Ordering::Relaxed);
+            self.inner.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .tracer
+                .lock()
+                .record(&self.handle, "fault.drop", || {
+                    format!("{src}->{dst} {payload_bytes}B")
+                });
+            return arrived;
+        }
 
         // Oversubscribed switch: every message also serializes on the shared
         // backplane (store-and-forward hop), so aggregate fabric throughput
@@ -460,6 +530,70 @@ mod switch_tests {
             oversub >= 2_000_000,
             "oversubscribed switch should cap aggregate: {oversub}ns"
         );
+    }
+
+    #[test]
+    fn faulty_link_drops_and_degrades() {
+        use dacc_sim::fault::{FaultHook, LinkFault};
+        use std::sync::atomic::AtomicUsize;
+
+        /// Drops the first message, degrades the second 4x, then delivers.
+        struct Script(AtomicUsize);
+        impl FaultHook for Script {
+            fn on_transmit(&self, _: usize, _: usize, _: u64, _: SimTime) -> LinkFault {
+                match self.0.fetch_add(1, Ordering::Relaxed) {
+                    0 => LinkFault::Drop,
+                    1 => LinkFault::Degrade(4.0),
+                    _ => LinkFault::Deliver,
+                }
+            }
+        }
+
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let params = FabricParams {
+            latency: SimDuration::ZERO,
+            bandwidth: Bandwidth::from_bytes_per_sec(1e9),
+            per_message: SimDuration::ZERO,
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::ZERO,
+            o_recv: SimDuration::ZERO,
+            header_bytes: 0,
+            switch_bandwidth: None,
+        };
+        let topo = Topology::new(&h, 2, params);
+        let tracer = Tracer::new(64);
+        topo.set_tracer(tracer.clone());
+        topo.set_fault_hook(Some(Arc::new(Script(AtomicUsize::new(0)))));
+        let out = {
+            let topo = topo.clone();
+            let h = sim.handle();
+            sim.spawn("xfer", async move {
+                // Dropped: serialization still charged, arrival never fires.
+                let lost = topo.transmit(NodeId(0), NodeId(1), 1_000_000).await;
+                let t_drop = h.now().as_nanos();
+                // Degraded 4x: 1 MB at 1 GB/s = 1 ms -> 4 ms.
+                let slow = topo.transmit(NodeId(0), NodeId(1), 1_000_000).await;
+                slow.wait().await;
+                let t_degrade = h.now().as_nanos();
+                // Healthy again.
+                let ok = topo.transmit(NodeId(0), NodeId(1), 1_000_000).await;
+                ok.wait().await;
+                (lost.is_set(), t_drop, t_degrade)
+            })
+        };
+        sim.run();
+        let (lost_arrived, t_drop, t_degrade) = out.try_take().unwrap();
+        assert!(!lost_arrived, "dropped message must never arrive");
+        assert_eq!(t_drop, 1_000_000, "drop still charges serialization");
+        assert_eq!(t_degrade, 5_000_000, "1 ms drop + 4 ms degraded");
+        assert_eq!(topo.dropped_messages(), 1);
+        assert_eq!(topo.degraded_messages(), 1);
+        assert_eq!(tracer.events_in("fault.drop").len(), 1);
+        assert_eq!(tracer.events_in("fault.degrade").len(), 1);
+        // Dropped frames count as sent but never as received.
+        assert_eq!(topo.nic_stats(NodeId(0)).tx_msgs, 3);
+        assert_eq!(topo.nic_stats(NodeId(1)).rx_msgs, 2);
     }
 
     #[test]

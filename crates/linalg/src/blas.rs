@@ -243,7 +243,10 @@ pub fn dscal(n: usize, alpha: f64, x: &mut [f64], incx: usize) {
 
 /// Euclidean norm of a strided vector.
 pub fn dnrm2(n: usize, x: &[f64], incx: usize) -> f64 {
-    (0..n).map(|i| x[i * incx] * x[i * incx]).sum::<f64>().sqrt()
+    (0..n)
+        .map(|i| x[i * incx] * x[i * incx])
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Dot product of two strided vectors.
@@ -344,7 +347,7 @@ mod tests {
         let mut big = Matrix::from_fn(4, 4, |i, j| (10 * i + j) as f64);
         let a = [1.0, 0.0, 0.0, 1.0]; // 2x2 identity, lda=2
         let b = [1.0, 2.0, 3.0, 4.0]; // 2x2, lda=2
-        // C block at (1,1) inside big (lda=4): offset = 1*4+1
+                                      // C block at (1,1) inside big (lda=4): offset = 1*4+1
         let lda_big = 4;
         let offset = lda_big + 1;
         let before = big.clone();

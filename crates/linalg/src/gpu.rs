@@ -83,8 +83,16 @@ pub fn register_linalg_kernels(reg: &KernelRegistry) {
             dgemm_time(m, n, k, p)
         },
         |mem, _cfg, args| {
-            let ta = if args[0].u64()? != 0 { Trans::Yes } else { Trans::No };
-            let tb = if args[1].u64()? != 0 { Trans::Yes } else { Trans::No };
+            let ta = if args[0].u64()? != 0 {
+                Trans::Yes
+            } else {
+                Trans::No
+            };
+            let tb = if args[1].u64()? != 0 {
+                Trans::Yes
+            } else {
+                Trans::No
+            };
             let (m, n, k) = (args[2].usize()?, args[3].usize()?, args[4].usize()?);
             let alpha = args[5].f64()?;
             let (pa, lda) = (args[6].ptr()?, args[7].usize()?);
@@ -310,7 +318,11 @@ pub mod args {
     /// output tiles; the cost model is what matters).
     pub fn launch_cfg(m: usize, n: usize) -> LaunchConfig {
         LaunchConfig {
-            grid: (m.div_ceil(64).max(1) as u32, n.div_ceil(16).max(1) as u32, 1),
+            grid: (
+                m.div_ceil(64).max(1) as u32,
+                n.div_ceil(16).max(1) as u32,
+                1,
+            ),
             block: (64, 16, 1),
         }
     }
@@ -409,21 +421,7 @@ mod tests {
             gpu2.launch(
                 "la.dgemm",
                 args::launch_cfg(3, 2),
-                &args::dgemm_args(
-                    Trans::No,
-                    Trans::No,
-                    3,
-                    2,
-                    2,
-                    1.0,
-                    pa,
-                    3,
-                    pb,
-                    2,
-                    0.0,
-                    pc,
-                    5,
-                ),
+                &args::dgemm_args(Trans::No, Trans::No, 3, 2, 2, 1.0, pa, 3, pb, 2, 0.0, pc, 5),
             )
             .await
             .unwrap();
@@ -548,25 +546,13 @@ mod tests {
             gpu2.launch(
                 "la.dgemm",
                 args::launch_cfg(4, 4),
-                &args::dgemm_args(
-                    Trans::No,
-                    Trans::No,
-                    4,
-                    4,
-                    4,
-                    1.0,
-                    pa,
-                    4,
-                    pa,
-                    4,
-                    0.0,
-                    pc,
-                    4,
-                ),
+                &args::dgemm_args(Trans::No, Trans::No, 4, 4, 4, 1.0, pa, 4, pa, 4, 0.0, pc, 4),
             )
             .await
             .unwrap();
-            gpu2.memcpy_d2h(pc, 4 * 4 * 8, HostMemKind::Pinned).await.unwrap()
+            gpu2.memcpy_d2h(pc, 4 * 4 * 8, HostMemKind::Pinned)
+                .await
+                .unwrap()
         });
         sim.run();
         let payload = done.try_take().unwrap();

@@ -76,7 +76,10 @@ impl Default for HybridConfig {
 fn as_remote(dev: &AcDevice) -> Option<&RemoteAccelerator> {
     match dev {
         AcDevice::Remote(r) => Some(r),
-        AcDevice::Local { .. } => None,
+        // Resilient sessions hand out virtual pointers that daemon-to-daemon
+        // transfers cannot interpret; peer broadcasts fall back to the host
+        // path (peer traffic is outside the failover plane).
+        AcDevice::Local { .. } | AcDevice::Resilient(_) => None,
     }
 }
 
@@ -106,7 +109,10 @@ async fn broadcast_panel(
                     Some(p) => p.clone(),
                     None => src_slot.dev.mem_cpy_d2h(src_slot.scratch, bytes).await?,
                 };
-                dst_slot.dev.mem_cpy_h2d(&payload, dst_slot.panel_ws).await?;
+                dst_slot
+                    .dev
+                    .mem_cpy_h2d(&payload, dst_slot.panel_ws)
+                    .await?;
             }
         }
     }
@@ -178,7 +184,8 @@ impl Dist {
     /// Device pointer to the top of global block column `j` on its owner.
     fn col_ptr(&self, j: usize) -> DevicePtr {
         let slot = &self.slots[self.owner(j)];
-        slot.base.offset(((j / self.g()) * self.nb * self.m * 8) as u64)
+        slot.base
+            .offset(((j / self.g()) * self.nb * self.m * 8) as u64)
     }
 
     /// Index of the first local block on device `d` whose global block
@@ -210,11 +217,7 @@ impl Dist {
     }
 }
 
-async fn setup(
-    devices: &[AcDevice],
-    host: &HostMatrix,
-    nb: usize,
-) -> Result<Dist, AcError> {
+async fn setup(devices: &[AcDevice], host: &HostMatrix, nb: usize) -> Result<Dist, AcError> {
     let (m, n) = (host.rows(), host.cols());
     assert!(m >= n, "hybrid factorizations require m >= n");
     assert!(!devices.is_empty());
@@ -387,11 +390,12 @@ pub async fn dpotrf_hybrid(
 
         // 1. Diagonal block to the CPU, factor, and back (small: kb × kb).
         let diag = fetch_strided(owner_slot, diag_ptr, dist.m, kb, kb).await?;
-        handle.delay(cpu_time(kb as f64 * kb as f64 * kb as f64 / 3.0, cfg)).await;
+        handle
+            .delay(cpu_time(kb as f64 * kb as f64 * kb as f64 / 3.0, cfg))
+            .await;
         let factored = if host.is_real() {
             let mut block = payload_to_f64(&diag);
-            dpotf2(kb, &mut block, kb)
-                .map_err(|e| AcError::Local(e.to_string()))?;
+            dpotf2(kb, &mut block, kb).map_err(|e| AcError::Local(e.to_string()))?;
             f64_to_payload(&block)
         } else {
             Payload::size_only((kb * kb * 8) as u64)
@@ -608,7 +612,10 @@ pub async fn dgeqrf_hybrid(
             if dist.trailing(d, k).is_none() {
                 continue;
             }
-            dist.slots[d].dev.mem_cpy_h2d(&t_payload, dist.slots[d].t_ws).await?;
+            dist.slots[d]
+                .dev
+                .mem_cpy_h2d(&t_payload, dist.slots[d].t_ws)
+                .await?;
         }
 
         // 3. Apply the block reflector to each device's trailing columns.
@@ -640,9 +647,7 @@ pub async fn dgeqrf_hybrid(
                 let kb_next = dist.width(next_k);
                 let col0_next = next_k * cfg.nb;
                 let mk_next = m - col0_next;
-                let next_panel_ptr = dist
-                    .col_ptr(next_k)
-                    .offset((col0_next * 8) as u64);
+                let next_panel_ptr = dist.col_ptr(next_k).offset((col0_next * 8) as u64);
                 let tx = panel_tx.take().expect("one lookahead owner");
                 let nb = cfg.nb;
                 futures.push(Box::pin(async move {
@@ -655,8 +660,7 @@ pub async fn dgeqrf_hybrid(
                         )
                         .await?;
                     // ...ship the next panel to the host...
-                    let p =
-                        fetch_strided(slot, next_panel_ptr, ldm, mk_next, kb_next).await?;
+                    let p = fetch_strided(slot, next_panel_ptr, ldm, mk_next, kb_next).await?;
                     tx.send(p);
                     // ...then update the remaining local columns.
                     if cols > kb_next {

@@ -112,7 +112,15 @@ pub fn copy_block(a: &[f64], lda: usize, i0: usize, j0: usize, m: usize, n: usiz
 }
 
 /// Write a dense `m × n` buffer back into an lda-strided block.
-pub fn write_block(a: &mut [f64], lda: usize, i0: usize, j0: usize, m: usize, n: usize, src: &[f64]) {
+pub fn write_block(
+    a: &mut [f64],
+    lda: usize,
+    i0: usize,
+    j0: usize,
+    m: usize,
+    n: usize,
+    src: &[f64],
+) {
     for j in 0..n {
         let base = (j0 + j) * lda + i0;
         a[base..base + m].copy_from_slice(&src[j * m..(j + 1) * m]);
@@ -152,7 +160,13 @@ pub fn dgeqr2(m: usize, n: usize, a: &mut [f64], lda: usize) -> Vec<f64> {
             // v = [1; A[k+1.., k]]
             for j in k + 1..n {
                 let mut w = a[j * lda + k]; // v0 * A[k, j]
-                w += ddot(m - k - 1, &a[k * lda + k + 1..], 1, &a[j * lda + k + 1..], 1);
+                w += ddot(
+                    m - k - 1,
+                    &a[k * lda + k + 1..],
+                    1,
+                    &a[j * lda + k + 1..],
+                    1,
+                );
                 let t = -tau[k] * w;
                 a[j * lda + k] += t;
                 daxpy(
@@ -251,7 +265,21 @@ pub fn dlarfb_left_trans(
     );
     // W = Tᵀ W
     let mut w2 = vec![0.0; k * n];
-    dgemm(Trans::Yes, Trans::No, k, n, k, 1.0, t, k, &w, k, 0.0, &mut w2, k);
+    dgemm(
+        Trans::Yes,
+        Trans::No,
+        k,
+        n,
+        k,
+        1.0,
+        t,
+        k,
+        &w,
+        k,
+        0.0,
+        &mut w2,
+        k,
+    );
     // C -= V W
     dgemm(
         Trans::No,
@@ -288,16 +316,7 @@ pub fn dgeqrf(m: usize, n: usize, a: &mut [f64], lda: usize, nb: usize) -> Vec<f
             let t = dlarft(mrem, kb, &a[panel_off..], lda, &ptau);
             let v = copy_block(a, lda, k, k, mrem, kb);
             let trail_off = (k + kb) * lda + k;
-            dlarfb_left_trans(
-                mrem,
-                n - k - kb,
-                kb,
-                &v,
-                mrem,
-                &t,
-                &mut a[trail_off..],
-                lda,
-            );
+            dlarfb_left_trans(mrem, n - k - kb, kb, &v, mrem, &t, &mut a[trail_off..], lda);
         }
         k += kb;
     }
@@ -377,7 +396,10 @@ mod tests {
     #[test]
     fn dpotf2_rejects_indefinite() {
         let mut a = vec![1.0, 2.0, 2.0, 1.0]; // indefinite
-        assert_eq!(dpotf2(2, &mut a, 2), Err(LapackError::NotPositiveDefinite(2)));
+        assert_eq!(
+            dpotf2(2, &mut a, 2),
+            Err(LapackError::NotPositiveDefinite(2))
+        );
     }
 
     #[test]
@@ -546,10 +568,9 @@ pub fn dgetrf(
     while k < kmax {
         let kb = nb.min(kmax - k);
         // Factor the panel A[k.., k..k+kb].
-        let piv = dgetf2(m - k, kb, &mut a[k * lda + k..], lda)
-            .map_err(|LapackError::NotPositiveDefinite(i)| {
-                LapackError::NotPositiveDefinite(k + i)
-            })?;
+        let piv = dgetf2(m - k, kb, &mut a[k * lda + k..], lda).map_err(
+            |LapackError::NotPositiveDefinite(i)| LapackError::NotPositiveDefinite(k + i),
+        )?;
         // Apply the panel's row swaps to the rest of the matrix and record
         // global pivots.
         for (i, &p) in piv.iter().enumerate() {

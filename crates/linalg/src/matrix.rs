@@ -260,7 +260,11 @@ impl HostMatrix {
     /// Overwrite columns `[j0, j0+w)` from a transfer payload.
     pub fn set_columns_payload(&mut self, j0: usize, w: usize, payload: &Payload) {
         let rows = self.rows();
-        assert_eq!(payload.len(), (rows * w * 8) as u64, "payload size mismatch");
+        assert_eq!(
+            payload.len(),
+            (rows * w * 8) as u64,
+            "payload size mismatch"
+        );
         if let HostMatrix::Real(m) = self {
             let bytes = payload.expect_bytes();
             let vals: Vec<f64> = bytes

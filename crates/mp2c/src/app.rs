@@ -68,7 +68,10 @@ pub struct Slab {
 impl Slab {
     /// Slabs for `ranks` ranks over a box of `nx × ny × nz` cells.
     pub fn decompose(nx: usize, ny: usize, nz: usize, cell: f64, ranks: usize) -> Vec<Slab> {
-        assert!(nx.is_multiple_of(ranks), "x cells must divide evenly across ranks");
+        assert!(
+            nx.is_multiple_of(ranks),
+            "x cells must divide evenly across ranks"
+        );
         let box_size = [nx as f64 * cell, ny as f64 * cell, nz as f64 * cell];
         let w = box_size[0] / ranks as f64;
         (0..ranks)
@@ -112,9 +115,7 @@ pub struct RankReport {
 
 enum State {
     Functional(Particles),
-    TimingOnly {
-        n_local: usize,
-    },
+    TimingOnly { n_local: usize },
 }
 
 impl State {

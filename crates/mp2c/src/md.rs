@@ -19,7 +19,7 @@ pub fn stream_step(particles: &mut Particles, dt: f64, box_size: [f64; 3]) {
             let mut x = particles.pos[idx] + particles.vel[idx] * dt;
             let b = box_size[a];
             x -= (x / b).floor() * b; // periodic wrap
-            // Guard the x == b edge from floating point.
+                                      // Guard the x == b edge from floating point.
             if x >= b {
                 x = 0.0;
             }

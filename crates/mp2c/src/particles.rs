@@ -122,7 +122,11 @@ impl Particles {
     /// Overwrite velocities from a payload produced by
     /// [`Particles::vel_payload`].
     pub fn set_vel_from_payload(&mut self, p: &Payload) {
-        assert_eq!(p.len() as usize, self.vel.len() * 8, "velocity payload size");
+        assert_eq!(
+            p.len() as usize,
+            self.vel.len() * 8,
+            "velocity payload size"
+        );
         for (i, c) in p.expect_bytes().chunks_exact(8).enumerate() {
             self.vel[i] = f64::from_le_bytes(c.try_into().unwrap());
         }

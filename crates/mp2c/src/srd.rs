@@ -291,7 +291,10 @@ mod tests {
             .zip(&before)
             .filter(|(a, b)| (*a - *b).abs() > 1e-12)
             .count();
-        assert!(changed > before.len() / 2, "only {changed} components changed");
+        assert!(
+            changed > before.len() / 2,
+            "only {changed} components changed"
+        );
     }
 
     #[test]

@@ -122,12 +122,7 @@ fn momentum_and_energy_conserved_globally() {
     let slabs = Slab::decompose(16, 4, 4, 1.0, 2);
     for (i, slab) in slabs.iter().enumerate() {
         let mut rng = SimRng::derive(7, &format!("rank{i}"));
-        let p = Particles::random(
-            300,
-            [slab.x_lo, 0.0, 0.0],
-            [slab.x_hi, 4.0, 4.0],
-            &mut rng,
-        );
+        let p = Particles::random(300, [slab.x_lo, 0.0, 0.0], [slab.x_hi, 4.0, 4.0], &mut rng);
         let m = p.total_momentum();
         for a in 0..3 {
             momentum0[a] += m[a];

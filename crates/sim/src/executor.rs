@@ -370,7 +370,6 @@ impl SimHandle {
             registered: false,
         }
     }
-
 }
 
 struct JoinState<T> {
@@ -430,15 +429,13 @@ impl Future for Timer {
             return Poll::Ready(());
         }
         if !self.registered {
-            self.core
-                .schedule_wake(self.deadline, cx.waker().clone());
+            self.core.schedule_wake(self.deadline, cx.waker().clone());
             self.registered = true;
         }
         // If the task is polled again before the deadline (woken by something
         // else), re-register with the fresh waker: wakers are one-shot.
         else {
-            self.core
-                .schedule_wake(self.deadline, cx.waker().clone());
+            self.core.schedule_wake(self.deadline, cx.waker().clone());
         }
         Poll::Pending
     }

@@ -1,0 +1,91 @@
+//! Fault-injection plane: hooks the fabric and daemons consult so an
+//! external chaos controller can perturb a run deterministically.
+//!
+//! The simulation crates stay free of injection *policy*: they only ask a
+//! [`FaultHook`] what should happen at well-defined decision points (a
+//! message about to cross a link, a daemon about to serve a request). The
+//! `dacc-chaos` crate implements the hook from a seeded schedule; with no
+//! hook installed every decision point takes the healthy path at the cost
+//! of one branch.
+
+use crate::time::{SimDuration, SimTime};
+
+/// What the fabric should do with one message about to cross a link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkFault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop the message after it has occupied the wire (the
+    /// sender still pays serialization; the receiver never sees it).
+    Drop,
+    /// Deliver, but with serialization time multiplied by this factor
+    /// (> 1.0 models a degraded / congested link).
+    Degrade(f64),
+}
+
+/// Health of a simulated process (daemon, ARM) at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProcessFault {
+    /// Process is running normally.
+    Healthy,
+    /// Process stalls for the given duration before continuing.
+    Hang(SimDuration),
+    /// Process dies: it stops serving and never responds again.
+    Crash,
+}
+
+/// Decision points offered to a fault controller.
+///
+/// All methods default to the healthy path, so implementors override only
+/// the surfaces they perturb. Implementations must be deterministic
+/// functions of their own (seeded) state — the simulator calls them in a
+/// fixed order, so a deterministic hook keeps whole runs reproducible.
+pub trait FaultHook {
+    /// Called once per message entering a link, before wire time is
+    /// charged. `src`/`dst` are node ids; `payload_bytes` excludes headers.
+    fn on_transmit(&self, src: usize, dst: usize, payload_bytes: u64, now: SimTime) -> LinkFault {
+        let _ = (src, dst, payload_bytes, now);
+        LinkFault::Deliver
+    }
+
+    /// Called by a process identified by `process` (rank, by convention)
+    /// at the top of each service iteration.
+    fn process_state(&self, process: usize, now: SimTime) -> ProcessFault {
+        let _ = (process, now);
+        ProcessFault::Healthy
+    }
+}
+
+/// A hook that never injects anything; useful as an explicit default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_healthy() {
+        let h = NoFaults;
+        assert_eq!(h.on_transmit(0, 1, 4096, SimTime::ZERO), LinkFault::Deliver);
+        assert_eq!(h.process_state(3, SimTime::ZERO), ProcessFault::Healthy);
+    }
+
+    #[test]
+    fn overrides_take_effect() {
+        struct DropAll;
+        impl FaultHook for DropAll {
+            fn on_transmit(&self, _: usize, _: usize, _: u64, _: SimTime) -> LinkFault {
+                LinkFault::Drop
+            }
+        }
+        assert_eq!(DropAll.on_transmit(0, 1, 1, SimTime::ZERO), LinkFault::Drop);
+        // Unoverridden surface stays healthy.
+        assert_eq!(
+            DropAll.process_state(0, SimTime::ZERO),
+            ProcessFault::Healthy
+        );
+    }
+}

@@ -32,8 +32,9 @@
 #![allow(clippy::arc_with_non_send_sync)]
 
 pub mod channel;
-pub mod futures;
 pub mod executor;
+pub mod fault;
+pub mod futures;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -44,8 +45,9 @@ pub mod trace;
 /// Common imports for simulation code.
 pub mod prelude {
     pub use crate::channel::{channel, oneshot::oneshot, Receiver, RecvError, SendError, Sender};
-    pub use crate::futures::{join2, join_all};
     pub use crate::executor::{yield_now, JoinHandle, RunOutcome, Sim, SimHandle};
+    pub use crate::fault::{FaultHook, LinkFault, NoFaults, ProcessFault};
+    pub use crate::futures::{join2, join_all};
     pub use crate::resource::{Link, LinkParams, Resource, ResourceGuard, Server};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Stopwatch, Summary, TimeSeries};

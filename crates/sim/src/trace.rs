@@ -62,7 +62,12 @@ impl Tracer {
 
     /// Record an event at the handle's current time. The label closure is
     /// only evaluated when the tracer is enabled.
-    pub fn record(&self, handle: &SimHandle, category: &'static str, label: impl FnOnce() -> String) {
+    pub fn record(
+        &self,
+        handle: &SimHandle,
+        category: &'static str,
+        label: impl FnOnce() -> String,
+    ) {
         if let Some(inner) = &self.inner {
             let mut t = inner.lock();
             if t.ring.len() == t.capacity {
@@ -119,7 +124,14 @@ impl Tracer {
     pub fn dump(&self) -> String {
         self.events()
             .iter()
-            .map(|e| format!("{:>14}  {:<20}  {}", e.time.to_string(), e.category, e.label))
+            .map(|e| {
+                format!(
+                    "{:>14}  {:<20}  {}",
+                    e.time.to_string(),
+                    e.category,
+                    e.label
+                )
+            })
             .collect::<Vec<_>>()
             .join("\n")
     }

@@ -449,7 +449,11 @@ mod tests {
                     g2.launch(
                         "fill_f64",
                         LaunchConfig::default(),
-                        &[KernelArg::Ptr(p), KernelArg::U64(n_elems), KernelArg::F64(0.0)],
+                        &[
+                            KernelArg::Ptr(p),
+                            KernelArg::U64(n_elems),
+                            KernelArg::F64(0.0),
+                        ],
                     )
                     .await
                     .unwrap();
@@ -477,9 +481,13 @@ mod tests {
         let ok = sim.spawn("t", async move {
             let a = g.alloc(64).await.unwrap();
             let b = g.alloc(64).await.unwrap();
-            g.memcpy_h2d(&Payload::from_vec((0..64).collect()), a, HostMemKind::Pinned)
-                .await
-                .unwrap();
+            g.memcpy_h2d(
+                &Payload::from_vec((0..64).collect()),
+                a,
+                HostMemKind::Pinned,
+            )
+            .await
+            .unwrap();
             g.memcpy_d2d(a, b, 64).await.unwrap();
             let back = g.memcpy_d2h(b, 64, HostMemKind::Pinned).await.unwrap();
             back.expect_bytes().as_ref() == (0..64).collect::<Vec<u8>>().as_slice()

@@ -271,7 +271,10 @@ mod tests {
         register_builtin_kernels(&reg);
         assert!(reg.contains("daxpy"));
         assert!(!reg.contains("nope"));
-        assert_eq!(reg.names(), vec!["daxpy", "fill_f64", "reduce_sum", "vec_add"]);
+        assert_eq!(
+            reg.names(),
+            vec!["daxpy", "fill_f64", "reduce_sum", "vec_add"]
+        );
         assert!(matches!(
             reg.get("nope"),
             Err(KernelError::UnknownKernel(_))
@@ -288,10 +291,18 @@ mod tests {
         let cfg = LaunchConfig::linear(1, 10);
 
         let fill = reg.get("fill_f64").unwrap();
-        (fill.body)(&mut mem, &cfg, &[KernelArg::Ptr(x), KernelArg::U64(10), KernelArg::F64(2.0)])
-            .unwrap();
-        (fill.body)(&mut mem, &cfg, &[KernelArg::Ptr(y), KernelArg::U64(10), KernelArg::F64(1.0)])
-            .unwrap();
+        (fill.body)(
+            &mut mem,
+            &cfg,
+            &[KernelArg::Ptr(x), KernelArg::U64(10), KernelArg::F64(2.0)],
+        )
+        .unwrap();
+        (fill.body)(
+            &mut mem,
+            &cfg,
+            &[KernelArg::Ptr(y), KernelArg::U64(10), KernelArg::F64(1.0)],
+        )
+        .unwrap();
 
         let daxpy = reg.get("daxpy").unwrap();
         (daxpy.body)(
@@ -321,7 +332,11 @@ mod tests {
         (k.body)(
             &mut mem,
             &LaunchConfig::default(),
-            &[KernelArg::Ptr(src), KernelArg::Ptr(dst), KernelArg::U64(100)],
+            &[
+                KernelArg::Ptr(src),
+                KernelArg::Ptr(dst),
+                KernelArg::U64(100),
+            ],
         )
         .unwrap();
         assert_eq!(mem.read_f64(dst, 1).unwrap(), vec![5050.0]);
@@ -344,8 +359,24 @@ mod tests {
         let p = GpuParams::tesla_c1060();
         let k = reg.get("fill_f64").unwrap();
         let cfg = LaunchConfig::default();
-        let c1 = (k.cost)(&cfg, &[KernelArg::Ptr(DevicePtr(0)), KernelArg::U64(1000), KernelArg::F64(0.0)], &p);
-        let c2 = (k.cost)(&cfg, &[KernelArg::Ptr(DevicePtr(0)), KernelArg::U64(2000), KernelArg::F64(0.0)], &p);
+        let c1 = (k.cost)(
+            &cfg,
+            &[
+                KernelArg::Ptr(DevicePtr(0)),
+                KernelArg::U64(1000),
+                KernelArg::F64(0.0),
+            ],
+            &p,
+        );
+        let c2 = (k.cost)(
+            &cfg,
+            &[
+                KernelArg::Ptr(DevicePtr(0)),
+                KernelArg::U64(2000),
+                KernelArg::F64(0.0),
+            ],
+            &p,
+        );
         // Linear in n up to nanosecond rounding.
         let diff = c2.as_nanos() as i64 - 2 * c1.as_nanos() as i64;
         assert!(diff.abs() <= 1, "c1={c1}, c2={c2}");

@@ -53,7 +53,10 @@ impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested}, free {free}")
+                write!(
+                    f,
+                    "device out of memory: requested {requested}, free {free}"
+                )
             }
             MemError::InvalidPointer(p) => write!(f, "invalid device pointer {p:?}"),
             MemError::OutOfBounds { ptr, len } => {
@@ -286,7 +289,8 @@ mod tests {
     fn alloc_write_read_roundtrip() {
         let mut m = mem();
         let p = m.alloc(100).unwrap();
-        m.write_payload(p, &Payload::from_vec(vec![7u8; 100])).unwrap();
+        m.write_payload(p, &Payload::from_vec(vec![7u8; 100]))
+            .unwrap();
         let back = m.read_payload(p, 100).unwrap();
         assert_eq!(back.expect_bytes().as_ref(), &[7u8; 100]);
     }
@@ -295,7 +299,10 @@ mod tests {
     fn fresh_allocation_is_zeroed() {
         let mut m = mem();
         let p = m.alloc(64).unwrap();
-        assert_eq!(m.read_payload(p, 64).unwrap().expect_bytes().as_ref(), &[0u8; 64]);
+        assert_eq!(
+            m.read_payload(p, 64).unwrap().expect_bytes().as_ref(),
+            &[0u8; 64]
+        );
     }
 
     #[test]
@@ -403,7 +410,8 @@ mod tests {
         let mut m = mem();
         let a = m.alloc(16).unwrap();
         let b = m.alloc(16).unwrap();
-        m.write_payload(a, &Payload::from_vec((0..16).collect())).unwrap();
+        m.write_payload(a, &Payload::from_vec((0..16).collect()))
+            .unwrap();
         m.copy_within(a, b, 16).unwrap();
         assert_eq!(
             m.read_payload(b, 16).unwrap().expect_bytes().as_ref(),

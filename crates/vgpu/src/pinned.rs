@@ -162,8 +162,7 @@ mod tests {
         let with = pool(&sim, 4, true);
         let without = pool(&sim, 4, false);
         assert_eq!(with.staging_cost(128 << 10), SimDuration::ZERO);
-        let expected =
-            Bandwidth::from_gib_per_sec(5.0).transfer_time(128 << 10);
+        let expected = Bandwidth::from_gib_per_sec(5.0).transfer_time(128 << 10);
         assert_eq!(without.staging_cost(128 << 10), expected);
     }
 

@@ -144,9 +144,10 @@ impl Stream {
     /// Asynchronous memset.
     pub fn memset_async(&mut self, dst: DevicePtr, len: u64, byte: u8) {
         let gpu = self.gpu.clone();
-        self.enqueue("stream.memset", async move {
-            gpu.memset(dst, len, byte).await
-        });
+        self.enqueue(
+            "stream.memset",
+            async move { gpu.memset(dst, len, byte).await },
+        );
     }
 
     /// Record an event at the current stream position.
@@ -213,7 +214,11 @@ mod tests {
             s.launch_async(
                 "fill_f64",
                 LaunchConfig::linear(1, 128),
-                vec![KernelArg::Ptr(ptr), KernelArg::U64(100), KernelArg::F64(1.0)],
+                vec![
+                    KernelArg::Ptr(ptr),
+                    KernelArg::U64(100),
+                    KernelArg::F64(1.0),
+                ],
             );
             s.launch_async(
                 "daxpy",

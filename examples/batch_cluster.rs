@@ -35,7 +35,12 @@ fn main() {
     let mut scheduler = BatchScheduler::new(2, BatchPolicy::Backfill);
 
     // The job scripts: (compute nodes, accelerators per node, kernel size).
-    let scripts = [(1u32, 2u32, 400_000u64), (2, 1, 250_000), (1, 1, 150_000), (1, 0, 0)];
+    let scripts = [
+        (1u32, 2u32, 400_000u64),
+        (2, 1, 250_000),
+        (1, 1, 150_000),
+        (1, 0, 0),
+    ];
     for (i, &(cns, apn, _)) in scripts.iter().enumerate() {
         scheduler.submit(BatchRequest {
             job: JobId(i as u64),
@@ -43,7 +48,10 @@ fn main() {
             accels_per_node: apn,
         });
     }
-    println!("submitted {} job scripts; policy = backfill\n", scripts.len());
+    println!(
+        "submitted {} job scripts; policy = backfill\n",
+        scripts.len()
+    );
 
     // Drive the scheduler: start whatever fits, run started jobs as tasks,
     // recycle resources as they finish.

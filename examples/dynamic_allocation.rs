@@ -58,7 +58,10 @@ fn main() {
         sim.spawn("job2", async move {
             h.delay(SimDuration::from_millis(1)).await;
             let proc = AcProcess::new(ep2, arm_rank, JobId(2), FrontendConfig::default());
-            println!("[{}] job2: requesting 1 accelerator (pool is empty)...", h.now());
+            println!(
+                "[{}] job2: requesting 1 accelerator (pool is empty)...",
+                h.now()
+            );
             let accels = proc.acquire_waiting(1).await.unwrap();
             println!("[{}] job2: granted after job1 released", h.now());
             // Fault tolerance: the accelerator fails; the compute node
@@ -66,7 +69,10 @@ fn main() {
             let broken = accels[0].clone();
             let broken_id = dacc_arm::state::AcceleratorId(0);
             proc.arm().mark_broken(broken_id).await.ok();
-            println!("[{}] job2: reported accelerator broken; acquiring a replacement", h.now());
+            println!(
+                "[{}] job2: reported accelerator broken; acquiring a replacement",
+                h.now()
+            );
             let replacement = proc.acquire_waiting(1).await.unwrap();
             let ptr = replacement[0].mem_alloc(4096).await.unwrap();
             replacement[0].mem_free(ptr).await.unwrap();

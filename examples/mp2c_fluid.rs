@@ -93,7 +93,12 @@ fn initial_momentum() -> [f64; 3] {
     let mut m0 = [0.0; 3];
     for (i, slab) in slabs.iter().enumerate() {
         let mut rng = SimRng::derive(11, &format!("rank{i}"));
-        let p = Particles::random(5_000, [slab.x_lo, 0.0, 0.0], [slab.x_hi, 8.0, 8.0], &mut rng);
+        let p = Particles::random(
+            5_000,
+            [slab.x_lo, 0.0, 0.0],
+            [slab.x_hi, 8.0, 8.0],
+            &mut rng,
+        );
         let m = p.total_momentum();
         for a in 0..3 {
             m0[a] += m[a];

@@ -40,9 +40,7 @@ fn run(n: usize, gpus: u32, mode: ExecMode) -> (SimDuration, f64) {
         let accels = proc.acquire(gpus).await.expect("not enough accelerators");
         let devices = AcProcess::as_devices(&accels);
         let mut host = match mode {
-            ExecMode::Functional => {
-                HostMatrix::Real(Matrix::random(n, n, &mut SimRng::new(3)))
-            }
+            ExecMode::Functional => HostMatrix::Real(Matrix::random(n, n, &mut SimRng::new(3))),
             ExecMode::TimingOnly => HostMatrix::Shape { rows: n, cols: n },
         };
         let cfg = HybridConfig {

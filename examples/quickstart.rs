@@ -67,9 +67,15 @@ fn main() {
 
         let back = ac.mem_cpy_d2h(y, n * 8).await.unwrap();
         let last = f64::from_le_bytes(
-            back.expect_bytes()[(n as usize - 1) * 8..].try_into().unwrap(),
+            back.expect_bytes()[(n as usize - 1) * 8..]
+                .try_into()
+                .unwrap(),
         );
-        println!("y[{}] = {last} (expected {})", n - 1, 2.0 * (n - 1) as f64 + 1.0);
+        println!(
+            "y[{}] = {last} (expected {})",
+            n - 1,
+            2.0 * (n - 1) as f64 + 1.0
+        );
         assert_eq!(last, 2.0 * (n - 1) as f64 + 1.0);
 
         ac.mem_free(x).await.unwrap();

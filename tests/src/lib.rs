@@ -31,3 +31,45 @@ pub fn pattern(len: usize, salt: u8) -> Vec<u8> {
         .map(|i| ((i as u64 * 131 + salt as u64 * 7919) % 251) as u8)
         .collect()
 }
+
+/// [`full_cluster`] with the fault-tolerance plane armed: a tracer wired
+/// through every layer, an optional chaos hook, bounded daemon data waits,
+/// and client-side timeouts with retry. The retry deadline (25 ms) must
+/// exceed the longest healthy operation in these tests so only genuinely
+/// lost traffic is retried.
+pub fn full_cluster_chaos(
+    compute_nodes: usize,
+    accelerators: usize,
+    mode: ExecMode,
+    tracer: Tracer,
+    fault: Option<std::sync::Arc<dyn dacc_sim::fault::FaultHook>>,
+) -> (Sim, Cluster) {
+    let sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    dacc_linalg::gpu::register_linalg_kernels(&registry);
+    dacc_linalg::gpu::register_staging_kernels(&registry);
+    dacc_mp2c::srd::register_srd_kernel(&registry);
+    let spec = ClusterSpec {
+        compute_nodes,
+        accelerators,
+        local_gpus: false,
+        mode,
+        gpu: GpuParams::tesla_c1060(),
+        daemon: DaemonConfig {
+            data_timeout: Some(SimDuration::from_millis(20)),
+            ..DaemonConfig::default()
+        },
+        frontend: FrontendConfig {
+            retry: Some(RetryPolicy {
+                timeout: SimDuration::from_millis(25),
+                max_retries: 4,
+                backoff: SimDuration::from_micros(200),
+            }),
+            ..FrontendConfig::default()
+        },
+        ..ClusterSpec::default()
+    };
+    let cluster = build_cluster_chaos(&sim, spec, registry, tracer, fault);
+    (sim, cluster)
+}

@@ -1,0 +1,224 @@
+//! Fault-injection integration scenarios: the chaos plane kills traffic
+//! and daemons; the retry/failover plane keeps jobs alive.
+
+use dacc_arm::state::JobId;
+use dacc_chaos::{ChaosPlane, Fault, FaultSchedule};
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_tests::{full_cluster_chaos, pattern};
+use dacc_vgpu::params::ExecMode;
+
+/// The acceptance scenario: an accelerator dies mid-QR; the front-end
+/// reports it to the ARM, receives a replacement grant, replays the command
+/// log, and the factorization completes with correct numerics.
+#[test]
+fn accelerator_death_mid_qr_fails_over_and_completes() {
+    use dacc_linalg::hybrid::{dgeqrf_hybrid, HybridConfig};
+    use dacc_linalg::lapack::qr_residuals;
+    use dacc_linalg::matrix::{HostMatrix, Matrix};
+
+    let tracer = Tracer::new(65536);
+    // 1 compute node + 2 accelerators: ARM is rank 0, the CN rank 1, the
+    // daemons ranks 2 and 3. FirstFit grants accelerator 0 (rank 2); kill
+    // it mid-factorization (the whole healthy run is ~110 fabric
+    // transmissions) so the command log already holds allocations, copies,
+    // and kernel runs when the replacement is granted.
+    let plane = ChaosPlane::new(
+        11,
+        FaultSchedule::new().after_events(60, Fault::kill_daemon(2)),
+    );
+    let (mut sim, mut cluster) = full_cluster_chaos(
+        1,
+        2,
+        ExecMode::Functional,
+        tracer.clone(),
+        Some(plane.clone()),
+    );
+    let arm_rank = cluster.arm_rank;
+    let ep = cluster.cn_endpoints.remove(0);
+    let h = sim.handle();
+    let frontend = cluster.spec.frontend;
+
+    let n = 48usize;
+    let a = Matrix::random(n, n, &mut SimRng::new(4242));
+    let a0 = a.clone();
+    let job_tracer = tracer.clone();
+    let out = sim.spawn("qr-job", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend).with_tracer(job_tracer);
+        let mut sessions = proc.acquire_resilient(1).await.unwrap();
+        let session = sessions.remove(0);
+        let devices = vec![AcDevice::Resilient(session.clone())];
+        let mut host = HostMatrix::Real(a);
+        let cfg = HybridConfig {
+            nb: 16,
+            ..HybridConfig::default()
+        };
+        let report = dgeqrf_hybrid(&h, &devices, &mut host, &cfg).await.unwrap();
+        proc.finish().await;
+        let factored = match host {
+            HostMatrix::Real(m) => m,
+            _ => unreachable!(),
+        };
+        (factored, report.tau, session.failovers())
+    });
+    sim.run();
+    let (factored, tau, failovers) = out.try_take().expect("QR job did not finish");
+
+    // The numerics survived the mid-flight accelerator death.
+    let (resid, orth) = qr_residuals(&a0, &factored, &tau);
+    assert!(
+        resid < 1e-8 && orth < 1e-10,
+        "QR corrupted by failover: resid={resid:e} orth={orth:e}"
+    );
+    // The failure actually happened and the failover is visible end-to-end.
+    assert!(failovers >= 1, "the session never failed over");
+    assert!(plane.counters().crashes >= 1, "the daemon never crashed");
+    assert!(
+        !tracer.events_in("fault.crash").is_empty(),
+        "daemon crash not traced"
+    );
+    assert!(
+        !tracer.events_in("arm.failover").is_empty(),
+        "ARM failover decision not traced"
+    );
+    assert!(
+        !tracer.events_in("retry.timeout").is_empty(),
+        "the dead accelerator should have produced request timeouts"
+    );
+}
+
+/// Pure message loss (no death): counted drops on both directions of the
+/// client↔daemon link are absorbed by timeouts and retries; payloads stay
+/// byte-exact and no failover is needed.
+#[test]
+fn transfers_survive_injected_message_drops() {
+    let tracer = Tracer::new(16384);
+    // Drop 4 daemon-bound messages early, then 2 client-bound responses a
+    // little later (events counts chosen to land inside the transfers).
+    let plane = ChaosPlane::new(
+        3,
+        FaultSchedule::new()
+            .after_events(
+                20,
+                Fault::DropMessages {
+                    src: Some(1),
+                    dst: Some(2),
+                    count: 4,
+                },
+            )
+            .after_events(
+                60,
+                Fault::DropMessages {
+                    src: Some(2),
+                    dst: Some(1),
+                    count: 2,
+                },
+            ),
+    );
+    let (mut sim, mut cluster) = full_cluster_chaos(
+        1,
+        1,
+        ExecMode::Functional,
+        tracer.clone(),
+        Some(plane.clone()),
+    );
+    let ep = cluster.cn_endpoints.remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let frontend = cluster.spec.frontend;
+    let job_tracer = tracer.clone();
+    let out = sim.spawn("app", async move {
+        let ac = RemoteAccelerator::new(ep, daemon, frontend).with_tracer(job_tracer);
+        let mut roundtrips = Vec::new();
+        for (i, len) in [64usize << 10, 300 << 10, 1 << 20].into_iter().enumerate() {
+            let data = pattern(len, i as u8);
+            let ptr = ac.mem_alloc(len as u64).await.unwrap();
+            ac.mem_cpy_h2d(&Payload::from_vec(data.clone()), ptr)
+                .await
+                .unwrap();
+            let back = ac.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+            roundtrips.push(back.expect_bytes().to_vec() == data);
+            ac.mem_free(ptr).await.unwrap();
+        }
+        ac.shutdown().await.unwrap();
+        roundtrips
+    });
+    sim.run();
+    let roundtrips = out.try_take().expect("transfer job did not finish");
+    assert!(
+        roundtrips.iter().all(|ok| *ok),
+        "payload corrupted under message drops: {roundtrips:?}"
+    );
+    assert!(
+        plane.counters().drops >= 4,
+        "the schedule injected fewer drops than planned: {:?}",
+        plane.counters()
+    );
+    assert!(
+        !tracer.events_in("fault.drop").is_empty(),
+        "drops not traced by the topology"
+    );
+}
+
+/// Satellite: determinism regression. Two chaos runs with the same seed and
+/// schedule must produce the identical trace event sequence — times,
+/// categories, and labels, event for event.
+#[test]
+fn chaos_runs_with_same_seed_are_identical() {
+    fn run_once() -> Vec<TraceEvent> {
+        let tracer = Tracer::new(16384);
+        let plane = ChaosPlane::new(
+            99,
+            FaultSchedule::new()
+                .after_events(
+                    10,
+                    Fault::DropRandomly {
+                        src: None,
+                        dst: None,
+                        p: 0.05,
+                    },
+                )
+                .at(
+                    SimTime::ZERO + SimDuration::from_millis(1),
+                    Fault::DegradeLink {
+                        src: Some(1),
+                        dst: Some(2),
+                        factor: 3.0,
+                    },
+                ),
+        );
+        let (mut sim, mut cluster) =
+            full_cluster_chaos(1, 1, ExecMode::Functional, tracer.clone(), Some(plane));
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let frontend = cluster.spec.frontend;
+        let job_tracer = tracer.clone();
+        sim.spawn("app", async move {
+            let ac = RemoteAccelerator::new(ep, daemon, frontend).with_tracer(job_tracer);
+            for (i, len) in [128usize << 10, 512 << 10].into_iter().enumerate() {
+                let data = pattern(len, 40 + i as u8);
+                let ptr = ac.mem_alloc(len as u64).await.unwrap();
+                ac.mem_cpy_h2d(&Payload::from_vec(data.clone()), ptr)
+                    .await
+                    .unwrap();
+                let back = ac.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+                assert_eq!(back.expect_bytes(), &data[..]);
+                ac.mem_free(ptr).await.unwrap();
+            }
+            ac.shutdown().await.unwrap();
+        });
+        sim.run();
+        tracer.events()
+    }
+
+    let first = run_once();
+    let second = run_once();
+    assert!(
+        !first.is_empty(),
+        "chaos run recorded no trace events at all"
+    );
+    assert_eq!(
+        first, second,
+        "identical seed + schedule must reproduce the identical event sequence"
+    );
+}

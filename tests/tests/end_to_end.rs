@@ -160,8 +160,7 @@ fn whole_system_is_deterministic() {
         let eps = std::mem::take(&mut cluster.cn_endpoints);
         for (i, ep) in eps.into_iter().enumerate() {
             sim.spawn("job", async move {
-                let proc =
-                    AcProcess::new(ep, arm_rank, JobId(i as u64), FrontendConfig::default());
+                let proc = AcProcess::new(ep, arm_rank, JobId(i as u64), FrontendConfig::default());
                 let accels = proc.acquire_waiting(1).await.unwrap();
                 let ac = &accels[0];
                 let data = pattern(100_000, i as u8);
@@ -317,12 +316,8 @@ fn mixed_workload_factorization_and_fluid_share_the_pool() {
         let group = group.clone();
         let slab = slabs[i];
         let mut rng = SimRng::derive(3, &format!("mix{i}"));
-        let particles = Particles::random(
-            200,
-            [slab.x_lo, 0.0, 0.0],
-            [slab.x_hi, 4.0, 4.0],
-            &mut rng,
-        );
+        let particles =
+            Particles::random(200, [slab.x_lo, 0.0, 0.0], [slab.x_hi, 4.0, 4.0], &mut rng);
         fluid_handles.push(sim.spawn("fluid-rank", async move {
             let proc = AcProcess::new(
                 ep.clone(),
@@ -343,7 +338,9 @@ fn mixed_workload_factorization_and_fluid_share_the_pool() {
                 md_ns_per_particle: 100.0,
                 ..Mp2cConfig::default()
             };
-            let report = run_rank(&h, &ctx, &cfg, Some(particles), 200).await.unwrap();
+            let report = run_rank(&h, &ctx, &cfg, Some(particles), 200)
+                .await
+                .unwrap();
             proc.finish().await;
             report.particles.unwrap().kinetic_energy()
         }));

@@ -214,6 +214,64 @@ proptest! {
 }
 
 proptest! {
+    // Each case spins up a chaos cluster: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Byte-exactness survives fault injection: for arbitrary transfer
+    /// sizes, pipeline block sizes, and counted message drops in either
+    /// direction of the client↔daemon link, the retry plane delivers the
+    /// exact payload. Drop counts stay within the retry budget (4 retries
+    /// absorb at most 2 lost requests plus 2 lost responses per op).
+    #[test]
+    fn chaos_transfer_byte_exact_under_drops(
+        len in 1usize..60_000,
+        block in 1u64..80_000,
+        salt: u8,
+        seed: u64,
+        to_daemon in 0u32..3,
+        to_client in 0u32..3,
+        start_a in 0u64..60,
+        start_b in 0u64..60,
+    ) {
+        use dacc_chaos::{ChaosPlane, Fault, FaultSchedule};
+        let tracer = Tracer::new(16384);
+        let plane = ChaosPlane::new(
+            seed,
+            FaultSchedule::new()
+                .after_events(start_a, Fault::DropMessages {
+                    src: Some(1), dst: Some(2), count: to_daemon,
+                })
+                .after_events(start_b, Fault::DropMessages {
+                    src: Some(2), dst: Some(1), count: to_client,
+                }),
+        );
+        let (mut sim, mut cluster) = dacc_tests::full_cluster_chaos(
+            1, 1, ExecMode::Functional, tracer, Some(plane),
+        );
+        let ep = cluster.cn_endpoints.remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let cfg = FrontendConfig {
+            h2d: TransferProtocol::Pipeline { block },
+            d2h: TransferProtocol::Pipeline { block },
+            ..cluster.spec.frontend
+        };
+        let data = pattern(len, salt);
+        let expect = data.clone();
+        let out = sim.spawn("xfer", async move {
+            let ac = RemoteAccelerator::new(ep, daemon, cfg);
+            let ptr = ac.mem_alloc(len as u64).await.unwrap();
+            ac.mem_cpy_h2d(&Payload::from_vec(data), ptr).await.unwrap();
+            let back = ac.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+            ac.shutdown().await.unwrap();
+            back
+        });
+        sim.run();
+        let back = out.try_take().expect("did not finish under drops");
+        prop_assert_eq!(back.expect_bytes().as_ref(), expect.as_slice());
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Per-(source, tag) message order is never violated, for arbitrary

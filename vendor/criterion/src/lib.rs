@@ -136,7 +136,8 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| calls += 1));
         assert!(calls > 0);
         let mut g = c.benchmark_group("grp");
-        g.sample_size(3).bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.sample_size(3)
+            .bench_function("inner", |b| b.iter(|| 1 + 1));
         g.finish();
     }
 }

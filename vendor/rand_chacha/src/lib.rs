@@ -44,8 +44,8 @@ impl ChaCha8Rng {
             quarter(&mut w, 2, 7, 8, 13);
             quarter(&mut w, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            self.block[i] = w[i].wrapping_add(self.state[i]);
+        for (i, word) in w.iter().enumerate() {
+            self.block[i] = word.wrapping_add(self.state[i]);
         }
         self.word = 0;
         // 64-bit block counter in words 12..14.
@@ -144,6 +144,9 @@ mod tests {
         let mut b = ChaCha8Rng::seed_from_u64(9);
         let mut buf = [0u8; 8];
         a.fill_bytes(&mut buf);
-        assert_eq!(u32::from_le_bytes(buf[..4].try_into().unwrap()), b.next_u32());
+        assert_eq!(
+            u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            b.next_u32()
+        );
     }
 }
