@@ -5,6 +5,7 @@
 use dacc_arm::batch::replay::{run, ReplayJob};
 use dacc_arm::batch::{BatchPolicy, BatchRequest};
 use dacc_arm::state::{inventory, JobId, Pool};
+use dacc_bench::json::{write_results, Json};
 use dacc_fabric::mpi::Rank;
 use dacc_fabric::topology::NodeId;
 use dacc_sim::rng::SimRng;
@@ -49,6 +50,7 @@ fn main() {
         "seed", "FIFO makespan", "backfill", "saving", "accel-util"
     );
     let mut total_saving = 0.0;
+    let mut rows = Vec::new();
     let seeds = [1u64, 2, 3, 4, 5];
     for &seed in &seeds {
         let jobs = workload(seed, 40, 4);
@@ -63,10 +65,26 @@ fn main() {
             saving,
             bf.accel_utilization * 100.0
         );
+        rows.push(Json::obj([
+            ("seed", Json::from(seed)),
+            ("fifo_makespan_s", Json::from(fifo.makespan)),
+            ("backfill_makespan_s", Json::from(bf.makespan)),
+            ("saving_pct", Json::from(saving)),
+            ("accel_utilization", Json::from(bf.accel_utilization)),
+        ]));
     }
-    println!(
-        "\nmean makespan saving from backfilling: {:.1}%",
-        total_saving / seeds.len() as f64
+    let mean_saving = total_saving / seeds.len() as f64;
+    println!("\nmean makespan saving from backfilling: {mean_saving:.1}%");
+    write_results(
+        "ablation_batch",
+        &Json::obj([
+            (
+                "title",
+                Json::from("Ablation: batch scheduling, FIFO vs backfilling"),
+            ),
+            ("runs", Json::Arr(rows)),
+            ("mean_saving_pct", Json::from(mean_saving)),
+        ]),
     );
     println!(
         "(the scheduler starts a job only when both its compute nodes and its\n \

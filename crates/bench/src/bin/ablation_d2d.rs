@@ -2,6 +2,7 @@
 //! accelerator-to-accelerator streaming (§III-C) for the multi-GPU
 //! factorizations — the compute node's NIC stops being the bottleneck.
 
+use dacc_bench::json::{write_results, Json};
 use dacc_linalg::gpu::{register_linalg_kernels, register_staging_kernels};
 use dacc_linalg::hybrid::{dgeqrf_hybrid, dpotrf_hybrid, HybridConfig, PanelBroadcast};
 use dacc_linalg::matrix::HostMatrix;
@@ -59,12 +60,31 @@ fn run(qr: bool, n: usize, g: usize, broadcast: PanelBroadcast) -> f64 {
 fn main() {
     println!("# Ablation: panel broadcast via compute node vs direct AC-to-AC (§III-C)");
     println!("  3 network-attached GPUs, N = 10240\n");
+    let mut rows = Vec::new();
     for (name, qr) in [("QR", true), ("Cholesky", false)] {
         let via_host = run(qr, 10240, 3, PanelBroadcast::ViaHost);
         let peer = run(qr, 10240, 3, PanelBroadcast::PeerDirect);
+        let gain_pct = (peer / via_host - 1.0) * 100.0;
         println!(
-            "{name:>10}: via host {via_host:>6.1} GFlop/s  |  AC-to-AC {peer:>6.1} GFlop/s  ({:+.1}%)",
-            (peer / via_host - 1.0) * 100.0
+            "{name:>10}: via host {via_host:>6.1} GFlop/s  |  AC-to-AC {peer:>6.1} GFlop/s  ({gain_pct:+.1}%)"
         );
+        rows.push(Json::obj([
+            ("routine", Json::from(name)),
+            ("via_host_gflops", Json::from(via_host)),
+            ("peer_direct_gflops", Json::from(peer)),
+            ("gain_pct", Json::from(gain_pct)),
+        ]));
     }
+    write_results(
+        "ablation_d2d",
+        &Json::obj([
+            (
+                "title",
+                Json::from("Ablation: panel broadcast via compute node vs direct AC-to-AC"),
+            ),
+            ("n", Json::from(10240u64)),
+            ("gpus", Json::from(3u64)),
+            ("runs", Json::Arr(rows)),
+        ]),
+    );
 }

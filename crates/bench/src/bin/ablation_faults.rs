@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use dacc_arm::state::JobId;
+use dacc_bench::json::{write_results, Json};
 use dacc_chaos::{ChaosPlane, Fault, FaultSchedule};
 use dacc_linalg::hybrid::{dgeqrf_hybrid, HybridConfig};
 use dacc_linalg::lapack::qr_residuals;
@@ -144,6 +145,7 @@ fn main() {
 
     println!("# Ablation: fault-tolerance overhead (remote dgeqrf, n={N}, nb={NB})");
     let mut baseline = None;
+    let mut rows = Vec::new();
     for (label, retry, fault) in cases {
         let o = run_qr(retry, fault);
         let secs = o.elapsed.as_secs_f64();
@@ -156,5 +158,25 @@ fn main() {
             o.failovers,
             if o.resid_ok { "ok" } else { "CORRUPT" },
         );
+        rows.push(Json::obj([
+            ("case", Json::from(label)),
+            ("elapsed_s", Json::from(secs)),
+            ("overhead_pct", Json::from(overhead)),
+            ("retries", Json::from(o.retries)),
+            ("failovers", Json::from(o.failovers)),
+            ("numerics_ok", Json::from(o.resid_ok)),
+        ]));
     }
+    write_results(
+        "ablation_faults",
+        &Json::obj([
+            (
+                "title",
+                Json::from("Ablation: fault-tolerance overhead (remote dgeqrf)"),
+            ),
+            ("n", Json::from(N)),
+            ("nb", Json::from(NB)),
+            ("runs", Json::Arr(rows)),
+        ]),
+    );
 }

@@ -2,6 +2,7 @@
 //! factorization with the trailing update (the optimization MAGMA later
 //! made standard; the paper-era port measured in Fig. 9 ran without it).
 
+use dacc_bench::json::{write_results, Json};
 use dacc_linalg::gpu::{register_linalg_kernels, register_staging_kernels};
 use dacc_linalg::hybrid::{dgeqrf_hybrid, HybridConfig};
 use dacc_linalg::matrix::HostMatrix;
@@ -58,13 +59,29 @@ fn main() {
         "{:>8} {:>6} {:>16} {:>16} {:>8}",
         "N", "GPUs", "no lookahead", "lookahead", "gain"
     );
+    let mut rows = Vec::new();
     for (n, g) in [(4032usize, 1usize), (4032, 3), (10240, 1), (10240, 3)] {
         let base = run(n, g, false);
         let la = run(n, g, true);
-        println!(
-            "{n:>8} {g:>6} {base:>13.1} GF {la:>13.1} GF {:>7.1}%",
-            (la / base - 1.0) * 100.0
-        );
+        let gain_pct = (la / base - 1.0) * 100.0;
+        println!("{n:>8} {g:>6} {base:>13.1} GF {la:>13.1} GF {gain_pct:>7.1}%");
+        rows.push(Json::obj([
+            ("n", Json::from(n)),
+            ("gpus", Json::from(g)),
+            ("no_lookahead_gflops", Json::from(base)),
+            ("lookahead_gflops", Json::from(la)),
+            ("gain_pct", Json::from(gain_pct)),
+        ]));
     }
     println!("\n(Fig. 9 reproduces the measured paper-era behaviour = no lookahead.)");
+    write_results(
+        "ablation_lookahead",
+        &Json::obj([
+            (
+                "title",
+                Json::from("Ablation: QR panel lookahead (network-attached GPUs)"),
+            ),
+            ("runs", Json::Arr(rows)),
+        ]),
+    );
 }

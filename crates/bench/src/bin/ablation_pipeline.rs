@@ -2,6 +2,7 @@
 //! sharing (vs. an extra host staging copy per block) and the pinned ring
 //! depth — measured on 16 MiB host-to-device transfers.
 
+use dacc_bench::json::{write_results, Json};
 use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
 use dacc_runtime::daemon::DaemonConfig;
 use dacc_runtime::prelude::*;
@@ -16,6 +17,7 @@ fn measure(daemon: DaemonConfig, block: u64) -> f64 {
 }
 
 fn main() {
+    let mut gpudirect_rows = Vec::new();
     println!("# Ablation: GPUDirect on/off (pipeline-512K, 16 MiB H2D)");
     for (label, gpudirect) in [
         ("GPUDirect v1 (shared pinned buffers)", true),
@@ -29,8 +31,13 @@ fn main() {
             512 << 10,
         );
         println!("{label:>42}: {bw:>7.1} MiB/s");
+        gpudirect_rows.push(Json::obj([
+            ("gpudirect", Json::from(gpudirect)),
+            ("mib_s", Json::from(bw)),
+        ]));
     }
 
+    let mut depth_rows = Vec::new();
     println!("\n# Ablation: pinned ring depth (pipeline-128K, 16 MiB H2D)");
     for depth in [1usize, 2, 4, 8] {
         let bw = measure(
@@ -41,8 +48,13 @@ fn main() {
             128 << 10,
         );
         println!("{depth:>4} buffers: {bw:>7.1} MiB/s");
+        depth_rows.push(Json::obj([
+            ("depth", Json::from(depth)),
+            ("mib_s", Json::from(bw)),
+        ]));
     }
 
+    let mut prepost_rows = Vec::new();
     println!("\n# Ablation: receive pre-posting depth (pipeline-128K, 16 MiB H2D)");
     println!("  (1 = paper-era behaviour: CTS waits for the previous block)");
     for prepost in [1usize, 2, 3, 4] {
@@ -54,12 +66,35 @@ fn main() {
             128 << 10,
         );
         println!("{prepost:>4} posted ahead: {bw:>7.1} MiB/s");
+        prepost_rows.push(Json::obj([
+            ("prepost", Json::from(prepost)),
+            ("mib_s", Json::from(bw)),
+        ]));
     }
 
+    let mut block_rows = Vec::new();
     println!("\n# Ablation: block size sweep (16 MiB H2D)");
     for shift in [4u64, 5, 6, 7, 8, 9, 10] {
         let block = 1u64 << (shift + 10);
         let bw = measure(DaemonConfig::default(), block);
         println!("{:>6} KiB blocks: {bw:>7.1} MiB/s", block >> 10);
+        block_rows.push(Json::obj([
+            ("block_kib", Json::from(block >> 10)),
+            ("mib_s", Json::from(bw)),
+        ]));
     }
+
+    write_results(
+        "ablation_pipeline",
+        &Json::obj([
+            (
+                "title",
+                Json::from("Ablation: pipeline protocol design knobs (16 MiB H2D)"),
+            ),
+            ("gpudirect", Json::Arr(gpudirect_rows)),
+            ("pinned_ring_depth", Json::Arr(depth_rows)),
+            ("recv_prepost", Json::Arr(prepost_rows)),
+            ("block_size_sweep", Json::Arr(block_rows)),
+        ]),
+    );
 }

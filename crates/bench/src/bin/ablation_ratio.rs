@@ -7,6 +7,7 @@
 //! per-rank accelerator transfers) on an oversubscribed switch, sweeping
 //! the number of network-attached accelerators in use.
 
+use dacc_bench::json::{write_results, Json};
 use dacc_fabric::payload::Payload;
 use dacc_fabric::topology::FabricParams;
 use dacc_runtime::prelude::*;
@@ -79,14 +80,30 @@ fn main() {
         "{:>16} {:>14} {:>22}",
         "accels in use", "makespan", "vs CPU-only traffic"
     );
+    let mut rows = Vec::new();
     for g in 0..=4usize {
         let t = run(g);
-        println!(
-            "{g:>16} {:>14} {:>20.2}x",
-            format!("{t}"),
-            t.as_secs_f64() / base.as_secs_f64()
-        );
+        let slowdown = t.as_secs_f64() / base.as_secs_f64();
+        println!("{g:>16} {:>14} {slowdown:>20.2}x", format!("{t}"));
+        rows.push(Json::obj([
+            ("accels_in_use", Json::from(g)),
+            ("makespan_s", Json::from(t.as_secs_f64())),
+            ("slowdown_vs_cpu_only", Json::from(slowdown)),
+        ]));
     }
+    write_results(
+        "ablation_ratio",
+        &Json::obj([
+            (
+                "title",
+                Json::from(
+                    "Ablation: accelerator:compute-node ratio on a 2:1 oversubscribed switch",
+                ),
+            ),
+            ("compute_nodes", Json::from(4u64)),
+            ("runs", Json::Arr(rows)),
+        ]),
+    );
     println!(
         "\nOnce accelerator traffic saturates the shared backplane, even the\n\
          CN-CN exchanges slow down — §III-A's reason to keep the accelerator\n\

@@ -1,6 +1,7 @@
 //! Figure 10: MAGMA-style Cholesky factorization GFlop/s — one node-local
 //! GPU vs. 1/2/3 network-attached GPUs.
 
+use dacc_bench::json::{table_json, write_results};
 use dacc_bench::linalg_runs::{paper_sizes, run_factorization, Config, Routine};
 use dacc_bench::table::print_table;
 
@@ -20,17 +21,16 @@ fn main() {
             .collect();
         series.push((name, ys));
     }
-    print_table(
-        "Figure 10: Cholesky factorization (dpotrf_mgpu equivalent) [GFlop/s]",
-        "N of NxN matrix",
-        &xs,
-        &series,
-    );
+    let title = "Figure 10: Cholesky factorization (dpotrf_mgpu equivalent) [GFlop/s]";
+    print_table(title, "N of NxN matrix", &xs, &series);
     let local = series[0].1.last().unwrap();
     let net1 = series[1].1.last().unwrap();
+    let slower_pct = (1.0 - net1 / local) * 100.0;
     println!(
-        "\n1 network GPU vs local at N=10240: {:.1}% slower (paper: Cholesky is \
-         less bandwidth-sensitive than QR)",
-        (1.0 - net1 / local) * 100.0
+        "\n1 network GPU vs local at N=10240: {slower_pct:.1}% slower (paper: Cholesky is \
+         less bandwidth-sensitive than QR)"
     );
+    let mut json = table_json(title, "N of NxN matrix", &xs, &series);
+    json.push("net1_vs_local_n10240_slower_pct", slower_pct);
+    write_results("fig10", &json);
 }

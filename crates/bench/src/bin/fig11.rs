@@ -1,6 +1,7 @@
 //! Figure 11: MP2C wall time — node-local GPUs vs. the dynamic
 //! architecture, for three particle counts on 2 ranks.
 
+use dacc_bench::json::{table_json, write_results, Json};
 use dacc_bench::mp2c_runs::{paper_particle_counts, run_mp2c};
 use dacc_bench::table::print_table;
 use dacc_mp2c::app::Mp2cConfig;
@@ -17,17 +18,19 @@ fn main() {
         local.push(t_local.as_secs_f64() / 60.0);
         remote.push(t_remote.as_secs_f64() / 60.0);
     }
-    print_table(
-        "Figure 11: MP2C wall time, 2 ranks x 1 GPU, 300 steps (SRD every 5th) [min]",
-        "Particles",
-        &xs,
-        &[
-            ("CUDA local", local.clone()),
-            ("Dynamic cluster arch.", remote.clone()),
-        ],
-    );
+    let title = "Figure 11: MP2C wall time, 2 ranks x 1 GPU, 300 steps (SRD every 5th) [min]";
+    let series = [
+        ("CUDA local", local.clone()),
+        ("Dynamic cluster arch.", remote.clone()),
+    ];
+    print_table(title, "Particles", &xs, &series);
+    let mut penalties = Vec::new();
     for i in 0..counts.len() {
         let pct = (remote[i] / local[i] - 1.0) * 100.0;
         println!("{} particles: +{pct:.2}% (paper: at most 4%)", counts[i]);
+        penalties.push(pct);
     }
+    let mut json = table_json(title, "Particles", &xs, &series);
+    json.push("remote_penalty_pct", Json::from(penalties));
+    write_results("fig11", &json);
 }

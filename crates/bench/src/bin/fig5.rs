@@ -2,6 +2,7 @@
 //! the naive protocol, fixed-block pipelines, the adaptive pipeline, and
 //! the raw MPI (IMB PingPong) ceiling.
 
+use dacc_bench::json::{table_json, write_results};
 use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
 use dacc_bench::table::{kib, print_table};
 use dacc_fabric::imb::{paper_sizes, run_pingpong};
@@ -36,10 +37,7 @@ fn main() {
         "MPI IB (IMB PingPong)",
         mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
     ));
-    print_table(
-        "Figure 5: Host-to-device bandwidth, pipeline protocol vs naive vs MPI [MiB/s]",
-        "Data size [KiB]",
-        &xs,
-        &series,
-    );
+    let title = "Figure 5: Host-to-device bandwidth, pipeline protocol vs naive vs MPI [MiB/s]";
+    print_table(title, "Data size [KiB]", &xs, &series);
+    write_results("fig5", &table_json(title, "Data size [KiB]", &xs, &series));
 }

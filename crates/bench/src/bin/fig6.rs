@@ -1,6 +1,7 @@
 //! Figure 6: device-to-host bandwidth for the pipeline protocol with
 //! different block sizes, vs. naive and the MPI ceiling.
 
+use dacc_bench::json::{table_json, write_results};
 use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
 use dacc_bench::table::{kib, print_table};
 use dacc_fabric::imb::{paper_sizes, run_pingpong};
@@ -38,10 +39,7 @@ fn main() {
         "MPI IB (IMB PingPong)",
         mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
     ));
-    print_table(
-        "Figure 6: Device-to-host bandwidth, pipeline protocol block sizes [MiB/s]",
-        "Data size [KiB]",
-        &xs,
-        &series,
-    );
+    let title = "Figure 6: Device-to-host bandwidth, pipeline protocol block sizes [MiB/s]";
+    print_table(title, "Data size [KiB]", &xs, &series);
+    write_results("fig6", &table_json(title, "Data size [KiB]", &xs, &series));
 }

@@ -2,6 +2,7 @@
 //! pageable cudaMemcpy) vs. MPI vs. the dynamic architecture's tuned
 //! adaptive pipeline.
 
+use dacc_bench::json::{table_json, write_results};
 use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
 use dacc_bench::table::{kib, print_table};
 use dacc_fabric::imb::{paper_sizes, run_pingpong};
@@ -20,27 +21,25 @@ fn main() {
     let mpi = run_pingpong(FabricParams::qdr_infiniband(), &sizes, 3);
     let p = TransferProtocol::h2d_default();
     let dynarch = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::H2D);
-    print_table(
-        "Figure 7: H2D bandwidth, node-attached vs network-attached GPU [MiB/s]",
-        "Data size [KiB]",
-        &xs,
-        &[
-            (
-                "CUDA local (pinned)",
-                pinned.iter().map(|p| p.bandwidth_mib_s).collect(),
-            ),
-            (
-                "CUDA local (pageable)",
-                pageable.iter().map(|p| p.bandwidth_mib_s).collect(),
-            ),
-            (
-                "MPI IB (IMB PingPong)",
-                mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
-            ),
-            (
-                "Dyn. arch (pipe-adaptive)",
-                dynarch.iter().map(|p| p.mib_s).collect(),
-            ),
-        ],
-    );
+    let title = "Figure 7: H2D bandwidth, node-attached vs network-attached GPU [MiB/s]";
+    let series: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "CUDA local (pinned)",
+            pinned.iter().map(|p| p.bandwidth_mib_s).collect(),
+        ),
+        (
+            "CUDA local (pageable)",
+            pageable.iter().map(|p| p.bandwidth_mib_s).collect(),
+        ),
+        (
+            "MPI IB (IMB PingPong)",
+            mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
+        ),
+        (
+            "Dyn. arch (pipe-adaptive)",
+            dynarch.iter().map(|p| p.mib_s).collect(),
+        ),
+    ];
+    print_table(title, "Data size [KiB]", &xs, &series);
+    write_results("fig7", &table_json(title, "Data size [KiB]", &xs, &series));
 }

@@ -1,6 +1,7 @@
 //! Figure 8: device-to-host bandwidth — node-attached GPU vs. MPI vs. the
 //! dynamic architecture's pipeline-128K.
 
+use dacc_bench::json::{table_json, write_results};
 use dacc_bench::measure::{paper_spec, remote_bandwidth, Dir};
 use dacc_bench::table::{kib, print_table};
 use dacc_fabric::imb::{paper_sizes, run_pingpong};
@@ -19,27 +20,25 @@ fn main() {
     let mpi = run_pingpong(FabricParams::qdr_infiniband(), &sizes, 3);
     let p = TransferProtocol::d2h_default();
     let dynarch = remote_bandwidth(paper_spec(), p, p, &sizes, Dir::D2H);
-    print_table(
-        "Figure 8: D2H bandwidth, node-attached vs network-attached GPU [MiB/s]",
-        "Data size [KiB]",
-        &xs,
-        &[
-            (
-                "CUDA local (pinned)",
-                pinned.iter().map(|p| p.bandwidth_mib_s).collect(),
-            ),
-            (
-                "CUDA local (pageable)",
-                pageable.iter().map(|p| p.bandwidth_mib_s).collect(),
-            ),
-            (
-                "MPI IB (IMB PingPong)",
-                mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
-            ),
-            (
-                "Dyn. arch (pipeline-128K)",
-                dynarch.iter().map(|p| p.mib_s).collect(),
-            ),
-        ],
-    );
+    let title = "Figure 8: D2H bandwidth, node-attached vs network-attached GPU [MiB/s]";
+    let series: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "CUDA local (pinned)",
+            pinned.iter().map(|p| p.bandwidth_mib_s).collect(),
+        ),
+        (
+            "CUDA local (pageable)",
+            pageable.iter().map(|p| p.bandwidth_mib_s).collect(),
+        ),
+        (
+            "MPI IB (IMB PingPong)",
+            mpi.iter().map(|p| p.bandwidth_mib_s).collect(),
+        ),
+        (
+            "Dyn. arch (pipeline-128K)",
+            dynarch.iter().map(|p| p.mib_s).collect(),
+        ),
+    ];
+    print_table(title, "Data size [KiB]", &xs, &series);
+    write_results("fig8", &table_json(title, "Data size [KiB]", &xs, &series));
 }

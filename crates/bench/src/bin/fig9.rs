@@ -1,6 +1,7 @@
 //! Figure 9: MAGMA-style QR factorization GFlop/s — one node-local GPU vs.
 //! 1/2/3 network-attached GPUs on a single compute node.
 
+use dacc_bench::json::{table_json, write_results};
 use dacc_bench::linalg_runs::{paper_sizes, run_factorization, Config, Routine};
 use dacc_bench::table::print_table;
 
@@ -20,12 +21,11 @@ fn main() {
             .collect();
         series.push((name, ys));
     }
-    print_table(
-        "Figure 9: QR factorization (dgeqrf2_mgpu equivalent) [GFlop/s]",
-        "N of NxN matrix",
-        &xs,
-        &series,
-    );
+    let title = "Figure 9: QR factorization (dgeqrf2_mgpu equivalent) [GFlop/s]";
+    print_table(title, "N of NxN matrix", &xs, &series);
     let s10240 = series[3].1.last().unwrap() / series[0].1.last().unwrap();
     println!("\nSpeedup at N=10240, 3 network GPUs vs 1 local GPU: {s10240:.2} (paper: ~2.2)");
+    let mut json = table_json(title, "N of NxN matrix", &xs, &series);
+    json.push("speedup_n10240_3gpu_vs_local", s10240);
+    write_results("fig9", &json);
 }

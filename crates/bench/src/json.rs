@@ -1,0 +1,257 @@
+//! Minimal JSON emission for machine-readable benchmark results.
+//!
+//! Every figure/ablation harness prints its human-readable table to stdout
+//! (redirected into `results/<name>.txt`) and *also* writes the same data
+//! as `results/<name>.json` through this module, so downstream tooling can
+//! consume the numbers without scraping fixed-width tables. Hand-rolled on
+//! purpose: the workspace vendors no serde.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Append `(key, value)` to an object (panics on non-objects).
+    pub fn push<K: Into<String>, V: Into<Json>>(&mut self, key: K, value: V) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) if !v.is_finite() => out.push_str("null"),
+            // Rust's shortest-roundtrip float formatting is already valid
+            // JSON (integral values print without a decimal point).
+            Json::Num(v) => write!(out, "{v}").expect("infallible"),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.render(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("infallible");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The checked-in `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+/// Write `value` to `results/<name>.json` (pretty-printed). A note goes to
+/// stderr so redirected stdout tables stay clean.
+pub fn write_results(name: &str, value: &Json) {
+    let path = results_dir().join(format!("{name}.json"));
+    std::fs::write(&path, value.pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// The JSON mirror of [`crate::table::print_table`]: one `x` axis plus one
+/// named value array per series.
+pub fn table_json(title: &str, x_label: &str, xs: &[String], series: &[(&str, Vec<f64>)]) -> Json {
+    Json::obj([
+        ("title", Json::from(title)),
+        ("x_label", Json::from(x_label)),
+        ("x", Json::from(xs.to_vec())),
+        (
+            "series",
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|(name, ys)| {
+                        Json::obj([
+                            ("name", Json::from(*name)),
+                            ("values", Json::from(ys.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::from(true).pretty(), "true\n");
+        assert_eq!(Json::from(3.5).pretty(), "3.5\n");
+        assert_eq!(Json::from(42u64).pretty(), "42\n");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::from("a\"b\\c\nd").pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::from("\u{1}").pretty(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_structure_pretty_prints() {
+        let v = Json::obj([
+            ("name", Json::from("fig")),
+            ("xs", Json::from(vec![1.0, 2.0])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"name\": \"fig\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn table_mirror_carries_all_series() {
+        let t = table_json(
+            "t",
+            "N",
+            &["1".into(), "2".into()],
+            &[("a", vec![1.0, 2.0]), ("b", vec![3.0, 4.0])],
+        );
+        let s = t.pretty();
+        assert!(s.contains("\"x_label\": \"N\""));
+        assert!(s.contains("\"a\""));
+        assert!(s.contains("\"b\""));
+    }
+}

@@ -1,5 +1,6 @@
 //! `dacc-bench` — figure regeneration harness and measurement helpers.
 
+pub mod json;
 pub mod linalg_runs;
 pub mod measure;
 pub mod mp2c_runs;

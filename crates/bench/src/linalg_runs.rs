@@ -101,3 +101,74 @@ pub fn run_factorization_with(
     sim.run();
     out.try_take().expect("factorization did not finish")
 }
+
+/// Outcome of one instrumented remote run: throughput plus the daemons'
+/// request accounting (for round-trip ablations).
+pub struct DetailedRun {
+    /// Achieved GFlop/s.
+    pub gflops: f64,
+    /// Virtual wall time of the factorization.
+    pub elapsed: SimDuration,
+    /// Per-daemon serving statistics, collected at shutdown.
+    pub stats: Vec<DaemonStats>,
+}
+
+/// Run one factorization on `g` network-attached GPUs with explicit
+/// front-end and hybrid configuration, and collect daemon statistics.
+pub fn run_factorization_detailed(
+    routine: Routine,
+    g: usize,
+    n: usize,
+    frontend: FrontendConfig,
+    hybrid: HybridConfig,
+) -> DetailedRun {
+    let mut sim = Sim::new();
+    let spec = ClusterSpec {
+        compute_nodes: 1,
+        accelerators: g,
+        mode: ExecMode::TimingOnly,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry());
+    let ep = cluster.cn_endpoints.remove(0);
+    let h = sim.handle();
+    let devices: Vec<AcDevice> = (0..g)
+        .map(|i| {
+            AcDevice::Remote(RemoteAccelerator::new(
+                ep.clone(),
+                cluster.daemon_rank(i),
+                frontend,
+            ))
+        })
+        .collect();
+    let out = sim.spawn("factor", async move {
+        let mut host = HostMatrix::Shape { rows: n, cols: n };
+        let report = match routine {
+            Routine::Qr => dgeqrf_hybrid(&h, &devices, &mut host, &hybrid)
+                .await
+                .unwrap(),
+            Routine::Cholesky => dpotrf_hybrid(&h, &devices, &mut host, &hybrid)
+                .await
+                .unwrap(),
+        };
+        for d in &devices {
+            if let AcDevice::Remote(r) = d {
+                let _ = r.shutdown().await;
+            }
+        }
+        (report.gflops, report.elapsed)
+    });
+    sim.run();
+    let (gflops, elapsed) = out.try_take().expect("factorization did not finish");
+    let stats = cluster
+        .daemon_handles
+        .into_iter()
+        .map(|h| h.try_take().expect("daemon still running"))
+        .collect();
+    DetailedRun {
+        gflops,
+        elapsed,
+        stats,
+    }
+}

@@ -137,6 +137,12 @@ pub struct FrontendConfig {
     /// Timeout/retry policy; `None` (the default) waits forever, exactly
     /// the pre-fault-tolerance behavior.
     pub retry: Option<RetryPolicy>,
+    /// Use the fused [`Request::Launch`] (one round trip) for
+    /// [`RemoteAccelerator::launch`] instead of the legacy
+    /// create → set-args → run sequence (three round trips). On by
+    /// default; the A2-style ablations turn it off to measure the
+    /// paper-era behaviour.
+    pub fused_launch: bool,
 }
 
 impl Default for FrontendConfig {
@@ -146,6 +152,7 @@ impl Default for FrontendConfig {
             d2h: TransferProtocol::d2h_default(),
             peer_block: 512 << 10,
             retry: None,
+            fused_launch: true,
         }
     }
 }
@@ -193,13 +200,13 @@ fn check(resp: Response) -> Result<u64, AcError> {
 /// the paper's `ac_handle`.
 #[derive(Clone)]
 pub struct RemoteAccelerator {
-    ep: Endpoint,
-    daemon: Rank,
-    config: FrontendConfig,
+    pub(crate) ep: Endpoint,
+    pub(crate) daemon: Rank,
+    pub(crate) config: FrontendConfig,
     /// Monotonic operation-id counter, shared by clones of this handle so
     /// the daemon's dedupe cache sees one id sequence per front-end.
     next_op: Rc<Cell<u64>>,
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
 }
 
 impl RemoteAccelerator {
@@ -220,13 +227,13 @@ impl RemoteAccelerator {
         self
     }
 
-    fn alloc_op(&self) -> u64 {
+    pub(crate) fn alloc_op(&self) -> u64 {
         let id = self.next_op.get();
         self.next_op.set(id + 1);
         id
     }
 
-    fn trace(&self, category: &'static str, label: impl FnOnce() -> String) {
+    pub(crate) fn trace(&self, category: &'static str, label: impl FnOnce() -> String) {
         self.tracer
             .record(self.ep.fabric().handle(), category, label);
     }
@@ -582,8 +589,35 @@ impl RemoteAccelerator {
         .map(|_| ())
     }
 
-    /// Convenience: the full three-step kernel launch of Listing 2.
+    /// Convenience kernel launch. With
+    /// [`FrontendConfig::fused_launch`] (the default) this is a single
+    /// fused `Launch` round trip; otherwise it is the paper's three-step
+    /// create → set-args → run sequence of Listing 2
+    /// ([`Self::launch_legacy`]).
     pub async fn launch(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<(), AcError> {
+        if !self.config.fused_launch {
+            return self.launch_legacy(name, cfg, args).await;
+        }
+        check(
+            self.call(Request::Launch {
+                name: name.to_owned(),
+                args: args.to_vec(),
+                grid: cfg.grid,
+                block: cfg.block,
+            })
+            .await?,
+        )
+        .map(|_| ())
+    }
+
+    /// The paper-era three-round-trip kernel launch of Listing 2, kept for
+    /// the A2-style ablations that measure per-call latency.
+    pub async fn launch_legacy(
         &self,
         name: &str,
         cfg: LaunchConfig,

@@ -19,7 +19,9 @@ use dacc_vgpu::kernel::{KernelArg, KernelError, LaunchConfig};
 use dacc_vgpu::memory::{DevicePtr, MemError};
 use dacc_vgpu::pinned::PinnedPool;
 
-use crate::proto::{ac_tags, AnyRequest, Request, Response, Status, WireProtocol};
+use crate::proto::{
+    ac_tags, AnyRequest, Request, Response, Status, StreamAck, WireProtocol, STREAM_VIRT_BASE,
+};
 
 /// Daemon tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -80,12 +82,51 @@ pub struct DaemonStats {
     pub host_buffer_peak: u64,
     /// Kernels launched on behalf of front-ends.
     pub kernels: u64,
+    /// Command-stream batch frames received (each counts once in
+    /// `requests`).
+    pub stream_batches: u64,
+    /// Individual commands executed out of stream batches.
+    pub stream_cmds: u64,
+}
+
+/// One live stream-virtual allocation from a client's command stream.
+struct StreamRegion {
+    virt: u64,
+    len: u64,
+    real: DevicePtr,
 }
 
 #[derive(Default)]
 struct Session {
     kernel: Option<String>,
     args: Vec<KernelArg>,
+    /// Stream-virtual allocations (see [`Request::MemAllocAt`]), translated
+    /// on every use from this client.
+    regions: Vec<StreamRegion>,
+}
+
+impl Session {
+    /// Translate a possibly stream-virtual pointer to a real device pointer.
+    fn resolve_ptr(&self, p: DevicePtr) -> Result<DevicePtr, Status> {
+        if p.0 < STREAM_VIRT_BASE {
+            return Ok(p);
+        }
+        self.regions
+            .iter()
+            .find(|r| p.0 >= r.virt && p.0 - r.virt < r.len.max(1))
+            .map(|r| r.real.offset(p.0 - r.virt))
+            .ok_or(Status::InvalidPointer)
+    }
+
+    /// Translate any stream-virtual pointer arguments for a kernel launch.
+    fn resolve_args(&self, args: &[KernelArg]) -> Result<Vec<KernelArg>, Status> {
+        args.iter()
+            .map(|a| match a {
+                KernelArg::Ptr(p) => self.resolve_ptr(*p).map(KernelArg::Ptr),
+                other => Ok(*other),
+            })
+            .collect()
+    }
 }
 
 fn status_of_gpu_error(e: &GpuError) -> Status {
@@ -122,6 +163,8 @@ fn request_kind(req: &Request) -> &'static str {
         Request::MemSet { .. } => "MemSet",
         Request::Ping => "Ping",
         Request::Shutdown => "Shutdown",
+        Request::Launch { .. } => "Launch",
+        Request::MemAllocAt { .. } => "MemAllocAt",
     }
 }
 
@@ -200,6 +243,59 @@ pub async fn run_daemon_chaos(
         {
             Some(Ok(AnyRequest::Bare(r))) => (false, 0, 0, r),
             Some(Ok(AnyRequest::Framed(f))) => (true, f.op_id, f.attempt, f.req),
+            Some(Ok(AnyRequest::Batch(batch))) => {
+                // Command-stream batch: one message, in-order execution,
+                // one cumulative ack. The whole batch pays the per-request
+                // dispatch cost once — that is the point of batching.
+                handle.delay(config.request_cost).await;
+                stats.stream_batches += 1;
+                let ncmds = batch.cmds.len();
+                tracer.record(&handle, "daemon.request", || {
+                    format!("StreamBatch[{ncmds}] from {cn}")
+                });
+                let data_tag = ac_tags::stream_data_tag(batch.stream);
+                let session = sessions.entry(cn).or_default();
+                let mut first_err: Option<Status> = None;
+                let mut last_value = 0u64;
+                let mut seq = batch.first_seq;
+                for cmd in batch.cmds {
+                    stats.stream_cmds += 1;
+                    handle.delay(config.per_block_cost).await;
+                    tracer.record(&handle, "daemon.stream.cmd", || {
+                        format!("{} seq {} from {}", request_kind(&cmd), seq, cn)
+                    });
+                    // Non-batchable commands are rejected individually, but
+                    // the rest of the batch still executes so the stream's
+                    // data-tag pairing never skews; the client latches the
+                    // first error as its sticky stream error.
+                    let resp = if cmd.batchable() {
+                        exec_batchable(
+                            &handle, &ep, &gpu, &pool, &config, &mut stats, session, cn, cmd,
+                            data_tag,
+                        )
+                        .await
+                    } else {
+                        Response::err(Status::Malformed)
+                    };
+                    if resp.status != Status::Ok && first_err.is_none() {
+                        first_err = Some(resp.status);
+                    }
+                    last_value = resp.value;
+                    seq = seq.wrapping_add(1);
+                }
+                let ack = StreamAck {
+                    seq: seq.wrapping_sub(1),
+                    status: first_err.unwrap_or(Status::Ok),
+                    value: last_value,
+                };
+                ep.send(
+                    cn,
+                    ac_tags::stream_ack_tag(batch.stream),
+                    Payload::from_vec(ack.encode()),
+                )
+                .await;
+                continue;
+            }
             _ => {
                 respond(&ep, cn, ac_tags::RESPONSE, Response::err(Status::Malformed)).await;
                 continue;
@@ -235,147 +331,130 @@ pub async fn run_daemon_chaos(
             }
         }
 
-        let resp = match req {
-            Request::MemAlloc { len } => match gpu.alloc(len).await {
-                Ok(ptr) => Response {
-                    status: Status::Ok,
-                    value: ptr.0,
-                },
-                Err(e) => Response::err(status_of_gpu_error(&e)),
-            },
-            Request::MemFree { ptr } => match gpu.free(ptr).await {
-                Ok(()) => Response::ok(),
-                Err(e) => Response::err(status_of_gpu_error(&e)),
-            },
-            Request::MemCpyH2D { dst, len, protocol } => {
-                handle_h2d(
-                    &handle, &ep, &gpu, &pool, &config, &mut stats, cn, dst, len, protocol,
-                    data_tag,
-                )
-                .await
-            }
-            Request::MemCpyD2H { src, len, protocol } => {
-                // Validate before streaming so the front-end knows whether
-                // data messages will follow the response.
-                let valid = gpu.mem().resolve(src, len).map(|_| ());
-                let block_ok = match protocol {
-                    WireProtocol::Pipeline { .. } => {
-                        protocol.block_size(len) <= config.pinned_buffer
+        let resp = if req.batchable() {
+            let session = sessions.entry(cn).or_default();
+            exec_batchable(
+                &handle, &ep, &gpu, &pool, &config, &mut stats, session, cn, req, data_tag,
+            )
+            .await
+        } else {
+            let session = sessions.entry(cn).or_default();
+            match req {
+                Request::MemCpyD2H { src, len, protocol } => {
+                    // Validate before streaming so the front-end knows
+                    // whether data messages will follow the response.
+                    let valid = match session.resolve_ptr(src) {
+                        Ok(real) => gpu
+                            .mem()
+                            .resolve(real, len)
+                            .map(|_| real)
+                            .map_err(|e| status_of_gpu_error(&e.into())),
+                        Err(st) => Err(st),
+                    };
+                    let block_ok = match protocol {
+                        WireProtocol::Pipeline { .. } => {
+                            protocol.block_size(len) <= config.pinned_buffer
+                        }
+                        WireProtocol::Naive => true,
+                    };
+                    match valid {
+                        Err(st) => {
+                            respond(&ep, cn, resp_tag, Response::err(st)).await;
+                        }
+                        Ok(_) if !block_ok => {
+                            respond(&ep, cn, resp_tag, Response::err(Status::Malformed)).await;
+                        }
+                        Ok(real) => {
+                            respond(&ep, cn, resp_tag, Response::ok()).await;
+                            stream_d2h(
+                                &handle, &ep, &gpu, &pool, &config, &mut stats, cn, real, len,
+                                protocol, data_tag,
+                            )
+                            .await;
+                        }
                     }
-                    WireProtocol::Naive => true,
-                };
-                match valid {
-                    Err(e) => {
-                        respond(
-                            &ep,
-                            cn,
-                            resp_tag,
-                            Response::err(status_of_gpu_error(&e.into())),
-                        )
-                        .await;
-                    }
-                    Ok(()) if !block_ok => {
-                        respond(&ep, cn, resp_tag, Response::err(Status::Malformed)).await;
-                    }
-                    Ok(()) => {
-                        respond(&ep, cn, resp_tag, Response::ok()).await;
-                        stream_d2h(
-                            &handle, &ep, &gpu, &pool, &config, &mut stats, cn, src, len, protocol,
-                            data_tag,
-                        )
-                        .await;
-                    }
+                    continue;
                 }
-                continue;
-            }
-            Request::KernelCreate { name } => {
-                if gpu.registry().contains(&name) {
-                    let session = sessions.entry(cn).or_default();
-                    session.kernel = Some(name);
-                    session.args.clear();
-                    Response::ok()
-                } else {
-                    Response::err(Status::UnknownKernel)
-                }
-            }
-            Request::KernelSetArgs { args } => {
-                sessions.entry(cn).or_default().args = args;
-                Response::ok()
-            }
-            Request::KernelRun { grid, block } => {
-                let session = sessions.entry(cn).or_default();
-                match session.kernel.clone() {
-                    None => Response::err(Status::NoKernelBound),
-                    Some(name) => {
-                        let cfg = LaunchConfig { grid, block };
-                        let args = session.args.clone();
-                        match gpu.launch(&name, cfg, &args).await {
-                            Ok(()) => {
-                                stats.kernels += 1;
-                                Response::ok()
-                            }
-                            Err(e) => Response::err(status_of_gpu_error(&e)),
+                Request::PeerSend {
+                    src,
+                    len,
+                    peer,
+                    block,
+                } => {
+                    let valid = match session.resolve_ptr(src) {
+                        Ok(real) => gpu
+                            .mem()
+                            .resolve(real, len)
+                            .map(|_| real)
+                            .map_err(|e| status_of_gpu_error(&e.into())),
+                        Err(st) => Err(st),
+                    };
+                    match valid {
+                        Err(st) => Response::err(st),
+                        Ok(real) => {
+                            stream_d2h(
+                                &handle,
+                                &ep,
+                                &gpu,
+                                &pool,
+                                &config,
+                                &mut stats,
+                                Rank(peer as usize),
+                                real,
+                                len,
+                                WireProtocol::Pipeline { block },
+                                ac_tags::PEER_DATA,
+                            )
+                            .await;
+                            Response::ok()
                         }
                     }
                 }
-            }
-            Request::PeerSend {
-                src,
-                len,
-                peer,
-                block,
-            } => {
-                let valid = gpu.mem().resolve(src, len).map(|_| ());
-                match valid {
-                    Err(e) => Response::err(status_of_gpu_error(&e.into())),
-                    Ok(()) => {
-                        stream_d2h(
-                            &handle,
-                            &ep,
-                            &gpu,
-                            &pool,
-                            &config,
-                            &mut stats,
-                            Rank(peer as usize),
-                            src,
-                            len,
-                            WireProtocol::Pipeline { block },
-                            ac_tags::PEER_DATA,
-                        )
-                        .await;
-                        Response::ok()
-                    }
-                }
-            }
-            Request::PeerRecv {
-                dst,
-                len,
-                from,
-                block,
-            } => {
-                handle_h2d(
-                    &handle,
-                    &ep,
-                    &gpu,
-                    &pool,
-                    &config,
-                    &mut stats,
-                    Rank(from as usize),
+                Request::PeerRecv {
                     dst,
                     len,
-                    WireProtocol::Pipeline { block },
-                    ac_tags::PEER_DATA,
-                )
-                .await
-            }
-            Request::MemSet { ptr, len, byte } => match gpu.memset(ptr, len, byte).await {
-                Ok(()) => Response::ok(),
-                Err(e) => Response::err(status_of_gpu_error(&e)),
-            },
-            Request::Ping => Response::ok(),
-            Request::Shutdown => {
-                respond(&ep, cn, resp_tag, Response::ok()).await;
-                return stats;
+                    from,
+                    block,
+                } => {
+                    let protocol = WireProtocol::Pipeline { block };
+                    match session.resolve_ptr(dst) {
+                        Err(st) => {
+                            // The peer's data is already in flight; drain it
+                            // to keep the channel clean.
+                            drain(
+                                &ep,
+                                &config,
+                                Rank(from as usize),
+                                ac_tags::PEER_DATA,
+                                protocol.block_count(len),
+                            )
+                            .await;
+                            Response::err(st)
+                        }
+                        Ok(real) => {
+                            handle_h2d(
+                                &handle,
+                                &ep,
+                                &gpu,
+                                &pool,
+                                &config,
+                                &mut stats,
+                                Rank(from as usize),
+                                real,
+                                len,
+                                protocol,
+                                ac_tags::PEER_DATA,
+                            )
+                            .await
+                        }
+                    }
+                }
+                Request::Ping => Response::ok(),
+                Request::Shutdown => {
+                    respond(&ep, cn, resp_tag, Response::ok()).await;
+                    return stats;
+                }
+                _ => unreachable!("batchable requests handled above"),
             }
         };
         // Remember the outcome so a replayed request (lost response) is
@@ -384,6 +463,150 @@ pub async fn run_daemon_chaos(
             completed.insert(cn, (op_id, resp));
         }
         respond(&ep, cn, resp_tag, resp).await;
+    }
+}
+
+/// Execute one [`Request::batchable`] command for `cn`'s session: the shared
+/// path between ordinary request/response service and in-order stream
+/// batches. Stream-virtual pointers (≥ [`STREAM_VIRT_BASE`]) are translated
+/// through the session's region table on every use.
+#[allow(clippy::too_many_arguments)]
+async fn exec_batchable(
+    handle: &SimHandle,
+    ep: &Endpoint,
+    gpu: &VirtualGpu,
+    pool: &PinnedPool,
+    config: &DaemonConfig,
+    stats: &mut DaemonStats,
+    session: &mut Session,
+    cn: Rank,
+    req: Request,
+    data_tag: Tag,
+) -> Response {
+    match req {
+        Request::MemAlloc { len } => match gpu.alloc(len).await {
+            Ok(ptr) => Response {
+                status: Status::Ok,
+                value: ptr.0,
+            },
+            Err(e) => Response::err(status_of_gpu_error(&e)),
+        },
+        Request::MemAllocAt { virt, len } => {
+            let span = len.max(1);
+            let overlaps = session
+                .regions
+                .iter()
+                .any(|r| virt < r.virt + r.len.max(1) && r.virt < virt + span);
+            if virt < STREAM_VIRT_BASE || overlaps {
+                return Response::err(Status::Malformed);
+            }
+            match gpu.alloc(len).await {
+                Ok(real) => {
+                    session.regions.push(StreamRegion { virt, len, real });
+                    Response {
+                        status: Status::Ok,
+                        value: real.0,
+                    }
+                }
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            }
+        }
+        Request::MemFree { ptr } => {
+            if ptr.0 >= STREAM_VIRT_BASE {
+                // Stream-virtual frees must name a region base exactly.
+                let Some(i) = session.regions.iter().position(|r| r.virt == ptr.0) else {
+                    return Response::err(Status::InvalidPointer);
+                };
+                let region = session.regions.swap_remove(i);
+                match gpu.free(region.real).await {
+                    Ok(()) => Response::ok(),
+                    Err(e) => Response::err(status_of_gpu_error(&e)),
+                }
+            } else {
+                match gpu.free(ptr).await {
+                    Ok(()) => Response::ok(),
+                    Err(e) => Response::err(status_of_gpu_error(&e)),
+                }
+            }
+        }
+        Request::MemSet { ptr, len, byte } => match session.resolve_ptr(ptr) {
+            Err(st) => Response::err(st),
+            Ok(real) => match gpu.memset(real, len, byte).await {
+                Ok(()) => Response::ok(),
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            },
+        },
+        Request::MemCpyH2D { dst, len, protocol } => match session.resolve_ptr(dst) {
+            Err(st) => {
+                // The payload is already in flight; drain it so the next
+                // command's data phase pairs correctly.
+                drain(ep, config, cn, data_tag, protocol.block_count(len)).await;
+                Response::err(st)
+            }
+            Ok(real) => {
+                handle_h2d(
+                    handle, ep, gpu, pool, config, stats, cn, real, len, protocol, data_tag,
+                )
+                .await
+            }
+        },
+        Request::KernelCreate { name } => {
+            if gpu.registry().contains(&name) {
+                session.kernel = Some(name);
+                session.args.clear();
+                Response::ok()
+            } else {
+                Response::err(Status::UnknownKernel)
+            }
+        }
+        Request::KernelSetArgs { args } => {
+            session.args = args;
+            Response::ok()
+        }
+        Request::KernelRun { grid, block } => match session.kernel.clone() {
+            None => Response::err(Status::NoKernelBound),
+            Some(name) => {
+                let args = match session.resolve_args(&session.args) {
+                    Ok(args) => args,
+                    Err(st) => return Response::err(st),
+                };
+                let cfg = LaunchConfig { grid, block };
+                match gpu.launch(&name, cfg, &args).await {
+                    Ok(()) => {
+                        stats.kernels += 1;
+                        Response::ok()
+                    }
+                    Err(e) => Response::err(status_of_gpu_error(&e)),
+                }
+            }
+        },
+        Request::Launch {
+            name,
+            args,
+            grid,
+            block,
+        } => {
+            if !gpu.registry().contains(&name) {
+                return Response::err(Status::UnknownKernel);
+            }
+            // Mirror the 3-call path's session effects so fused and legacy
+            // launches are interchangeable mid-session.
+            session.kernel = Some(name.clone());
+            session.args = args;
+            let args = match session.resolve_args(&session.args) {
+                Ok(args) => args,
+                Err(st) => return Response::err(st),
+            };
+            let cfg = LaunchConfig { grid, block };
+            match gpu.launch(&name, cfg, &args).await {
+                Ok(()) => {
+                    stats.kernels += 1;
+                    Response::ok()
+                }
+                Err(e) => Response::err(status_of_gpu_error(&e)),
+            }
+        }
+        _ => Response::err(Status::Malformed),
     }
 }
 

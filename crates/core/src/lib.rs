@@ -14,6 +14,8 @@
 //! * [`api`] — the compute-node-side computation API and protocols.
 //! * [`failover`] — command-log replay onto ARM-granted replacement
 //!   accelerators when one dies mid-job.
+//! * [`stream`] — asynchronous in-order command streams: request fusion,
+//!   windowed in-flight submission, and coalesced acks.
 //! * [`opencl`] — an OpenCL-flavoured front-end over the same wire protocol.
 //! * [`cluster`] — one-call assembly of ARM + daemons + compute nodes.
 //!
@@ -56,6 +58,7 @@ pub mod daemon;
 pub mod failover;
 pub mod opencl;
 pub mod proto;
+pub mod stream;
 
 /// Common imports.
 pub mod prelude {
@@ -69,7 +72,10 @@ pub mod prelude {
     };
     pub use crate::failover::FailoverSession;
     pub use crate::opencl::{ClBuffer, ClCommandQueue, ClContext, ClKernel};
-    pub use crate::proto::{ac_tags, Request, RequestFrame, Response, Status, WireProtocol};
+    pub use crate::proto::{
+        ac_tags, Request, RequestFrame, Response, Status, StreamAck, StreamBatch, WireProtocol,
+    };
+    pub use crate::stream::{AcStream, StreamConfig, StreamEvent};
 }
 
 pub use prelude::*;

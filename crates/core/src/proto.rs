@@ -42,12 +42,34 @@ pub mod ac_tags {
         Tag(0x8000_0000 | scramble(op_id, attempt))
     }
 
+    /// Cumulative-ack tag for one command stream (see
+    /// [`StreamBatch`](super::StreamBatch)). Stream ack tags live in
+    /// `0xC000_0000..0xD000_0000`, disjoint from the response and data
+    /// scramble ranges above.
+    pub fn stream_ack_tag(stream: u32) -> Tag {
+        Tag(0xC000_0000 | (stream & 0x0FFF_FFFF))
+    }
+
+    /// Bulk-data tag for host→device copies enqueued on one command
+    /// stream. Stream data tags live in `0xD000_0000..0xE000_0000`.
+    pub fn stream_data_tag(stream: u32) -> Tag {
+        Tag(0xD000_0000 | (stream & 0x0FFF_FFFF))
+    }
+
     fn scramble(op_id: u64, attempt: u32) -> u32 {
         let mix = (op_id ^ ((attempt as u64) << 40).wrapping_add(attempt as u64))
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((mix >> 34) as u32) & 0x3FFF_FFFF
     }
 }
+
+/// Base of the client-minted stream-virtual device address space used by
+/// [`MemAllocAt`](Request::MemAllocAt): a streamed allocation must return a
+/// pointer before the daemon's ack arrives, so the front-end mints one from
+/// this range and the daemon translates on use. Far above both physical
+/// device addresses and the failover plane's session-virtual range
+/// (`1 << 48`), so a pointer crossing planes fails fast.
+pub const STREAM_VIRT_BASE: u64 = 1 << 52;
 
 /// Transfer protocol selector carried in copy requests.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -164,6 +186,30 @@ pub enum Request {
     Ping,
     /// Stop the daemon (orderly tear-down).
     Shutdown,
+    /// Fused `acKernelCreate` + `acKernelSetArgs` + `acKernelRun`: one
+    /// round trip instead of three (§IV pays a full request/response pair
+    /// per call, which dominates small-kernel latency).
+    Launch {
+        /// Registered kernel name.
+        name: String,
+        /// Argument list.
+        args: Vec<KernelArg>,
+        /// Grid dimensions.
+        grid: (u32, u32, u32),
+        /// Block dimensions.
+        block: (u32, u32, u32),
+    },
+    /// `acMemAlloc` at a client-minted stream-virtual address (≥
+    /// [`STREAM_VIRT_BASE`]): lets a command stream hand out pointers
+    /// without waiting for the daemon's ack. The daemon records the
+    /// `virt → real` mapping in the client's session and translates on
+    /// every later use from that client.
+    MemAllocAt {
+        /// Stream-virtual base address chosen by the client.
+        virt: u64,
+        /// Allocation size in bytes.
+        len: u64,
+    },
 }
 
 /// Status codes carried in responses.
@@ -437,6 +483,27 @@ impl Request {
             }
             Request::Ping => w.u8(11),
             Request::Shutdown => w.u8(9),
+            Request::Launch {
+                name,
+                args,
+                grid,
+                block,
+            } => {
+                w.u8(12);
+                w.bytes(name.as_bytes());
+                w.u32(args.len() as u32);
+                for a in args {
+                    encode_arg(&mut w, a);
+                }
+                for v in [grid.0, grid.1, grid.2, block.0, block.1, block.2] {
+                    w.u32(v);
+                }
+            }
+            Request::MemAllocAt { virt, len } => {
+                w.u8(13);
+                w.u64(*virt);
+                w.u64(*len);
+            }
         }
         w.0
     }
@@ -499,10 +566,52 @@ impl Request {
                 byte: r.u8()?,
             },
             11 => Request::Ping,
+            12 => {
+                let name = String::from_utf8(r.bytes()?.to_vec()).map_err(|_| DecodeError)?;
+                let n = r.u32()?;
+                let mut args = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    args.push(decode_arg(&mut r)?);
+                }
+                let mut v = [0u32; 6];
+                for slot in &mut v {
+                    *slot = r.u32()?;
+                }
+                Request::Launch {
+                    name,
+                    args,
+                    grid: (v[0], v[1], v[2]),
+                    block: (v[3], v[4], v[5]),
+                }
+            }
+            13 => Request::MemAllocAt {
+                virt: r.u64()?,
+                len: r.u64()?,
+            },
             _ => return Err(DecodeError),
         };
         r.finish()?;
         Ok(req)
+    }
+
+    /// True for operations a command stream may carry inside a
+    /// [`StreamBatch`]: fire-and-forget commands whose only reply is the
+    /// batch's cumulative ack. Requests that stream data *back* to the
+    /// front-end (D2H, peer exchange) or control the daemon itself
+    /// (ping/shutdown) must go through the ordinary request/response path.
+    pub fn batchable(&self) -> bool {
+        matches!(
+            self,
+            Request::MemAlloc { .. }
+                | Request::MemAllocAt { .. }
+                | Request::MemFree { .. }
+                | Request::MemSet { .. }
+                | Request::MemCpyH2D { .. }
+                | Request::KernelCreate { .. }
+                | Request::KernelSetArgs { .. }
+                | Request::KernelRun { .. }
+                | Request::Launch { .. }
+        )
     }
 }
 
@@ -556,23 +665,130 @@ impl RequestFrame {
     }
 }
 
-/// A decoded request header: either a legacy bare [`Request`] (replies on
-/// [`ac_tags::RESPONSE`], no dedupe) or a [`RequestFrame`].
+/// Marker byte distinguishing a [`StreamBatch`] from bare requests and
+/// [`RequestFrame`]s on the wire.
+pub const BATCH_MARKER: u8 = 0xFC;
+
+/// A batched frame from one command stream: several small queued requests
+/// packed into a single fabric message. The daemon executes the commands
+/// strictly in order and answers with **one** cumulative [`StreamAck`] on
+/// [`ac_tags::stream_ack_tag`]`(stream)` covering the whole batch, so an
+/// in-flight window of `w` commands costs `⌈w / batch⌉` round trips
+/// instead of `w`.
+///
+/// Commands are numbered consecutively from `first_seq` in submission
+/// order; host→device payloads for any `MemCpyH2D` commands follow the
+/// frame on [`ac_tags::stream_data_tag`]`(stream)` in the same order.
+/// Batches ride the same [`ac_tags::REQUEST`] tag as ordinary requests,
+/// so the fabric's non-overtaking guarantee serializes a client's batches
+/// against its plain requests — a front-end only needs to *flush* (not
+/// drain) a stream before issuing a dependent plain request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StreamBatch {
+    /// Stream identifier (scopes ack/data tags).
+    pub stream: u32,
+    /// Sequence number of the first command in the batch.
+    pub first_seq: u64,
+    /// The commands, in submission order. Each must be
+    /// [`Request::batchable`].
+    pub cmds: Vec<Request>,
+}
+
+impl StreamBatch {
+    /// Encode to wire bytes (marker, stream, first_seq, count, then each
+    /// command length-prefixed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W(Vec::with_capacity(32 * self.cmds.len() + 17));
+        w.u8(BATCH_MARKER);
+        w.u32(self.stream);
+        w.u64(self.first_seq);
+        w.u32(self.cmds.len() as u32);
+        for cmd in &self.cmds {
+            w.bytes(&cmd.encode());
+        }
+        w.0
+    }
+
+    /// Decode a stream batch (the marker byte is required).
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = R(buf, 0);
+        if r.u8()? != BATCH_MARKER {
+            return Err(DecodeError);
+        }
+        let stream = r.u32()?;
+        let first_seq = r.u64()?;
+        let n = r.u32()?;
+        let mut cmds = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            cmds.push(Request::decode(r.bytes()?)?);
+        }
+        r.finish()?;
+        Ok(StreamBatch {
+            stream,
+            first_seq,
+            cmds,
+        })
+    }
+}
+
+/// Cumulative acknowledgement for a [`StreamBatch`]: covers every command
+/// up to and including `seq`. `status` is `Ok` iff all of them succeeded;
+/// otherwise it is the *first* failure in the batch (later commands still
+/// execute so the stream's data-tag pairing never skews, but the client
+/// latches the first error as its sticky stream error). `value` carries
+/// the last command's response value (unused by streams today, but kept
+/// for symmetry with [`Response`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamAck {
+    /// Highest command sequence number covered by this ack.
+    pub seq: u64,
+    /// `Ok`, or the first failure among the acked commands.
+    pub status: Status,
+    /// Response value of the last command in the batch.
+    pub value: u64,
+}
+
+impl StreamAck {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W(Vec::with_capacity(17));
+        w.u64(self.seq);
+        w.u8(self.status.to_u8());
+        w.u64(self.value);
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = R(buf, 0);
+        let seq = r.u64()?;
+        let status = Status::from_u8(r.u8()?).ok_or(DecodeError)?;
+        let value = r.u64()?;
+        r.finish()?;
+        Ok(StreamAck { seq, status, value })
+    }
+}
+
+/// A decoded request header: a legacy bare [`Request`] (replies on
+/// [`ac_tags::RESPONSE`], no dedupe), a [`RequestFrame`], or a
+/// [`StreamBatch`] from a command stream.
 #[derive(Clone, PartialEq, Debug)]
 pub enum AnyRequest {
     /// Unframed request from a client without retry enabled.
     Bare(Request),
     /// Framed, retryable request.
     Framed(RequestFrame),
+    /// Batched command-stream frame, acked cumulatively.
+    Batch(StreamBatch),
 }
 
 impl AnyRequest {
-    /// Decode either wire form, keyed on the marker byte.
+    /// Decode any wire form, keyed on the marker byte.
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
-        if buf.first() == Some(&FRAME_MARKER) {
-            Ok(AnyRequest::Framed(RequestFrame::decode(buf)?))
-        } else {
-            Ok(AnyRequest::Bare(Request::decode(buf)?))
+        match buf.first() {
+            Some(&FRAME_MARKER) => Ok(AnyRequest::Framed(RequestFrame::decode(buf)?)),
+            Some(&BATCH_MARKER) => Ok(AnyRequest::Batch(StreamBatch::decode(buf)?)),
+            _ => Ok(AnyRequest::Bare(Request::decode(buf)?)),
         }
     }
 }
@@ -654,6 +870,133 @@ mod tests {
         });
         roundtrip(Request::Ping);
         roundtrip(Request::Shutdown);
+        roundtrip(Request::Launch {
+            name: "la.dgemm".into(),
+            args: vec![
+                KernelArg::Ptr(DevicePtr(STREAM_VIRT_BASE + 256)),
+                KernelArg::U64(128),
+                KernelArg::F64(-1.0),
+            ],
+            grid: (8, 8, 1),
+            block: (16, 16, 1),
+        });
+        roundtrip(Request::MemAllocAt {
+            virt: STREAM_VIRT_BASE,
+            len: 1 << 20,
+        });
+    }
+
+    #[test]
+    fn batchable_partition_matches_data_direction() {
+        // Everything that only flows front-end → daemon batches; anything
+        // with a return data phase or daemon control does not.
+        assert!(Request::MemAlloc { len: 1 }.batchable());
+        assert!(Request::MemAllocAt { virt: 0, len: 1 }.batchable());
+        assert!(Request::MemFree { ptr: DevicePtr(1) }.batchable());
+        assert!(Request::MemSet {
+            ptr: DevicePtr(1),
+            len: 1,
+            byte: 0
+        }
+        .batchable());
+        assert!(Request::MemCpyH2D {
+            dst: DevicePtr(1),
+            len: 1,
+            protocol: WireProtocol::Naive
+        }
+        .batchable());
+        assert!(Request::Launch {
+            name: "k".into(),
+            args: vec![],
+            grid: (1, 1, 1),
+            block: (1, 1, 1)
+        }
+        .batchable());
+        assert!(!Request::MemCpyD2H {
+            src: DevicePtr(1),
+            len: 1,
+            protocol: WireProtocol::Naive
+        }
+        .batchable());
+        assert!(!Request::PeerSend {
+            src: DevicePtr(1),
+            len: 1,
+            peer: 2,
+            block: 4
+        }
+        .batchable());
+        assert!(!Request::Ping.batchable());
+        assert!(!Request::Shutdown.batchable());
+    }
+
+    #[test]
+    fn stream_batches_roundtrip() {
+        let batch = StreamBatch {
+            stream: 0x0ABC_DEF0,
+            first_seq: 41,
+            cmds: vec![
+                Request::MemAllocAt {
+                    virt: STREAM_VIRT_BASE + 4096,
+                    len: 1 << 16,
+                },
+                Request::MemCpyH2D {
+                    dst: DevicePtr(STREAM_VIRT_BASE + 4096),
+                    len: 1 << 16,
+                    protocol: WireProtocol::Pipeline { block: 128 << 10 },
+                },
+                Request::Launch {
+                    name: "la.dlarfb".into(),
+                    args: vec![KernelArg::Ptr(DevicePtr(7)), KernelArg::U64(3)],
+                    grid: (4, 4, 1),
+                    block: (32, 4, 1),
+                },
+            ],
+        };
+        let bytes = batch.encode();
+        assert_eq!(StreamBatch::decode(&bytes), Ok(batch.clone()));
+        assert_eq!(AnyRequest::decode(&bytes), Ok(AnyRequest::Batch(batch)));
+        for cut in 0..bytes.len() {
+            assert_eq!(StreamBatch::decode(&bytes[..cut]), Err(DecodeError));
+        }
+        // Empty batches are legal on the wire (the client never sends them).
+        let empty = StreamBatch {
+            stream: 1,
+            first_seq: 0,
+            cmds: vec![],
+        };
+        assert_eq!(StreamBatch::decode(&empty.encode()), Ok(empty));
+    }
+
+    #[test]
+    fn stream_acks_roundtrip() {
+        for status in [Status::Ok, Status::InvalidPointer, Status::Malformed] {
+            let ack = StreamAck {
+                seq: u64::MAX - 3,
+                status,
+                value: 0x1234_5678,
+            };
+            let bytes = ack.encode();
+            assert_eq!(StreamAck::decode(&bytes), Ok(ack));
+            for cut in 0..bytes.len() {
+                assert_eq!(StreamAck::decode(&bytes[..cut]), Err(DecodeError));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_tags_disjoint_from_scramble_ranges() {
+        for id in [0u32, 1, 0x0FFF_FFFF, u32::MAX] {
+            let ack = ac_tags::stream_ack_tag(id).0;
+            let data = ac_tags::stream_data_tag(id).0;
+            assert!((0xC000_0000..0xD000_0000).contains(&ack));
+            assert!((0xD000_0000..0xE000_0000).contains(&data));
+        }
+        for op in 0..256u64 {
+            for att in 0..6u32 {
+                assert!((0x4000_0000..0x8000_0000).contains(&ac_tags::response_tag(op, att).0));
+                assert!((0x8000_0000..0xC000_0000).contains(&ac_tags::data_tag(op, att).0));
+            }
+        }
     }
 
     #[test]

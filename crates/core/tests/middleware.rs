@@ -452,6 +452,300 @@ fn daemon_trace_records_request_sequence() {
 }
 
 #[test]
+fn stream_wire_batches_commands_with_coalesced_acks() {
+    // A bare remote gets the wire fast path: commands pack into batch
+    // frames, each answered by a single cumulative ack, and the result is
+    // byte-identical to the synchronous sequence.
+    use dacc_runtime::stream::StreamConfig;
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let daemon_handle = cluster.daemon_handles.remove(0);
+    let data = test_pattern(8192);
+    let mut expect = data.clone();
+    for chunk in expect[4096..].chunks_exact_mut(8) {
+        chunk.copy_from_slice(&2.5f64.to_le_bytes());
+    }
+    let result = sim.spawn("app", async move {
+        let dev = AcDevice::Remote(RemoteAccelerator::new(
+            ep,
+            daemon,
+            FrontendConfig::default(),
+        ));
+        let s = dev.stream(StreamConfig::default());
+        assert!(s.is_wire());
+        let ptr = s.mem_alloc(8192).await.unwrap();
+        assert!(
+            ptr.0 >= dacc_runtime::proto::STREAM_VIRT_BASE,
+            "wire streams mint stream-virtual pointers"
+        );
+        s.mem_cpy_h2d(&Payload::from_vec(data), ptr).await.unwrap();
+        // Overwrite the second half through an offset pointer — the daemon
+        // must translate offsets into stream-virtual regions, kernel args
+        // included.
+        s.launch(
+            "fill_f64",
+            LaunchConfig::linear(2, 256),
+            &[
+                KernelArg::Ptr(ptr.offset(4096)),
+                KernelArg::U64(512),
+                KernelArg::F64(2.5),
+            ],
+        )
+        .await
+        .unwrap();
+        // flush (not synchronize) is enough before a dependent plain D2H:
+        // the batch and the read share the non-overtaking request tag.
+        s.flush().await.unwrap();
+        let back = dev.mem_cpy_d2h(ptr, 8192).await.unwrap();
+        s.mem_free(ptr).await.unwrap();
+        s.synchronize().await.unwrap();
+        if let AcDevice::Remote(r) = &dev {
+            r.shutdown().await.unwrap();
+        }
+        back
+    });
+    sim.run();
+    let back = result.try_take().expect("stream run did not finish");
+    assert_eq!(back.expect_bytes().as_ref(), expect.as_slice());
+    let stats = daemon_handle.try_take().expect("daemon still running");
+    assert!(stats.stream_batches >= 1, "no batch frames reached daemon");
+    assert_eq!(stats.stream_cmds, 4, "alloc + h2d + launch + free");
+    // 4 streamed commands collapse into batches; only the D2H and the
+    // shutdown are plain round trips.
+    assert!(
+        stats.requests <= 2 + stats.stream_batches,
+        "requests {} vs batches {}",
+        stats.requests,
+        stats.stream_batches
+    );
+}
+
+#[test]
+fn stream_eliminates_round_trips_vs_sync_sequence() {
+    // The same 3×(h2d + fused launch) hot loop, synchronous vs streamed:
+    // the streamed run must reach the daemon in at least 3× fewer requests.
+    use dacc_runtime::stream::StreamConfig;
+    let run = |streamed: bool| -> DaemonStats {
+        let (mut sim, mut cluster) = functional_cluster(1);
+        let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let daemon_handle = cluster.daemon_handles.remove(0);
+        sim.spawn("app", async move {
+            let dev = AcDevice::Remote(RemoteAccelerator::new(
+                ep,
+                daemon,
+                FrontendConfig::default(),
+            ));
+            let s = dev.stream(StreamConfig::default());
+            let args = |ptr| {
+                [
+                    KernelArg::Ptr(ptr),
+                    KernelArg::U64(512),
+                    KernelArg::F64(1.0),
+                ]
+            };
+            if streamed {
+                let ptr = s.mem_alloc(4096).await.unwrap();
+                for _ in 0..3 {
+                    s.mem_cpy_h2d(&Payload::from_vec(vec![9; 4096]), ptr)
+                        .await
+                        .unwrap();
+                    s.launch("fill_f64", LaunchConfig::linear(2, 256), &args(ptr))
+                        .await
+                        .unwrap();
+                }
+                s.synchronize().await.unwrap();
+            } else {
+                let ptr = dev.mem_alloc(4096).await.unwrap();
+                for _ in 0..3 {
+                    dev.mem_cpy_h2d(&Payload::from_vec(vec![9; 4096]), ptr)
+                        .await
+                        .unwrap();
+                    dev.launch("fill_f64", LaunchConfig::linear(2, 256), &args(ptr))
+                        .await
+                        .unwrap();
+                }
+            }
+            if let AcDevice::Remote(r) = &dev {
+                r.shutdown().await.unwrap();
+            }
+        });
+        sim.run();
+        daemon_handle.try_take().expect("daemon still running")
+    };
+    let sync = run(false);
+    let streamed = run(true);
+    assert_eq!(sync.kernels, streamed.kernels, "same work must execute");
+    assert!(
+        sync.requests as f64 / streamed.requests as f64 >= 3.0,
+        "streamed {} vs sync {} requests",
+        streamed.requests,
+        sync.requests
+    );
+}
+
+#[test]
+fn fused_launch_is_one_request_legacy_is_three() {
+    let run = |fused: bool| -> DaemonStats {
+        let (mut sim, mut cluster) = functional_cluster(1);
+        let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+        let daemon = cluster.daemon_rank(0);
+        let daemon_handle = cluster.daemon_handles.remove(0);
+        sim.spawn("app", async move {
+            let cfg = FrontendConfig {
+                fused_launch: fused,
+                ..FrontendConfig::default()
+            };
+            let ac = RemoteAccelerator::new(ep, daemon, cfg);
+            let ptr = ac.mem_alloc(1024).await.unwrap();
+            ac.launch(
+                "fill_f64",
+                LaunchConfig::linear(1, 128),
+                &[
+                    KernelArg::Ptr(ptr),
+                    KernelArg::U64(128),
+                    KernelArg::F64(1.0),
+                ],
+            )
+            .await
+            .unwrap();
+            let back = ac.mem_cpy_d2h(ptr, 8).await.unwrap();
+            assert_eq!(&back.expect_bytes()[..8], 1.0f64.to_le_bytes().as_slice());
+            ac.shutdown().await.unwrap();
+        });
+        sim.run();
+        daemon_handle.try_take().expect("daemon still running")
+    };
+    let fused = run(true);
+    let legacy = run(false);
+    assert_eq!(legacy.requests - fused.requests, 2, "launch: 3 RTTs vs 1");
+    assert_eq!(fused.kernels, 1);
+    assert_eq!(legacy.kernels, 1);
+}
+
+#[test]
+fn stream_error_is_sticky_and_surfaces_at_synchronize() {
+    use dacc_runtime::stream::StreamConfig;
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let result = sim.spawn("app", async move {
+        let dev = AcDevice::Remote(RemoteAccelerator::new(
+            ep.clone(),
+            daemon,
+            FrontendConfig::default(),
+        ));
+        let s = dev.stream(StreamConfig::default());
+        let ptr = s.mem_alloc(64).await.unwrap();
+        // Enqueue is fire-and-forget: an out-of-bounds fill reports Ok at
+        // enqueue time...
+        s.mem_set(ptr, 4096, 0xEE).await.unwrap();
+        // ...later commands in the same batch still execute (their H2D
+        // payloads must be consumed)...
+        s.mem_set(ptr, 64, 0x11).await.unwrap();
+        // ...and the first failure surfaces, latched, at synchronize.
+        let e1 = s.synchronize().await.unwrap_err();
+        let e2 = s.synchronize().await.unwrap_err();
+        // A poisoned stream fails fast on new work.
+        let e3 = s.mem_set(ptr, 1, 0).await.unwrap_err();
+        // The device itself is unaffected: the command after the failed one
+        // did run.
+        let back = dev.mem_cpy_d2h(ptr, 64).await.unwrap();
+        if let AcDevice::Remote(r) = &dev {
+            r.shutdown().await.unwrap();
+        }
+        (e1, e2, e3, back)
+    });
+    sim.run();
+    let (e1, e2, e3, back) = result.try_take().expect("did not finish");
+    assert_eq!(e1, AcError::Remote(Status::OutOfBounds));
+    assert_eq!(e2, e1, "sticky error must stay latched");
+    assert_eq!(e3, e1, "enqueue after failure must fail fast");
+    assert!(back.expect_bytes().iter().all(|&b| b == 0x11));
+}
+
+#[test]
+fn stream_window_flow_control_bounds_inflight() {
+    // A tiny window with 1-command batches: 32 commands must still all
+    // execute, in order, with one ack per batch.
+    use dacc_runtime::stream::StreamConfig;
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let daemon_handle = cluster.daemon_handles.remove(0);
+    let result = sim.spawn("app", async move {
+        let dev = AcDevice::Remote(RemoteAccelerator::new(
+            ep,
+            daemon,
+            FrontendConfig::default(),
+        ));
+        let s = dev.stream(StreamConfig {
+            window: 2,
+            max_batch: 1,
+        });
+        let ptr = s.mem_alloc(32).await.unwrap();
+        for i in 0..31u64 {
+            // Each fill overwrites one byte; last writer wins per byte.
+            s.mem_set(ptr.offset(i), 32 - i, i as u8).await.unwrap();
+        }
+        s.flush().await.unwrap();
+        let back = dev.mem_cpy_d2h(ptr, 32).await.unwrap();
+        s.synchronize().await.unwrap();
+        if let AcDevice::Remote(r) = &dev {
+            r.shutdown().await.unwrap();
+        }
+        back
+    });
+    sim.run();
+    let back = result.try_take().expect("did not finish");
+    let expect: Vec<u8> = (0..31u8).chain([30]).collect();
+    assert_eq!(back.expect_bytes().as_ref(), expect.as_slice());
+    let stats = daemon_handle.try_take().expect("daemon still running");
+    assert_eq!(stats.stream_cmds, 32, "alloc + 31 fills");
+    assert_eq!(stats.stream_batches, 32, "max_batch=1 → one frame each");
+}
+
+#[test]
+fn stream_over_retry_remote_uses_direct_mode() {
+    // A retry-framed remote must not take the wire fast path (op-id dedupe
+    // and replay assume one request per op) — but the stream API still
+    // works, deferring and executing in order.
+    use dacc_runtime::stream::StreamConfig;
+    let (mut sim, mut cluster) = functional_cluster(1);
+    let ep = std::mem::take(&mut cluster.cn_endpoints).remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let daemon_handle = cluster.daemon_handles.remove(0);
+    let data = test_pattern(4096);
+    let expect = data.clone();
+    let result = sim.spawn("app", async move {
+        let cfg = FrontendConfig {
+            retry: Some(RetryPolicy::default()),
+            ..FrontendConfig::default()
+        };
+        let dev = AcDevice::Remote(RemoteAccelerator::new(ep, daemon, cfg));
+        let s = dev.stream(StreamConfig::default());
+        assert!(!s.is_wire());
+        let ptr = s.mem_alloc(4096).await.unwrap();
+        s.mem_cpy_h2d(&Payload::from_vec(data), ptr).await.unwrap();
+        let ev = s.record_event();
+        s.wait_event(ev).await.unwrap();
+        let back = dev.mem_cpy_d2h(ptr, 4096).await.unwrap();
+        s.mem_free(ptr).await.unwrap();
+        s.synchronize().await.unwrap();
+        if let AcDevice::Remote(r) = &dev {
+            r.shutdown().await.unwrap();
+        }
+        back
+    });
+    sim.run();
+    let back = result.try_take().expect("did not finish");
+    assert_eq!(back.expect_bytes().as_ref(), expect.as_slice());
+    let stats = daemon_handle.try_take().expect("daemon still running");
+    assert_eq!(stats.stream_batches, 0, "direct mode must not batch");
+}
+
+#[test]
 fn oversized_pipeline_block_rejected_cleanly() {
     // A front-end configured with blocks larger than the daemon's pinned
     // buffers must get an error, not a daemon crash — and the daemon must

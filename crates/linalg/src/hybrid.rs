@@ -20,7 +20,9 @@
 
 use dacc_fabric::payload::Payload;
 use dacc_runtime::api::{device_to_device, AcDevice, AcError, RemoteAccelerator};
+use dacc_runtime::stream::{AcStream, StreamConfig};
 use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 use dacc_vgpu::memory::DevicePtr;
 
 /// Boxed per-device update future (heterogeneous: the lookahead owner runs
@@ -60,6 +62,13 @@ pub struct HybridConfig {
     /// measured in Fig. 9 behaves like `false`; `true` shows the classic
     /// optimization on top (see the `ablation_lookahead` study).
     pub lookahead: bool,
+    /// Issue device work through asynchronous command streams
+    /// ([`AcStream`]): launches, H2D copies, and frees are enqueued
+    /// fire-and-forget and batched on the wire, eliminating most of the
+    /// per-request round-trip stalls. The paper-era port measured in
+    /// Fig. 9/10 behaves like `false`; `true` shows the optimization (see
+    /// the `ablation_async` study).
+    pub streams: bool,
 }
 
 impl Default for HybridConfig {
@@ -69,6 +78,7 @@ impl Default for HybridConfig {
             cpu_panel_gflops: 6.5,
             broadcast: PanelBroadcast::ViaHost,
             lookahead: false,
+            streams: false,
         }
     }
 }
@@ -100,6 +110,12 @@ async fn broadcast_panel(
         let direct = mode == PanelBroadcast::PeerDirect;
         match (direct, as_remote(&src_slot.dev), as_remote(&dst_slot.dev)) {
             (true, Some(src), Some(dst)) => {
+                // Peer transfers are plain requests; flushing both streams
+                // orders them after each side's enqueued work (the packed
+                // panel on the source, prior workspace reads on the
+                // destination).
+                src_slot.flush().await?;
+                dst_slot.flush().await?;
                 device_to_device(src, src_slot.scratch, dst, dst_slot.panel_ws, bytes).await?;
             }
             _ => {
@@ -107,12 +123,9 @@ async fn broadcast_panel(
                 // otherwise pull the packed panel down once.
                 let payload = match host_copy {
                     Some(p) => p.clone(),
-                    None => src_slot.dev.mem_cpy_d2h(src_slot.scratch, bytes).await?,
+                    None => src_slot.d2h(src_slot.scratch, bytes).await?,
                 };
-                dst_slot
-                    .dev
-                    .mem_cpy_h2d(&payload, dst_slot.panel_ws)
-                    .await?;
+                dst_slot.h2d(&payload, dst_slot.panel_ws).await?;
             }
         }
     }
@@ -148,6 +161,10 @@ pub fn qr_flops(m: usize, n: usize) -> f64 {
 /// Per-device state of the block-cyclic distribution.
 struct Slot {
     dev: AcDevice,
+    /// Command stream carrying this device's fire-and-forget work
+    /// ([`HybridConfig::streams`]); `None` runs the paper-era synchronous
+    /// calls.
+    stream: Option<AcStream>,
     /// Base of the local block-column buffer (`m × local_cols`, lda = m).
     base: DevicePtr,
     /// Contiguous panel workspace (`m × nb` doubles).
@@ -158,6 +175,61 @@ struct Slot {
     scratch: DevicePtr,
     /// Number of local block columns.
     local_blocks: usize,
+}
+
+impl Slot {
+    /// Enqueue (streamed) or run (synchronous) a kernel launch.
+    async fn launch(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<(), AcError> {
+        match &self.stream {
+            Some(s) => s.launch(name, cfg, args).await,
+            None => self.dev.launch(name, cfg, args).await,
+        }
+    }
+
+    /// Enqueue or run a host→device copy.
+    async fn h2d(&self, src: &Payload, dst: DevicePtr) -> Result<(), AcError> {
+        match &self.stream {
+            Some(s) => s.mem_cpy_h2d(src, dst).await,
+            None => self.dev.mem_cpy_h2d(src, dst).await,
+        }
+    }
+
+    /// Enqueue or run a free.
+    async fn free(&self, ptr: DevicePtr) -> Result<(), AcError> {
+        match &self.stream {
+            Some(s) => s.mem_free(ptr).await,
+            None => self.dev.mem_free(ptr).await,
+        }
+    }
+
+    /// Device→host copy ordered after everything enqueued so far: a flush
+    /// suffices (no ack drain) because a client's plain requests cannot
+    /// overtake its flushed stream batches on the fabric.
+    async fn d2h(&self, src: DevicePtr, len: u64) -> Result<Payload, AcError> {
+        self.flush().await?;
+        self.dev.mem_cpy_d2h(src, len).await
+    }
+
+    /// Submit pending streamed work without draining acks.
+    async fn flush(&self) -> Result<(), AcError> {
+        match &self.stream {
+            Some(s) => s.flush().await,
+            None => Ok(()),
+        }
+    }
+
+    /// Drain this device's stream (no-op when synchronous).
+    async fn sync(&self) -> Result<(), AcError> {
+        match &self.stream {
+            Some(s) => s.synchronize().await,
+            None => Ok(()),
+        }
+    }
 }
 
 struct Dist {
@@ -217,7 +289,23 @@ impl Dist {
     }
 }
 
-async fn setup(devices: &[AcDevice], host: &HostMatrix, nb: usize) -> Result<Dist, AcError> {
+async fn stream_alloc(
+    dev: &AcDevice,
+    stream: &Option<AcStream>,
+    len: u64,
+) -> Result<DevicePtr, AcError> {
+    match stream {
+        Some(s) => s.mem_alloc(len).await,
+        None => dev.mem_alloc(len).await,
+    }
+}
+
+async fn setup(
+    devices: &[AcDevice],
+    host: &HostMatrix,
+    nb: usize,
+    streams: bool,
+) -> Result<Dist, AcError> {
     let (m, n) = (host.rows(), host.cols());
     assert!(m >= n, "hybrid factorizations require m >= n");
     assert!(!devices.is_empty());
@@ -225,16 +313,18 @@ async fn setup(devices: &[AcDevice], host: &HostMatrix, nb: usize) -> Result<Dis
     let nblocks = n.div_ceil(nb);
     let mut slots = Vec::with_capacity(g);
     for (d, dev) in devices.iter().enumerate() {
+        let stream = streams.then(|| dev.stream(StreamConfig::default()));
         let local_blocks = (nblocks + g - 1 - d) / g; // blocks j ≡ d (mod g)
         let local_cols: usize = (0..local_blocks)
             .map(|l| nb.min(n - (l * g + d) * nb))
             .sum();
-        let base = dev.mem_alloc((m * local_cols.max(1) * 8) as u64).await?;
-        let panel_ws = dev.mem_alloc((m * nb * 8) as u64).await?;
-        let t_ws = dev.mem_alloc((nb * nb * 8) as u64).await?;
-        let scratch = dev.mem_alloc((m * nb * 8) as u64).await?;
+        let base = stream_alloc(dev, &stream, (m * local_cols.max(1) * 8) as u64).await?;
+        let panel_ws = stream_alloc(dev, &stream, (m * nb * 8) as u64).await?;
+        let t_ws = stream_alloc(dev, &stream, (nb * nb * 8) as u64).await?;
+        let scratch = stream_alloc(dev, &stream, (m * nb * 8) as u64).await?;
         slots.push(Slot {
             dev: dev.clone(),
+            stream,
             base,
             panel_ws,
             t_ws,
@@ -254,9 +344,13 @@ async fn setup(devices: &[AcDevice], host: &HostMatrix, nb: usize) -> Result<Dis
         let w = dist.width(j);
         let payload = host.columns_payload(j * nb, w);
         dist.slots[dist.owner(j)]
-            .dev
-            .mem_cpy_h2d(&payload, dist.col_ptr(j))
+            .h2d(&payload, dist.col_ptr(j))
             .await?;
+    }
+    // Drain the streams so the timed region excludes the distribution,
+    // exactly as the synchronous path does.
+    for slot in &dist.slots {
+        slot.sync().await?;
     }
     Ok(dist)
 }
@@ -265,16 +359,16 @@ async fn collect(dist: &Dist, host: &mut HostMatrix) -> Result<(), AcError> {
     for j in 0..dist.nblocks {
         let w = dist.width(j);
         let payload = dist.slots[dist.owner(j)]
-            .dev
-            .mem_cpy_d2h(dist.col_ptr(j), (dist.m * w * 8) as u64)
+            .d2h(dist.col_ptr(j), (dist.m * w * 8) as u64)
             .await?;
         host.set_columns_payload(j * dist.nb, w, &payload);
     }
     for slot in &dist.slots {
-        slot.dev.mem_free(slot.base).await?;
-        slot.dev.mem_free(slot.panel_ws).await?;
-        slot.dev.mem_free(slot.t_ws).await?;
-        slot.dev.mem_free(slot.scratch).await?;
+        slot.free(slot.base).await?;
+        slot.free(slot.panel_ws).await?;
+        slot.free(slot.t_ws).await?;
+        slot.free(slot.scratch).await?;
+        slot.sync().await?;
     }
     Ok(())
 }
@@ -289,19 +383,18 @@ async fn pack_to_scratch(
     cols: usize,
 ) -> Result<(), AcError> {
     use dacc_vgpu::kernel::KernelArg as A;
-    slot.dev
-        .launch(
-            "la.pack",
-            launch_cfg(rows, cols),
-            &[
-                A::Ptr(src),
-                A::U64(ld as u64),
-                A::U64(rows as u64),
-                A::U64(cols as u64),
-                A::Ptr(slot.scratch),
-            ],
-        )
-        .await?;
+    slot.launch(
+        "la.pack",
+        launch_cfg(rows, cols),
+        &[
+            A::Ptr(src),
+            A::U64(ld as u64),
+            A::U64(rows as u64),
+            A::U64(cols as u64),
+            A::Ptr(slot.scratch),
+        ],
+    )
+    .await?;
     Ok(())
 }
 
@@ -314,23 +407,8 @@ async fn fetch_strided(
     rows: usize,
     cols: usize,
 ) -> Result<Payload, AcError> {
-    use dacc_vgpu::kernel::KernelArg as A;
-    slot.dev
-        .launch(
-            "la.pack",
-            launch_cfg(rows, cols),
-            &[
-                A::Ptr(src),
-                A::U64(ld as u64),
-                A::U64(rows as u64),
-                A::U64(cols as u64),
-                A::Ptr(slot.scratch),
-            ],
-        )
-        .await?;
-    slot.dev
-        .mem_cpy_d2h(slot.scratch, (rows * cols * 8) as u64)
-        .await
+    pack_to_scratch(slot, src, ld, rows, cols).await?;
+    slot.d2h(slot.scratch, (rows * cols * 8) as u64).await
 }
 
 /// Store a dense host payload into an lda-strided region: one contiguous
@@ -344,20 +422,19 @@ async fn store_strided(
     cols: usize,
 ) -> Result<(), AcError> {
     use dacc_vgpu::kernel::KernelArg as A;
-    slot.dev.mem_cpy_h2d(payload, slot.scratch).await?;
-    slot.dev
-        .launch(
-            "la.unpack",
-            launch_cfg(rows, cols),
-            &[
-                A::Ptr(slot.scratch),
-                A::Ptr(dst),
-                A::U64(ld as u64),
-                A::U64(rows as u64),
-                A::U64(cols as u64),
-            ],
-        )
-        .await?;
+    slot.h2d(payload, slot.scratch).await?;
+    slot.launch(
+        "la.unpack",
+        launch_cfg(rows, cols),
+        &[
+            A::Ptr(slot.scratch),
+            A::Ptr(dst),
+            A::U64(ld as u64),
+            A::U64(rows as u64),
+            A::U64(cols as u64),
+        ],
+    )
+    .await?;
     Ok(())
 }
 
@@ -377,7 +454,7 @@ pub async fn dpotrf_hybrid(
 ) -> Result<HybridReport, AcError> {
     let n = host.cols();
     assert_eq!(host.rows(), n, "Cholesky needs a square matrix");
-    let dist = setup(devices, host, cfg.nb).await?;
+    let dist = setup(devices, host, cfg.nb, cfg.streams).await?;
     let start = handle.now();
 
     for k in 0..dist.nblocks {
@@ -408,7 +485,6 @@ pub async fn dpotrf_hybrid(
             //    A[col0+kb.., k-block] ← A · L_kk⁻ᵀ.
             let panel_ptr = col_ptr.offset(((col0 + kb) * 8) as u64);
             owner_slot
-                .dev
                 .launch(
                     "la.dtrsm_rlt",
                     launch_cfg(rows_below, kb),
@@ -482,27 +558,26 @@ pub async fn dpotrf_hybrid(
                             let prow = jrow - (col0 + kb);
                             let a_ptr = p_ptr.offset((prow * 8) as u64);
                             let b_ptr = a_ptr;
-                            slot.dev
-                                .launch(
-                                    "la.dgemm",
-                                    launch_cfg(mj, jb),
-                                    &dgemm_args(
-                                        Trans::No,
-                                        Trans::Yes,
-                                        mj,
-                                        jb,
-                                        kb,
-                                        -1.0,
-                                        a_ptr,
-                                        p_ld,
-                                        b_ptr,
-                                        p_ld,
-                                        1.0,
-                                        c_ptr,
-                                        dist_ref.m,
-                                    ),
-                                )
-                                .await?;
+                            slot.launch(
+                                "la.dgemm",
+                                launch_cfg(mj, jb),
+                                &dgemm_args(
+                                    Trans::No,
+                                    Trans::Yes,
+                                    mj,
+                                    jb,
+                                    kb,
+                                    -1.0,
+                                    a_ptr,
+                                    p_ld,
+                                    b_ptr,
+                                    p_ld,
+                                    1.0,
+                                    c_ptr,
+                                    dist_ref.m,
+                                ),
+                            )
+                            .await?;
                             local_off += dist_ref.nb;
                         }
                         Ok::<(), AcError>(())
@@ -515,6 +590,11 @@ pub async fn dpotrf_hybrid(
         }
     }
 
+    // Streamed work is asynchronous: drain every device before reading the
+    // clock so the timed region covers the whole factorization.
+    for slot in &dist.slots {
+        slot.sync().await?;
+    }
     let elapsed = handle.now().since(start);
     collect(&dist, host).await?;
     let flops = cholesky_flops(n);
@@ -563,7 +643,7 @@ pub async fn dgeqrf_hybrid(
     cfg: &HybridConfig,
 ) -> Result<HybridReport, AcError> {
     let (m, n) = (host.rows(), host.cols());
-    let dist = setup(devices, host, cfg.nb).await?;
+    let dist = setup(devices, host, cfg.nb, cfg.streams).await?;
     let start = handle.now();
     let mut tau_all = Vec::new();
 
@@ -612,10 +692,7 @@ pub async fn dgeqrf_hybrid(
             if dist.trailing(d, k).is_none() {
                 continue;
             }
-            dist.slots[d]
-                .dev
-                .mem_cpy_h2d(&t_payload, dist.slots[d].t_ws)
-                .await?;
+            dist.slots[d].h2d(&t_payload, dist.slots[d].t_ws).await?;
         }
 
         // 3. Apply the block reflector to each device's trailing columns.
@@ -652,13 +729,12 @@ pub async fn dgeqrf_hybrid(
                 let nb = cfg.nb;
                 futures.push(Box::pin(async move {
                     // Update column block k+1 first...
-                    slot.dev
-                        .launch(
-                            "la.dlarfb",
-                            launch_cfg(mk, kb_next),
-                            &dlarfb_args(mk, kb_next, kb, v_ptr, v_ld, t_ws, c_ptr, ldm),
-                        )
-                        .await?;
+                    slot.launch(
+                        "la.dlarfb",
+                        launch_cfg(mk, kb_next),
+                        &dlarfb_args(mk, kb_next, kb, v_ptr, v_ld, t_ws, c_ptr, ldm),
+                    )
+                    .await?;
                     // ...ship the next panel to the host...
                     let p = fetch_strided(slot, next_panel_ptr, ldm, mk_next, kb_next).await?;
                     tx.send(p);
@@ -667,34 +743,23 @@ pub async fn dgeqrf_hybrid(
                         let rest_ptr = trail_ptr
                             .offset((nb * ldm * 8) as u64)
                             .offset((col0 * 8) as u64);
-                        slot.dev
-                            .launch(
-                                "la.dlarfb",
-                                launch_cfg(mk, cols - kb_next),
-                                &dlarfb_args(
-                                    mk,
-                                    cols - kb_next,
-                                    kb,
-                                    v_ptr,
-                                    v_ld,
-                                    t_ws,
-                                    rest_ptr,
-                                    ldm,
-                                ),
-                            )
-                            .await?;
+                        slot.launch(
+                            "la.dlarfb",
+                            launch_cfg(mk, cols - kb_next),
+                            &dlarfb_args(mk, cols - kb_next, kb, v_ptr, v_ld, t_ws, rest_ptr, ldm),
+                        )
+                        .await?;
                     }
                     Ok(())
                 }));
             } else {
                 futures.push(Box::pin(async move {
-                    slot.dev
-                        .launch(
-                            "la.dlarfb",
-                            launch_cfg(mk, cols),
-                            &dlarfb_args(mk, cols, kb, v_ptr, v_ld, t_ws, c_ptr, ldm),
-                        )
-                        .await
+                    slot.launch(
+                        "la.dlarfb",
+                        launch_cfg(mk, cols),
+                        &dlarfb_args(mk, cols, kb, v_ptr, v_ld, t_ws, c_ptr, ldm),
+                    )
+                    .await
                 }));
             }
         }
@@ -717,6 +782,11 @@ pub async fn dgeqrf_hybrid(
         pending = next_pending;
     }
 
+    // Streamed work is asynchronous: drain every device before reading the
+    // clock so the timed region covers the whole factorization.
+    for slot in &dist.slots {
+        slot.sync().await?;
+    }
     let elapsed = handle.now().since(start);
     collect(&dist, host).await?;
     let flops = qr_flops(m, n);

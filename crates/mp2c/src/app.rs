@@ -5,6 +5,7 @@
 use dacc_fabric::mpi::{Endpoint, Rank, Tag};
 use dacc_fabric::payload::Payload;
 use dacc_runtime::api::{AcDevice, AcError};
+use dacc_runtime::stream::StreamConfig;
 use dacc_sim::prelude::*;
 use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 
@@ -37,6 +38,10 @@ pub struct Mp2cConfig {
     pub halo_fraction: f64,
     /// RNG seed (SRD axes).
     pub seed: u64,
+    /// Submit the SRD offload through an asynchronous command stream
+    /// (fire-and-forget H2D + launch, one flush before the D2H readback)
+    /// instead of one blocking round trip per call.
+    pub streams: bool,
 }
 
 impl Default for Mp2cConfig {
@@ -50,6 +55,7 @@ impl Default for Mp2cConfig {
             md_ns_per_particle: 900.0,
             halo_fraction: 0.02,
             seed: 1,
+            streams: false,
         }
     }
 }
@@ -150,9 +156,20 @@ pub async fn run_rank(
     let ranks = ctx.group.len();
 
     // Device buffers for the SRD offload, sized generously for migration.
+    let stream = cfg
+        .streams
+        .then(|| ctx.device.stream(StreamConfig::default()));
     let capacity = (state.len() * 3 / 2 + 64) as u64;
-    let pos_buf = ctx.device.mem_alloc(capacity * 24).await?;
-    let vel_buf = ctx.device.mem_alloc(capacity * 24).await?;
+    let (pos_buf, vel_buf) = match &stream {
+        Some(s) => (
+            s.mem_alloc(capacity * 24).await?,
+            s.mem_alloc(capacity * 24).await?,
+        ),
+        None => (
+            ctx.device.mem_alloc(capacity * 24).await?,
+            ctx.device.mem_alloc(capacity * 24).await?,
+        ),
+    };
 
     let mut srd_steps = 0u32;
     let mut migrated_out = 0u64;
@@ -181,26 +198,34 @@ pub async fn run_rank(
                     Payload::size_only(n as u64 * PARTICLE_BYTES / 2),
                 ),
             };
-            ctx.device.mem_cpy_h2d(&pos_payload, pos_buf).await?;
-            ctx.device.mem_cpy_h2d(&vel_payload, vel_buf).await?;
-            ctx.device
-                .launch(
-                    "mp2c.srd",
-                    LaunchConfig::linear(n.div_ceil(256).max(1) as u32, 256),
-                    &[
-                        KernelArg::Ptr(pos_buf),
-                        KernelArg::Ptr(vel_buf),
-                        KernelArg::U64(n as u64),
-                        KernelArg::F64(srd.cell_size),
-                        KernelArg::F64(srd.alpha),
-                        KernelArg::F64(srd.box_size[0]),
-                        KernelArg::F64(srd.box_size[1]),
-                        KernelArg::F64(srd.box_size[2]),
-                        KernelArg::U64(cfg.seed),
-                        KernelArg::U64(step as u64),
-                    ],
-                )
-                .await?;
+            let launch_cfg = LaunchConfig::linear(n.div_ceil(256).max(1) as u32, 256);
+            let args = [
+                KernelArg::Ptr(pos_buf),
+                KernelArg::Ptr(vel_buf),
+                KernelArg::U64(n as u64),
+                KernelArg::F64(srd.cell_size),
+                KernelArg::F64(srd.alpha),
+                KernelArg::F64(srd.box_size[0]),
+                KernelArg::F64(srd.box_size[1]),
+                KernelArg::F64(srd.box_size[2]),
+                KernelArg::U64(cfg.seed),
+                KernelArg::U64(step as u64),
+            ];
+            match &stream {
+                Some(s) => {
+                    // Fire-and-forget submission; one flush pairs the whole
+                    // batch with the dependent readback below.
+                    s.mem_cpy_h2d(&pos_payload, pos_buf).await?;
+                    s.mem_cpy_h2d(&vel_payload, vel_buf).await?;
+                    s.launch("mp2c.srd", launch_cfg, &args).await?;
+                    s.flush().await?;
+                }
+                None => {
+                    ctx.device.mem_cpy_h2d(&pos_payload, pos_buf).await?;
+                    ctx.device.mem_cpy_h2d(&vel_payload, vel_buf).await?;
+                    ctx.device.launch("mp2c.srd", launch_cfg, &args).await?;
+                }
+            }
             let vel_back = ctx
                 .device
                 .mem_cpy_d2h(vel_buf, n as u64 * PARTICLE_BYTES / 2)
@@ -212,8 +237,17 @@ pub async fn run_rank(
         }
     }
 
-    ctx.device.mem_free(pos_buf).await?;
-    ctx.device.mem_free(vel_buf).await?;
+    match &stream {
+        Some(s) => {
+            s.mem_free(pos_buf).await?;
+            s.mem_free(vel_buf).await?;
+            s.synchronize().await?;
+        }
+        None => {
+            ctx.device.mem_free(pos_buf).await?;
+            ctx.device.mem_free(vel_buf).await?;
+        }
+    }
 
     Ok(RankReport {
         particles: match state {

@@ -22,6 +22,18 @@ struct RunResult {
 
 /// Run the app on `ranks` ranks with `n_per_rank` real particles each.
 fn run_functional(ranks: usize, n_per_rank: usize, steps: u32, remote: bool) -> RunResult {
+    run_functional_cfg(ranks, n_per_rank, steps, remote, false)
+}
+
+/// As [`run_functional`], optionally submitting the SRD offload through an
+/// asynchronous command stream.
+fn run_functional_cfg(
+    ranks: usize,
+    n_per_rank: usize,
+    steps: u32,
+    remote: bool,
+    streams: bool,
+) -> RunResult {
     let mut sim = Sim::new();
     let spec = ClusterSpec {
         compute_nodes: ranks,
@@ -38,6 +50,7 @@ fn run_functional(ranks: usize, n_per_rank: usize, steps: u32, remote: bool) -> 
     let cfg = Mp2cConfig {
         steps,
         md_ns_per_particle: 100.0,
+        streams,
         ..Mp2cConfig::default()
     };
     let h = sim.handle();
@@ -170,6 +183,31 @@ fn local_and_remote_agree_exactly() {
         remote.elapsed,
         local.elapsed
     );
+}
+
+#[test]
+fn streamed_submission_matches_synchronous_exactly() {
+    // Command streams reorder nothing: the streamed SRD offload must produce
+    // byte-identical physics, on both the wire (batched) and local paths.
+    for remote in [false, true] {
+        let sync = run_functional_cfg(2, 250, 15, remote, false);
+        let streamed = run_functional_cfg(2, 250, 15, remote, true);
+        for (s, t) in sync.reports.iter().zip(&streamed.reports) {
+            let sp = s.particles.as_ref().unwrap();
+            let tp = t.particles.as_ref().unwrap();
+            assert_eq!(sp.pos, tp.pos, "positions diverged (remote={remote})");
+            assert_eq!(sp.vel, tp.vel, "velocities diverged (remote={remote})");
+        }
+        if remote {
+            // Fewer round trips: streamed submission must not be slower.
+            assert!(
+                streamed.elapsed <= sync.elapsed,
+                "streamed {} should not exceed sync {}",
+                streamed.elapsed,
+                sync.elapsed
+            );
+        }
+    }
 }
 
 #[test]

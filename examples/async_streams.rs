@@ -1,0 +1,111 @@
+//! Asynchronous command streams: the same device work as `quickstart`, but
+//! submitted fire-and-forget through an [`AcStream`]. Commands are fused
+//! into batched wire frames (one request per batch, one coalesced ack per
+//! window) instead of one blocking round trip per API call, which is what
+//! makes small, latency-bound workloads fast on network-attached
+//! accelerators.
+//!
+//! Run with: `cargo run -p dacc-examples --bin async_streams`
+
+use dacc_arm::state::JobId;
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_runtime::stream::StreamConfig;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::{register_builtin_kernels, KernelArg, KernelRegistry, LaunchConfig};
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+fn main() {
+    let mut sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    let spec = ClusterSpec {
+        compute_nodes: 1,
+        accelerators: 1,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry);
+    let ep = cluster.cn_endpoints.remove(0);
+    let arm_rank = cluster.arm_rank;
+
+    let app = sim.spawn("app", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), FrontendConfig::default());
+        let mut accels = proc.acquire(1).await.expect("allocation failed");
+        let dev = AcDevice::Remote(accels.remove(0));
+
+        // A bare remote device (no retry frame) gets the real wire stream:
+        // commands travel in batched frames and are acknowledged once per
+        // window, not once per call.
+        let stream = dev.stream(StreamConfig::default());
+        println!("stream opened (wire mode: {})", stream.is_wire());
+
+        // The whole sequence below is enqueued without waiting for any
+        // individual completion; errors are deferred and surface at the
+        // synchronization point, exactly like CUDA streams.
+        let n = 1_000u64;
+        let x = stream.mem_alloc(n * 8).await.unwrap();
+        let host: Vec<u8> = (0..n).flat_map(|i| (i as f64).to_le_bytes()).collect();
+        stream
+            .mem_cpy_h2d(&Payload::from_vec(host), x)
+            .await
+            .unwrap();
+
+        // y <- 1.0 everywhere, then y <- 2x + y, as two fused launches
+        // (create + set-args + run in a single wire command each).
+        let y = stream.mem_alloc(n * 8).await.unwrap();
+        stream
+            .launch(
+                "fill_f64",
+                LaunchConfig::linear(4, 256),
+                &[KernelArg::Ptr(y), KernelArg::U64(n), KernelArg::F64(1.0)],
+            )
+            .await
+            .unwrap();
+        stream
+            .launch(
+                "daxpy",
+                LaunchConfig::linear(4, 256),
+                &[
+                    KernelArg::Ptr(x),
+                    KernelArg::Ptr(y),
+                    KernelArg::U64(n),
+                    KernelArg::F64(2.0),
+                ],
+            )
+            .await
+            .unwrap();
+
+        // flush() pushes everything onto the wire; the in-order fabric then
+        // guarantees the plain d2h below observes all five commands.
+        stream.flush().await.unwrap();
+        let back = dev.mem_cpy_d2h(y, n * 8).await.unwrap();
+        let last = f64::from_le_bytes(
+            back.expect_bytes()[(n as usize - 1) * 8..]
+                .try_into()
+                .unwrap(),
+        );
+        println!(
+            "y[{}] = {last} (expected {})",
+            n - 1,
+            2.0 * (n - 1) as f64 + 1.0
+        );
+        assert_eq!(last, 2.0 * (n - 1) as f64 + 1.0);
+
+        stream.mem_free(x).await.unwrap();
+        stream.mem_free(y).await.unwrap();
+        // synchronize() drains the stream and surfaces any deferred error.
+        stream.synchronize().await.unwrap();
+
+        let released = proc.finish().await;
+        println!("job finished; {released} accelerator(s) returned to the pool");
+        if let AcDevice::Remote(r) = &dev {
+            r.shutdown().await.unwrap();
+        }
+        proc.arm().shutdown().await;
+    });
+    sim.run();
+    app.try_take().expect("example did not finish");
+    println!("done");
+}

@@ -88,6 +88,92 @@ fn accelerator_death_mid_qr_fails_over_and_completes() {
     );
 }
 
+/// Streamed submission + failover: commands enqueued on an async stream
+/// over a resilient session are deferred, so the failover command log must
+/// record them in submission order — after a mid-window daemon death, the
+/// replay onto the replacement accelerator has to reproduce that exact
+/// order. The write set is deliberately overlapping (copy, fill, copy,
+/// fill over the same region), so any reordering or loss changes bytes.
+#[test]
+fn streamed_submission_survives_daemon_crash_with_ordered_replay() {
+    use dacc_runtime::stream::StreamConfig;
+
+    let tracer = Tracer::new(65536);
+    // Same layout as the QR scenario: ARM=0, CN=1, daemons 2 and 3; kill
+    // the granted accelerator (rank 2) mid-run. The whole healthy run is
+    // ~25 fabric transmissions (acquire ~6, then the drained stream ops);
+    // event 14 lands inside the drain, with commands already executed on
+    // the dead accelerator and more still queued behind the window.
+    let plane = ChaosPlane::new(
+        11,
+        FaultSchedule::new().after_events(14, Fault::kill_daemon(2)),
+    );
+    let (mut sim, mut cluster) = full_cluster_chaos(
+        1,
+        2,
+        ExecMode::Functional,
+        tracer.clone(),
+        Some(plane.clone()),
+    );
+    let arm_rank = cluster.arm_rank;
+    let ep = cluster.cn_endpoints.remove(0);
+    let frontend = cluster.spec.frontend;
+
+    let len = 64usize << 10;
+    // Host-side mirror of the submission order.
+    let mut expect = pattern(len, 1);
+    expect[1000..31_000].fill(0xAB);
+    expect[20_000..30_000].copy_from_slice(&pattern(10_000, 2));
+    expect[25_000..30_000].fill(0x33);
+
+    let job_tracer = tracer.clone();
+    let out = sim.spawn("stream-job", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend).with_tracer(job_tracer);
+        let mut sessions = proc.acquire_resilient(1).await.unwrap();
+        let session = sessions.remove(0);
+        let dev = AcDevice::Resilient(session.clone());
+        let s = dev.stream(StreamConfig {
+            window: 8,
+            max_batch: 4,
+        });
+        // Resilient sessions must get the order-preserving direct queue,
+        // never wire batching (the command log assumes one op per request).
+        assert!(!s.is_wire());
+        let ptr = s.mem_alloc(len as u64).await.unwrap();
+        s.mem_cpy_h2d(&Payload::from_vec(pattern(len, 1)), ptr)
+            .await
+            .unwrap();
+        s.mem_set(ptr.offset(1000), 30_000, 0xAB).await.unwrap();
+        s.mem_cpy_h2d(&Payload::from_vec(pattern(10_000, 2)), ptr.offset(20_000))
+            .await
+            .unwrap();
+        s.mem_set(ptr.offset(25_000), 5_000, 0x33).await.unwrap();
+        s.synchronize().await.unwrap();
+        let back = dev.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+        s.mem_free(ptr).await.unwrap();
+        s.synchronize().await.unwrap();
+        proc.finish().await;
+        (back, session.failovers())
+    });
+    sim.run();
+    let (back, failovers) = out.try_take().expect("streamed job did not finish");
+    assert_eq!(
+        back.expect_bytes().as_ref(),
+        expect.as_slice(),
+        "replayed stream diverged from submission order"
+    );
+    assert!(
+        failovers >= 1,
+        "the session never failed over: {:?}",
+        plane.counters()
+    );
+    assert!(plane.counters().crashes >= 1, "the daemon never crashed");
+    assert!(
+        !tracer.events_in("arm.failover").is_empty(),
+        "ARM failover decision not traced"
+    );
+}
+
 /// Pure message loss (no death): counted drops on both directions of the
 /// client↔daemon link are absorbed by timeouts and retries; payloads stay
 /// byte-exact and no failover is needed.

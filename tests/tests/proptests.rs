@@ -131,6 +131,57 @@ proptest! {
         prop_assert_eq!(Request::decode(&req.encode()), Ok(req));
     }
 
+    /// Scrambled per-attempt tags stay inside their documented ranges —
+    /// response tags in `0x4000_0000..0x8000_0000`, data tags in
+    /// `0x8000_0000..0xC000_0000`, stream tags in `0xC000_0000..0xE000_0000`
+    /// — so no class can collide with another, with the reserved
+    /// `0xFFFF_00xx` tags, or with small application tags.
+    #[test]
+    fn tag_ranges_disjoint(op_id: u64, attempt in 0u32..8, stream: u32) {
+        use dacc_runtime::proto::ac_tags;
+        let r = ac_tags::response_tag(op_id, attempt).0;
+        let d = ac_tags::data_tag(op_id, attempt).0;
+        let sa = ac_tags::stream_ack_tag(stream).0;
+        let sd = ac_tags::stream_data_tag(stream).0;
+        prop_assert!((0x4000_0000..0x8000_0000).contains(&r), "response {r:#x}");
+        prop_assert!((0x8000_0000..0xC000_0000).contains(&d), "data {d:#x}");
+        prop_assert!((0xC000_0000..0xD000_0000).contains(&sa), "stream ack {sa:#x}");
+        prop_assert!((0xD000_0000..0xE000_0000).contains(&sd), "stream data {sd:#x}");
+    }
+
+    /// Within one bounded-retry operation, every attempt gets a distinct
+    /// response (and data) tag, and no attempt of a *different* recent
+    /// operation shares one — the property that lets a late response from
+    /// an abandoned attempt rot unclaimed instead of corrupting a
+    /// neighbouring op. Bounded retry means at most `max_retries + 1 ≤ 6`
+    /// attempts per op; ops are the client's monotone counter.
+    #[test]
+    fn tag_scramble_collision_free_per_client_window(base_op in 0u64..1_000_000) {
+        use dacc_runtime::proto::ac_tags;
+        use std::collections::HashMap;
+        // A window of consecutive op-ids, as one client's retry plane
+        // would mint them, each with the full attempt fan-out.
+        let mut owners: HashMap<u32, (u64, u32)> = HashMap::new();
+        for op_id in base_op..base_op + 64 {
+            for attempt in 0..6u32 {
+                let t = ac_tags::response_tag(op_id, attempt).0;
+                if let Some(&(o, a)) = owners.get(&t) {
+                    prop_assert!(
+                        false,
+                        "tag {t:#x} shared by (op {op_id}, attempt {attempt}) and (op {o}, attempt {a})"
+                    );
+                }
+                owners.insert(t, (op_id, attempt));
+                // Data tags mirror response tags bit-for-bit in the low 30
+                // bits, so one uniqueness argument covers both classes.
+                prop_assert_eq!(
+                    ac_tags::data_tag(op_id, attempt).0 & 0x3FFF_FFFF,
+                    t & 0x3FFF_FFFF
+                );
+            }
+        }
+    }
+
     /// SRD conserves momentum and kinetic energy for arbitrary particle
     /// ensembles and rotation angles.
     #[test]
