@@ -29,10 +29,14 @@ impl ArmClient {
     }
 
     async fn request(&self, req: ArmRequest) -> ArmResponse {
+        let fabric = self.ep.fabric();
+        let tele = fabric.telemetry();
+        let start = fabric.handle().now();
         self.ep
             .send(self.arm, arm_tags::REQUEST, Payload::from_vec(req.encode()))
             .await;
         let env = self.ep.recv(Some(self.arm), Some(arm_tags::RESPONSE)).await;
+        tele.observe("arm.client.rtt", fabric.handle().now().since(start));
         match env.payload.bytes() {
             Some(b) => ArmResponse::decode(b).unwrap_or(ArmResponse::Error(ArmError::Malformed)),
             None => ArmResponse::Error(ArmError::Malformed),

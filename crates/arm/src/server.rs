@@ -48,6 +48,8 @@ pub async fn run_arm_server_traced(
     config: ArmServerConfig,
     tracer: Tracer,
 ) -> Pool {
+    let tele = ep.fabric().telemetry();
+    let handle = ep.fabric().handle().clone();
     let mut queue: VecDeque<Waiting> = VecDeque::new();
     loop {
         let env = ep.recv(None, Some(arm_tags::REQUEST)).await;
@@ -67,6 +69,14 @@ pub async fn run_arm_server_traced(
         // Model the ARM's processing cost.
         ep.fabric().handle().delay(config.service_time).await;
 
+        let kind = match &req {
+            ArmRequest::Allocate { .. } => "arm.allocate",
+            ArmRequest::Release { .. } | ArmRequest::ReleaseJob { .. } => "arm.release",
+            ArmRequest::ReportFailure { .. } => "arm.failover",
+            _ => "arm.other",
+        };
+        tele.count(kind, 1);
+        let _req_span = tele.span(&handle, kind, || format!("{kind} from {requester}"));
         match req {
             ArmRequest::Allocate { job, count, wait } => {
                 // FIFO fairness: if anyone is already queued, new waiting

@@ -54,12 +54,7 @@ fn run(case: &Case, n: usize) -> DetailedRun {
 }
 
 fn main() {
-    let smoke = std::env::var("DACC_SMOKE").is_ok();
-    let sizes: Vec<usize> = if smoke {
-        vec![1024]
-    } else {
-        vec![1024, 2048, 3072]
-    };
+    let sizes: Vec<usize> = dacc_bench::smoke_truncate(vec![1024, 2048, 3072], 1);
     let nb = HybridConfig::default().nb;
 
     println!("# Ablation: async command streams (remote dgeqrf, 1 network GPU, nb={nb})");
@@ -167,4 +162,5 @@ fn main() {
             ("speedup_streamed_vs_legacy", Json::from(speedups)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_async");
 }

@@ -24,6 +24,7 @@ fn run(qr: bool, n: usize, g: usize, broadcast: PanelBroadcast) -> f64 {
         ..ClusterSpec::default()
     };
     let mut cluster = build_cluster(&sim, spec, registry);
+    dacc_bench::telem::attach(&cluster);
     let ep = cluster.cn_endpoints.remove(0);
     let h = sim.handle();
     let devices: Vec<AcDevice> = (0..g)
@@ -61,7 +62,7 @@ fn main() {
     println!("# Ablation: panel broadcast via compute node vs direct AC-to-AC (§III-C)");
     println!("  3 network-attached GPUs, N = 10240\n");
     let mut rows = Vec::new();
-    for (name, qr) in [("QR", true), ("Cholesky", false)] {
+    for (name, qr) in dacc_bench::smoke_truncate(vec![("QR", true), ("Cholesky", false)], 1) {
         let via_host = run(qr, 10240, 3, PanelBroadcast::ViaHost);
         let peer = run(qr, 10240, 3, PanelBroadcast::PeerDirect);
         let gain_pct = (peer / via_host - 1.0) * 100.0;
@@ -87,4 +88,5 @@ fn main() {
             ("runs", Json::Arr(rows)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_d2d");
 }

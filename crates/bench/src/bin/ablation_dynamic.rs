@@ -74,6 +74,7 @@ fn run(dynamic: bool) -> (SimDuration, f64) {
         ..ClusterSpec::default()
     };
     let cluster = build_cluster(&sim, spec, KernelRegistry::new());
+    dacc_bench::telem::attach(&cluster);
     let arm_rank = cluster.arm_rank;
     let h = sim.handle();
     let busy = std::rc::Rc::new(std::cell::RefCell::new(SimDuration::ZERO));
@@ -152,4 +153,5 @@ fn main() {
             ("makespan_saving_pct", Json::from(saving_pct)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_dynamic");
 }

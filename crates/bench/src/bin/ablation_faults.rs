@@ -57,6 +57,7 @@ fn run_qr(retry: Option<RetryPolicy>, fault: Option<Arc<dyn FaultHook>>) -> Outc
     let tracer = Tracer::new(1 << 16);
     let mut sim = sim;
     let mut cluster = build_cluster_chaos(&sim, spec, registry, tracer.clone(), fault);
+    dacc_bench::telem::attach(&cluster);
     let arm_rank = cluster.arm_rank;
     let ep = cluster.cn_endpoints.remove(0);
     let h = sim.handle();
@@ -136,12 +137,15 @@ fn main() {
         Option<RetryPolicy>,
         Option<Arc<dyn FaultHook>>,
     );
-    let cases: [Case; 4] = [
-        ("fault-free, retry plane off", None, None),
-        ("fault-free, retry plane on", Some(retry), None),
-        ("4 dropped messages (retries)", Some(retry), Some(drops)),
-        ("accelerator death (failover)", Some(retry), Some(kill)),
-    ];
+    let cases: Vec<Case> = dacc_bench::smoke_truncate(
+        vec![
+            ("fault-free, retry plane off", None, None),
+            ("fault-free, retry plane on", Some(retry), None),
+            ("4 dropped messages (retries)", Some(retry), Some(drops)),
+            ("accelerator death (failover)", Some(retry), Some(kill)),
+        ],
+        2,
+    );
 
     println!("# Ablation: fault-tolerance overhead (remote dgeqrf, n={N}, nb={NB})");
     let mut baseline = None;
@@ -179,4 +183,5 @@ fn main() {
             ("runs", Json::Arr(rows)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_faults");
 }

@@ -24,6 +24,7 @@ fn run(n: usize, g: usize, lookahead: bool) -> f64 {
         ..ClusterSpec::default()
     };
     let mut cluster = build_cluster(&sim, spec, registry);
+    dacc_bench::telem::attach(&cluster);
     let ep = cluster.cn_endpoints.remove(0);
     let h = sim.handle();
     let devices: Vec<AcDevice> = (0..g)
@@ -60,7 +61,10 @@ fn main() {
         "N", "GPUs", "no lookahead", "lookahead", "gain"
     );
     let mut rows = Vec::new();
-    for (n, g) in [(4032usize, 1usize), (4032, 3), (10240, 1), (10240, 3)] {
+    for (n, g) in dacc_bench::smoke_truncate(
+        vec![(4032usize, 1usize), (4032, 3), (10240, 1), (10240, 3)],
+        1,
+    ) {
         let base = run(n, g, false);
         let la = run(n, g, true);
         let gain_pct = (la / base - 1.0) * 100.0;
@@ -84,4 +88,5 @@ fn main() {
             ("runs", Json::Arr(rows)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_lookahead");
 }

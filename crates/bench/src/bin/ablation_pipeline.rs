@@ -39,7 +39,7 @@ fn main() {
 
     let mut depth_rows = Vec::new();
     println!("\n# Ablation: pinned ring depth (pipeline-128K, 16 MiB H2D)");
-    for depth in [1usize, 2, 4, 8] {
+    for depth in dacc_bench::smoke_truncate(vec![1usize, 2, 4, 8], 2) {
         let bw = measure(
             DaemonConfig {
                 pinned_depth: depth,
@@ -57,7 +57,7 @@ fn main() {
     let mut prepost_rows = Vec::new();
     println!("\n# Ablation: receive pre-posting depth (pipeline-128K, 16 MiB H2D)");
     println!("  (1 = paper-era behaviour: CTS waits for the previous block)");
-    for prepost in [1usize, 2, 3, 4] {
+    for prepost in dacc_bench::smoke_truncate(vec![1usize, 2, 3, 4], 2) {
         let bw = measure(
             DaemonConfig {
                 recv_prepost: prepost,
@@ -74,7 +74,7 @@ fn main() {
 
     let mut block_rows = Vec::new();
     println!("\n# Ablation: block size sweep (16 MiB H2D)");
-    for shift in [4u64, 5, 6, 7, 8, 9, 10] {
+    for shift in dacc_bench::smoke_truncate(vec![4u64, 5, 6, 7, 8, 9, 10], 2) {
         let block = 1u64 << (shift + 10);
         let bw = measure(DaemonConfig::default(), block);
         println!("{:>6} KiB blocks: {bw:>7.1} MiB/s", block >> 10);
@@ -97,4 +97,5 @@ fn main() {
             ("block_size_sweep", Json::Arr(block_rows)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_pipeline");
 }

@@ -30,6 +30,7 @@ fn run(accels_in_use: usize) -> SimDuration {
         ..ClusterSpec::default()
     };
     let mut cluster = build_cluster(&sim, spec, KernelRegistry::new());
+    dacc_bench::telem::attach(&cluster);
     let eps = std::mem::take(&mut cluster.cn_endpoints);
     let ranks: Vec<_> = eps.iter().map(|e| e.rank()).collect();
     let h = sim.handle();
@@ -81,7 +82,7 @@ fn main() {
         "accels in use", "makespan", "vs CPU-only traffic"
     );
     let mut rows = Vec::new();
-    for g in 0..=4usize {
+    for g in dacc_bench::smoke_truncate((0..=4usize).collect::<Vec<_>>(), 2) {
         let t = run(g);
         let slowdown = t.as_secs_f64() / base.as_secs_f64();
         println!("{g:>16} {:>14} {slowdown:>20.2}x", format!("{t}"));
@@ -104,6 +105,7 @@ fn main() {
             ("runs", Json::Arr(rows)),
         ]),
     );
+    dacc_bench::telem::write_metrics("ablation_ratio");
     println!(
         "\nOnce accelerator traffic saturates the shared backplane, even the\n\
          CN-CN exchanges slow down — §III-A's reason to keep the accelerator\n\

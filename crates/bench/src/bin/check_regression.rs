@@ -1,0 +1,94 @@
+//! CI perf-regression gate: compare fresh `results/*.json` against the
+//! committed `results/baselines.json`.
+//!
+//! Usage:
+//!   check_regression                  # gate; exit 1 on any regression
+//!   check_regression --write-baselines  # re-pin baselines from results
+//!
+//! A metric is a path into one results document (see [`Json::lookup`] for
+//! the `series/name=.../values/0` syntax). Regressions are judged with the
+//! tolerance band from the baselines file, direction-aware: throughput
+//! must not drop, latency/round-trips must not rise. Improvements pass.
+
+use dacc_bench::json::{results_dir, Json};
+use dacc_bench::regression::{check_dir, BaselineSet, Verdict};
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write-baselines");
+    let dir = results_dir();
+    let baseline_path = dir.join("baselines.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", baseline_path.display()));
+    let set = BaselineSet::parse(&text).expect("parsing baselines.json");
+
+    if write {
+        let mut updated = set.clone();
+        let mut missing = 0;
+        for m in &mut updated.metrics {
+            let path = dir.join(format!("{}.json", m.file));
+            let doc = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| Json::parse(&t).ok());
+            match doc.as_ref().and_then(|d| d.number_at(&m.path)) {
+                Some(v) => m.value = v,
+                None => {
+                    eprintln!("missing: {} ({}.json : {})", m.name, m.file, m.path);
+                    missing += 1;
+                }
+            }
+        }
+        if missing > 0 {
+            eprintln!("{missing} metric(s) missing; baselines NOT written");
+            std::process::exit(1);
+        }
+        std::fs::write(&baseline_path, updated.to_json().pretty())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!(
+            "re-pinned {} baselines into {}",
+            updated.metrics.len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    let rows = check_dir(&set, &dir);
+    let tol_pct = set.tolerance * 100.0;
+    println!(
+        "# perf-regression gate: {} metrics, ±{tol_pct:.0}% band",
+        rows.len()
+    );
+    let mut failures = 0;
+    for (b, v) in &rows {
+        match v {
+            Verdict::Ok { current } => {
+                println!(
+                    "  OK    {:<36} {:>12.2} (baseline {:.2})",
+                    b.name, current, b.value
+                );
+            }
+            Verdict::Regressed { current, worse_by } => {
+                failures += 1;
+                println!(
+                    "  FAIL  {:<36} {:>12.2} (baseline {:.2}, {:.1}% worse, {} is better)",
+                    b.name,
+                    current,
+                    b.value,
+                    worse_by * 100.0,
+                    match b.direction {
+                        dacc_bench::regression::Direction::Higher => "higher",
+                        dacc_bench::regression::Direction::Lower => "lower",
+                    }
+                );
+            }
+            Verdict::Missing { why } => {
+                failures += 1;
+                println!("  MISS  {:<36} {why}", b.name);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} metric(s) regressed or missing");
+        std::process::exit(1);
+    }
+    println!("all metrics within the band");
+}

@@ -7,7 +7,7 @@ use dacc_bench::table::print_table;
 use dacc_mp2c::app::Mp2cConfig;
 
 fn main() {
-    let counts = paper_particle_counts();
+    let counts = dacc_bench::smoke_truncate(paper_particle_counts(), 1);
     let xs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let cfg = Mp2cConfig::default();
     let mut local = Vec::new();
@@ -33,4 +33,5 @@ fn main() {
     let mut json = table_json(title, "Particles", &xs, &series);
     json.push("remote_penalty_pct", Json::from(penalties));
     write_results("fig11", &json);
+    dacc_bench::telem::write_metrics("fig11");
 }

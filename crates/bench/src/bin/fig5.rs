@@ -10,7 +10,7 @@ use dacc_fabric::topology::FabricParams;
 use dacc_runtime::prelude::TransferProtocol;
 
 fn main() {
-    let sizes = paper_sizes();
+    let sizes = dacc_bench::smoke_truncate(paper_sizes(), 3);
     let xs: Vec<String> = sizes.iter().map(|&b| kib(b)).collect();
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     for (name, p) in [
@@ -40,4 +40,5 @@ fn main() {
     let title = "Figure 5: Host-to-device bandwidth, pipeline protocol vs naive vs MPI [MiB/s]";
     print_table(title, "Data size [KiB]", &xs, &series);
     write_results("fig5", &table_json(title, "Data size [KiB]", &xs, &series));
+    dacc_bench::telem::write_metrics("fig5");
 }

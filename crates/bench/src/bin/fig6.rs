@@ -9,7 +9,7 @@ use dacc_fabric::topology::FabricParams;
 use dacc_runtime::prelude::TransferProtocol;
 
 fn main() {
-    let sizes = paper_sizes();
+    let sizes = dacc_bench::smoke_truncate(paper_sizes(), 3);
     let xs: Vec<String> = sizes.iter().map(|&b| kib(b)).collect();
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     for (name, p) in [
@@ -42,4 +42,5 @@ fn main() {
     let title = "Figure 6: Device-to-host bandwidth, pipeline protocol block sizes [MiB/s]";
     print_table(title, "Data size [KiB]", &xs, &series);
     write_results("fig6", &table_json(title, "Data size [KiB]", &xs, &series));
+    dacc_bench::telem::write_metrics("fig6");
 }

@@ -12,7 +12,7 @@ use dacc_vgpu::device::HostMemKind;
 use dacc_vgpu::params::GpuParams;
 
 fn main() {
-    let sizes = paper_sizes();
+    let sizes = dacc_bench::smoke_truncate(paper_sizes(), 3);
     let xs: Vec<String> = sizes.iter().map(|&b| kib(b)).collect();
     let gpu = GpuParams::tesla_c1060();
     let pinned = local_bandwidth_test(gpu, &sizes, HostMemKind::Pinned, Direction::D2H);
@@ -41,4 +41,5 @@ fn main() {
     ];
     print_table(title, "Data size [KiB]", &xs, &series);
     write_results("fig8", &table_json(title, "Data size [KiB]", &xs, &series));
+    dacc_bench::telem::write_metrics("fig8");
 }

@@ -99,6 +99,57 @@ impl Json {
         out
     }
 
+    /// Parse a JSON document (the subset this module emits: no exponents
+    /// are *required* but they are accepted, `\uXXXX` escapes outside the
+    /// BMP must be valid surrogate pairs).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.s.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Look up a `/`-separated path. Each segment is an object key, an
+    /// array index, or `key=value` — which selects the first element of an
+    /// array whose `key` field renders equal to `value` (so series can be
+    /// addressed by name instead of position).
+    pub fn lookup(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            cur = match cur {
+                Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == seg).map(|(_, v)| v)?,
+                Json::Arr(items) => {
+                    if let Some((key, want)) = seg.split_once('=') {
+                        items.iter().find(|it| match it.lookup(key) {
+                            Some(Json::Str(s)) => s == want,
+                            Some(Json::Num(n)) => want.parse::<f64>() == Ok(*n),
+                            _ => false,
+                        })?
+                    } else {
+                        items.get(seg.parse::<usize>().ok()?)?
+                    }
+                }
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// The numeric value at `path`, if any.
+    pub fn number_at(&self, path: &str) -> Option<f64> {
+        match self.lookup(path)? {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     fn render(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -141,6 +192,169 @@ impl Json {
                 }
                 newline_indent(out, depth);
                 out.push('}');
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .s
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.value()?;
+                    pairs.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by this module;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.s[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    self.pos += c.len_utf8();
+                    out.push(c);
+                }
             }
         }
     }
@@ -239,6 +453,33 @@ mod tests {
             v.pretty(),
             "{\n  \"name\": \"fig\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}\n"
         );
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        let v = Json::obj([
+            ("title", Json::from("fig \"x\"\n")),
+            ("xs", Json::from(vec![1.5, -2.0, 1e9])),
+            ("flag", Json::from(true)),
+            ("nothing", Json::Null),
+            ("nested", Json::obj([("k", Json::Arr(vec![]))])),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("[1,").is_err());
+    }
+
+    #[test]
+    fn lookup_walks_keys_indices_and_selectors() {
+        let doc = Json::parse(
+            r#"{"series": [{"name": "a", "values": [10, 20]},
+                           {"name": "b", "values": [30, 40]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.number_at("series/name=b/values/1"), Some(40.0));
+        assert_eq!(doc.number_at("series/0/values/0"), Some(10.0));
+        assert_eq!(doc.number_at("series/name=c/values/0"), None);
+        assert_eq!(doc.number_at("series/name=a/values/9"), None);
     }
 
     #[test]

@@ -4,5 +4,26 @@ pub mod json;
 pub mod linalg_runs;
 pub mod measure;
 pub mod mp2c_runs;
+pub mod regression;
 pub mod table;
+pub mod telem;
 pub mod tune;
+
+/// True when `DACC_SMOKE` is set (to anything but `0`): bench binaries
+/// truncate their sweeps to a CI-sized subset. Every `fig*` / `ablation_*`
+/// binary respects this uniformly.
+pub fn smoke() -> bool {
+    std::env::var("DACC_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// In smoke mode, keep only the first `keep` points of a sweep; otherwise
+/// return it unchanged. Smoke results stay prefix-identical to full runs
+/// (the sim is deterministic and each point builds a fresh `Sim`), which is
+/// what lets the regression gate compare smoke output against committed
+/// baselines.
+pub fn smoke_truncate<T>(mut sweep: Vec<T>, keep: usize) -> Vec<T> {
+    if smoke() {
+        sweep.truncate(keep.max(1));
+    }
+    sweep
+}

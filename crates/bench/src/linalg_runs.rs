@@ -70,6 +70,7 @@ pub fn run_factorization_with(
         ..ClusterSpec::default()
     };
     let mut cluster = build_cluster(&sim, spec, registry());
+    crate::telem::attach(&cluster);
     let ep = cluster.cn_endpoints.remove(0);
     let h = sim.handle();
     let devices: Vec<AcDevice> = match config {
@@ -131,6 +132,7 @@ pub fn run_factorization_detailed(
         ..ClusterSpec::default()
     };
     let mut cluster = build_cluster(&sim, spec, registry());
+    crate::telem::attach(&cluster);
     let ep = cluster.cn_endpoints.remove(0);
     let h = sim.handle();
     let devices: Vec<AcDevice> = (0..g)

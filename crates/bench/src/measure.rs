@@ -51,6 +51,7 @@ pub fn remote_bandwidth(
             ..spec
         };
         let mut cluster = build_cluster(&sim, spec, KernelRegistry::new());
+        crate::telem::attach(&cluster);
         let ep = cluster.cn_endpoints.remove(0);
         let daemon = cluster.daemon_rank(0);
         let h = sim.handle();

@@ -29,6 +29,7 @@ pub fn run_mp2c(total_particles: u64, remote: bool, cfg: &Mp2cConfig) -> SimDura
         ..ClusterSpec::default()
     };
     let mut cluster = build_cluster(&sim, spec, registry);
+    crate::telem::attach(&cluster);
 
     // Box sized for 10 particles per cell, split into 2 slabs along x.
     let n_local = (total_particles / ranks as u64) as usize;

@@ -1,0 +1,293 @@
+//! The CI perf-regression gate.
+//!
+//! `results/baselines.json` pins a handful of deterministic metrics taken
+//! from the figure/ablation results JSON (throughput in MiB/s, round-trip
+//! counts, GFLOPS). `check_regression` re-reads the freshly generated
+//! `results/*.json`, extracts the same metrics by path, and fails on any
+//! value that moved past the tolerance band in its bad direction. The sim
+//! is deterministic, so baseline metrics are chosen from sweep prefixes
+//! that smoke runs (`DACC_SMOKE=1`) reproduce bit-for-bit; an intentional
+//! perf change re-pins with `--write-baselines`.
+
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Which way "worse" points for a metric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Bigger is better (bandwidth, GFLOPS): regression when it drops.
+    Higher,
+    /// Smaller is better (latency, round trips): regression when it rises.
+    Lower,
+}
+
+impl Direction {
+    fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "higher" => Some(Direction::Higher),
+            "lower" => Some(Direction::Lower),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+        }
+    }
+}
+
+/// One pinned metric.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Display name, e.g. `fig5.pipe_adaptive.256KiB`.
+    pub name: String,
+    /// Results file stem under `results/` (`fig5` → `results/fig5.json`).
+    pub file: String,
+    /// [`Json::lookup`] path inside that file.
+    pub path: String,
+    /// The pinned good value.
+    pub value: f64,
+    /// Which way "worse" points.
+    pub direction: Direction,
+}
+
+/// The parsed `baselines.json`: a tolerance band plus pinned metrics.
+#[derive(Clone, Debug)]
+pub struct BaselineSet {
+    /// Allowed relative drift in the bad direction (0.15 = 15%).
+    pub tolerance: f64,
+    /// The pinned metrics.
+    pub metrics: Vec<Baseline>,
+}
+
+/// Outcome for one metric.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Within the band (relative delta in the bad direction ≤ tolerance).
+    Ok {
+        /// Current value.
+        current: f64,
+    },
+    /// Out of the band in the bad direction.
+    Regressed {
+        /// Current value.
+        current: f64,
+        /// Relative change in the bad direction (0.2 = 20% worse).
+        worse_by: f64,
+    },
+    /// The results file or the path inside it is missing.
+    Missing {
+        /// What could not be found.
+        why: String,
+    },
+}
+
+impl BaselineSet {
+    /// Parse the baselines document.
+    pub fn parse(text: &str) -> Result<BaselineSet, String> {
+        let doc = Json::parse(text)?;
+        let tolerance = doc
+            .number_at("tolerance")
+            .ok_or("baselines: missing numeric 'tolerance'")?;
+        let metrics = match doc.lookup("metrics") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|m| {
+                    let get = |k: &str| match m.lookup(k) {
+                        Some(Json::Str(s)) => Ok(s.clone()),
+                        _ => Err(format!("baselines: metric missing string '{k}'")),
+                    };
+                    Ok(Baseline {
+                        name: get("name")?,
+                        file: get("file")?,
+                        path: get("path")?,
+                        value: m
+                            .number_at("value")
+                            .ok_or("baselines: metric missing numeric 'value'")?,
+                        direction: Direction::parse(&get("direction")?)
+                            .ok_or("baselines: direction must be 'higher' or 'lower'")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("baselines: missing 'metrics' array".into()),
+        };
+        Ok(BaselineSet { tolerance, metrics })
+    }
+
+    /// Render back to JSON (used by `--write-baselines`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tolerance", Json::from(self.tolerance)),
+            (
+                "metrics",
+                Json::Arr(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("name", Json::from(m.name.as_str())),
+                                ("file", Json::from(m.file.as_str())),
+                                ("path", Json::from(m.path.as_str())),
+                                ("value", Json::from(m.value)),
+                                ("direction", Json::from(m.direction.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Judge `current` against one baseline with `tolerance`.
+pub fn judge(baseline: &Baseline, current: f64, tolerance: f64) -> Verdict {
+    if !current.is_finite() || baseline.value == 0.0 {
+        return Verdict::Missing {
+            why: format!("non-comparable value {current} vs {}", baseline.value),
+        };
+    }
+    // Relative change in the bad direction; improvements are negative.
+    let worse_by = match baseline.direction {
+        Direction::Higher => (baseline.value - current) / baseline.value,
+        Direction::Lower => (current - baseline.value) / baseline.value,
+    };
+    if worse_by > tolerance {
+        Verdict::Regressed { current, worse_by }
+    } else {
+        Verdict::Ok { current }
+    }
+}
+
+/// Extract a baseline's current value from a parsed results document.
+pub fn extract(baseline: &Baseline, results: &Json) -> Verdict {
+    match results.number_at(&baseline.path) {
+        Some(v) => Verdict::Ok { current: v },
+        None => Verdict::Missing {
+            why: format!(
+                "path '{}' not found in {}.json",
+                baseline.path, baseline.file
+            ),
+        },
+    }
+}
+
+/// Run the whole gate against a `results/` directory. Returns one
+/// `(baseline, verdict)` row per metric; the caller decides process exit.
+pub fn check_dir(set: &BaselineSet, results_dir: &Path) -> Vec<(Baseline, Verdict)> {
+    set.metrics
+        .iter()
+        .map(|b| {
+            let path = results_dir.join(format!("{}.json", b.file));
+            let verdict = match std::fs::read_to_string(&path) {
+                Err(e) => Verdict::Missing {
+                    why: format!("cannot read {}: {e}", path.display()),
+                },
+                Ok(text) => match Json::parse(&text) {
+                    Err(e) => Verdict::Missing {
+                        why: format!("cannot parse {}: {e}", path.display()),
+                    },
+                    Ok(doc) => match extract(b, &doc) {
+                        Verdict::Ok { current } => judge(b, current, set.tolerance),
+                        miss => miss,
+                    },
+                },
+            };
+            (b.clone(), verdict)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(direction: Direction) -> Baseline {
+        Baseline {
+            name: "m".into(),
+            file: "f".into(),
+            path: "series/name=a/values/0".into(),
+            value: 1000.0,
+            direction,
+        }
+    }
+
+    #[test]
+    fn within_band_passes_both_directions() {
+        for dir in [Direction::Higher, Direction::Lower] {
+            let b = base(dir);
+            for current in [900.0, 1000.0, 1100.0] {
+                assert!(
+                    matches!(judge(&b, current, 0.15), Verdict::Ok { .. }),
+                    "{dir:?} {current}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_20_percent_slowdown_fails() {
+        // The acceptance case: a 20% regression must trip a 15% band.
+        let throughput = base(Direction::Higher);
+        match judge(&throughput, 800.0, 0.15) {
+            Verdict::Regressed { worse_by, .. } => {
+                assert!((worse_by - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected regression, got {other:?}"),
+        }
+        let latency = base(Direction::Lower);
+        assert!(matches!(
+            judge(&latency, 1200.0, 0.15),
+            Verdict::Regressed { .. }
+        ));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        assert!(matches!(
+            judge(&base(Direction::Higher), 5000.0, 0.15),
+            Verdict::Ok { .. }
+        ));
+        assert!(matches!(
+            judge(&base(Direction::Lower), 1.0, 0.15),
+            Verdict::Ok { .. }
+        ));
+    }
+
+    #[test]
+    fn baselines_round_trip_and_gate_end_to_end() {
+        let set = BaselineSet {
+            tolerance: 0.15,
+            metrics: vec![base(Direction::Higher)],
+        };
+        let reparsed = BaselineSet::parse(&set.to_json().pretty()).unwrap();
+        assert_eq!(reparsed.metrics.len(), 1);
+        assert_eq!(reparsed.metrics[0].value, 1000.0);
+
+        // Drive the full extract+judge path against in-memory results.
+        let good = Json::parse(r#"{"series": [{"name": "a", "values": [990]}]}"#).unwrap();
+        let slow = Json::parse(r#"{"series": [{"name": "a", "values": [800]}]}"#).unwrap();
+        let b = &reparsed.metrics[0];
+        let v = match extract(b, &good) {
+            Verdict::Ok { current } => judge(b, current, reparsed.tolerance),
+            miss => miss,
+        };
+        assert!(matches!(v, Verdict::Ok { .. }));
+        let v = match extract(b, &slow) {
+            Verdict::Ok { current } => judge(b, current, reparsed.tolerance),
+            miss => miss,
+        };
+        assert!(matches!(v, Verdict::Regressed { .. }));
+    }
+
+    #[test]
+    fn missing_paths_are_reported_not_skipped() {
+        let doc = Json::parse(r#"{"series": []}"#).unwrap();
+        assert!(matches!(
+            extract(&base(Direction::Higher), &doc),
+            Verdict::Missing { .. }
+        ));
+    }
+}

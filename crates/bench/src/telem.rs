@@ -1,0 +1,67 @@
+//! Process-global telemetry for bench binaries.
+//!
+//! Every `fig*` / `ablation_*` binary attaches one shared [`Telemetry`]
+//! handle to each cluster it builds and, on exit, writes the accumulated
+//! metrics to `results/<name>.metrics.json` beside the figure's results
+//! JSON. The handle is clock-free, so it survives the many sequential
+//! `Sim` instances a sweep creates; span timestamps restart with each sim,
+//! which is why Perfetto traces are only exported for single-sim runs
+//! (see `examples/telemetry_trace.rs`).
+//!
+//! Set `DACC_TELEMETRY=0` to run with a disabled handle (the zero-cost
+//! path); no metrics file is written then.
+
+use std::sync::OnceLock;
+
+use dacc_runtime::prelude::Cluster;
+use dacc_telemetry::{Telemetry, DEFAULT_SPAN_CAPACITY};
+
+use crate::json::results_dir;
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The bench process's shared telemetry handle (created on first use).
+pub fn current() -> Telemetry {
+    GLOBAL
+        .get_or_init(|| {
+            if std::env::var("DACC_TELEMETRY").is_ok_and(|v| v == "0") {
+                Telemetry::disabled()
+            } else {
+                Telemetry::new(DEFAULT_SPAN_CAPACITY)
+            }
+        })
+        .clone()
+}
+
+/// Attach the process-global handle to a freshly built cluster.
+pub fn attach(cluster: &Cluster) {
+    cluster.set_telemetry(current());
+}
+
+/// Write the accumulated metrics to `results/<name>.metrics.json` and the
+/// summary table to stderr. No-op when telemetry is disabled.
+pub fn write_metrics(name: &str) {
+    let tele = current();
+    if !tele.is_enabled() {
+        return;
+    }
+    let path = results_dir().join(format!("{name}.metrics.json"));
+    std::fs::write(&path, tele.metrics_json())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// Write the span ring as a Perfetto-loadable Chrome trace to
+/// `results/<name>.trace.json`. Only meaningful for single-`Sim` runs —
+/// spans from successive sims share restarted virtual clocks. No-op when
+/// telemetry is disabled.
+pub fn write_trace(name: &str) {
+    let tele = current();
+    if !tele.is_enabled() {
+        return;
+    }
+    let path = results_dir().join(format!("{name}.trace.json"));
+    std::fs::write(&path, tele.chrome_trace())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}

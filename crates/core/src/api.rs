@@ -16,6 +16,7 @@ use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 use dacc_sim::time::SimDuration;
 use dacc_sim::trace::Tracer;
+use dacc_telemetry::Telemetry;
 use dacc_vgpu::device::{GpuError, HostMemKind, VirtualGpu};
 use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 use dacc_vgpu::memory::DevicePtr;
@@ -238,6 +239,11 @@ impl RemoteAccelerator {
             .record(self.ep.fabric().handle(), category, label);
     }
 
+    /// The telemetry handle attached to this accelerator's fabric.
+    pub fn telemetry(&self) -> Telemetry {
+        self.ep.fabric().telemetry()
+    }
+
     /// The daemon's fabric rank.
     pub fn daemon_rank(&self) -> Rank {
         self.daemon
@@ -254,6 +260,10 @@ impl RemoteAccelerator {
     }
 
     async fn call(&self, req: Request) -> Result<Response, AcError> {
+        let tele = self.telemetry();
+        let _span = tele.span(self.ep.fabric().handle(), "api.call", || {
+            format!("{} -> {}", crate::daemon::request_kind(&req), self.daemon)
+        });
         match self.config.retry {
             None => {
                 self.ep
@@ -324,7 +334,17 @@ impl RemoteAccelerator {
         self.trace("retry.attempt", || {
             format!("op {op_id} attempt {attempt} after timeout")
         });
+        let tele = self.telemetry();
+        tele.count("retry.attempts", 1);
+        tele.instant(self.ep.fabric().handle(), "retry.attempt", || {
+            format!("op {op_id} attempt {attempt} after timeout")
+        });
         let pause = policy.backoff.saturating_mul(1u64 << (attempt - 1).min(20));
+        let _span = tele
+            .span(self.ep.fabric().handle(), "retry.backoff", || {
+                format!("op {op_id} attempt {attempt}")
+            })
+            .op(op_id);
         self.ep.fabric().handle().delay(pause).await;
     }
 
@@ -338,9 +358,12 @@ impl RemoteAccelerator {
             self.send_attempt(op_id, attempt, &req).await;
             match self.recv_attempt(op_id, attempt, policy.timeout).await {
                 Some(resp) => return resp,
-                None => self.trace("retry.timeout", || {
-                    format!("op {op_id} attempt {attempt} timed out")
-                }),
+                None => {
+                    self.trace("retry.timeout", || {
+                        format!("op {op_id} attempt {attempt} timed out")
+                    });
+                    self.telemetry().count("retry.timeouts", 1);
+                }
             }
         }
         self.trace("retry.gave_up", || {
@@ -348,6 +371,11 @@ impl RemoteAccelerator {
                 "op {op_id} unreachable after {} attempts",
                 policy.max_retries + 1
             )
+        });
+        let tele = self.telemetry();
+        tele.count("retry.gave_up", 1);
+        tele.instant(self.ep.fabric().handle(), "retry.gave_up", || {
+            format!("op {op_id}")
         });
         Err(AcError::Unreachable)
     }
@@ -370,6 +398,13 @@ impl RemoteAccelerator {
 
     /// `acMemCpy` host→device: copy `src` to device memory at `dst`.
     pub async fn mem_cpy_h2d(&self, src: &Payload, dst: DevicePtr) -> Result<(), AcError> {
+        let len = src.len();
+        let _span = self
+            .telemetry()
+            .span(self.ep.fabric().handle(), "api.h2d", || {
+                format!("{len}B -> {} @{}", self.daemon, dst.0)
+            })
+            .bytes(len);
         match self.config.retry {
             None => self.mem_cpy_h2d_bare(src, dst).await,
             Some(policy) => self.mem_cpy_h2d_retry(src, dst, policy).await,
@@ -453,16 +488,22 @@ impl RemoteAccelerator {
                     match resp.status {
                         Status::Ok if delivered => return Ok(()),
                         // Timeout (either side lost data): retry the copy.
-                        Status::Ok | Status::Timeout => self.trace("retry.timeout", || {
-                            format!("op {op_id} h2d attempt {attempt}: data phase lost")
-                        }),
+                        Status::Ok | Status::Timeout => {
+                            self.trace("retry.timeout", || {
+                                format!("op {op_id} h2d attempt {attempt}: data phase lost")
+                            });
+                            self.telemetry().count("retry.timeouts", 1);
+                        }
                         // Hard daemon errors are not retryable.
                         _ => return check(resp).map(|_| ()),
                     }
                 }
-                None => self.trace("retry.timeout", || {
-                    format!("op {op_id} h2d attempt {attempt} timed out")
-                }),
+                None => {
+                    self.trace("retry.timeout", || {
+                        format!("op {op_id} h2d attempt {attempt} timed out")
+                    });
+                    self.telemetry().count("retry.timeouts", 1);
+                }
             }
         }
         self.trace("retry.gave_up", || {
@@ -471,11 +512,18 @@ impl RemoteAccelerator {
                 policy.max_retries + 1
             )
         });
+        self.telemetry().count("retry.gave_up", 1);
         Err(AcError::Unreachable)
     }
 
     /// `acMemCpy` device→host: copy `len` device bytes at `src` back.
     pub async fn mem_cpy_d2h(&self, src: DevicePtr, len: u64) -> Result<Payload, AcError> {
+        let _span = self
+            .telemetry()
+            .span(self.ep.fabric().handle(), "api.d2h", || {
+                format!("{len}B <- {} @{}", self.daemon, src.0)
+            })
+            .bytes(len);
         match self.config.retry {
             None => self.mem_cpy_d2h_bare(src, len).await,
             Some(policy) => self.mem_cpy_d2h_retry(src, len, policy).await,
@@ -520,6 +568,7 @@ impl RemoteAccelerator {
                     self.trace("retry.timeout", || {
                         format!("op {op_id} d2h attempt {attempt} timed out")
                     });
+                    self.telemetry().count("retry.timeouts", 1);
                     continue;
                 }
             };
@@ -545,6 +594,7 @@ impl RemoteAccelerator {
                     nblocks
                 )
             });
+            self.telemetry().count("retry.timeouts", 1);
         }
         self.trace("retry.gave_up", || {
             format!(
@@ -552,6 +602,7 @@ impl RemoteAccelerator {
                 policy.max_retries + 1
             )
         });
+        self.telemetry().count("retry.gave_up", 1);
         Err(AcError::Unreachable)
     }
 

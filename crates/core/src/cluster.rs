@@ -99,6 +99,13 @@ impl Cluster {
     pub fn daemon_rank(&self, i: usize) -> Rank {
         Rank(1 + self.spec.compute_nodes + i)
     }
+
+    /// Attach a telemetry handle to the cluster's fabric: every layer
+    /// (fabric send/recv, daemons, streams, ARM, front-end API) records
+    /// into it from this point on.
+    pub fn set_telemetry(&self, tele: dacc_telemetry::Telemetry) {
+        self.fabric.set_telemetry(tele);
+    }
 }
 
 /// Build the cluster onto `sim`: spawns the ARM server and one daemon per

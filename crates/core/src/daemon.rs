@@ -149,7 +149,7 @@ pub async fn run_daemon(ep: Endpoint, gpu: VirtualGpu, config: DaemonConfig) -> 
     run_daemon_traced(ep, gpu, config, Tracer::disabled()).await
 }
 
-fn request_kind(req: &Request) -> &'static str {
+pub(crate) fn request_kind(req: &Request) -> &'static str {
     match req {
         Request::MemAlloc { .. } => "MemAlloc",
         Request::MemFree { .. } => "MemFree",
@@ -206,6 +206,7 @@ pub async fn run_daemon_chaos(
     fault: Option<Arc<dyn FaultHook>>,
 ) -> DaemonStats {
     let handle = ep.fabric().handle().clone();
+    let tele = ep.fabric().telemetry();
     let me = ep.rank();
     let pool = PinnedPool::new(
         &handle,
@@ -221,6 +222,7 @@ pub async fn run_daemon_chaos(
 
     loop {
         let env = ep.recv(None, Some(ac_tags::REQUEST)).await;
+        let t_arrive = handle.now();
         let cn = env.src;
         if let Some(hook) = &fault {
             match hook.process_state(me.0, handle.now()) {
@@ -253,6 +255,18 @@ pub async fn run_daemon_chaos(
                 tracer.record(&handle, "daemon.request", || {
                     format!("StreamBatch[{ncmds}] from {cn}")
                 });
+                tele.span_at(
+                    "daemon.decode",
+                    || format!("StreamBatch[{ncmds}] from {cn}"),
+                    t_arrive,
+                    handle.now(),
+                    Some(env.payload.len()),
+                    None,
+                );
+                tele.count("daemon.stream.batches", 1);
+                let exec_span = tele.span(&handle, "daemon.execute", || {
+                    format!("StreamBatch[{ncmds}] from {cn}")
+                });
                 let data_tag = ac_tags::stream_data_tag(batch.stream);
                 let session = sessions.entry(cn).or_default();
                 let mut first_err: Option<Status> = None;
@@ -260,6 +274,7 @@ pub async fn run_daemon_chaos(
                 let mut seq = batch.first_seq;
                 for cmd in batch.cmds {
                     stats.stream_cmds += 1;
+                    tele.count("daemon.stream.cmds", 1);
                     handle.delay(config.per_block_cost).await;
                     tracer.record(&handle, "daemon.stream.cmd", || {
                         format!("{} seq {} from {}", request_kind(&cmd), seq, cn)
@@ -288,12 +303,20 @@ pub async fn run_daemon_chaos(
                     status: first_err.unwrap_or(Status::Ok),
                     value: last_value,
                 };
+                drop(exec_span);
+                let ack_seq = ack.seq;
+                let ack_span = tele
+                    .span(&handle, "daemon.ack", || {
+                        format!("StreamAck seq {ack_seq} to {cn}")
+                    })
+                    .op(ack_seq);
                 ep.send(
                     cn,
                     ac_tags::stream_ack_tag(batch.stream),
                     Payload::from_vec(ack.encode()),
                 )
                 .await;
+                drop(ack_span);
                 continue;
             }
             _ => {
@@ -315,6 +338,14 @@ pub async fn run_daemon_chaos(
         tracer.record(&handle, "daemon.request", || {
             format!("{} from {}", request_kind(&req), cn)
         });
+        tele.span_at(
+            "daemon.decode",
+            || format!("{} from {}", request_kind(&req), cn),
+            t_arrive,
+            handle.now(),
+            Some(env.payload.len()),
+            framed.then_some(op_id),
+        );
 
         // A replayed operation (same op id as the last one this front-end
         // completed) is answered from the cache unless its data phase must
@@ -325,12 +356,21 @@ pub async fn run_daemon_chaos(
                     tracer.record(&handle, "daemon.dedupe", || {
                         format!("replay op {op_id} attempt {attempt} from {cn}")
                     });
+                    tele.count("daemon.dedupe", 1);
+                    tele.instant(&handle, "daemon.dedupe", || {
+                        format!("replay op {op_id} attempt {attempt} from {cn}")
+                    });
                     respond(&ep, cn, resp_tag, *last_resp).await;
                     continue;
                 }
             }
         }
 
+        let exec_span = tele
+            .span(&handle, "daemon.execute", || {
+                format!("{} from {}", request_kind(&req), cn)
+            })
+            .op(op_id);
         let resp = if req.batchable() {
             let session = sessions.entry(cn).or_default();
             exec_batchable(
@@ -457,12 +497,19 @@ pub async fn run_daemon_chaos(
                 _ => unreachable!("batchable requests handled above"),
             }
         };
+        drop(exec_span);
         // Remember the outcome so a replayed request (lost response) is
         // answered without re-execution; timeouts must re-execute.
         if framed && resp.status != Status::Timeout {
             completed.insert(cn, (op_id, resp));
         }
+        let ack_span = tele
+            .span(&handle, "daemon.ack", || {
+                format!("{:?} to {}", resp.status, cn)
+            })
+            .op(op_id);
         respond(&ep, cn, resp_tag, resp).await;
+        drop(ack_span);
     }
 }
 
@@ -671,6 +718,7 @@ async fn handle_h2d(
     protocol: WireProtocol,
     data_tag: Tag,
 ) -> Response {
+    let tele = ep.fabric().telemetry();
     let nblocks = protocol.block_count(len);
     // Pre-validate the destination and the block size. On failure the data
     // messages are already in flight; drain and discard them to keep the
@@ -699,11 +747,23 @@ async fn handle_h2d(
         WireProtocol::Naive => {
             // Receive the whole message into main memory first: the host
             // buffer must hold the complete payload (§V.A).
+            let t_post = handle.now();
             let env = match recv_data(ep, config, src_rank, data_tag).await {
                 Some(env) => env,
                 None => return Response::err(Status::Timeout),
             };
+            tele.span_at(
+                "daemon.recv_block",
+                || format!("naive {len}B from {src_rank}"),
+                t_post,
+                handle.now(),
+                Some(len),
+                None,
+            );
             stats.host_buffer_peak = stats.host_buffer_peak.max(len);
+            let _dma_span = tele
+                .span(handle, "daemon.dma", || format!("naive {len}B h2d"))
+                .bytes(len);
             match gpu.memcpy_h2d(&env.payload, dst, HostMemKind::Pinned).await {
                 Ok(()) => Response::ok(),
                 Err(e) => Response::err(status_of_gpu_error(&e)),
@@ -724,6 +784,7 @@ async fn handle_h2d(
             while offset < len {
                 let bs = block.min(len - offset);
                 let slot = pool.acquire(bs).await;
+                let t_post = handle.now();
                 let env = match recv_data(ep, config, src_rank, data_tag).await {
                     Some(env) => env,
                     None => {
@@ -731,11 +792,26 @@ async fn handle_h2d(
                         break;
                     }
                 };
+                tele.span_at(
+                    "daemon.recv_block",
+                    || format!("block @{offset} ({bs}B) from {src_rank}"),
+                    t_post,
+                    handle.now(),
+                    Some(bs),
+                    None,
+                );
                 handle.delay(config.per_block_cost).await;
                 let staging = pool.staging_cost(bs);
                 let gpu = gpu.clone();
                 let dptr = dst.offset(offset);
+                let dma_tele = tele.clone();
+                let dma_handle = handle.clone();
                 dmas.push(handle.spawn("daemon.h2d.dma", async move {
+                    let _dma_span = dma_tele
+                        .span(&dma_handle, "daemon.dma", || {
+                            format!("block @{offset} ({bs}B) h2d")
+                        })
+                        .bytes(bs);
                     let result = gpu
                         .memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned)
                         .await;
@@ -775,16 +851,31 @@ async fn handle_h2d(
                     // Back-pressure: no free pinned buffer, no receive.
                     let slot = pool.acquire(bs).await;
                     let recv = ep.irecv(Some(src_rank), Some(data_tag));
-                    inflight.push_back((recv, slot, bs));
+                    inflight.push_back((recv, slot, bs, handle.now()));
                     post_offset += bs;
                 }
-                let (recv, slot, bs) = inflight.pop_front().expect("inflight underflow");
+                let (recv, slot, bs, t_post) = inflight.pop_front().expect("inflight underflow");
                 let env = recv.await;
+                tele.span_at(
+                    "daemon.recv_block",
+                    || format!("block @{offset} ({bs}B) from {src_rank}"),
+                    t_post,
+                    handle.now(),
+                    Some(bs),
+                    None,
+                );
                 handle.delay(config.per_block_cost).await;
                 let staging = pool.staging_cost(bs);
                 let gpu = gpu.clone();
                 let dptr = dst.offset(offset);
+                let dma_tele = tele.clone();
+                let dma_handle = handle.clone();
                 dmas.push(handle.spawn("daemon.h2d.dma", async move {
+                    let _dma_span = dma_tele
+                        .span(&dma_handle, "daemon.dma", || {
+                            format!("block @{offset} ({bs}B) h2d")
+                        })
+                        .bytes(bs);
                     let result = gpu
                         .memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned)
                         .await;
@@ -829,14 +920,24 @@ async fn stream_d2h(
     if len == 0 {
         return;
     }
+    let tele = ep.fabric().telemetry();
     stats.bytes_out += len;
     match protocol {
         WireProtocol::Naive => {
             stats.host_buffer_peak = stats.host_buffer_peak.max(len);
+            let dma_span = tele
+                .span(handle, "daemon.dma", || format!("naive {len}B d2h"))
+                .bytes(len);
             let payload = gpu
                 .memcpy_d2h(src, len, HostMemKind::Pinned)
                 .await
                 .expect("validated before streaming");
+            drop(dma_span);
+            let _send_span = tele
+                .span(handle, "daemon.send_block", || {
+                    format!("naive {len}B to {dst_rank}")
+                })
+                .bytes(len);
             send_data(ep, config, dst_rank, data_tag, payload).await;
         }
         WireProtocol::Pipeline { .. } => {
@@ -849,10 +950,16 @@ async fn stream_d2h(
             while offset < len {
                 let bs = block.min(len - offset);
                 let slot = pool.acquire(bs).await;
+                let dma_span = tele
+                    .span(handle, "daemon.dma", || {
+                        format!("block @{offset} ({bs}B) d2h")
+                    })
+                    .bytes(bs);
                 let payload = gpu
                     .memcpy_d2h(src.offset(offset), bs, HostMemKind::Pinned)
                     .await
                     .expect("validated before streaming");
+                drop(dma_span);
                 let staging = pool.staging_cost(bs);
                 if !staging.is_zero() {
                     handle.delay(staging).await;
@@ -860,7 +967,14 @@ async fn stream_d2h(
                 handle.delay(config.per_block_cost).await;
                 let ep = ep.clone();
                 let config = *config;
+                let send_tele = tele.clone();
+                let send_handle = handle.clone();
                 sends.push(handle.spawn("daemon.d2h.send", async move {
+                    let _send_span = send_tele
+                        .span(&send_handle, "daemon.send_block", || {
+                            format!("block @{offset} ({bs}B) to {dst_rank}")
+                        })
+                        .bytes(bs);
                     send_data(&ep, &config, dst_rank, data_tag, payload).await;
                     drop(slot);
                 }));

@@ -200,6 +200,14 @@ impl FailoverSession {
                     self.job.0, old_id.0
                 )
             });
+        let tele = self.ep.fabric().telemetry();
+        tele.count("failover.count", 1);
+        let job = self.job.0;
+        let _replay_span = tele
+            .span(self.ep.fabric().handle(), "failover.replay", || {
+                format!("job {job}: replacing accel {}", old_id.0)
+            })
+            .op(job);
         let grant = self
             .arm
             .report_failure(self.job, old_id)
@@ -241,6 +249,7 @@ impl FailoverSession {
             }
         }
         let replayed = log.len();
+        tele.count("failover.replayed_ops", replayed as u64);
         let mut inner = self.inner.borrow_mut();
         inner.accel = accel;
         inner.accel_id = grant.accel;

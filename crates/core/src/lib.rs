@@ -76,6 +76,7 @@ pub mod prelude {
         ac_tags, Request, RequestFrame, Response, Status, StreamAck, StreamBatch, WireProtocol,
     };
     pub use crate::stream::{AcStream, StreamConfig, StreamEvent};
+    pub use dacc_telemetry::{SpanGuard, Telemetry};
 }
 
 pub use prelude::*;

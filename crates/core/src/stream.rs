@@ -39,6 +39,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use dacc_fabric::payload::Payload;
+use dacc_sim::time::SimTime;
 use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 use dacc_vgpu::memory::DevicePtr;
 
@@ -255,6 +256,7 @@ impl AcStream {
         match &self.imp {
             Imp::Wire(w) => {
                 w.sticky()?;
+                w.accel.telemetry().count("stream.flushes", 1);
                 w.send_batch().await;
                 Ok(())
             }
@@ -301,8 +303,8 @@ struct WireState {
     pending: Vec<Request>,
     /// H2D payloads for pending copies, in command order.
     pending_data: Vec<Payload>,
-    /// Unacked batches: (last sequence number, command count).
-    inflight: VecDeque<(u64, u32)>,
+    /// Unacked batches: (last sequence number, command count, submit time).
+    inflight: VecDeque<(u64, u32, SimTime)>,
     /// Commands ever enqueued (== next sequence number to assign).
     enqueued: u64,
     /// Commands sent in batches (== next batch's `first_seq`).
@@ -377,6 +379,7 @@ impl Wire {
             st.pending.push(req);
             st.enqueued += 1;
         }
+        self.accel.telemetry().count("stream.cmds", 1);
         if self.st.borrow().pending.len() >= self.cfg.max_batch.max(1) {
             self.send_batch().await;
         }
@@ -387,6 +390,7 @@ impl Wire {
     /// followed by the data blocks of any queued H2D copies (same order,
     /// stream data tag).
     async fn send_batch(&self) {
+        let handle = self.accel.ep.fabric().handle().clone();
         let (frame, data) = {
             let mut st = self.st.borrow_mut();
             if st.pending.is_empty() {
@@ -401,7 +405,7 @@ impl Wire {
                 cmds,
             };
             let last_seq = st.sent + n - 1;
-            st.inflight.push_back((last_seq, n as u32));
+            st.inflight.push_back((last_seq, n as u32, handle.now()));
             st.sent += n;
             (batch, data)
         };
@@ -410,6 +414,15 @@ impl Wire {
         self.accel.trace("stream.batch", || {
             format!("stream {id}: {ncmds} cmds from seq {}", frame.first_seq)
         });
+        let tele = self.accel.telemetry();
+        tele.count("stream.batches", 1);
+        let data_bytes: u64 = data.iter().map(|p| p.len()).sum();
+        let _submit_span = tele
+            .span(&handle, "stream.submit", || {
+                format!("stream {id}: {ncmds} cmds from seq {}", frame.first_seq)
+            })
+            .bytes(data_bytes)
+            .op(frame.first_seq);
         self.accel
             .ep
             .send(
@@ -437,7 +450,7 @@ impl Wire {
     /// Receive one cumulative ack, returning its credits to the window and
     /// latching the batch's first error (if any) as the sticky error.
     async fn await_ack(&self) {
-        let (last_seq, n) = {
+        let (last_seq, n, submitted) = {
             let mut st = self.st.borrow_mut();
             st.inflight.pop_front().expect("no in-flight batch to ack")
         };
@@ -449,6 +462,17 @@ impl Wire {
                 Some(ac_tags::stream_ack_tag(self.id)),
             )
             .await;
+        let tele = self.accel.telemetry();
+        let id = self.id;
+        tele.span_at(
+            "stream.ack_window",
+            || format!("stream {id}: batch through seq {last_seq} ({n} cmds)"),
+            submitted,
+            self.accel.ep.fabric().handle().now(),
+            None,
+            Some(last_seq),
+        );
+        tele.count("stream.acks", 1);
         let mut st = self.st.borrow_mut();
         st.acked += n as u64;
         match env.payload.bytes().and_then(|b| StreamAck::decode(b).ok()) {

@@ -13,11 +13,12 @@
 //!   (via [`Topology`]).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dacc_sim::channel::oneshot::{oneshot, OneSender};
 use dacc_sim::prelude::*;
+use dacc_telemetry::Telemetry;
 use parking_lot::Mutex;
 
 use crate::payload::Payload;
@@ -148,6 +149,10 @@ struct EndpointRecord {
 struct FabricInner {
     endpoints: Mutex<Vec<EndpointRecord>>,
     next_msg_id: AtomicU64,
+    // The attached telemetry handle, plus a flag mirroring its
+    // `is_enabled()` so the common detached case costs one atomic load.
+    telemetry: Mutex<Telemetry>,
+    telemetry_on: AtomicBool,
 }
 
 /// The message-passing fabric: topology + endpoint registry.
@@ -166,6 +171,8 @@ impl Fabric {
             inner: Arc::new(FabricInner {
                 endpoints: Mutex::new(Vec::new()),
                 next_msg_id: AtomicU64::new(0),
+                telemetry: Mutex::new(Telemetry::disabled()),
+                telemetry_on: AtomicBool::new(false),
             }),
             handle: handle.clone(),
         }
@@ -179,6 +186,27 @@ impl Fabric {
     /// The simulation handle this fabric schedules on.
     pub fn handle(&self) -> &SimHandle {
         &self.handle
+    }
+
+    /// Attach a telemetry handle: every endpoint on this fabric (and the
+    /// daemon/stream/ARM layers above, which reach their telemetry through
+    /// the fabric) starts recording into it. Pass [`Telemetry::disabled`]
+    /// to detach.
+    pub fn set_telemetry(&self, tele: Telemetry) {
+        self.inner
+            .telemetry_on
+            .store(tele.is_enabled(), Ordering::Release);
+        *self.inner.telemetry.lock() = tele;
+    }
+
+    /// The attached telemetry handle, or a disabled one when nothing is
+    /// attached. The detached path is a single atomic load.
+    pub fn telemetry(&self) -> Telemetry {
+        if self.inner.telemetry_on.load(Ordering::Acquire) {
+            self.inner.telemetry.lock().clone()
+        } else {
+            Telemetry::disabled()
+        }
     }
 
     /// Create an endpoint on `node` and start its dispatcher. Ranks are
@@ -275,9 +303,17 @@ impl Endpoint {
     /// messages after local injection, for rendezvous messages once the
     /// payload has been fully serialized onto the wire.
     pub async fn send(&self, dst: Rank, tag: Tag, payload: Payload) {
+        let size = payload.len();
+        let tele = self.fabric.telemetry();
+        let _span = tele
+            .span(&self.fabric.handle, "fabric.send", || {
+                format!("{} -> {} tag {}", self.rank, dst, tag.0)
+            })
+            .bytes(size);
+        tele.count("fabric.send.msgs", 1);
+        tele.count("fabric.send.bytes", size);
         let p = self.fabric.topo.params();
         self.fabric.handle.delay(p.o_send).await;
-        let size = payload.len();
         if size <= p.eager_threshold {
             // Eager: hand off to the NIC; transfer proceeds in background.
             let fabric = self.fabric.clone();
@@ -347,9 +383,17 @@ impl Endpoint {
         payload: Payload,
         timeout: SimDuration,
     ) -> bool {
+        let size = payload.len();
+        let tele = self.fabric.telemetry();
+        let _span = tele
+            .span(&self.fabric.handle, "fabric.send", || {
+                format!("{} -> {} tag {} (deadline)", self.rank, dst, tag.0)
+            })
+            .bytes(size);
+        tele.count("fabric.send.msgs", 1);
+        tele.count("fabric.send.bytes", size);
         let p = self.fabric.topo.params();
         self.fabric.handle.delay(p.o_send).await;
-        let size = payload.len();
         if size <= p.eager_threshold {
             let fabric = self.fabric.clone();
             let src_node = self.node;
@@ -405,6 +449,7 @@ impl Endpoint {
             // Deadline hit; unless the CTS won the race at this instant,
             // withdraw the message (a late CTS is then ignored).
             if self.state.lock().cts_waiting.remove(&msg_id).is_some() {
+                tele.count("fabric.send.abandoned", 1);
                 return false;
             }
             cts_rx.await.expect("CTS dropped: dispatcher died");
@@ -438,9 +483,16 @@ impl Endpoint {
     /// (`MPI_ANY_SOURCE` / `MPI_ANY_TAG`). Messages from the same sender
     /// with the same tag are received in send order.
     pub async fn recv(&self, src: Option<Rank>, tag: Option<Tag>) -> Envelope {
+        let tele = self.fabric.telemetry();
+        let mut span = tele.span(&self.fabric.handle, "fabric.recv", || {
+            format!("{} <- {:?} tag {:?}", self.rank, src, tag.map(|t| t.0))
+        });
         let p = self.fabric.topo.params();
         let env = self.recv_inner(src, tag).await;
         self.fabric.handle.delay(p.o_recv).await;
+        span.set_bytes(env.payload.len());
+        tele.count("fabric.recv.msgs", 1);
+        tele.count("fabric.recv.bytes", env.payload.len());
         env
     }
 
@@ -515,10 +567,22 @@ impl Endpoint {
             /// Matched an RTS; holds the rendezvous msg id being awaited.
             Data(u64),
         }
+        let tele = self.fabric.telemetry();
+        let mut span = tele.span(&self.fabric.handle, "fabric.recv", || {
+            format!(
+                "{} <- {:?} tag {:?} (deadline)",
+                self.rank,
+                src,
+                tag.map(|t| t.0)
+            )
+        });
         let p = self.fabric.topo.params();
         let (env_rx, how) = match self.try_match(src, tag) {
             MatchOutcome::Immediate(env) => {
                 self.fabric.handle.delay(p.o_recv).await;
+                span.set_bytes(env.payload.len());
+                tele.count("fabric.recv.msgs", 1);
+                tele.count("fabric.recv.bytes", env.payload.len());
                 return Some(env);
             }
             MatchOutcome::AwaitData(rx, rts_src, msg_id) => {
@@ -545,7 +609,11 @@ impl Endpoint {
         match raced {
             Some(env) => {
                 self.fabric.handle.delay(p.o_recv).await;
-                Some(env.expect("recv dropped: dispatcher died"))
+                let env = env.expect("recv dropped: dispatcher died");
+                span.set_bytes(env.payload.len());
+                tele.count("fabric.recv.msgs", 1);
+                tele.count("fabric.recv.bytes", env.payload.len());
+                Some(env)
             }
             None => {
                 // Deadline hit: abandon whatever stage the receive reached,
@@ -558,6 +626,8 @@ impl Endpoint {
                             if let Some(pos) = st.posted.iter().position(|pr| pr.id == id) {
                                 // Never matched: cancel the posted receive.
                                 st.posted.remove(pos);
+                                drop(st);
+                                tele.count("fabric.recv.timeout", 1);
                                 return None;
                             }
                             st.matched_msg.remove(&id)
@@ -572,12 +642,17 @@ impl Endpoint {
                         // CTS answered but the payload is still outstanding:
                         // leave a tombstone so a late arrival is discarded.
                         e.insert(DataWaiter::Discard);
+                        drop(st);
+                        tele.count("fabric.recv.timeout", 1);
                         return None;
                     }
                 }
                 // Fully delivered at the deadline instant — take it.
                 let env = env_rx.await.expect("recv dropped: dispatcher died");
                 self.fabric.handle.delay(p.o_recv).await;
+                span.set_bytes(env.payload.len());
+                tele.count("fabric.recv.msgs", 1);
+                tele.count("fabric.recv.bytes", env.payload.len());
                 Some(env)
             }
         }

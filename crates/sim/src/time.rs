@@ -40,6 +40,13 @@ impl SimTime {
         self.0 as f64 / 1e9
     }
 
+    /// Microseconds since simulation start as a float — the Chrome
+    /// trace-event timestamp unit, so exporters can map virtual time onto
+    /// trace timelines without unit juggling.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
     /// Duration elapsed since `earlier`. Panics if `earlier` is later.
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(

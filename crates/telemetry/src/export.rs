@@ -1,0 +1,224 @@
+//! Rendering: Chrome trace-event JSON (Perfetto-loadable), a plain-text
+//! summary table, and a machine-readable metrics JSON document.
+//!
+//! All emission is hand-rolled string building — the workspace vendors no
+//! serde — and every document is self-contained valid JSON.
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::span::{SpanEvent, SpanStat};
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("infallible");
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Render spans as a Chrome trace-event array (the `[{...},...]` form that
+/// `chrome://tracing` and Perfetto load directly). Every category gets its
+/// own thread lane so concurrent spans of different stages — e.g. network
+/// block receives vs. device DMA — render as visibly overlapping tracks.
+pub fn chrome_trace(spans: &[SpanEvent]) -> String {
+    let mut lanes: Vec<&'static str> = Vec::new();
+    for s in spans {
+        if !lanes.contains(&s.category) {
+            lanes.push(s.category);
+        }
+    }
+    lanes.sort_unstable();
+    let tid = |cat: &'static str| lanes.iter().position(|l| *l == cat).unwrap() + 1;
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (i, lane) in lanes.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write!(
+            out,
+            "  {{\"ph\": \"M\", \"pid\": 0, \"tid\": {}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{lane}\"}}}}",
+            i + 1
+        )
+        .expect("infallible");
+    }
+    for s in spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  {\"name\": \"");
+        escape_into(&mut out, &s.label);
+        write!(
+            out,
+            "\", \"cat\": \"{}\", \"pid\": 0, \"tid\": {}, \"ts\": {}",
+            s.category,
+            tid(s.category),
+            s.start.as_micros_f64()
+        )
+        .expect("infallible");
+        if s.instant {
+            out.push_str(", \"ph\": \"i\", \"s\": \"t\"");
+        } else {
+            write!(
+                out,
+                ", \"ph\": \"X\", \"dur\": {}",
+                us(s.end.as_nanos().saturating_sub(s.start.as_nanos()))
+            )
+            .expect("infallible");
+        }
+        let mut args = Vec::new();
+        if let Some(b) = s.bytes {
+            args.push(format!("\"bytes\": {b}"));
+        }
+        if let Some(op) = s.op {
+            args.push(format!("\"op\": {op}"));
+        }
+        if !args.is_empty() {
+            write!(out, ", \"args\": {{{}}}", args.join(", ")).expect("infallible");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render counters, histograms, and span statistics as a plain-text table.
+pub fn summary(
+    counters: &[(&'static str, u64)],
+    hists: &[(&'static str, Histogram)],
+    stats: &[(&'static str, SpanStat)],
+    retained_spans: usize,
+    dropped_spans: u64,
+) -> String {
+    let mut out = String::from("== telemetry summary ==\n");
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in counters {
+            writeln!(out, "  {name:<28} {v:>14}").expect("infallible");
+        }
+    }
+    if !hists.is_empty() {
+        writeln!(
+            out,
+            "latency [us]:\n  {:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p95", "p99", "max"
+        )
+        .expect("infallible");
+        for (name, h) in hists {
+            writeln!(
+                out,
+                "  {:<28} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                name,
+                h.count(),
+                us(h.p50_ns()),
+                us(h.p95_ns()),
+                us(h.p99_ns()),
+                us(h.max_ns()),
+            )
+            .expect("infallible");
+        }
+    }
+    if !stats.is_empty() {
+        writeln!(
+            out,
+            "spans:\n  {:<28} {:>10} {:>12} {:>14}",
+            "category", "count", "busy[us]", "bytes"
+        )
+        .expect("infallible");
+        for (name, s) in stats {
+            writeln!(
+                out,
+                "  {:<28} {:>10} {:>12.1} {:>14}",
+                name,
+                s.count,
+                us(s.busy_ns),
+                s.bytes
+            )
+            .expect("infallible");
+        }
+    }
+    writeln!(
+        out,
+        "span ring: {retained_spans} retained, {dropped_spans} evicted"
+    )
+    .expect("infallible");
+    out
+}
+
+/// Render counters, histograms, and span statistics as one JSON object —
+/// the payload of `results/<name>.metrics.json`.
+pub fn metrics_json(
+    counters: &[(&'static str, u64)],
+    hists: &[(&'static str, Histogram)],
+    stats: &[(&'static str, SpanStat)],
+    dropped_spans: u64,
+) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "\n    \"{name}\": {v}").expect("infallible");
+    }
+    if !counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"histograms\": {");
+    for (i, (name, h)) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "\n    \"{name}\": {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \
+             \"p95_us\": {}, \"p99_us\": {}, \"min_us\": {}, \"max_us\": {}}}",
+            h.count(),
+            h.mean_ns() / 1000.0,
+            us(h.p50_ns()),
+            us(h.p95_ns()),
+            us(h.p99_ns()),
+            us(h.min_ns()),
+            us(h.max_ns()),
+        )
+        .expect("infallible");
+    }
+    if !hists.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"spans\": {");
+    for (i, (name, s)) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "\n    \"{name}\": {{\"count\": {}, \"busy_us\": {}, \"bytes\": {}}}",
+            s.count,
+            us(s.busy_ns),
+            s.bytes
+        )
+        .expect("infallible");
+    }
+    if !stats.is_empty() {
+        out.push_str("\n  ");
+    }
+    write!(out, "}},\n  \"dropped_spans\": {dropped_spans}\n}}\n").expect("infallible");
+    out
+}

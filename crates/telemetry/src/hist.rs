@@ -1,0 +1,215 @@
+//! Log-bucketed latency histograms.
+//!
+//! Values (nanoseconds) land in power-of-two buckets: bucket `i` covers
+//! `[2^i, 2^(i+1))` (bucket 0 also absorbs zero). 64 fixed buckets cover
+//! the full `u64` range, so two histograms merge by adding bucket counts —
+//! associative and commutative, which is what lets per-layer histograms
+//! roll up into one process-wide summary. Quantiles are estimated from the
+//! bucket walk and clamped to the observed `[min, max]`, so the estimate is
+//! never off by more than one power of two.
+
+/// Number of power-of-two buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A mergeable log-bucketed histogram of nanosecond values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// The bucket index a value lands in: `floor(log2(v))`, with 0 and 1
+    /// sharing bucket 0.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `(low, high)` bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS);
+        match i {
+            0 => (0, 1),
+            63 => (1 << 63, u64::MAX),
+            _ => (1 << i, (1 << (i + 1)) - 1),
+        }
+    }
+
+    /// Record one nanosecond value.
+    pub fn observe_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`) in nanoseconds: the upper
+    /// bound of the bucket holding the target rank, clamped to the
+    /// observed `[min, max]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                let (_, high) = Self::bucket_bounds(i);
+                return high.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median estimate in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile estimate in nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile estimate in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Raw bucket counts (for export and tests).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_observations() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe_ns(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_ns(), 10);
+        assert_eq!(h.max_ns(), 1000);
+        // p50 rank 3 → value 30 lives in bucket [16,31].
+        assert!(h.p50_ns() >= 30 && h.p50_ns() <= 31, "p50={}", h.p50_ns());
+        // p99 rank 5 → top bucket, clamped to max.
+        assert_eq!(h.p99_ns(), 1000);
+        assert!((h.mean_ns() - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe_ns(5);
+        a.observe_ns(100);
+        b.observe_ns(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min_ns(), 5);
+        assert_eq!(a.max_ns(), 100);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the log-bucketed histogram: bucket boundaries and
+//! merge algebra.
+
+use dacc_telemetry::{Histogram, BUCKETS};
+use proptest::prelude::*;
+
+fn filled(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe_ns(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "v={v} outside bucket {i} [{lo},{hi}]");
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain(i in 0usize..BUCKETS - 1) {
+        // Consecutive buckets tile with no gap and no overlap.
+        let (_, hi) = Histogram::bucket_bounds(i);
+        let (lo_next, _) = Histogram::bucket_bounds(i + 1);
+        prop_assert_eq!(hi + 1, lo_next);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..50),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..50),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..50),
+    ) {
+        let (ha, hb, hc) = (filled(&a), filled(&b), filled(&c));
+
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // a + b == b + a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals observing the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &filled(&all));
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..100),
+        q in 0.01f64..1.0,
+    ) {
+        let h = filled(&values);
+        let est = h.quantile_ns(q);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert!(est >= lo && est <= hi, "q={q} est={est} outside [{lo},{hi}]");
+    }
+}

@@ -1,0 +1,198 @@
+//! Telemetry-plane integration: spans recorded across fabric, daemon,
+//! retry, and failover layers stay balanced and show the overlaps the
+//! protocols are built around.
+
+use dacc_arm::state::JobId;
+use dacc_chaos::{ChaosPlane, Fault, FaultSchedule};
+use dacc_fabric::payload::Payload;
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_telemetry::{SpanEvent, DEFAULT_SPAN_CAPACITY};
+use dacc_tests::{full_cluster, full_cluster_chaos, pattern};
+use dacc_vgpu::params::ExecMode;
+
+/// Total virtual time (ns) where a span from `a` overlaps a span from `b`.
+fn overlap_ns(a: &[SpanEvent], b: &[SpanEvent]) -> u64 {
+    let mut total = 0;
+    for x in a {
+        for y in b {
+            let lo = x.start.as_nanos().max(y.start.as_nanos());
+            let hi = x.end.as_nanos().min(y.end.as_nanos());
+            total += hi.saturating_sub(lo);
+        }
+    }
+    total
+}
+
+/// The Fig. 5 acceptance check: a pipelined H2D copy must record
+/// network-receive spans overlapping DMA spans — that concurrency is the
+/// protocol's entire reason to exist.
+#[test]
+fn pipelined_copy_overlaps_network_recv_with_dma() {
+    let (mut sim, mut cluster) = full_cluster(1, 1, ExecMode::TimingOnly);
+    let tele = Telemetry::new(DEFAULT_SPAN_CAPACITY);
+    if !tele.is_enabled() {
+        return; // telemetry compiled out; nothing to observe
+    }
+    cluster.set_telemetry(tele.clone());
+    let ep = cluster.cn_endpoints.remove(0);
+    let daemon = cluster.daemon_rank(0);
+    let frontend = FrontendConfig {
+        h2d: TransferProtocol::Pipeline { block: 256 << 10 },
+        ..cluster.spec.frontend
+    };
+    sim.spawn("copy", async move {
+        let ac = RemoteAccelerator::new(ep, daemon, frontend);
+        let bytes = 4u64 << 20;
+        let ptr = ac.mem_alloc(bytes).await.unwrap();
+        ac.mem_cpy_h2d(&Payload::size_only(bytes), ptr)
+            .await
+            .unwrap();
+        ac.shutdown().await.unwrap();
+    });
+    sim.run();
+
+    let recvs = tele.spans_in("daemon.recv_block");
+    let dmas = tele.spans_in("daemon.dma");
+    assert!(recvs.len() >= 2, "expected blockwise receives: {recvs:?}");
+    assert_eq!(recvs.len(), dmas.len(), "every block gets exactly one DMA");
+    assert!(
+        overlap_ns(&recvs, &dmas) > 0,
+        "pipelined copy never overlapped network recv with DMA"
+    );
+    // The span bytes must account for the whole transfer.
+    let dma_bytes: u64 = dmas.iter().map(|s| s.bytes.unwrap_or(0)).sum();
+    assert_eq!(dma_bytes, 4 << 20);
+}
+
+/// Span begin/end balance under adversity: message drops force retries and
+/// a daemon death forces a failover replay, yet every recorded span still
+/// closes (end >= start), the daemon phase counts stay consistent, and the
+/// retry/failover layers leave their own spans behind.
+#[test]
+fn spans_stay_balanced_under_retries_and_failover() {
+    let tracer = Tracer::new(65536);
+    // ARM=0, CN=1, daemons 2 and 3. Drop a few messages early (retries),
+    // then kill the granted accelerator (failover + replay).
+    let plane = ChaosPlane::new(
+        7,
+        FaultSchedule::new()
+            .after_events(
+                8,
+                Fault::DropMessages {
+                    src: Some(1),
+                    dst: Some(2),
+                    count: 2,
+                },
+            )
+            .after_events(14, Fault::kill_daemon(2)),
+    );
+    let (mut sim, mut cluster) = full_cluster_chaos(
+        1,
+        2,
+        ExecMode::Functional,
+        tracer.clone(),
+        Some(plane.clone()),
+    );
+    let tele = Telemetry::new(DEFAULT_SPAN_CAPACITY);
+    if !tele.is_enabled() {
+        return;
+    }
+    cluster.set_telemetry(tele.clone());
+    let arm_rank = cluster.arm_rank;
+    let ep = cluster.cn_endpoints.remove(0);
+    let frontend = cluster.spec.frontend;
+    let out = sim.spawn("job", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend);
+        let mut sessions = proc.acquire_resilient(1).await.unwrap();
+        let session = sessions.remove(0);
+        let dev = AcDevice::Resilient(session.clone());
+        let len = 96usize << 10;
+        let data = pattern(len, 9);
+        let ptr = dev.mem_alloc(len as u64).await.unwrap();
+        dev.mem_cpy_h2d(&Payload::from_vec(data.clone()), ptr)
+            .await
+            .unwrap();
+        let back = dev.mem_cpy_d2h(ptr, len as u64).await.unwrap();
+        assert_eq!(back.expect_bytes(), &data[..]);
+        proc.finish().await;
+        session.failovers()
+    });
+    sim.run();
+    let failovers = out.try_take().expect("job did not finish");
+    assert!(failovers >= 1, "the scenario must exercise a failover");
+
+    // Balance: every span closed, in order.
+    let spans = tele.spans();
+    assert!(!spans.is_empty());
+    for s in &spans {
+        assert!(
+            s.end >= s.start,
+            "unbalanced span {}/{}: {:?} > {:?}",
+            s.category,
+            s.label,
+            s.start,
+            s.end
+        );
+    }
+    assert_eq!(tele.dropped_spans(), 0, "capacity was not supposed to fill");
+
+    // Daemon phases: a request is decoded before it is executed, and only
+    // executed requests are acked, even across the dead daemon's ruins.
+    let decodes = tele.span_count("daemon.decode");
+    let execs = tele.span_count("daemon.execute");
+    let acks = tele.span_count("daemon.ack");
+    assert!(
+        decodes >= execs && execs >= acks && acks > 0,
+        "phase counts out of order: decode={decodes} execute={execs} ack={acks}"
+    );
+
+    // The adversity itself is visible in the telemetry.
+    assert!(tele.counter("retry.attempts") > 0);
+    assert!(
+        !tele.spans_in("retry.backoff").is_empty(),
+        "retries must record backoff spans"
+    );
+    assert_eq!(tele.counter("failover.count"), failovers as u64);
+    let replays = tele.spans_in("failover.replay");
+    assert_eq!(replays.len(), 1, "exactly one failover replay: {replays:?}");
+    assert!(
+        tele.counter("failover.replayed_ops") > 0,
+        "the replay must re-execute logged commands"
+    );
+
+    // The export paths digest the whole adversarial run.
+    let trace = tele.chrome_trace();
+    assert!(trace.contains("\"failover.replay\""));
+    assert!(!tele.summary().is_empty());
+}
+
+/// ARM allocate/release spans bracket the grant lifecycle seen by jobs.
+#[test]
+fn arm_requests_record_allocate_and_release_spans() {
+    let (mut sim, mut cluster) = full_cluster(1, 2, ExecMode::Functional);
+    let tele = Telemetry::new(DEFAULT_SPAN_CAPACITY);
+    if !tele.is_enabled() {
+        return;
+    }
+    cluster.set_telemetry(tele.clone());
+    let arm_rank = cluster.arm_rank;
+    let ep = cluster.cn_endpoints.remove(0);
+    let frontend = cluster.spec.frontend;
+    sim.spawn("job", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend);
+        let accels = proc.acquire(2).await.unwrap();
+        for ac in &accels {
+            ac.shutdown().await.unwrap();
+        }
+        proc.finish().await;
+        proc.arm().shutdown().await;
+    });
+    sim.run();
+    assert!(tele.counter("arm.allocate") >= 1);
+    assert!(tele.counter("arm.release") >= 1);
+    assert!(!tele.spans_in("arm.allocate").is_empty());
+    assert!(tele
+        .histogram("arm.client.rtt")
+        .is_some_and(|h| h.count() > 0));
+}
