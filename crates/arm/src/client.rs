@@ -4,28 +4,82 @@
 //! accelerators before (static assignment) or during (dynamic assignment)
 //! the job, and release them when done.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 
-use crate::proto::{arm_tags, ArmError, ArmRequest, ArmResponse, GrantedAccelerator, PoolStats};
+use crate::proto::{
+    arm_tags, ArmError, ArmRequest, ArmResponse, Eviction, GrantedAccelerator, PoolStats,
+};
 use crate::state::{AcceleratorId, JobId};
 
 /// A compute-node process's connection to the ARM.
+///
+/// Clones share the eviction mailbox: proactive [`Eviction`] notices from
+/// the ARM are pumped off the fabric into it, and each resilient session
+/// takes the notices addressed to its accelerator.
 #[derive(Clone)]
 pub struct ArmClient {
     ep: Endpoint,
     arm: Rank,
+    evictions: Rc<RefCell<VecDeque<Eviction>>>,
 }
 
 impl ArmClient {
     /// Connect `ep`'s process to the ARM at rank `arm`.
     pub fn new(ep: Endpoint, arm: Rank) -> Self {
-        ArmClient { ep, arm }
+        ArmClient {
+            ep,
+            arm,
+            evictions: Rc::new(RefCell::new(VecDeque::new())),
+        }
     }
 
     /// The underlying endpoint.
     pub fn endpoint(&self) -> &Endpoint {
         &self.ep
+    }
+
+    /// The ARM's fabric rank.
+    pub fn arm_rank(&self) -> Rank {
+        self.arm
+    }
+
+    /// True when an ARM eviction notice is waiting (either already pumped
+    /// into the mailbox or still sitting on the fabric). Non-blocking and
+    /// non-consuming: safe to poll from a retry loop to cut a doomed
+    /// timeout budget short.
+    pub fn eviction_pending(&self) -> bool {
+        !self.evictions.borrow().is_empty()
+            || self
+                .ep
+                .iprobe(Some(self.arm), Some(arm_tags::EVENT))
+                .is_some()
+    }
+
+    /// Drain any eviction notices off the fabric into the shared mailbox.
+    pub async fn pump_evictions(&self) {
+        while self
+            .ep
+            .iprobe(Some(self.arm), Some(arm_tags::EVENT))
+            .is_some()
+        {
+            let env = self.ep.recv(Some(self.arm), Some(arm_tags::EVENT)).await;
+            if let Some(ev) = env.payload.bytes().and_then(|b| Eviction::decode(b).ok()) {
+                self.evictions.borrow_mut().push_back(ev);
+            }
+        }
+    }
+
+    /// Take the oldest pending eviction notice for `accel`, if any.
+    /// Pump first ([`ArmClient::pump_evictions`]) to see fresh notices.
+    pub fn take_eviction(&self, accel: AcceleratorId) -> Option<Eviction> {
+        let mut mailbox = self.evictions.borrow_mut();
+        let idx = mailbox.iter().position(|e| e.accel == accel)?;
+        mailbox.remove(idx)
     }
 
     async fn request(&self, req: ArmRequest) -> ArmResponse {
@@ -131,6 +185,29 @@ impl ArmClient {
             ArmResponse::Released { .. } => Ok(()),
             ArmResponse::Error(e) => Err(e),
             other => panic!("unexpected ARM response to repair: {other:?}"),
+        }
+    }
+
+    /// Explicitly renew the leases on everything `job` holds (the
+    /// lightweight keep-alive for clients idle between phases; active
+    /// traffic renews implicitly via daemon heartbeats). Returns how many
+    /// assignments were renewed.
+    pub async fn renew_lease(&self, job: JobId) -> Result<u32, ArmError> {
+        match self.request(ArmRequest::RenewLease { job }).await {
+            ArmResponse::Renewed { renewed } => Ok(renewed),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to renew_lease: {other:?}"),
+        }
+    }
+
+    /// Migrate any holder off `accel` (maintenance/rebalance) and return
+    /// it to the pool. The holder is notified proactively with a
+    /// replacement grant and replays its command log there.
+    pub async fn drain(&self, accel: AcceleratorId) -> Result<u32, ArmError> {
+        match self.request(ArmRequest::Drain { accel }).await {
+            ArmResponse::Released { released } => Ok(released),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to drain: {other:?}"),
         }
     }
 

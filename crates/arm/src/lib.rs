@@ -25,6 +25,7 @@
 
 pub mod batch;
 pub mod client;
+pub mod health;
 pub mod proto;
 pub mod server;
 pub mod state;
@@ -33,12 +34,15 @@ pub mod state;
 pub mod prelude {
     pub use crate::batch::{BatchPolicy, BatchRequest, BatchScheduler, StartedJob};
     pub use crate::client::ArmClient;
+    pub use crate::health::{Health, HealthConfig, HealthMeta};
     pub use crate::proto::{
-        arm_tags, ArmError, ArmRequest, ArmResponse, GrantedAccelerator, PoolStats,
+        arm_tags, ArmError, ArmRequest, ArmResponse, EvictReason, Eviction, GrantedAccelerator,
+        PoolStats,
     };
     pub use crate::server::{run_arm_server, ArmServerConfig};
     pub use crate::state::{
-        inventory, AccelState, AcceleratorDesc, AcceleratorId, AllocPolicy, JobId, Pool,
+        inventory, AccelState, AcceleratorDesc, AcceleratorId, AllocPolicy, HealthEvent, JobId,
+        Pool,
     };
 }
 

@@ -15,6 +15,10 @@ pub mod arm_tags {
     pub const REQUEST: Tag = Tag(0xFFFF_0010);
     /// ARM → client responses.
     pub const RESPONSE: Tag = Tag(0xFFFF_0011);
+    /// ARM → client one-way events ([`crate::proto::Eviction`] notices).
+    /// Separate from RESPONSE so an unsolicited event can never satisfy a
+    /// pending request/response pair; clients poll it with `iprobe`.
+    pub const EVENT: Tag = Tag(0xFFFF_0012);
 }
 
 /// A request to the accelerator resource manager.
@@ -66,6 +70,39 @@ pub enum ArmRequest {
         /// The unresponsive accelerator.
         accel: AcceleratorId,
     },
+    /// Explicitly renew the leases on everything `job` holds. Traffic
+    /// renews implicitly (daemon heartbeats carry a busy counter); this is
+    /// the lightweight keep-alive for clients idle between phases.
+    RenewLease {
+        /// The job keeping its grants alive.
+        job: JobId,
+    },
+    /// Daemon → ARM liveness beat for one accelerator. `fence` is the
+    /// highest fence epoch the daemon has adopted (acks reclaim resets);
+    /// `busy` counts ops executed since the previous beat (implicit lease
+    /// renewal for the holding job).
+    Heartbeat {
+        /// The accelerator this daemon serves.
+        accel: AcceleratorId,
+        /// Highest fence epoch the daemon enforces.
+        fence: u64,
+        /// Ops executed since the last beat.
+        busy: u32,
+    },
+    /// Migrate any holder off `accel` (maintenance/rebalance) and return
+    /// it to the pool. The holder is evicted with a replacement grant and
+    /// replays its command log there; no data is lost.
+    Drain {
+        /// The accelerator to vacate.
+        accel: AcceleratorId,
+    },
+    /// Daemon → ARM result of a quarantine probe self-test.
+    ProbeResult {
+        /// The probed accelerator.
+        accel: AcceleratorId,
+        /// Whether the self-test passed.
+        ok: bool,
+    },
 }
 
 /// A granted accelerator: everything a compute node needs to reach it.
@@ -77,6 +114,11 @@ pub struct GrantedAccelerator {
     pub daemon_rank: Rank,
     /// Node the accelerator lives on.
     pub node: NodeId,
+    /// Lease epoch of this assignment. Every op the client issues is
+    /// stamped with it; after the ARM reclaims the accelerator, ops
+    /// stamped with an older epoch are fenced by the daemon (zero means
+    /// "unfenced" for legacy paths that predate the health plane).
+    pub epoch: u64,
 }
 
 /// Pool counters returned by [`ArmRequest::Query`].
@@ -106,6 +148,98 @@ pub enum ArmResponse {
     Error(ArmError),
     /// Pool counters.
     Stats(PoolStats),
+    /// Lease renewal acknowledged (`renewed` = grants whose lease moved).
+    Renewed {
+        /// Number of held accelerators whose lease was extended.
+        renewed: u32,
+    },
+    /// Heartbeat acknowledged. `fence` is the fence epoch the daemon must
+    /// adopt (resetting its sessions if it rises); `probe` asks the daemon
+    /// to run a self-test and report back with
+    /// [`ArmRequest::ProbeResult`].
+    HeartbeatAck {
+        /// Fence epoch the daemon must enforce from now on.
+        fence: u64,
+        /// Run a quarantine probe self-test.
+        probe: bool,
+    },
+}
+
+/// Why the ARM evicted a job from an accelerator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvictReason {
+    /// The job's lease expired without renewal.
+    LeaseExpired,
+    /// The accelerator missed heartbeats and was quarantined.
+    Quarantined,
+    /// An operator drain request vacated the accelerator.
+    Drained,
+}
+
+/// A one-way ARM → client eviction notice on [`arm_tags::EVENT`].
+///
+/// Sent *proactively* when the ARM takes an accelerator away from a
+/// holding job (quarantine, drain, lease expiry) so the client can migrate
+/// by command-log replay before its own request timeout would fire.
+/// Carries the replacement grant (when capacity allowed) so migration
+/// costs zero extra round trips.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Eviction {
+    /// The accelerator being taken away.
+    pub accel: AcceleratorId,
+    /// The (now fenced) epoch of the evicted assignment.
+    pub epoch: u64,
+    /// Why the ARM revoked the assignment.
+    pub reason: EvictReason,
+    /// Pre-allocated replacement, if the pool had capacity.
+    pub replacement: Option<GrantedAccelerator>,
+}
+
+impl Eviction {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.accel.0 as u32);
+        w.u64(self.epoch);
+        w.u8(match self.reason {
+            EvictReason::LeaseExpired => 0,
+            EvictReason::Quarantined => 1,
+            EvictReason::Drained => 2,
+        });
+        match &self.replacement {
+            None => w.u8(0),
+            Some(g) => {
+                w.u8(1);
+                encode_grant(&mut w, g);
+            }
+        }
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, ArmError> {
+        let mut r = Reader::new(buf);
+        let accel = AcceleratorId(r.u32()? as usize);
+        let epoch = r.u64()?;
+        let reason = match r.u8()? {
+            0 => EvictReason::LeaseExpired,
+            1 => EvictReason::Quarantined,
+            2 => EvictReason::Drained,
+            _ => return Err(ArmError::Malformed),
+        };
+        let replacement = match r.u8()? {
+            0 => None,
+            1 => Some(decode_grant(&mut r)?),
+            _ => return Err(ArmError::Malformed),
+        };
+        r.finish()?;
+        Ok(Eviction {
+            accel,
+            epoch,
+            reason,
+            replacement,
+        })
+    }
 }
 
 /// ARM-level failures.
@@ -197,6 +331,22 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn encode_grant(w: &mut Writer, g: &GrantedAccelerator) {
+    w.u32(g.accel.0 as u32);
+    w.u32(g.daemon_rank.0 as u32);
+    w.u32(g.node.0 as u32);
+    w.u64(g.epoch);
+}
+
+fn decode_grant(r: &mut Reader) -> Result<GrantedAccelerator, ArmError> {
+    Ok(GrantedAccelerator {
+        accel: AcceleratorId(r.u32()? as usize),
+        daemon_rank: Rank(r.u32()? as usize),
+        node: NodeId(r.u32()? as usize),
+        epoch: r.u64()?,
+    })
+}
+
 impl ArmRequest {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
@@ -235,6 +385,25 @@ impl ArmRequest {
                 w.u64(job.0);
                 w.u32(accel.0 as u32);
             }
+            ArmRequest::RenewLease { job } => {
+                w.u8(8);
+                w.u64(job.0);
+            }
+            ArmRequest::Heartbeat { accel, fence, busy } => {
+                w.u8(9);
+                w.u32(accel.0 as u32);
+                w.u64(*fence);
+                w.u32(*busy);
+            }
+            ArmRequest::Drain { accel } => {
+                w.u8(10);
+                w.u32(accel.0 as u32);
+            }
+            ArmRequest::ProbeResult { accel, ok } => {
+                w.u8(11);
+                w.u32(accel.0 as u32);
+                w.u8(u8::from(*ok));
+            }
         }
         w.0
     }
@@ -272,6 +441,21 @@ impl ArmRequest {
                 job: JobId(r.u64()?),
                 accel: AcceleratorId(r.u32()? as usize),
             },
+            8 => ArmRequest::RenewLease {
+                job: JobId(r.u64()?),
+            },
+            9 => ArmRequest::Heartbeat {
+                accel: AcceleratorId(r.u32()? as usize),
+                fence: r.u64()?,
+                busy: r.u32()?,
+            },
+            10 => ArmRequest::Drain {
+                accel: AcceleratorId(r.u32()? as usize),
+            },
+            11 => ArmRequest::ProbeResult {
+                accel: AcceleratorId(r.u32()? as usize),
+                ok: r.u8()? != 0,
+            },
             _ => return Err(ArmError::Malformed),
         };
         r.finish()?;
@@ -288,9 +472,7 @@ impl ArmResponse {
                 w.u8(0);
                 w.u32(grants.len() as u32);
                 for g in grants {
-                    w.u32(g.accel.0 as u32);
-                    w.u32(g.daemon_rank.0 as u32);
-                    w.u32(g.node.0 as u32);
+                    encode_grant(&mut w, g);
                 }
             }
             ArmResponse::Released { released } => {
@@ -317,6 +499,15 @@ impl ArmResponse {
                 w.u32(s.broken);
                 w.u32(s.queued_requests);
             }
+            ArmResponse::Renewed { renewed } => {
+                w.u8(4);
+                w.u32(*renewed);
+            }
+            ArmResponse::HeartbeatAck { fence, probe } => {
+                w.u8(5);
+                w.u64(*fence);
+                w.u8(u8::from(*probe));
+            }
         }
         w.0
     }
@@ -329,11 +520,7 @@ impl ArmResponse {
                 let n = r.u32()?;
                 let mut grants = Vec::with_capacity(n as usize);
                 for _ in 0..n {
-                    grants.push(GrantedAccelerator {
-                        accel: AcceleratorId(r.u32()? as usize),
-                        daemon_rank: Rank(r.u32()? as usize),
-                        node: NodeId(r.u32()? as usize),
-                    });
+                    grants.push(decode_grant(&mut r)?);
                 }
                 ArmResponse::Granted(grants)
             }
@@ -354,6 +541,11 @@ impl ArmResponse {
                 broken: r.u32()?,
                 queued_requests: r.u32()?,
             }),
+            4 => ArmResponse::Renewed { renewed: r.u32()? },
+            5 => ArmResponse::HeartbeatAck {
+                fence: r.u64()?,
+                probe: r.u8()? != 0,
+            },
             _ => return Err(ArmError::Malformed),
         };
         r.finish()?;
@@ -397,6 +589,19 @@ mod tests {
             job: JobId(7),
             accel: AcceleratorId(3),
         });
+        roundtrip_req(ArmRequest::RenewLease { job: JobId(11) });
+        roundtrip_req(ArmRequest::Heartbeat {
+            accel: AcceleratorId(2),
+            fence: 5,
+            busy: 17,
+        });
+        roundtrip_req(ArmRequest::Drain {
+            accel: AcceleratorId(6),
+        });
+        roundtrip_req(ArmRequest::ProbeResult {
+            accel: AcceleratorId(4),
+            ok: true,
+        });
     }
 
     #[test]
@@ -405,6 +610,7 @@ mod tests {
             accel: AcceleratorId(1),
             daemon_rank: Rank(5),
             node: NodeId(3),
+            epoch: 9,
         }]));
         roundtrip_resp(ArmResponse::Released { released: 2 });
         roundtrip_resp(ArmResponse::Error(ArmError::Insufficient {
@@ -418,6 +624,51 @@ mod tests {
             broken: 3,
             queued_requests: 4,
         }));
+        roundtrip_resp(ArmResponse::Renewed { renewed: 3 });
+        roundtrip_resp(ArmResponse::HeartbeatAck {
+            fence: 7,
+            probe: true,
+        });
+    }
+
+    #[test]
+    fn evictions_roundtrip() {
+        for ev in [
+            Eviction {
+                accel: AcceleratorId(3),
+                epoch: 4,
+                reason: EvictReason::LeaseExpired,
+                replacement: None,
+            },
+            Eviction {
+                accel: AcceleratorId(0),
+                epoch: 12,
+                reason: EvictReason::Quarantined,
+                replacement: Some(GrantedAccelerator {
+                    accel: AcceleratorId(1),
+                    daemon_rank: Rank(5),
+                    node: NodeId(3),
+                    epoch: 13,
+                }),
+            },
+            Eviction {
+                accel: AcceleratorId(7),
+                epoch: 1,
+                reason: EvictReason::Drained,
+                replacement: None,
+            },
+        ] {
+            assert_eq!(Eviction::decode(&ev.encode()), Ok(ev));
+        }
+        let mut bytes = Eviction {
+            accel: AcceleratorId(3),
+            epoch: 4,
+            reason: EvictReason::LeaseExpired,
+            replacement: None,
+        }
+        .encode();
+        bytes.push(0);
+        assert_eq!(Eviction::decode(&bytes), Err(ArmError::Malformed));
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! The ARM server task: services allocation traffic over the fabric.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 use dacc_sim::prelude::*;
 
-use crate::proto::{arm_tags, ArmError, ArmRequest, ArmResponse};
-use crate::state::{JobId, Pool};
+use crate::proto::{arm_tags, ArmError, ArmRequest, ArmResponse, EvictReason, Eviction};
+use crate::state::{HealthEvent, JobId, Pool};
 
 /// ARM server tuning.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +51,9 @@ pub async fn run_arm_server_traced(
     let tele = ep.fabric().telemetry();
     let handle = ep.fabric().handle().clone();
     let mut queue: VecDeque<Waiting> = VecDeque::new();
+    // Where each job's front-end can be reached for eviction notices
+    // (learned from the job's own requests).
+    let mut contacts: HashMap<JobId, Rank> = HashMap::new();
     loop {
         let env = ep.recv(None, Some(arm_tags::REQUEST)).await;
         let requester = env.src;
@@ -69,16 +72,29 @@ pub async fn run_arm_server_traced(
         // Model the ARM's processing cost.
         ep.fabric().handle().delay(config.service_time).await;
 
+        // Lazy health sweep: every received message advances the pool's
+        // clocks (heartbeats from healthy daemons keep this frequent).
+        let now = handle.now();
+        let swept = pool.tick(now);
+        if !swept.is_empty() {
+            act_on(&ep, &tracer, &tele, &contacts, swept).await;
+            drain_queue(&ep, &mut pool, &mut queue, now).await;
+        }
+
         let kind = match &req {
             ArmRequest::Allocate { .. } => "arm.allocate",
             ArmRequest::Release { .. } | ArmRequest::ReleaseJob { .. } => "arm.release",
             ArmRequest::ReportFailure { .. } => "arm.failover",
+            ArmRequest::Heartbeat { .. } | ArmRequest::ProbeResult { .. } => "arm.heartbeat",
+            ArmRequest::RenewLease { .. } => "arm.lease",
+            ArmRequest::Drain { .. } => "arm.drain",
             _ => "arm.other",
         };
         tele.count(kind, 1);
         let _req_span = tele.span(&handle, kind, || format!("{kind} from {requester}"));
         match req {
             ArmRequest::Allocate { job, count, wait } => {
+                contacts.insert(job, requester);
                 // FIFO fairness: if anyone is already queued, new waiting
                 // requests go behind them even if satisfiable now.
                 let must_queue = wait && !queue.is_empty();
@@ -90,7 +106,7 @@ pub async fn run_arm_server_traced(
                     });
                     continue;
                 }
-                match pool.try_allocate(job, count) {
+                match pool.try_allocate_at(job, count, Some(now)) {
                     Ok(grants) => respond(&ep, requester, ArmResponse::Granted(grants)).await,
                     Err(e @ ArmError::Insufficient { .. }) if wait => {
                         let _ = e;
@@ -109,12 +125,13 @@ pub async fn run_arm_server_traced(
                     Err(e) => ArmResponse::Error(e),
                 };
                 respond(&ep, requester, resp).await;
-                drain_queue(&ep, &mut pool, &mut queue).await;
+                drain_queue(&ep, &mut pool, &mut queue, now).await;
             }
             ArmRequest::ReleaseJob { job } => {
                 let released = pool.release_job(job);
+                contacts.remove(&job);
                 respond(&ep, requester, ArmResponse::Released { released }).await;
-                drain_queue(&ep, &mut pool, &mut queue).await;
+                drain_queue(&ep, &mut pool, &mut queue, now).await;
             }
             ArmRequest::MarkBroken { accel } => {
                 let resp = match pool.mark_broken(accel) {
@@ -135,35 +152,82 @@ pub async fn run_arm_server_traced(
                 };
                 respond(&ep, requester, resp).await;
                 // A repaired accelerator may satisfy a queued request.
-                drain_queue(&ep, &mut pool, &mut queue).await;
+                drain_queue(&ep, &mut pool, &mut queue, now).await;
             }
             ArmRequest::ReportFailure { job, accel } => {
-                // Mark broken, then grant a substitute in the same round
-                // trip so the front-end can fail over without a second
-                // request. The broken accelerator stays nominally held by
-                // the job until `ReleaseJob` (release tolerates broken).
-                let resp = match pool.mark_broken(accel) {
+                // Mark broken + fence, then grant a substitute in the same
+                // round trip so the front-end can fail over without a
+                // second request. Duplicate reports for the same loss
+                // replay the first grant (no leaked replacements). The
+                // broken accelerator stays nominally held by the job until
+                // `ReleaseJob` (release tolerates broken).
+                contacts.insert(job, requester);
+                let resp = match pool.report_failure(job, accel, Some(now)) {
+                    Ok(grants) => {
+                        tracer.record(ep.fabric().handle(), "arm.failover", || {
+                            format!(
+                                "job {} lost accel {}; replacement accel {} (rank {})",
+                                job.0, accel.0, grants[0].accel.0, grants[0].daemon_rank.0
+                            )
+                        });
+                        ArmResponse::Granted(grants)
+                    }
+                    Err(e) => {
+                        tracer.record(ep.fabric().handle(), "arm.failover", || {
+                            format!("job {} lost accel {}; no replacement ({e})", job.0, accel.0)
+                        });
+                        ArmResponse::Error(e)
+                    }
+                };
+                respond(&ep, requester, resp).await;
+            }
+            ArmRequest::RenewLease { job } => {
+                contacts.insert(job, requester);
+                let renewed = pool.renew_lease(job, now);
+                respond(&ep, requester, ArmResponse::Renewed { renewed }).await;
+            }
+            ArmRequest::Heartbeat { accel, fence, busy } => {
+                let resp = match pool.heartbeat(accel, fence, busy, now) {
+                    Ok((fence, probe)) => ArmResponse::HeartbeatAck { fence, probe },
                     Err(e) => ArmResponse::Error(e),
-                    Ok(()) => match pool.try_allocate(job, 1) {
-                        Ok(grants) => {
-                            tracer.record(ep.fabric().handle(), "arm.failover", || {
-                                format!(
-                                    "job {} lost accel {}; replacement accel {} (rank {})",
-                                    job.0, accel.0, grants[0].accel.0, grants[0].daemon_rank.0
-                                )
-                            });
-                            ArmResponse::Granted(grants)
+                };
+                respond(&ep, requester, resp).await;
+                // A fence ack may have made a reclaimed accelerator
+                // grantable again.
+                drain_queue(&ep, &mut pool, &mut queue, now).await;
+            }
+            ArmRequest::ProbeResult { accel, ok } => {
+                let resp = match pool.probe_result(accel, ok) {
+                    Ok(reintegrated) => {
+                        tracer.record(ep.fabric().handle(), "arm.health", || {
+                            format!(
+                                "accel {} probe {}: {}",
+                                accel.0,
+                                if ok { "passed" } else { "failed" },
+                                if reintegrated {
+                                    "reintegrated on probation"
+                                } else {
+                                    "kept out of pool"
+                                }
+                            )
+                        });
+                        ArmResponse::Released {
+                            released: u32::from(reintegrated),
                         }
-                        Err(e) => {
-                            tracer.record(ep.fabric().handle(), "arm.failover", || {
-                                format!(
-                                    "job {} lost accel {}; no replacement ({e})",
-                                    job.0, accel.0
-                                )
-                            });
-                            ArmResponse::Error(e)
-                        }
-                    },
+                    }
+                    Err(e) => ArmResponse::Error(e),
+                };
+                respond(&ep, requester, resp).await;
+                drain_queue(&ep, &mut pool, &mut queue, now).await;
+            }
+            ArmRequest::Drain { accel } => {
+                let resp = match pool.drain(accel, Some(now)) {
+                    Ok(None) => ArmResponse::Released { released: 0 },
+                    Ok(Some(ev)) => {
+                        act_on(&ep, &tracer, &tele, &contacts, vec![ev]).await;
+                        ArmResponse::Released { released: 1 }
+                    }
+                    Err(e) => ArmResponse::Error(e),
                 };
                 respond(&ep, requester, resp).await;
             }
@@ -175,9 +239,69 @@ pub async fn run_arm_server_traced(
     }
 }
 
-async fn drain_queue(ep: &Endpoint, pool: &mut Pool, queue: &mut VecDeque<Waiting>) {
+/// Act on health-plane transitions: count them, trace them, and forward
+/// evictions to the holding job's front-end as one-way notices (eager
+/// sends — a dead client can never wedge the ARM).
+async fn act_on(
+    ep: &Endpoint,
+    tracer: &Tracer,
+    tele: &dacc_telemetry::Telemetry,
+    contacts: &HashMap<JobId, Rank>,
+    events: Vec<HealthEvent>,
+) {
+    for ev in events {
+        match ev {
+            HealthEvent::Suspected { accel } => {
+                tele.count("arm.health.suspect", 1);
+                tracer.record(ep.fabric().handle(), "arm.health", || {
+                    format!("accel {} missed heartbeats: suspect", accel.0)
+                });
+            }
+            HealthEvent::Broke { accel } => {
+                tele.count("arm.health.broken", 1);
+                tracer.record(ep.fabric().handle(), "arm.health", || {
+                    format!("accel {} permanently broken", accel.0)
+                });
+            }
+            HealthEvent::Evicted {
+                job,
+                accel,
+                epoch,
+                reason,
+                replacement,
+            } => {
+                let kind = match reason {
+                    EvictReason::LeaseExpired => "arm.lease.expired",
+                    EvictReason::Quarantined => "arm.health.quarantine",
+                    EvictReason::Drained => "arm.drain.evict",
+                };
+                tele.count(kind, 1);
+                tracer.record(ep.fabric().handle(), kind, || {
+                    format!(
+                        "job {} evicted from accel {} (epoch {epoch}); replacement {:?}",
+                        job.0,
+                        accel.0,
+                        replacement.map(|g| g.accel.0)
+                    )
+                });
+                if let Some(&to) = contacts.get(&job) {
+                    let notice = Eviction {
+                        accel,
+                        epoch,
+                        reason,
+                        replacement,
+                    };
+                    ep.send(to, arm_tags::EVENT, Payload::from_vec(notice.encode()))
+                        .await;
+                }
+            }
+        }
+    }
+}
+
+async fn drain_queue(ep: &Endpoint, pool: &mut Pool, queue: &mut VecDeque<Waiting>, now: SimTime) {
     while let Some(head) = queue.front() {
-        match pool.try_allocate(head.job, head.count) {
+        match pool.try_allocate_at(head.job, head.count, Some(now)) {
             Ok(grants) => {
                 let head = queue.pop_front().unwrap();
                 respond(ep, head.requester, ArmResponse::Granted(grants)).await;

@@ -8,8 +8,10 @@ use std::collections::HashMap;
 
 use dacc_fabric::mpi::Rank;
 use dacc_fabric::topology::NodeId;
+use dacc_sim::prelude::SimTime;
 
-use crate::proto::{ArmError, GrantedAccelerator, PoolStats};
+use crate::health::{Health, HealthConfig, HealthMeta};
+use crate::proto::{ArmError, EvictReason, GrantedAccelerator, PoolStats};
 
 /// Identifies one accelerator in the pool.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -52,11 +54,51 @@ pub enum AllocPolicy {
     RoundRobin,
 }
 
+/// A health-plane transition surfaced by [`Pool::tick`] (and friends) for
+/// the server to act on (send eviction notices, trace, count).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HealthEvent {
+    /// Beats overdue: the accelerator turned `Suspect` (telemetry only).
+    Suspected {
+        /// The overdue accelerator.
+        accel: AcceleratorId,
+    },
+    /// A job lost an accelerator (lease expiry, quarantine, or drain).
+    /// The server forwards this to the holder as a
+    /// [`crate::proto::Eviction`] notice.
+    Evicted {
+        /// The job that held the accelerator.
+        job: JobId,
+        /// The accelerator taken away.
+        accel: AcceleratorId,
+        /// The (now fenced) epoch of the revoked assignment.
+        epoch: u64,
+        /// Why the assignment was revoked.
+        reason: EvictReason,
+        /// Replacement grant pre-allocated for the job, if capacity allowed
+        /// (never for `LeaseExpired` — the holder is presumed dead).
+        replacement: Option<GrantedAccelerator>,
+    },
+    /// The accelerator was branded permanently broken (re-quarantine
+    /// budget exhausted, probe failure, or daemon silence past
+    /// [`HealthConfig::dead_after`]).
+    Broke {
+        /// The accelerator removed from service.
+        accel: AcceleratorId,
+    },
+}
+
 /// The ARM's pool: inventory plus assignment map.
 pub struct Pool {
     accels: Vec<AcceleratorDesc>,
     state: Vec<AccelState>,
+    meta: Vec<HealthMeta>,
+    health: Option<HealthConfig>,
     held_by: HashMap<JobId, Vec<AcceleratorId>>,
+    /// Dedupe cache for `ReportFailure`: the first grant issued for a
+    /// (job, accel, epoch) failure is replayed on duplicate reports
+    /// instead of burning a second replacement.
+    failure_grants: HashMap<(JobId, AcceleratorId, u64), Vec<GrantedAccelerator>>,
     total_grants: u64,
     policy: AllocPolicy,
     cursor: usize,
@@ -72,7 +114,10 @@ impl Pool {
         Pool {
             accels,
             state: vec![AccelState::Free; n],
+            meta: vec![HealthMeta::default(); n],
+            health: None,
             held_by: HashMap::new(),
+            failure_grants: HashMap::new(),
             total_grants: 0,
             policy: AllocPolicy::FirstFit,
             cursor: 0,
@@ -89,6 +134,30 @@ impl Pool {
     /// The allocation policy in force.
     pub fn policy(&self) -> AllocPolicy {
         self.policy
+    }
+
+    /// Enable the health plane (leases, liveness, fencing) with `config`.
+    pub fn set_health(&mut self, config: HealthConfig) {
+        self.health = Some(config);
+    }
+
+    /// The health configuration, if the health plane is enabled.
+    pub fn health_config(&self) -> Option<HealthConfig> {
+        self.health
+    }
+
+    /// Health metadata of one accelerator.
+    pub fn meta(&self, id: AcceleratorId) -> Result<&HealthMeta, ArmError> {
+        self.meta.get(id.0).ok_or(ArmError::UnknownAccelerator)
+    }
+
+    /// True when the accelerator can be handed out: it is `Free`, its
+    /// daemon has acknowledged the current fence epoch (no zombie ops can
+    /// still land), and liveness judges it healthy.
+    fn grantable(&self, i: usize) -> bool {
+        self.state[i] == AccelState::Free
+            && self.meta[i].acked_fence >= self.meta[i].fence
+            && self.meta[i].health == Health::Healthy
     }
 
     /// Number of accelerators (any state).
@@ -109,12 +178,9 @@ impl Pool {
             .ok_or(ArmError::UnknownAccelerator)
     }
 
-    /// Free accelerators right now.
+    /// Accelerators grantable right now (free, fence-acked, healthy).
     pub fn free_count(&self) -> u32 {
-        self.state
-            .iter()
-            .filter(|s| matches!(s, AccelState::Free))
-            .count() as u32
+        (0..self.state.len()).filter(|&i| self.grantable(i)).count() as u32
     }
 
     /// Pool counters (queue depth filled in by the server).
@@ -143,11 +209,24 @@ impl Pool {
     /// Try to assign `count` free accelerators to `job` (lowest ids first).
     ///
     /// All-or-nothing: on shortage nothing is assigned and
-    /// [`ArmError::Insufficient`] is returned.
+    /// [`ArmError::Insufficient`] is returned. Leases are only stamped
+    /// when `now` is known — see [`Pool::try_allocate_at`].
     pub fn try_allocate(
         &mut self,
         job: JobId,
         count: u32,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        self.try_allocate_at(job, count, None)
+    }
+
+    /// [`Pool::try_allocate`] with a timestamp: each grant's lease starts
+    /// at `now` (when the health plane is enabled) and its epoch is bumped
+    /// past the accelerator's fence so the new holder's ops pass fencing.
+    pub fn try_allocate_at(
+        &mut self,
+        job: JobId,
+        count: u32,
+        now: Option<SimTime>,
     ) -> Result<Vec<GrantedAccelerator>, ArmError> {
         let free = self.free_count();
         if free < count {
@@ -167,13 +246,20 @@ impl Pool {
                 break;
             }
             let i = (start + step) % n;
-            if self.state[i] == AccelState::Free {
+            if self.grantable(i) {
                 self.state[i] = AccelState::Assigned(job);
+                let m = &mut self.meta[i];
+                m.epoch = (m.epoch + 1).max(m.fence);
+                m.lease_expiry = match (self.health, now) {
+                    (Some(cfg), Some(now)) => Some(now + cfg.lease),
+                    _ => None,
+                };
                 let d = self.accels[i];
                 grants.push(GrantedAccelerator {
                     accel: d.id,
                     daemon_rank: d.daemon_rank,
                     node: d.node,
+                    epoch: self.meta[i].epoch,
                 });
                 self.held_by.entry(job).or_default().push(d.id);
                 if self.policy == AllocPolicy::RoundRobin {
@@ -200,6 +286,7 @@ impl Pool {
         for id in accels {
             if self.state[id.0] == AccelState::Assigned(job) {
                 self.state[id.0] = AccelState::Free;
+                self.meta[id.0].lease_expiry = None;
                 released += 1;
             }
             if let Some(held) = self.held_by.get_mut(&job) {
@@ -219,6 +306,7 @@ impl Pool {
         for id in held {
             if self.state[id.0] == AccelState::Assigned(job) {
                 self.state[id.0] = AccelState::Free;
+                self.meta[id.0].lease_expiry = None;
                 released += 1;
             }
         }
@@ -238,7 +326,9 @@ impl Pool {
         }
     }
 
-    /// Return a broken accelerator to service.
+    /// Return a broken accelerator to service. An operator repair implies
+    /// a full device reset: the fence is considered acknowledged and the
+    /// health record starts over.
     pub fn repair(&mut self, id: AcceleratorId) -> Result<(), ArmError> {
         match self.state_of(id)? {
             AccelState::Broken => {
@@ -248,11 +338,307 @@ impl Pool {
                 for held in self.held_by.values_mut() {
                     held.retain(|h| *h != id);
                 }
+                self.held_by.retain(|_, held| !held.is_empty());
                 self.state[id.0] = AccelState::Free;
+                let m = &mut self.meta[id.0];
+                m.acked_fence = m.fence;
+                m.health = Health::Healthy;
+                m.last_beat = None;
+                m.lease_expiry = None;
+                m.quarantines = 0;
+                m.probation = false;
+                m.probing = false;
                 Ok(())
             }
             _ => Ok(()),
         }
+    }
+
+    // --- health plane -----------------------------------------------------
+
+    /// Sweep the pool's clocks: expire leases (reclaiming the accelerator
+    /// and fencing the old epoch) and judge liveness (Suspect →
+    /// Quarantined → permanently broken). Called lazily by the server
+    /// before handling each message — daemon heartbeats are the clock.
+    ///
+    /// Returns the transitions the server must act on, in accelerator-id
+    /// order (deterministic).
+    pub fn tick(&mut self, now: SimTime) -> Vec<HealthEvent> {
+        let Some(cfg) = self.health else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        for i in 0..self.state.len() {
+            if self.state[i] == AccelState::Broken {
+                continue;
+            }
+            if let Some(last) = self.meta[i].last_beat {
+                let silent = now.since(last);
+                if silent >= cfg.dead_after && self.meta[i].health == Health::Quarantined {
+                    // The daemon never came back: not flaky, gone.
+                    self.break_accel(i);
+                    events.push(HealthEvent::Broke {
+                        accel: AcceleratorId(i),
+                    });
+                    continue;
+                }
+                if silent >= cfg.quarantine_after && self.meta[i].health != Health::Quarantined {
+                    events.extend(self.quarantine(i, now));
+                    continue;
+                }
+                if silent >= cfg.suspect_after && self.meta[i].health == Health::Healthy {
+                    self.meta[i].health = Health::Suspect;
+                    events.push(HealthEvent::Suspected {
+                        accel: AcceleratorId(i),
+                    });
+                }
+            }
+            if let AccelState::Assigned(job) = self.state[i] {
+                if self.meta[i].lease_expiry.is_some_and(|e| e <= now) {
+                    let epoch = self.meta[i].epoch;
+                    self.reclaim(i, job);
+                    events.push(HealthEvent::Evicted {
+                        job,
+                        accel: AcceleratorId(i),
+                        epoch,
+                        reason: EvictReason::LeaseExpired,
+                        // The holder went silent past its lease: presumed
+                        // dead, so no replacement is reserved for it.
+                        replacement: None,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// Record a daemon heartbeat for `accel` at `now`. `fence` is the
+    /// fence epoch the daemon currently enforces (acknowledging resets);
+    /// `busy` > 0 renews the holder's lease implicitly.
+    ///
+    /// Returns `(fence, probe)`: the fence epoch the daemon must adopt,
+    /// and whether it should run a quarantine probe self-test.
+    pub fn heartbeat(
+        &mut self,
+        accel: AcceleratorId,
+        fence: u64,
+        busy: u32,
+        now: SimTime,
+    ) -> Result<(u64, bool), ArmError> {
+        let state = self.state_of(accel)?;
+        let lease = self.health.map(|c| c.lease);
+        let i = accel.0;
+        let m = &mut self.meta[i];
+        m.last_beat = Some(now);
+        m.acked_fence = m.acked_fence.max(fence.min(m.fence));
+        if m.health == Health::Suspect {
+            m.health = Health::Healthy;
+        }
+        let mut probe = false;
+        if state != AccelState::Broken && m.health == Health::Quarantined && !m.probing {
+            // Beats resumed while quarantined: order a probe self-test.
+            m.probing = true;
+            probe = true;
+        }
+        if busy > 0 && matches!(state, AccelState::Assigned(_)) {
+            if let Some(lease) = lease {
+                m.lease_expiry = Some(now + lease);
+            }
+        }
+        Ok((m.fence, probe))
+    }
+
+    /// Explicitly renew the leases on everything `job` holds. Returns how
+    /// many assignments were renewed.
+    pub fn renew_lease(&mut self, job: JobId, now: SimTime) -> u32 {
+        let Some(cfg) = self.health else {
+            return 0;
+        };
+        let held: Vec<AcceleratorId> = self.held_by.get(&job).cloned().unwrap_or_default();
+        let mut renewed = 0;
+        for id in held {
+            if self.state[id.0] == AccelState::Assigned(job) {
+                self.meta[id.0].lease_expiry = Some(now + cfg.lease);
+                renewed += 1;
+            }
+        }
+        renewed
+    }
+
+    /// Record the result of a quarantine probe self-test. A pass
+    /// reintegrates the accelerator on probation (the re-quarantine budget
+    /// keeps counting); a failure brands it permanently broken. Returns
+    /// whether the accelerator re-entered the pool.
+    pub fn probe_result(&mut self, accel: AcceleratorId, ok: bool) -> Result<bool, ArmError> {
+        let state = self.state_of(accel)?;
+        let i = accel.0;
+        self.meta[i].probing = false;
+        if state == AccelState::Broken || self.meta[i].health != Health::Quarantined {
+            return Ok(false);
+        }
+        if ok {
+            self.meta[i].health = Health::Healthy;
+            self.meta[i].probation = true;
+            Ok(true)
+        } else {
+            self.break_accel(i);
+            Ok(false)
+        }
+    }
+
+    /// Report a failure observed by `job` on `accel`: mark it broken,
+    /// fence its epoch, and grant one replacement in the same round trip.
+    ///
+    /// Duplicate reports for the same (job, accel, epoch) replay the first
+    /// grant instead of burning a second replacement — a client retrying a
+    /// lost `ReportFailure` response must not leak accelerators.
+    pub fn report_failure(
+        &mut self,
+        job: JobId,
+        accel: AcceleratorId,
+        now: Option<SimTime>,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        self.state_of(accel)?;
+        let key = (job, accel, self.meta[accel.0].epoch);
+        if let Some(cached) = self.failure_grants.get(&key) {
+            return Ok(cached.clone());
+        }
+        self.mark_broken(accel)?;
+        let m = &mut self.meta[accel.0];
+        m.fence = m.epoch + 1;
+        m.lease_expiry = None;
+        if self.health.is_none() {
+            // No heartbeat channel to distribute the fence: ack it here so
+            // a later `repair` can re-grant (legacy behavior).
+            self.meta[accel.0].acked_fence = self.meta[accel.0].fence;
+        }
+        let grants = self.try_allocate_at(job, 1, now)?;
+        self.failure_grants.insert(key, grants.clone());
+        Ok(grants)
+    }
+
+    /// Vacate `accel` for maintenance/rebalance: its holder (if any) gets
+    /// a replacement grant and an eviction notice, the old epoch is
+    /// fenced, and the accelerator returns to the pool once its daemon
+    /// acks the fence. Fails with [`ArmError::Insufficient`] (changing
+    /// nothing) when no replacement is available.
+    pub fn drain(
+        &mut self,
+        accel: AcceleratorId,
+        now: Option<SimTime>,
+    ) -> Result<Option<HealthEvent>, ArmError> {
+        match self.state_of(accel)? {
+            AccelState::Free | AccelState::Broken => Ok(None),
+            AccelState::Assigned(job) => {
+                // Reserve the replacement first: the drained accelerator
+                // must not be handed back as its own replacement, and a
+                // capacity failure must leave the assignment untouched.
+                let replacement = self.try_allocate_at(job, 1, now)?[0];
+                let epoch = self.meta[accel.0].epoch;
+                self.reclaim(accel.0, job);
+                Ok(Some(HealthEvent::Evicted {
+                    job,
+                    accel,
+                    epoch,
+                    reason: EvictReason::Drained,
+                    replacement: Some(replacement),
+                }))
+            }
+        }
+    }
+
+    /// Take `i` away from `job`: back to `Free`, lease cleared, fence
+    /// raised past the revoked epoch. The accelerator stays ungrantable
+    /// until its daemon acks the new fence (or immediately grantable when
+    /// the health plane — and thus fencing — is disabled).
+    fn reclaim(&mut self, i: usize, job: JobId) {
+        if let Some(held) = self.held_by.get_mut(&job) {
+            held.retain(|h| h.0 != i);
+            if held.is_empty() {
+                self.held_by.remove(&job);
+            }
+        }
+        self.state[i] = AccelState::Free;
+        let m = &mut self.meta[i];
+        m.lease_expiry = None;
+        m.fence = m.epoch + 1;
+        if self.health.is_none() {
+            m.acked_fence = m.fence;
+        }
+    }
+
+    /// Quarantine `i` (evicting any holder with a replacement grant), or
+    /// brand it broken outright when the re-quarantine budget is spent.
+    fn quarantine(&mut self, i: usize, now: SimTime) -> Vec<HealthEvent> {
+        let cfg = self.health.expect("quarantine requires health config");
+        let mut events = Vec::new();
+        let holder = match self.state[i] {
+            AccelState::Assigned(job) => Some(job),
+            _ => None,
+        };
+        let epoch = self.meta[i].epoch;
+        if let Some(job) = holder {
+            self.reclaim(i, job);
+        }
+        self.meta[i].quarantines += 1;
+        self.meta[i].probation = false;
+        self.meta[i].probing = false;
+        if self.meta[i].quarantines > cfg.max_quarantines {
+            self.break_accel(i);
+            events.push(HealthEvent::Broke {
+                accel: AcceleratorId(i),
+            });
+        } else {
+            self.meta[i].health = Health::Quarantined;
+        }
+        if let Some(job) = holder {
+            let replacement = self
+                .try_allocate_at(job, 1, Some(now))
+                .ok()
+                .map(|mut g| g.remove(0));
+            events.push(HealthEvent::Evicted {
+                job,
+                accel: AcceleratorId(i),
+                epoch,
+                reason: EvictReason::Quarantined,
+                replacement,
+            });
+        }
+        events
+    }
+
+    /// Permanently remove `i` from service (until an operator `repair`).
+    fn break_accel(&mut self, i: usize) {
+        for held in self.held_by.values_mut() {
+            held.retain(|h| h.0 != i);
+        }
+        self.held_by.retain(|_, held| !held.is_empty());
+        self.state[i] = AccelState::Broken;
+        let m = &mut self.meta[i];
+        m.lease_expiry = None;
+        m.fence = m.epoch + 1;
+        m.probing = false;
+        m.probation = false;
+    }
+
+    /// A deterministic rendering of the complete pool state (assignments,
+    /// health metadata, counters) for equality checks in determinism
+    /// tests.
+    pub fn snapshot(&self) -> String {
+        let mut held: Vec<(u64, Vec<usize>)> = self
+            .held_by
+            .iter()
+            .map(|(j, v)| {
+                let mut ids: Vec<usize> = v.iter().map(|a| a.0).collect();
+                ids.sort_unstable();
+                (j.0, ids)
+            })
+            .collect();
+        held.sort();
+        format!(
+            "state={:?} meta={:?} held={held:?} grants={}",
+            self.state, self.meta, self.total_grants
+        )
     }
 
     /// Internal consistency check, used by tests:

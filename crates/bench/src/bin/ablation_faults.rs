@@ -3,11 +3,20 @@
 //! pure cost of framed requests and sequenced data blocks, (c) under a
 //! burst of dropped messages absorbed by timeouts and retries, and
 //! (d) through an accelerator death absorbed by ARM-driven failover with
-//! command-log replay. Completion times are virtual (simulated) seconds.
+//! command-log replay. The health-plane rows then measure the same QR
+//! (e) with heartbeats and leases on but no faults (pure health-plane
+//! cost), (f) through the same accelerator death recovered proactively by
+//! heartbeat-driven quarantine eviction, (g) through a heartbeat mute
+//! long enough to quarantine the (healthy) accelerator, and (h) through a
+//! graceful operator drain. A final row reports how long the ARM takes to
+//! reclaim a crashed compute node's accelerator through lease expiry.
+//! Completion times are virtual (simulated) seconds.
 
 use std::sync::Arc;
 
-use dacc_arm::state::JobId;
+use dacc_arm::client::ArmClient;
+use dacc_arm::health::HealthConfig;
+use dacc_arm::state::{AcceleratorId, JobId};
 use dacc_bench::json::{write_results, Json};
 use dacc_chaos::{ChaosPlane, Fault, FaultSchedule};
 use dacc_linalg::hybrid::{dgeqrf_hybrid, HybridConfig};
@@ -23,6 +32,32 @@ use dacc_vgpu::params::{ExecMode, GpuParams};
 const N: usize = 96;
 const NB: usize = 16;
 
+/// Health-plane tuning scaled to this benchmark's ~1.3ms healthy QR:
+/// sub-millisecond liveness judgement so quarantine/drain land mid-run.
+fn bench_health() -> HealthConfig {
+    HealthConfig {
+        // Must comfortably exceed the front-end retry timeout (25 ms here):
+        // a replacement grant has to survive until a timed-out client
+        // adopts it, or the grant itself expires and gets fenced.
+        lease: SimDuration::from_millis(30),
+        heartbeat_period: SimDuration::from_micros(100),
+        suspect_after: SimDuration::from_micros(300),
+        quarantine_after: SimDuration::from_micros(600),
+        dead_after: SimDuration::from_millis(50),
+        max_quarantines: 2,
+        probe_cost: SimDuration::from_micros(50),
+    }
+}
+
+struct Scenario {
+    retry: Option<RetryPolicy>,
+    fault: Option<Arc<dyn FaultHook>>,
+    health: Option<HealthConfig>,
+    /// Drain the granted accelerator (id 0) at this virtual time, from a
+    /// second compute node acting as the operator.
+    drain_at: Option<SimDuration>,
+}
+
 struct Outcome {
     elapsed: SimDuration,
     failovers: u32,
@@ -30,33 +65,37 @@ struct Outcome {
     resid_ok: bool,
 }
 
-/// Run one QR to completion on a 1-CN / 2-accelerator chaos cluster and
-/// report the virtual time from job start to `proc.finish()`.
-fn run_qr(retry: Option<RetryPolicy>, fault: Option<Arc<dyn FaultHook>>) -> Outcome {
+/// Run one QR to completion on a chaos cluster and report the virtual time
+/// from job start to `proc.finish()`. With the health plane on, daemons
+/// and the ARM are shut down after the measurement so heartbeat agents
+/// quiesce.
+fn run_qr(s: Scenario) -> Outcome {
     let sim = Sim::new();
     let registry = KernelRegistry::new();
     register_builtin_kernels(&registry);
     dacc_linalg::gpu::register_linalg_kernels(&registry);
     dacc_linalg::gpu::register_staging_kernels(&registry);
+    let compute_nodes = 1 + usize::from(s.drain_at.is_some());
     let spec = ClusterSpec {
-        compute_nodes: 1,
+        compute_nodes,
         accelerators: 2,
         local_gpus: false,
         mode: ExecMode::Functional,
         gpu: GpuParams::tesla_c1060(),
         daemon: DaemonConfig {
-            data_timeout: retry.map(|_| SimDuration::from_millis(20)),
+            data_timeout: s.retry.map(|_| SimDuration::from_millis(20)),
             ..DaemonConfig::default()
         },
         frontend: FrontendConfig {
-            retry,
+            retry: s.retry,
             ..FrontendConfig::default()
         },
+        health: s.health,
         ..ClusterSpec::default()
     };
     let tracer = Tracer::new(1 << 16);
     let mut sim = sim;
-    let mut cluster = build_cluster_chaos(&sim, spec, registry, tracer.clone(), fault);
+    let mut cluster = build_cluster_chaos(&sim, spec, registry, tracer.clone(), s.fault);
     dacc_bench::telem::attach(&cluster);
     let arm_rank = cluster.arm_rank;
     let ep = cluster.cn_endpoints.remove(0);
@@ -65,6 +104,20 @@ fn run_qr(retry: Option<RetryPolicy>, fault: Option<Arc<dyn FaultHook>>) -> Outc
     let a = Matrix::random(N, N, &mut SimRng::new(7));
     let a0 = a.clone();
     let job_tracer = tracer.clone();
+
+    if let Some(at) = s.drain_at {
+        // The operator: drain the accelerator the QR job is using.
+        let admin_ep = cluster.cn_endpoints.remove(0);
+        let admin_h = h.clone();
+        sim.spawn("admin", async move {
+            let arm = ArmClient::new(admin_ep, arm_rank);
+            admin_h.delay(at).await;
+            let _ = arm.drain(AcceleratorId(0)).await;
+        });
+    }
+
+    let health_on = s.health.is_some();
+    let daemon_health = cluster.daemon_health.clone();
     let out = sim.spawn("qr", async move {
         let start = h.now();
         let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend).with_tracer(job_tracer);
@@ -78,16 +131,26 @@ fn run_qr(retry: Option<RetryPolicy>, fault: Option<Arc<dyn FaultHook>>) -> Outc
         };
         let report = dgeqrf_hybrid(&h, &devices, &mut host, &cfg).await.unwrap();
         proc.finish().await;
+        let elapsed = h.now().since(start);
+        if health_on {
+            // Stop surviving daemons (their heartbeat agents exit with
+            // them), then the ARM; otherwise the sim never goes quiet.
+            let ep = proc.endpoint().clone();
+            for (i, dh) in daemon_health.iter().enumerate() {
+                if dh.alive() {
+                    let rank = dacc_fabric::mpi::Rank(1 + compute_nodes + i);
+                    let _ = RemoteAccelerator::new(ep.clone(), rank, frontend)
+                        .shutdown()
+                        .await;
+                }
+            }
+            proc.arm().shutdown().await;
+        }
         let factored = match host {
             HostMatrix::Real(m) => m,
             _ => unreachable!(),
         };
-        (
-            h.now().since(start),
-            factored,
-            report.tau,
-            session.failovers(),
-        )
+        (elapsed, factored, report.tau, session.failovers())
     });
     sim.run();
     let (elapsed, factored, tau, failovers) = out.try_take().expect("QR did not finish");
@@ -100,12 +163,86 @@ fn run_qr(retry: Option<RetryPolicy>, fault: Option<Arc<dyn FaultHook>>) -> Outc
     }
 }
 
+/// Lease-expiry reclaim latency: a compute node crashes while holding an
+/// accelerator; measure the virtual time until the ARM has expired the
+/// lease, fenced the epoch, seen the fence acked, and returned the device
+/// to the free pool.
+fn run_lease_reclaim(retry: RetryPolicy, health: HealthConfig) -> SimDuration {
+    let sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    // ARM 0, CNs 1-2, daemons 3-4. Node 1 drops off the fabric at 300us.
+    let plane: Arc<dyn FaultHook> = ChaosPlane::new(
+        5,
+        FaultSchedule::new().at(
+            SimTime::ZERO + SimDuration::from_micros(300),
+            Fault::CrashComputeNode { node: 1 },
+        ),
+    );
+    let spec = ClusterSpec {
+        compute_nodes: 2,
+        accelerators: 2,
+        local_gpus: false,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        daemon: DaemonConfig {
+            data_timeout: Some(SimDuration::from_millis(20)),
+            ..DaemonConfig::default()
+        },
+        frontend: FrontendConfig {
+            retry: Some(retry),
+            ..FrontendConfig::default()
+        },
+        health: Some(health),
+        ..ClusterSpec::default()
+    };
+    let tracer = Tracer::new(1 << 16);
+    let mut sim = sim;
+    let mut cluster = build_cluster_chaos(&sim, spec, registry, tracer, Some(plane));
+    let arm_rank = cluster.arm_rank;
+    let ep1 = cluster.cn_endpoints.remove(0);
+    let ep2 = cluster.cn_endpoints.remove(0);
+    let h = sim.handle();
+    let frontend = cluster.spec.frontend;
+    let daemons = [cluster.daemon_rank(0), cluster.daemon_rank(1)];
+
+    sim.spawn("victim", async move {
+        let proc = AcProcess::new(ep1, arm_rank, JobId(1), frontend);
+        let accels = proc.acquire(1).await.unwrap();
+        let ptr = accels[0].mem_alloc(4 << 10).await.unwrap();
+        let data = dacc_fabric::payload::Payload::from_vec(vec![0x5A; 4 << 10]);
+        accels[0].mem_cpy_h2d(&data, ptr).await.unwrap();
+        // The node crashes at 300us; the job simply vanishes mid-hold.
+    });
+
+    let out = sim.spawn("supervisor", async move {
+        let arm = ArmClient::new(ep2.clone(), arm_rank);
+        let recovered = loop {
+            h.delay(SimDuration::from_micros(500)).await;
+            let stats = arm.query().await;
+            if stats.free == 2 {
+                break h.now().since(SimTime::ZERO);
+            }
+        };
+        for rank in daemons {
+            let _ = RemoteAccelerator::new(ep2.clone(), rank, frontend)
+                .shutdown()
+                .await;
+        }
+        arm.shutdown().await;
+        recovered
+    });
+    sim.run();
+    out.try_take().expect("pool never recovered")
+}
+
 fn main() {
     let retry = RetryPolicy {
         timeout: SimDuration::from_millis(25),
         max_retries: 4,
         backoff: SimDuration::from_micros(200),
     };
+    let health = bench_health();
     // The granted accelerator is rank 2 (ARM=0, CN=1, daemons=2,3).
     let drops: Arc<dyn FaultHook> = ChaosPlane::new(
         5,
@@ -131,18 +268,97 @@ fn main() {
         5,
         FaultSchedule::new().after_events(120, Fault::kill_daemon(2)),
     );
-
-    type Case = (
-        &'static str,
-        Option<RetryPolicy>,
-        Option<Arc<dyn FaultHook>>,
+    // Time-pinned variants for the health rows: heartbeat traffic shifts
+    // event counts, so the schedules trigger on the virtual clock instead.
+    let kill_at: Arc<dyn FaultHook> = ChaosPlane::new(
+        5,
+        FaultSchedule::new().at(
+            SimTime::ZERO + SimDuration::from_micros(500),
+            Fault::kill_daemon(2),
+        ),
     );
-    let cases: Vec<Case> = dacc_bench::smoke_truncate(
+    let mute: Arc<dyn FaultHook> = ChaosPlane::new(
+        5,
+        FaultSchedule::new().at(
+            SimTime::ZERO + SimDuration::from_micros(200),
+            Fault::MuteHeartbeats { rank: 2, count: 15 },
+        ),
+    );
+
+    let cases: Vec<(&'static str, Scenario)> = dacc_bench::smoke_truncate(
         vec![
-            ("fault-free, retry plane off", None, None),
-            ("fault-free, retry plane on", Some(retry), None),
-            ("4 dropped messages (retries)", Some(retry), Some(drops)),
-            ("accelerator death (failover)", Some(retry), Some(kill)),
+            (
+                "fault-free, retry plane off",
+                Scenario {
+                    retry: None,
+                    fault: None,
+                    health: None,
+                    drain_at: None,
+                },
+            ),
+            (
+                "fault-free, retry plane on",
+                Scenario {
+                    retry: Some(retry),
+                    fault: None,
+                    health: None,
+                    drain_at: None,
+                },
+            ),
+            (
+                "4 dropped messages (retries)",
+                Scenario {
+                    retry: Some(retry),
+                    fault: Some(drops),
+                    health: None,
+                    drain_at: None,
+                },
+            ),
+            (
+                "accelerator death (failover)",
+                Scenario {
+                    retry: Some(retry),
+                    fault: Some(kill),
+                    health: None,
+                    drain_at: None,
+                },
+            ),
+            (
+                "fault-free, health plane on",
+                Scenario {
+                    retry: Some(retry),
+                    fault: None,
+                    health: Some(health),
+                    drain_at: None,
+                },
+            ),
+            (
+                "accelerator death (proactive eviction)",
+                Scenario {
+                    retry: Some(retry),
+                    fault: Some(kill_at),
+                    health: Some(health),
+                    drain_at: None,
+                },
+            ),
+            (
+                "quarantine eviction (muted beats)",
+                Scenario {
+                    retry: Some(retry),
+                    fault: Some(mute),
+                    health: Some(health),
+                    drain_at: None,
+                },
+            ),
+            (
+                "graceful drain mid-run",
+                Scenario {
+                    retry: Some(retry),
+                    fault: None,
+                    health: Some(health),
+                    drain_at: Some(SimDuration::from_micros(500)),
+                },
+            ),
         ],
         2,
     );
@@ -150,13 +366,13 @@ fn main() {
     println!("# Ablation: fault-tolerance overhead (remote dgeqrf, n={N}, nb={NB})");
     let mut baseline = None;
     let mut rows = Vec::new();
-    for (label, retry, fault) in cases {
-        let o = run_qr(retry, fault);
+    for (label, scenario) in cases {
+        let o = run_qr(scenario);
         let secs = o.elapsed.as_secs_f64();
         let base = *baseline.get_or_insert(secs);
         let overhead = (secs / base - 1.0) * 100.0;
         println!(
-            "{label:>30}: {secs:>9.6} s  ({overhead:>+6.1}% vs baseline)  \
+            "{label:>38}: {secs:>9.6} s  ({overhead:>+8.1}% vs baseline)  \
              retries={:<3} failovers={} numerics={}",
             o.retries,
             o.failovers,
@@ -169,6 +385,22 @@ fn main() {
             ("retries", Json::from(o.retries)),
             ("failovers", Json::from(o.failovers)),
             ("numerics_ok", Json::from(o.resid_ok)),
+        ]));
+    }
+    if !dacc_bench::smoke() {
+        let reclaim = run_lease_reclaim(retry, health);
+        let secs = reclaim.as_secs_f64();
+        println!(
+            "{:>38}: {secs:>9.6} s  (crash -> pool free again)",
+            "lease expiry reclaim (crashed CN)"
+        );
+        rows.push(Json::obj([
+            ("case", Json::from("lease expiry reclaim (crashed CN)")),
+            ("elapsed_s", Json::from(secs)),
+            ("overhead_pct", Json::from(0.0)),
+            ("retries", Json::from(0usize)),
+            ("failovers", Json::from(0u32)),
+            ("numerics_ok", Json::from(true)),
         ]));
     }
     write_results(

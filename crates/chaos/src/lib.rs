@@ -82,6 +82,37 @@ pub enum Fault {
         /// Stall duration.
         pause: SimDuration,
     },
+    /// Kill the compute node at `node`: every message to or from it is
+    /// dropped, permanently. Models a whole-node death — the client
+    /// process goes silent without releasing anything, which is exactly
+    /// the lease-expiry reclamation scenario (daemons on other nodes keep
+    /// heartbeating).
+    CrashComputeNode {
+        /// The dead node's id (equals its rank in the standard layout).
+        node: usize,
+    },
+    /// Suppress the next `count` heartbeats from the daemon at `rank`,
+    /// then heal. The daemon keeps serving requests — only its liveness
+    /// beats vanish, driving the ARM's Suspect → Quarantined → probe →
+    /// reintegration path without any real failure.
+    MuteHeartbeats {
+        /// The daemon's fabric rank.
+        rank: usize,
+        /// How many consecutive beats to mute.
+        count: u32,
+    },
+    /// A flaky accelerator: its daemon's heartbeats cycle `up` delivered
+    /// then `down` muted, indefinitely (by beat index, so the pattern is
+    /// deterministic). Repeated quarantines exhaust the ARM's
+    /// re-quarantine budget and brand the accelerator permanently broken.
+    FlakyAccel {
+        /// The daemon's fabric rank.
+        rank: usize,
+        /// Beats delivered per cycle.
+        up: u64,
+        /// Beats muted per cycle.
+        down: u64,
+    },
 }
 
 impl Fault {
@@ -156,6 +187,8 @@ pub struct ChaosCounters {
     pub crashes: u64,
     /// Hang verdicts returned.
     pub hangs: u64,
+    /// Heartbeats suppressed before reaching the fabric.
+    pub muted_beats: u64,
 }
 
 struct State {
@@ -212,8 +245,17 @@ impl FaultHook for ChaosPlane {
         let mut st = self.state.lock();
         st.counters.events += 1;
         arm_due(&mut st, now);
-        // Drops take priority over degradation; first matching armed fault
-        // of each kind decides.
+        // A dead node blackholes everything first; then counted drops take
+        // priority over degradation; first matching armed fault of each
+        // kind decides.
+        if st
+            .active
+            .iter()
+            .any(|f| matches!(f, Fault::CrashComputeNode { node } if *node == src || *node == dst))
+        {
+            st.counters.drops += 1;
+            return LinkFault::Drop;
+        }
         for i in 0..st.active.len() {
             match st.active[i].clone() {
                 Fault::DropMessages {
@@ -277,6 +319,33 @@ impl FaultHook for ChaosPlane {
             return ProcessFault::Hang(pause);
         }
         ProcessFault::Healthy
+    }
+
+    fn heartbeat(&self, process: usize, beat: u64, now: SimTime) -> bool {
+        let mut st = self.state.lock();
+        arm_due(&mut st, now);
+        for i in 0..st.active.len() {
+            match st.active[i] {
+                Fault::MuteHeartbeats { rank, count } if rank == process => {
+                    if count <= 1 {
+                        st.active.remove(i);
+                    } else if let Fault::MuteHeartbeats { count, .. } = &mut st.active[i] {
+                        *count -= 1;
+                    }
+                    st.counters.muted_beats += 1;
+                    return false;
+                }
+                Fault::FlakyAccel { rank, up, down } if rank == process => {
+                    if beat % (up + down) >= up {
+                        st.counters.muted_beats += 1;
+                        return false;
+                    }
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        true
     }
 }
 
@@ -345,6 +414,55 @@ mod tests {
             ProcessFault::Hang(SimDuration::from_micros(50))
         );
         assert_eq!(plane.process_state(4, t(31)), ProcessFault::Healthy);
+    }
+
+    #[test]
+    fn crashed_node_blackholes_both_directions() {
+        let plane = ChaosPlane::new(
+            3,
+            FaultSchedule::new().at(t(10), Fault::CrashComputeNode { node: 1 }),
+        );
+        assert_eq!(plane.on_transmit(1, 2, 64, t(5)), LinkFault::Deliver);
+        assert_eq!(plane.on_transmit(1, 2, 64, t(10)), LinkFault::Drop);
+        assert_eq!(plane.on_transmit(0, 1, 64, t(11)), LinkFault::Drop);
+        // Unrelated traffic flows.
+        assert_eq!(plane.on_transmit(0, 2, 64, t(12)), LinkFault::Deliver);
+        // Permanent.
+        assert_eq!(plane.on_transmit(2, 1, 64, t(9999)), LinkFault::Drop);
+        assert_eq!(plane.counters().drops, 3);
+    }
+
+    #[test]
+    fn muted_heartbeats_heal_after_count() {
+        let plane = ChaosPlane::new(
+            3,
+            FaultSchedule::new().at(t(0), Fault::MuteHeartbeats { rank: 2, count: 2 }),
+        );
+        assert!(plane.heartbeat(3, 0, t(1)), "other rank beats freely");
+        assert!(!plane.heartbeat(2, 0, t(1)));
+        assert!(!plane.heartbeat(2, 1, t(2)));
+        assert!(plane.heartbeat(2, 2, t(3)), "healed after count");
+        assert_eq!(plane.counters().muted_beats, 2);
+    }
+
+    #[test]
+    fn flaky_accel_mutes_cyclically_by_beat() {
+        let plane = ChaosPlane::new(
+            3,
+            FaultSchedule::new().at(
+                t(0),
+                Fault::FlakyAccel {
+                    rank: 2,
+                    up: 2,
+                    down: 3,
+                },
+            ),
+        );
+        let pattern: Vec<bool> = (0..10).map(|b| plane.heartbeat(2, b, t(b))).collect();
+        assert_eq!(
+            pattern,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
     }
 
     #[test]

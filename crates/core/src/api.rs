@@ -208,6 +208,14 @@ pub struct RemoteAccelerator {
     /// the daemon's dedupe cache sees one id sequence per front-end.
     next_op: Rc<Cell<u64>>,
     pub(crate) tracer: Tracer,
+    /// Assignment epoch from the ARM grant, stamped into every framed
+    /// request so the daemon can fence stale holders. `0` = unstamped.
+    pub(crate) epoch: u64,
+    /// Health-plane hook: when it reports `true` after a timed-out
+    /// attempt, the remaining retry budget is abandoned immediately — the
+    /// ARM has already evicted this assignment, so further retries can
+    /// only waste virtual time.
+    pub(crate) eviction_watch: Option<Rc<dyn Fn() -> bool>>,
 }
 
 impl RemoteAccelerator {
@@ -219,6 +227,8 @@ impl RemoteAccelerator {
             config,
             next_op: Rc::new(Cell::new(0)),
             tracer: Tracer::disabled(),
+            epoch: 0,
+            eviction_watch: None,
         }
     }
 
@@ -226,6 +236,44 @@ impl RemoteAccelerator {
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
+    }
+
+    /// Stamp this handle's framed requests with an ARM assignment epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The assignment epoch stamped into framed requests (0 = unstamped).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Install an eviction watch (typically
+    /// `ArmClient::eviction_pending`): polled after each timed-out
+    /// attempt, and a `true` answer aborts the remaining retry budget with
+    /// [`AcError::Unreachable`] so failover can start early.
+    pub fn with_eviction_watch(mut self, watch: Rc<dyn Fn() -> bool>) -> Self {
+        self.eviction_watch = Some(watch);
+        self
+    }
+
+    /// True when the installed eviction watch reports a pending notice.
+    fn evicted(&self) -> bool {
+        self.eviction_watch.as_ref().is_some_and(|w| w())
+    }
+
+    /// Consult the eviction watch after a timed-out attempt; returns true
+    /// (and traces) when the retry loop should give up early.
+    fn abort_retries(&self, op_id: u64) -> bool {
+        if !self.evicted() {
+            return false;
+        }
+        self.trace("retry.evicted", || {
+            format!("op {op_id}: eviction notice pending, abandoning retry budget")
+        });
+        self.telemetry().count("retry.evicted", 1);
+        true
     }
 
     pub(crate) fn alloc_op(&self) -> u64 {
@@ -295,6 +343,7 @@ impl RemoteAccelerator {
         let frame = RequestFrame {
             op_id,
             attempt,
+            epoch: self.epoch,
             req: req.clone(),
         };
         self.ep
@@ -363,6 +412,9 @@ impl RemoteAccelerator {
                         format!("op {op_id} attempt {attempt} timed out")
                     });
                     self.telemetry().count("retry.timeouts", 1);
+                    if self.abort_retries(op_id) {
+                        break;
+                    }
                 }
             }
         }
@@ -503,6 +555,9 @@ impl RemoteAccelerator {
                         format!("op {op_id} h2d attempt {attempt} timed out")
                     });
                     self.telemetry().count("retry.timeouts", 1);
+                    if self.abort_retries(op_id) {
+                        break;
+                    }
                 }
             }
         }
@@ -569,6 +624,9 @@ impl RemoteAccelerator {
                         format!("op {op_id} d2h attempt {attempt} timed out")
                     });
                     self.telemetry().count("retry.timeouts", 1);
+                    if self.abort_retries(op_id) {
+                        break;
+                    }
                     continue;
                 }
             };
@@ -595,6 +653,9 @@ impl RemoteAccelerator {
                 )
             });
             self.telemetry().count("retry.timeouts", 1);
+            if self.abort_retries(op_id) {
+                break;
+            }
         }
         self.trace("retry.gave_up", || {
             format!(

@@ -8,18 +8,21 @@
 use std::sync::Arc;
 
 use dacc_arm::client::ArmClient;
+use dacc_arm::health::HealthConfig;
+use dacc_arm::proto::{arm_tags, ArmRequest, ArmResponse};
 use dacc_arm::server::{run_arm_server_traced, ArmServerConfig};
-use dacc_arm::state::{inventory, AllocPolicy, JobId, Pool};
+use dacc_arm::state::{inventory, AcceleratorId, AllocPolicy, JobId, Pool};
 use dacc_fabric::mpi::{Endpoint, Fabric, Rank};
+use dacc_fabric::payload::Payload;
 use dacc_fabric::topology::{FabricParams, NodeId, Topology};
-use dacc_sim::fault::FaultHook;
+use dacc_sim::fault::{FaultHook, ProcessFault};
 use dacc_sim::prelude::*;
 use dacc_vgpu::device::{HostMemKind, VirtualGpu};
 use dacc_vgpu::kernel::KernelRegistry;
 use dacc_vgpu::params::{ExecMode, GpuParams};
 
 use crate::api::{AcDevice, AcError, FrontendConfig, RemoteAccelerator};
-use crate::daemon::{run_daemon_chaos, DaemonConfig, DaemonStats};
+use crate::daemon::{run_daemon_health, DaemonConfig, DaemonHealth, DaemonStats};
 use crate::failover::FailoverSession;
 
 /// Everything needed to stand up a cluster.
@@ -43,6 +46,10 @@ pub struct ClusterSpec {
     pub frontend: FrontendConfig,
     /// ARM allocation policy.
     pub alloc_policy: AllocPolicy,
+    /// Health plane (leases, heartbeats, epoch fencing). `None` (the
+    /// default) reproduces the pre-health-plane cluster exactly: no
+    /// heartbeat traffic, no lease expiry, epoch 0 everywhere.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for ClusterSpec {
@@ -57,6 +64,7 @@ impl Default for ClusterSpec {
             daemon: DaemonConfig::default(),
             frontend: FrontendConfig::default(),
             alloc_policy: AllocPolicy::FirstFit,
+            health: None,
         }
     }
 }
@@ -76,6 +84,10 @@ pub struct Cluster {
     pub accel_gpus: Vec<VirtualGpu>,
     /// Daemon completion handles; resolve to [`DaemonStats`] at shutdown.
     pub daemon_handles: Vec<JoinHandle<DaemonStats>>,
+    /// Per-daemon shared health state (fence, busy counter); heartbeat
+    /// agents run only when [`ClusterSpec::health`] is set, but the
+    /// handles exist either way for test inspection.
+    pub daemon_health: Vec<DaemonHealth>,
     /// ARM completion handle; resolves to the final pool at shutdown.
     pub arm_handle: JoinHandle<Pool>,
     /// The kernel registry shared by every device.
@@ -147,6 +159,7 @@ pub fn build_cluster_chaos(
     let mut daemon_handles = Vec::with_capacity(spec.accelerators);
     let mut daemon_ranks = Vec::with_capacity(spec.accelerators);
     let mut daemon_nodes = Vec::with_capacity(spec.accelerators);
+    let mut daemon_health = Vec::with_capacity(spec.accelerators);
     for i in 0..spec.accelerators {
         let node = NodeId(1 + spec.compute_nodes + i);
         let ep = fabric.add_endpoint(node);
@@ -157,13 +170,31 @@ pub fn build_cluster_chaos(
         let daemon_cfg = spec.daemon;
         let daemon_tracer = tracer.clone();
         let daemon_fault = fault.clone();
+        let health = DaemonHealth::new();
+        daemon_health.push(health.clone());
+        if let Some(hc) = spec.health {
+            h.spawn(
+                "heartbeat",
+                heartbeat_agent(
+                    ep.clone(),
+                    arm_rank,
+                    AcceleratorId(i),
+                    hc,
+                    health.clone(),
+                    fault.clone(),
+                ),
+            );
+        }
         daemon_handles.push(h.spawn("daemon", async move {
-            run_daemon_chaos(ep, gpu, daemon_cfg, daemon_tracer, daemon_fault).await
+            run_daemon_health(ep, gpu, daemon_cfg, daemon_tracer, daemon_fault, health).await
         }));
     }
 
     // The ARM's pool over the daemons.
-    let pool = Pool::with_policy(inventory(&daemon_nodes, &daemon_ranks), spec.alloc_policy);
+    let mut pool = Pool::with_policy(inventory(&daemon_nodes, &daemon_ranks), spec.alloc_policy);
+    if let Some(hc) = spec.health {
+        pool.set_health(hc);
+    }
     let arm_tracer = tracer.clone();
     let arm_handle = h.spawn("arm", async move {
         run_arm_server_traced(arm_ep, pool, ArmServerConfig::default(), arm_tracer).await
@@ -184,9 +215,91 @@ pub fn build_cluster_chaos(
         local_gpus,
         accel_gpus,
         daemon_handles,
+        daemon_health,
         arm_handle,
         registry,
         spec,
+    }
+}
+
+/// The per-daemon heartbeat agent: a sibling task on the accelerator
+/// node that beats the ARM every [`HealthConfig::heartbeat_period`],
+/// reporting the daemon's busy counter (implicit lease renewal) and its
+/// adopted fence. The ARM's ack carries the authoritative fence — raising
+/// it fences stale-epoch traffic in the request loop — and may order a
+/// probe self-test when the accelerator is quarantined; a passed probe
+/// reintegrates it on probation.
+///
+/// The agent dies with its daemon: it stops once the request loop exits
+/// (shutdown or injected crash), so a dead daemon falls silent and the
+/// ARM's liveness judgement takes over.
+async fn heartbeat_agent(
+    ep: Endpoint,
+    arm: Rank,
+    accel: AcceleratorId,
+    hc: HealthConfig,
+    health: DaemonHealth,
+    fault: Option<Arc<dyn FaultHook>>,
+) {
+    let handle = ep.fabric().handle().clone();
+    let me = ep.rank();
+    let mut beat: u64 = 0;
+    loop {
+        handle.delay(hc.heartbeat_period).await;
+        if !health.alive() {
+            if health.started() {
+                return;
+            }
+            // Daemon task not scheduled yet; try again next period.
+            continue;
+        }
+        if let Some(hook) = &fault {
+            if hook.process_state(me.0, handle.now()) == ProcessFault::Crash {
+                return;
+            }
+            if !hook.heartbeat(me.0, beat, handle.now()) {
+                // Muted beat (wedged health agent / flaky device): the
+                // ARM sees silence even though the daemon still serves.
+                beat += 1;
+                continue;
+            }
+        }
+        beat += 1;
+        let busy = health.take_busy().min(u64::from(u32::MAX)) as u32;
+        let req = ArmRequest::Heartbeat {
+            accel,
+            fence: health.fence(),
+            busy,
+        };
+        ep.send(arm, arm_tags::REQUEST, Payload::from_vec(req.encode()))
+            .await;
+        let Some(env) = ep
+            .recv_timeout(Some(arm), Some(arm_tags::RESPONSE), hc.heartbeat_period)
+            .await
+        else {
+            continue;
+        };
+        let ack = env
+            .payload
+            .bytes()
+            .and_then(|b| ArmResponse::decode(b).ok());
+        let Some(ArmResponse::HeartbeatAck { fence, probe }) = ack else {
+            continue;
+        };
+        health.raise_fence(fence);
+        if probe {
+            // Quarantine probe: run the self-test, then report the verdict.
+            // The simulated self-test always passes — permanently broken
+            // devices are modelled by staying silent (never reaching here)
+            // or by exhausting the re-quarantine budget.
+            handle.delay(hc.probe_cost).await;
+            let req = ArmRequest::ProbeResult { accel, ok: true };
+            ep.send(arm, arm_tags::REQUEST, Payload::from_vec(req.encode()))
+                .await;
+            let _ = ep
+                .recv_timeout(Some(arm), Some(arm_tags::RESPONSE), hc.heartbeat_period)
+                .await;
+        }
     }
 }
 
@@ -245,7 +358,10 @@ impl AcProcess {
             .map_err(|e| AcError::Local(e.to_string()))?;
         Ok(grants
             .into_iter()
-            .map(|g| RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config))
+            .map(|g| {
+                RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config)
+                    .with_epoch(g.epoch)
+            })
             .collect())
     }
 
@@ -258,7 +374,10 @@ impl AcProcess {
             .map_err(|e| AcError::Local(e.to_string()))?;
         Ok(grants
             .into_iter()
-            .map(|g| RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config))
+            .map(|g| {
+                RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config)
+                    .with_epoch(g.epoch)
+            })
             .collect())
     }
 

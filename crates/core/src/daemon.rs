@@ -7,7 +7,9 @@
 //! of GPUDirect pinned buffers and DMA'd onward while later blocks are still
 //! on the wire.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use dacc_fabric::mpi::{Endpoint, Rank, Tag};
@@ -87,6 +89,86 @@ pub struct DaemonStats {
     pub stream_batches: u64,
     /// Individual commands executed out of stream batches.
     pub stream_cmds: u64,
+}
+
+/// State shared between a daemon's request loop and its heartbeat agent
+/// (a sibling task on the same simulated process, spawned by the cluster
+/// builder when the health plane is enabled).
+///
+/// The agent learns the ARM's current **fence** from heartbeat acks and
+/// raises it here; the request loop then rejects any framed request or
+/// stream batch stamped with an older assignment epoch
+/// ([`Status::StaleEpoch`]) before it can touch device state, and resets
+/// its per-client sessions so the next holder starts clean. In the other
+/// direction the loop counts executed operations so the agent can report
+/// the accelerator busy — the ARM renews the holder's lease implicitly on
+/// that traffic.
+#[derive(Clone, Default)]
+pub struct DaemonHealth(Rc<RefCell<DaemonHealthState>>);
+
+#[derive(Default)]
+struct DaemonHealthState {
+    fence: u64,
+    busy_ops: u64,
+    reset: bool,
+    alive: bool,
+    started: bool,
+}
+
+impl DaemonHealth {
+    /// Fresh shared state (fence 0 — nothing is fenced).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current fence: framed traffic stamped with an epoch below this
+    /// is rejected. Epoch 0 (unstamped/legacy) is never fenced.
+    pub fn fence(&self) -> u64 {
+        self.0.borrow().fence
+    }
+
+    /// Raise the fence (monotonic). A raise also schedules a session
+    /// reset in the request loop so the evicted holder's kernel bindings
+    /// and stream regions cannot leak into the next assignment.
+    pub fn raise_fence(&self, fence: u64) {
+        let mut st = self.0.borrow_mut();
+        if fence > st.fence {
+            st.fence = fence;
+            st.reset = true;
+        }
+    }
+
+    /// Consume the pending session-reset flag.
+    fn take_reset(&self) -> bool {
+        std::mem::take(&mut self.0.borrow_mut().reset)
+    }
+
+    fn count_op(&self) {
+        self.0.borrow_mut().busy_ops += 1;
+    }
+
+    /// Operations executed since the last call; the heartbeat agent
+    /// reports this as the accelerator's busyness (implicit lease renewal).
+    pub fn take_busy(&self) -> u64 {
+        std::mem::take(&mut self.0.borrow_mut().busy_ops)
+    }
+
+    /// True while the request loop is running (between service start and
+    /// shutdown/crash). The heartbeat agent stops beating when this drops.
+    pub fn alive(&self) -> bool {
+        self.0.borrow().alive
+    }
+
+    /// True once the request loop has started serving at least once.
+    pub fn started(&self) -> bool {
+        self.0.borrow().started
+    }
+
+    fn set_alive(&self, alive: bool) {
+        let mut st = self.0.borrow_mut();
+        st.alive = alive;
+        st.started |= alive;
+    }
 }
 
 /// One live stream-virtual allocation from a client's command stream.
@@ -205,6 +287,22 @@ pub async fn run_daemon_chaos(
     tracer: Tracer,
     fault: Option<Arc<dyn FaultHook>>,
 ) -> DaemonStats {
+    run_daemon_health(ep, gpu, config, tracer, fault, DaemonHealth::new()).await
+}
+
+/// [`run_daemon_chaos`] with a shared [`DaemonHealth`] handle: the fence
+/// adopted by the daemon's heartbeat agent rejects stale-epoch traffic
+/// ([`Status::StaleEpoch`]) and resets sessions, and executed operations
+/// are counted for implicit lease renewal.
+pub async fn run_daemon_health(
+    ep: Endpoint,
+    gpu: VirtualGpu,
+    config: DaemonConfig,
+    tracer: Tracer,
+    fault: Option<Arc<dyn FaultHook>>,
+    health: DaemonHealth,
+) -> DaemonStats {
+    health.set_alive(true);
     let handle = ep.fabric().handle().clone();
     let tele = ep.fabric().telemetry();
     let me = ep.rank();
@@ -224,6 +322,18 @@ pub async fn run_daemon_chaos(
         let env = ep.recv(None, Some(ac_tags::REQUEST)).await;
         let t_arrive = handle.now();
         let cn = env.src;
+        if health.take_reset() {
+            // The ARM reclaimed this accelerator (fence raised): drop every
+            // client's kernel bindings, stream regions, and dedupe entries
+            // so the next holder starts on a clean device.
+            sessions.clear();
+            completed.clear();
+            let fence = health.fence();
+            tracer.record(&handle, "daemon.reset", || {
+                format!("{me} resets sessions at fence {fence}")
+            });
+            tele.count("daemon.reset", 1);
+        }
         if let Some(hook) = &fault {
             match hook.process_state(me.0, handle.now()) {
                 ProcessFault::Healthy => {}
@@ -237,93 +347,120 @@ pub async fn run_daemon_chaos(
             // crash time.
             if hook.process_state(me.0, handle.now()) == ProcessFault::Crash {
                 tracer.record(&handle, "fault.crash", || format!("{me} dies"));
+                health.set_alive(false);
                 return stats;
             }
         }
         stats.requests += 1;
-        let (framed, op_id, attempt, req) = match env.payload.bytes().map(|b| AnyRequest::decode(b))
-        {
-            Some(Ok(AnyRequest::Bare(r))) => (false, 0, 0, r),
-            Some(Ok(AnyRequest::Framed(f))) => (true, f.op_id, f.attempt, f.req),
-            Some(Ok(AnyRequest::Batch(batch))) => {
-                // Command-stream batch: one message, in-order execution,
-                // one cumulative ack. The whole batch pays the per-request
-                // dispatch cost once — that is the point of batching.
-                handle.delay(config.request_cost).await;
-                stats.stream_batches += 1;
-                let ncmds = batch.cmds.len();
-                tracer.record(&handle, "daemon.request", || {
-                    format!("StreamBatch[{ncmds}] from {cn}")
-                });
-                tele.span_at(
-                    "daemon.decode",
-                    || format!("StreamBatch[{ncmds}] from {cn}"),
-                    t_arrive,
-                    handle.now(),
-                    Some(env.payload.len()),
-                    None,
-                );
-                tele.count("daemon.stream.batches", 1);
-                let exec_span = tele.span(&handle, "daemon.execute", || {
-                    format!("StreamBatch[{ncmds}] from {cn}")
-                });
-                let data_tag = ac_tags::stream_data_tag(batch.stream);
-                let session = sessions.entry(cn).or_default();
-                let mut first_err: Option<Status> = None;
-                let mut last_value = 0u64;
-                let mut seq = batch.first_seq;
-                for cmd in batch.cmds {
-                    stats.stream_cmds += 1;
-                    tele.count("daemon.stream.cmds", 1);
-                    handle.delay(config.per_block_cost).await;
-                    tracer.record(&handle, "daemon.stream.cmd", || {
-                        format!("{} seq {} from {}", request_kind(&cmd), seq, cn)
-                    });
-                    // Non-batchable commands are rejected individually, but
-                    // the rest of the batch still executes so the stream's
-                    // data-tag pairing never skews; the client latches the
-                    // first error as its sticky stream error.
-                    let resp = if cmd.batchable() {
-                        exec_batchable(
-                            &handle, &ep, &gpu, &pool, &config, &mut stats, session, cn, cmd,
-                            data_tag,
+        let (framed, op_id, attempt, epoch, req) =
+            match env.payload.bytes().map(|b| AnyRequest::decode(b)) {
+                Some(Ok(AnyRequest::Bare(r))) => (false, 0, 0, 0, r),
+                Some(Ok(AnyRequest::Framed(f))) => (true, f.op_id, f.attempt, f.epoch, f.req),
+                Some(Ok(AnyRequest::Batch(batch))) => {
+                    // Command-stream batch: one message, in-order execution,
+                    // one cumulative ack. The whole batch pays the per-request
+                    // dispatch cost once — that is the point of batching.
+                    handle.delay(config.request_cost).await;
+                    stats.stream_batches += 1;
+                    let ncmds = batch.cmds.len();
+                    let fence = health.fence();
+                    if batch.epoch != 0 && batch.epoch < fence {
+                        // The sender's grant was revoked: reject the whole
+                        // batch with one cumulative StaleEpoch ack and never
+                        // touch device state.
+                        let bepoch = batch.epoch;
+                        tracer.record(&handle, "daemon.fenced", || {
+                            format!(
+                                "StreamBatch[{ncmds}] from {cn}: epoch {bepoch} < fence {fence}"
+                            )
+                        });
+                        tele.count("daemon.fenced", 1);
+                        let ack = StreamAck {
+                            seq: batch.first_seq.wrapping_add(ncmds as u64).wrapping_sub(1),
+                            status: Status::StaleEpoch,
+                            value: 0,
+                        };
+                        ep.send(
+                            cn,
+                            ac_tags::stream_ack_tag(batch.stream),
+                            Payload::from_vec(ack.encode()),
                         )
-                        .await
-                    } else {
-                        Response::err(Status::Malformed)
-                    };
-                    if resp.status != Status::Ok && first_err.is_none() {
-                        first_err = Some(resp.status);
+                        .await;
+                        continue;
                     }
-                    last_value = resp.value;
-                    seq = seq.wrapping_add(1);
+                    tracer.record(&handle, "daemon.request", || {
+                        format!("StreamBatch[{ncmds}] from {cn}")
+                    });
+                    tele.span_at(
+                        "daemon.decode",
+                        || format!("StreamBatch[{ncmds}] from {cn}"),
+                        t_arrive,
+                        handle.now(),
+                        Some(env.payload.len()),
+                        None,
+                    );
+                    tele.count("daemon.stream.batches", 1);
+                    let exec_span = tele.span(&handle, "daemon.execute", || {
+                        format!("StreamBatch[{ncmds}] from {cn}")
+                    });
+                    let data_tag = ac_tags::stream_data_tag(batch.stream);
+                    let session = sessions.entry(cn).or_default();
+                    let mut first_err: Option<Status> = None;
+                    let mut last_value = 0u64;
+                    let mut seq = batch.first_seq;
+                    for cmd in batch.cmds {
+                        stats.stream_cmds += 1;
+                        health.count_op();
+                        tele.count("daemon.stream.cmds", 1);
+                        handle.delay(config.per_block_cost).await;
+                        tracer.record(&handle, "daemon.stream.cmd", || {
+                            format!("{} seq {} from {}", request_kind(&cmd), seq, cn)
+                        });
+                        // Non-batchable commands are rejected individually, but
+                        // the rest of the batch still executes so the stream's
+                        // data-tag pairing never skews; the client latches the
+                        // first error as its sticky stream error.
+                        let resp = if cmd.batchable() {
+                            exec_batchable(
+                                &handle, &ep, &gpu, &pool, &config, &mut stats, session, cn, cmd,
+                                data_tag,
+                            )
+                            .await
+                        } else {
+                            Response::err(Status::Malformed)
+                        };
+                        if resp.status != Status::Ok && first_err.is_none() {
+                            first_err = Some(resp.status);
+                        }
+                        last_value = resp.value;
+                        seq = seq.wrapping_add(1);
+                    }
+                    let ack = StreamAck {
+                        seq: seq.wrapping_sub(1),
+                        status: first_err.unwrap_or(Status::Ok),
+                        value: last_value,
+                    };
+                    drop(exec_span);
+                    let ack_seq = ack.seq;
+                    let ack_span = tele
+                        .span(&handle, "daemon.ack", || {
+                            format!("StreamAck seq {ack_seq} to {cn}")
+                        })
+                        .op(ack_seq);
+                    ep.send(
+                        cn,
+                        ac_tags::stream_ack_tag(batch.stream),
+                        Payload::from_vec(ack.encode()),
+                    )
+                    .await;
+                    drop(ack_span);
+                    continue;
                 }
-                let ack = StreamAck {
-                    seq: seq.wrapping_sub(1),
-                    status: first_err.unwrap_or(Status::Ok),
-                    value: last_value,
-                };
-                drop(exec_span);
-                let ack_seq = ack.seq;
-                let ack_span = tele
-                    .span(&handle, "daemon.ack", || {
-                        format!("StreamAck seq {ack_seq} to {cn}")
-                    })
-                    .op(ack_seq);
-                ep.send(
-                    cn,
-                    ac_tags::stream_ack_tag(batch.stream),
-                    Payload::from_vec(ack.encode()),
-                )
-                .await;
-                drop(ack_span);
-                continue;
-            }
-            _ => {
-                respond(&ep, cn, ac_tags::RESPONSE, Response::err(Status::Malformed)).await;
-                continue;
-            }
-        };
+                _ => {
+                    respond(&ep, cn, ac_tags::RESPONSE, Response::err(Status::Malformed)).await;
+                    continue;
+                }
+            };
         let resp_tag = if framed {
             ac_tags::response_tag(op_id, attempt)
         } else {
@@ -347,6 +484,22 @@ pub async fn run_daemon_chaos(
             framed.then_some(op_id),
         );
 
+        // Fence stale holders before the dedupe cache and before any
+        // execution: an op stamped with a pre-reclaim epoch must never
+        // mutate the (possibly reassigned) device.
+        let fence = health.fence();
+        if framed && epoch != 0 && epoch < fence {
+            tracer.record(&handle, "daemon.fenced", || {
+                format!(
+                    "{} op {op_id} from {cn}: epoch {epoch} < fence {fence}",
+                    request_kind(&req)
+                )
+            });
+            tele.count("daemon.fenced", 1);
+            respond(&ep, cn, resp_tag, Response::err(Status::StaleEpoch)).await;
+            continue;
+        }
+
         // A replayed operation (same op id as the last one this front-end
         // completed) is answered from the cache unless its data phase must
         // be re-driven; data-phase ops are idempotent re-executions.
@@ -366,6 +519,7 @@ pub async fn run_daemon_chaos(
             }
         }
 
+        health.count_op();
         let exec_span = tele
             .span(&handle, "daemon.execute", || {
                 format!("{} from {}", request_kind(&req), cn)
@@ -492,6 +646,7 @@ pub async fn run_daemon_chaos(
                 Request::Ping => Response::ok(),
                 Request::Shutdown => {
                     respond(&ep, cn, resp_tag, Response::ok()).await;
+                    health.set_alive(false);
                     return stats;
                 }
                 _ => unreachable!("batchable requests handled above"),

@@ -37,6 +37,7 @@ use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 use dacc_vgpu::memory::DevicePtr;
 
 use crate::api::{AcError, FrontendConfig, RemoteAccelerator};
+use crate::proto::Status;
 
 /// Base of the session's virtual device address space — far above any
 /// physical device address the simulated GPUs hand out, so a virtual
@@ -103,6 +104,23 @@ fn translate_args(regions: &[Region], args: &[KernelArg]) -> Result<Vec<KernelAr
         .collect()
 }
 
+/// Wrap an ARM grant in a [`RemoteAccelerator`] stamped with the grant's
+/// assignment epoch and watching the ARM's eviction channel, so a doomed
+/// retry budget is cut short the moment an eviction notice lands.
+fn wrap_grant(
+    ep: &Endpoint,
+    arm: &ArmClient,
+    grant: &GrantedAccelerator,
+    config: FrontendConfig,
+    tracer: &Tracer,
+) -> RemoteAccelerator {
+    let watch = arm.clone();
+    RemoteAccelerator::new(ep.clone(), grant.daemon_rank, config)
+        .with_tracer(tracer.clone())
+        .with_epoch(grant.epoch)
+        .with_eviction_watch(Rc::new(move || watch.eviction_pending()))
+}
+
 struct Inner {
     accel: RemoteAccelerator,
     accel_id: AcceleratorId,
@@ -137,8 +155,7 @@ impl FailoverSession {
         config: FrontendConfig,
         tracer: Tracer,
     ) -> Self {
-        let accel = RemoteAccelerator::new(ep.clone(), grant.daemon_rank, config)
-            .with_tracer(tracer.clone());
+        let accel = wrap_grant(&ep, &arm, &grant, config, &tracer);
         FailoverSession {
             ep,
             arm,
@@ -189,8 +206,9 @@ impl FailoverSession {
         translate_in(&self.inner.borrow().regions, p)
     }
 
-    /// Report the current accelerator dead, obtain a replacement, replay
-    /// the command log onto it.
+    /// Report the current accelerator dead, obtain a replacement in the
+    /// same round trip, replay the command log onto it (the reactive
+    /// path, driven by an exhausted retry budget).
     async fn failover(&self) -> Result<(), AcError> {
         let old_id = self.inner.borrow().accel_id;
         self.tracer
@@ -200,21 +218,105 @@ impl FailoverSession {
                     self.job.0, old_id.0
                 )
             });
+        self.ep.fabric().telemetry().count("failover.count", 1);
+        let grant = self
+            .arm
+            .report_failure(self.job, old_id)
+            .await
+            .map_err(|e| AcError::Local(format!("failover denied: {e}")))?;
+        self.migrate_to(grant).await
+    }
+
+    /// Apply a pending ARM eviction notice for the current accelerator,
+    /// if any: migrate onto the replacement grant carried by the notice
+    /// (no `ReportFailure` round trip needed), or — when the notice
+    /// carries none, as after a lease expiry — allocate a fresh
+    /// accelerator and replay onto that. Returns whether a notice was
+    /// applied.
+    async fn apply_eviction(&self) -> Result<bool, AcError> {
+        self.arm.pump_evictions().await;
+        let (accel_id, epoch) = {
+            let inner = self.inner.borrow();
+            (inner.accel_id, inner.accel.epoch())
+        };
+        let Some(ev) = self.arm.take_eviction(accel_id) else {
+            return Ok(false);
+        };
+        if ev.epoch != 0 && epoch != 0 && ev.epoch < epoch {
+            // A stale notice from an earlier tenure of the same
+            // accelerator; the current grant is newer than the eviction.
+            return Ok(false);
+        }
+        self.ep.fabric().telemetry().count("failover.evictions", 1);
+        let reason = ev.reason;
+        self.tracer
+            .record(self.ep.fabric().handle(), "arm.failover", || {
+                format!(
+                    "job {}: accel {} evicted ({reason:?}), proactive migration",
+                    self.job.0, accel_id.0
+                )
+            });
+        match ev.replacement {
+            Some(grant) => self.migrate_to(grant).await?,
+            None => {
+                let mut grants = self.arm.allocate(self.job, 1).await.map_err(|e| {
+                    AcError::Local(format!("re-allocation after eviction denied: {e}"))
+                })?;
+                self.migrate_to(grants.remove(0)).await?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Recover after the current accelerator became unusable (retry
+    /// budget exhausted or stale-epoch fencing): prefer a proactive
+    /// eviction notice — its replacement grant is already in hand — and
+    /// fall back to the reactive [`Self::failover`] report.
+    async fn recover(&self) -> Result<(), AcError> {
+        if self.apply_eviction().await? {
+            return Ok(());
+        }
+        self.failover().await
+    }
+
+    /// [`Self::recover`], tolerating a *recoverable* failure of the
+    /// recovery itself: a replacement grant can already be fenced or
+    /// unreachable by the time the replay touches it (its lease may have
+    /// expired while this client was still timing out on the old
+    /// accelerator). Such a failure leaves the session on its old grant
+    /// and reports success; the caller's op loop burns one more of its
+    /// `max_failovers` tries and recovery runs again, by which point the
+    /// ARM has posted a fresher eviction notice or can grant anew.
+    async fn recover_tolerant(&self) -> Result<(), AcError> {
+        match self.recover().await {
+            Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch)) => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Cheap pre-operation poll: migrate now if the ARM has already
+    /// evicted us (drain, quarantine), instead of discovering it through
+    /// a fenced or timed-out operation.
+    async fn maybe_migrate(&self) -> Result<(), AcError> {
+        if self.arm.eviction_pending() {
+            self.apply_eviction().await?;
+        }
+        Ok(())
+    }
+
+    /// Replay the command log onto `grant` and swap it in as the
+    /// session's current accelerator: the shared tail of reactive
+    /// failover and proactive eviction-driven migration.
+    async fn migrate_to(&self, grant: GrantedAccelerator) -> Result<(), AcError> {
+        let old_id = self.inner.borrow().accel_id;
         let tele = self.ep.fabric().telemetry();
-        tele.count("failover.count", 1);
         let job = self.job.0;
         let _replay_span = tele
             .span(self.ep.fabric().handle(), "failover.replay", || {
                 format!("job {job}: replacing accel {}", old_id.0)
             })
             .op(job);
-        let grant = self
-            .arm
-            .report_failure(self.job, old_id)
-            .await
-            .map_err(|e| AcError::Local(format!("failover denied: {e}")))?;
-        let accel = RemoteAccelerator::new(self.ep.clone(), grant.daemon_rank, self.config)
-            .with_tracer(self.tracer.clone());
+        let accel = wrap_grant(&self.ep, &self.arm, &grant, self.config, &self.tracer);
         // Snapshot the log (payload clones are reference-counted), then
         // replay without holding the borrow across awaits.
         let log: Vec<LoggedOp> = self.inner.borrow().log.clone();
@@ -268,12 +370,15 @@ impl FailoverSession {
 
     /// Allocate `len` device bytes; returns a session-virtual pointer.
     pub async fn mem_alloc(&self, len: u64) -> Result<DevicePtr, AcError> {
+        self.maybe_migrate().await?;
         let mut tries = 0;
         loop {
             match self.current().mem_alloc(len).await {
-                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch))
+                    if tries < self.max_failovers =>
+                {
                     tries += 1;
-                    self.failover().await?;
+                    self.recover_tolerant().await?;
                 }
                 Err(e) => return Err(e),
                 Ok(real) => {
@@ -294,13 +399,16 @@ impl FailoverSession {
 
     /// Free a session allocation (`ptr` must be the allocation base).
     pub async fn mem_free(&self, ptr: DevicePtr) -> Result<(), AcError> {
+        self.maybe_migrate().await?;
         let mut tries = 0;
         loop {
             let real = self.translate(ptr)?;
             match self.current().mem_free(real).await {
-                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch))
+                    if tries < self.max_failovers =>
+                {
                     tries += 1;
-                    self.failover().await?;
+                    self.recover_tolerant().await?;
                 }
                 Err(e) => return Err(e),
                 Ok(()) => {
@@ -315,13 +423,16 @@ impl FailoverSession {
 
     /// Copy host data to device memory; the payload is retained for replay.
     pub async fn mem_cpy_h2d(&self, src: &Payload, dst: DevicePtr) -> Result<(), AcError> {
+        self.maybe_migrate().await?;
         let mut tries = 0;
         loop {
             let real = self.translate(dst)?;
             match self.current().mem_cpy_h2d(src, real).await {
-                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch))
+                    if tries < self.max_failovers =>
+                {
                     tries += 1;
-                    self.failover().await?;
+                    self.recover_tolerant().await?;
                 }
                 Err(e) => return Err(e),
                 Ok(()) => {
@@ -337,13 +448,16 @@ impl FailoverSession {
 
     /// Fill device memory with a byte value.
     pub async fn mem_set(&self, ptr: DevicePtr, len: u64, byte: u8) -> Result<(), AcError> {
+        self.maybe_migrate().await?;
         let mut tries = 0;
         loop {
             let real = self.translate(ptr)?;
             match self.current().mem_set(real, len, byte).await {
-                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch))
+                    if tries < self.max_failovers =>
+                {
                     tries += 1;
-                    self.failover().await?;
+                    self.recover_tolerant().await?;
                 }
                 Err(e) => return Err(e),
                 Ok(()) => {
@@ -360,13 +474,16 @@ impl FailoverSession {
 
     /// Copy device data back to the host (read-only; not logged).
     pub async fn mem_cpy_d2h(&self, src: DevicePtr, len: u64) -> Result<Payload, AcError> {
+        self.maybe_migrate().await?;
         let mut tries = 0;
         loop {
             let real = self.translate(src)?;
             match self.current().mem_cpy_d2h(real, len).await {
-                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch))
+                    if tries < self.max_failovers =>
+                {
                     tries += 1;
-                    self.failover().await?;
+                    self.recover_tolerant().await?;
                 }
                 other => return other,
             }
@@ -380,13 +497,16 @@ impl FailoverSession {
         cfg: LaunchConfig,
         args: &[KernelArg],
     ) -> Result<(), AcError> {
+        self.maybe_migrate().await?;
         let mut tries = 0;
         loop {
             let real_args = translate_args(&self.inner.borrow().regions, args)?;
             match self.current().launch(name, cfg, &real_args).await {
-                Err(AcError::Unreachable) if tries < self.max_failovers => {
+                Err(AcError::Unreachable | AcError::Remote(Status::StaleEpoch))
+                    if tries < self.max_failovers =>
+                {
                     tries += 1;
-                    self.failover().await?;
+                    self.recover_tolerant().await?;
                 }
                 Err(e) => return Err(e),
                 Ok(()) => {

@@ -236,6 +236,11 @@ pub enum Status {
     /// The daemon gave up waiting for the request's data phase (lost
     /// blocks); the front-end should retry the whole operation.
     Timeout,
+    /// The request was stamped with an assignment epoch older than the
+    /// daemon's fence: the accelerator has been reclaimed and possibly
+    /// reassigned since the sender's grant, so the op is rejected
+    /// deterministically without touching device state.
+    StaleEpoch,
 }
 
 impl Status {
@@ -251,6 +256,7 @@ impl Status {
             Status::NoKernelBound => 7,
             Status::Malformed => 8,
             Status::Timeout => 9,
+            Status::StaleEpoch => 10,
         }
     }
 
@@ -266,6 +272,7 @@ impl Status {
             7 => Status::NoKernelBound,
             8 => Status::Malformed,
             9 => Status::Timeout,
+            10 => Status::StaleEpoch,
             _ => return None,
         })
     }
@@ -633,17 +640,22 @@ pub struct RequestFrame {
     pub op_id: u64,
     /// Retransmission counter, 0 for the first send.
     pub attempt: u32,
+    /// Assignment epoch of the sender's grant (health plane). Daemons
+    /// fence frames whose epoch is older than their current fence; `0`
+    /// means "unstamped" (legacy client) and is never fenced.
+    pub epoch: u64,
     /// The operation itself.
     pub req: Request,
 }
 
 impl RequestFrame {
-    /// Encode to wire bytes (marker, op_id, attempt, request).
+    /// Encode to wire bytes (marker, op_id, attempt, epoch, request).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(45));
+        let mut w = W(Vec::with_capacity(53));
         w.u8(FRAME_MARKER);
         w.u64(self.op_id);
         w.u32(self.attempt);
+        w.u64(self.epoch);
         w.0.extend_from_slice(&self.req.encode());
         w.0
     }
@@ -656,10 +668,12 @@ impl RequestFrame {
         }
         let op_id = r.u64()?;
         let attempt = r.u32()?;
+        let epoch = r.u64()?;
         let req = Request::decode(&buf[r.1..])?;
         Ok(RequestFrame {
             op_id,
             attempt,
+            epoch,
             req,
         })
     }
@@ -689,19 +703,24 @@ pub struct StreamBatch {
     pub stream: u32,
     /// Sequence number of the first command in the batch.
     pub first_seq: u64,
+    /// Assignment epoch of the sender's grant (health plane); `0` means
+    /// unstamped. A fenced batch is rejected whole with one cumulative
+    /// [`StreamAck`] carrying [`Status::StaleEpoch`].
+    pub epoch: u64,
     /// The commands, in submission order. Each must be
     /// [`Request::batchable`].
     pub cmds: Vec<Request>,
 }
 
 impl StreamBatch {
-    /// Encode to wire bytes (marker, stream, first_seq, count, then each
-    /// command length-prefixed).
+    /// Encode to wire bytes (marker, stream, first_seq, epoch, count,
+    /// then each command length-prefixed).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(32 * self.cmds.len() + 17));
+        let mut w = W(Vec::with_capacity(32 * self.cmds.len() + 25));
         w.u8(BATCH_MARKER);
         w.u32(self.stream);
         w.u64(self.first_seq);
+        w.u64(self.epoch);
         w.u32(self.cmds.len() as u32);
         for cmd in &self.cmds {
             w.bytes(&cmd.encode());
@@ -717,6 +736,7 @@ impl StreamBatch {
         }
         let stream = r.u32()?;
         let first_seq = r.u64()?;
+        let epoch = r.u64()?;
         let n = r.u32()?;
         let mut cmds = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -726,6 +746,7 @@ impl StreamBatch {
         Ok(StreamBatch {
             stream,
             first_seq,
+            epoch,
             cmds,
         })
     }
@@ -934,6 +955,7 @@ mod tests {
         let batch = StreamBatch {
             stream: 0x0ABC_DEF0,
             first_seq: 41,
+            epoch: 6,
             cmds: vec![
                 Request::MemAllocAt {
                     virt: STREAM_VIRT_BASE + 4096,
@@ -962,6 +984,7 @@ mod tests {
         let empty = StreamBatch {
             stream: 1,
             first_seq: 0,
+            epoch: 0,
             cmds: vec![],
         };
         assert_eq!(StreamBatch::decode(&empty.encode()), Ok(empty));
@@ -1004,6 +1027,7 @@ mod tests {
         let frame = RequestFrame {
             op_id: 0xDEAD_BEEF_0042,
             attempt: 3,
+            epoch: 11,
             req: Request::MemCpyH2D {
                 dst: DevicePtr(512),
                 len: 1 << 20,
@@ -1023,6 +1047,7 @@ mod tests {
         let long = RequestFrame {
             op_id: 7,
             attempt: 0,
+            epoch: 0,
             req: Request::KernelCreate { name: "qr".into() },
         }
         .encode();

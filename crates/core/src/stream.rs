@@ -402,6 +402,7 @@ impl Wire {
             let batch = StreamBatch {
                 stream: self.id,
                 first_seq: st.sent,
+                epoch: self.accel.epoch,
                 cmds,
             };
             let last_seq = st.sent + n - 1;

@@ -54,6 +54,15 @@ pub trait FaultHook {
         let _ = (process, now);
         ProcessFault::Healthy
     }
+
+    /// Called by a daemon's heartbeat agent before sending its `beat`-th
+    /// liveness beat (0-based). Returning `false` suppresses the beat —
+    /// the message is never handed to the fabric — modelling a wedged
+    /// health agent or flaky device rather than a lossy link.
+    fn heartbeat(&self, process: usize, beat: u64, now: SimTime) -> bool {
+        let _ = (process, beat, now);
+        true
+    }
 }
 
 /// A hook that never injects anything; useful as an explicit default.
@@ -71,6 +80,7 @@ mod tests {
         let h = NoFaults;
         assert_eq!(h.on_transmit(0, 1, 4096, SimTime::ZERO), LinkFault::Deliver);
         assert_eq!(h.process_state(3, SimTime::ZERO), ProcessFault::Healthy);
+        assert!(h.heartbeat(3, 0, SimTime::ZERO));
     }
 
     #[test]

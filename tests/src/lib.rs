@@ -44,6 +44,40 @@ pub fn full_cluster_chaos(
     tracer: Tracer,
     fault: Option<std::sync::Arc<dyn dacc_sim::fault::FaultHook>>,
 ) -> (Sim, Cluster) {
+    cluster_with_health(compute_nodes, accelerators, mode, tracer, fault, None)
+}
+
+/// [`full_cluster_chaos`] with the health plane armed too: per-daemon
+/// heartbeat agents, time-bounded leases, and epoch fencing, all driven by
+/// `health`. Tests that enable this must shut the daemons down at the end
+/// (heartbeat agents only exit with their daemon) or the sim never goes
+/// quiet.
+pub fn full_cluster_health(
+    compute_nodes: usize,
+    accelerators: usize,
+    mode: ExecMode,
+    tracer: Tracer,
+    fault: Option<std::sync::Arc<dyn dacc_sim::fault::FaultHook>>,
+    health: dacc_arm::health::HealthConfig,
+) -> (Sim, Cluster) {
+    cluster_with_health(
+        compute_nodes,
+        accelerators,
+        mode,
+        tracer,
+        fault,
+        Some(health),
+    )
+}
+
+fn cluster_with_health(
+    compute_nodes: usize,
+    accelerators: usize,
+    mode: ExecMode,
+    tracer: Tracer,
+    fault: Option<std::sync::Arc<dyn dacc_sim::fault::FaultHook>>,
+    health: Option<dacc_arm::health::HealthConfig>,
+) -> (Sim, Cluster) {
     let sim = Sim::new();
     let registry = KernelRegistry::new();
     register_builtin_kernels(&registry);
@@ -68,6 +102,7 @@ pub fn full_cluster_chaos(
             }),
             ..FrontendConfig::default()
         },
+        health,
         ..ClusterSpec::default()
     };
     let cluster = build_cluster_chaos(&sim, spec, registry, tracer, fault);
