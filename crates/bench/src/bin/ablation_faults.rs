@@ -3,14 +3,19 @@
 //! pure cost of framed requests and sequenced data blocks, (c) under a
 //! burst of dropped messages absorbed by timeouts and retries, and
 //! (d) through an accelerator death absorbed by ARM-driven failover with
-//! command-log replay. The health-plane rows then measure the same QR
+//! command-log replay, and (d') under in-flight payload corruption caught
+//! by the CRC trailers and healed by retransmission. The health-plane
+//! rows then measure the same QR
 //! (e) with heartbeats and leases on but no faults (pure health-plane
 //! cost), (f) through the same accelerator death recovered proactively by
 //! heartbeat-driven quarantine eviction, (g) through a heartbeat mute
 //! long enough to quarantine the (healthy) accelerator, and (h) through a
-//! graceful operator drain. A final row reports how long the ARM takes to
-//! reclaim a crashed compute node's accelerator through lease expiry.
-//! Completion times are virtual (simulated) seconds.
+//! graceful operator drain. A recovery-scaling section grows the logged
+//! history 10x and contrasts full-replay recovery (linear in history)
+//! against checkpointed recovery (flat: restore live state + replay the
+//! tail). A final row reports how long the ARM takes to reclaim a crashed
+//! compute node's accelerator through lease expiry. Completion times are
+//! virtual (simulated) seconds.
 
 use std::sync::Arc;
 
@@ -163,6 +168,104 @@ fn run_qr(s: Scenario) -> Outcome {
     }
 }
 
+const RECOVERY_SLOTS: u64 = 8;
+const RECOVERY_OP_LEN: u64 = 256 << 10;
+
+struct RecoveryOutcome {
+    recovery: SimDuration,
+    restored: u64,
+    replayed: u64,
+    exact: bool,
+}
+
+/// One bounded-time-recovery measurement: `ops` H2D writes land in a
+/// rotating window of `RECOVERY_SLOTS` buffer slots, optionally a
+/// checkpoint truncates the log (leaving a two-op tail so recovery
+/// exercises restore *and* tail replay), then the granted accelerator is
+/// killed and a D2H probe forces failover. Returns the virtual time from
+/// the probe to the verified bytes. The retry policy is tightened so
+/// death detection does not drown the replay cost being measured.
+fn run_recovery(ops: usize, ckpt: bool) -> RecoveryOutcome {
+    let retry = RetryPolicy {
+        timeout: SimDuration::from_millis(2),
+        max_retries: 2,
+        backoff: SimDuration::from_micros(100),
+    };
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    let plane = ChaosPlane::new(11, FaultSchedule::new());
+    let hook: Arc<dyn FaultHook> = plane.clone();
+    let spec = ClusterSpec {
+        compute_nodes: 1,
+        accelerators: 2,
+        local_gpus: false,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        daemon: DaemonConfig {
+            data_timeout: Some(SimDuration::from_millis(20)),
+            ..DaemonConfig::default()
+        },
+        frontend: FrontendConfig {
+            retry: Some(retry),
+            ..FrontendConfig::default()
+        },
+        ..ClusterSpec::default()
+    };
+    let mut sim = Sim::new();
+    let tracer = Tracer::new(1 << 16);
+    let mut cluster = build_cluster_chaos(&sim, spec, registry, tracer, Some(hook));
+    let tele = Telemetry::new(dacc_telemetry::DEFAULT_SPAN_CAPACITY);
+    cluster.set_telemetry(tele.clone());
+    let arm_rank = cluster.arm_rank;
+    let ep = cluster.cn_endpoints.remove(0);
+    let h = sim.handle();
+    let frontend = cluster.spec.frontend;
+
+    let buf_len = RECOVERY_SLOTS * RECOVERY_OP_LEN;
+    fn fill(i: usize) -> Vec<u8> {
+        (0..RECOVERY_OP_LEN as usize)
+            .map(|j| ((j * 131 + i * 7919) % 251) as u8)
+            .collect()
+    }
+    let mut expect = vec![0u8; buf_len as usize];
+    for i in 0..ops {
+        let off = ((i as u64 % RECOVERY_SLOTS) * RECOVERY_OP_LEN) as usize;
+        expect[off..off + RECOVERY_OP_LEN as usize].copy_from_slice(&fill(i));
+    }
+
+    let out = sim.spawn("recovery", async move {
+        let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend);
+        let mut sessions = proc.acquire_resilient(1).await.unwrap();
+        let session = sessions.remove(0);
+        let ptr = session.mem_alloc(buf_len).await.unwrap();
+        session.mem_set(ptr, buf_len, 0).await.unwrap();
+        let split = if ckpt { ops.saturating_sub(2) } else { ops };
+        for i in 0..ops {
+            if ckpt && i == split {
+                session.checkpoint().await.unwrap();
+            }
+            let off = (i as u64 % RECOVERY_SLOTS) * RECOVERY_OP_LEN;
+            let data = dacc_fabric::payload::Payload::from_vec(fill(i));
+            session.mem_cpy_h2d(&data, ptr.offset(off)).await.unwrap();
+        }
+        plane.inject(Fault::kill_daemon(2));
+        let t0 = h.now();
+        let back = session.mem_cpy_d2h(ptr, buf_len).await.unwrap();
+        let recovery = h.now().since(t0);
+        proc.finish().await;
+        (recovery, back, session.failovers())
+    });
+    sim.run();
+    let (recovery, back, failovers) = out.try_take().expect("recovery run did not finish");
+    assert!(failovers >= 1, "the kill never forced a failover");
+    RecoveryOutcome {
+        recovery,
+        restored: tele.counter("failover.restored_bytes"),
+        replayed: tele.counter("failover.tail_replayed_ops"),
+        exact: back.expect_bytes().as_ref() == expect.as_slice(),
+    }
+}
+
 /// Lease-expiry reclaim latency: a compute node crashes while holding an
 /// accelerator; measure the virtual time until the ARM has expired the
 /// lease, fenced the epoch, seen the fence acked, and returned the device
@@ -268,6 +371,28 @@ fn main() {
         5,
         FaultSchedule::new().after_events(120, Fault::kill_daemon(2)),
     );
+    // One bit flip in each direction of the data path, caught by the CRC
+    // trailers and healed by retransmission.
+    let corrupt: Arc<dyn FaultHook> = ChaosPlane::new(
+        5,
+        FaultSchedule::new()
+            .after_events(
+                80,
+                Fault::CorruptPayload {
+                    src: Some(1),
+                    dst: Some(2),
+                    nth: 1,
+                },
+            )
+            .after_events(
+                160,
+                Fault::CorruptPayload {
+                    src: Some(2),
+                    dst: Some(1),
+                    nth: 1,
+                },
+            ),
+    );
     // Time-pinned variants for the health rows: heartbeat traffic shifts
     // event counts, so the schedules trigger on the virtual clock instead.
     let kill_at: Arc<dyn FaultHook> = ChaosPlane::new(
@@ -319,6 +444,15 @@ fn main() {
                 Scenario {
                     retry: Some(retry),
                     fault: Some(kill),
+                    health: None,
+                    drain_at: None,
+                },
+            ),
+            (
+                "corrupted payloads (CRC + retransmit)",
+                Scenario {
+                    retry: Some(retry),
+                    fault: Some(corrupt),
                     health: None,
                     drain_at: None,
                 },
@@ -387,6 +521,54 @@ fn main() {
             ("numerics_ok", Json::from(o.resid_ok)),
         ]));
     }
+    // Bounded-time recovery scaling: grow the logged history 10x and watch
+    // full-replay recovery grow with it while checkpointed recovery stays
+    // pinned to O(live state + tail).
+    let mut recovery_rows = Vec::new();
+    let mut recovery_times = std::collections::HashMap::new();
+    if !dacc_bench::smoke() {
+        println!("\n# Recovery-time scaling (2 MiB live state, 256 KiB ops)");
+        for (label, ops, ckpt) in [
+            ("full replay x1", 24usize, false),
+            ("full replay x10", 240, false),
+            ("checkpointed x1", 24, true),
+            ("checkpointed x10", 240, true),
+        ] {
+            let o = run_recovery(ops, ckpt);
+            let secs = o.recovery.as_secs_f64();
+            recovery_times.insert(label, secs);
+            println!(
+                "{label:>38}: {secs:>9.6} s  logged={ops:<3} replayed={:<3} \
+                 restored={:>8}B bytes={}",
+                o.replayed,
+                o.restored,
+                if o.exact { "exact" } else { "CORRUPT" },
+            );
+            recovery_rows.push(Json::obj([
+                ("case", Json::from(label)),
+                ("logged_ops", Json::from(ops)),
+                ("recovery_s", Json::from(secs)),
+                ("replayed_ops", Json::from(o.replayed)),
+                ("restored_bytes", Json::from(o.restored)),
+                ("exact", Json::from(o.exact)),
+            ]));
+        }
+    }
+    // Checkpointed recovery time at 10x the history, relative to 1x: ~1.0
+    // means recovery is flat in log length (the tentpole property).
+    let ckpt_flatness = match (
+        recovery_times.get("checkpointed x10"),
+        recovery_times.get("checkpointed x1"),
+    ) {
+        (Some(a), Some(b)) if *b > 0.0 => a / b,
+        _ => 1.0,
+    };
+    if !recovery_times.is_empty() {
+        println!(
+            "{:>38}: {ckpt_flatness:>9.3}x",
+            "checkpointed 10x/1x flatness"
+        );
+    }
     if !dacc_bench::smoke() {
         let reclaim = run_lease_reclaim(retry, health);
         let secs = reclaim.as_secs_f64();
@@ -413,6 +595,8 @@ fn main() {
             ("n", Json::from(N)),
             ("nb", Json::from(NB)),
             ("runs", Json::Arr(rows)),
+            ("recovery", Json::Arr(recovery_rows)),
+            ("recovery_ckpt_flatness", Json::from(ckpt_flatness)),
         ]),
     );
     dacc_bench::telem::write_metrics("ablation_faults");

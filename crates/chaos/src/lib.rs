@@ -68,6 +68,19 @@ pub enum Fault {
         /// Serialization-time multiplier (> 1 slows the link).
         factor: f64,
     },
+    /// Flip one bit in the `nth` matching message (1-based, counted from
+    /// arming), then disarm. Timing is untouched — the damaged payload is
+    /// delivered on schedule, so only receiver-side integrity checks (CRC
+    /// trailers) can tell, making this the adversary for end-to-end payload
+    /// verification.
+    CorruptPayload {
+        /// Source rank filter (`None` matches all).
+        src: Option<usize>,
+        /// Destination rank filter (`None` matches all).
+        dst: Option<usize>,
+        /// Which matching message to corrupt (1 = the next one).
+        nth: u64,
+    },
     /// Kill the daemon at `rank`: it consumes its next request and returns
     /// without responding, permanently (the accelerator is dead).
     CrashProcess {
@@ -183,6 +196,8 @@ pub struct ChaosCounters {
     pub drops: u64,
     /// Messages degraded.
     pub degrades: u64,
+    /// Messages delivered with a flipped bit.
+    pub corruptions: u64,
     /// Crash verdicts returned (one per request the dead daemon consumed).
     pub crashes: u64,
     /// Hang verdicts returned.
@@ -220,6 +235,14 @@ impl ChaosPlane {
     /// What has been injected so far.
     pub fn counters(&self) -> ChaosCounters {
         self.state.lock().counters
+    }
+
+    /// Arm `fault` immediately, bypassing the schedule. Test drivers use
+    /// this for faults whose right moment is only known at runtime — e.g.
+    /// "kill the daemon now that the checkpoint completed" — where no event
+    /// count or virtual time can be pinned in advance.
+    pub fn inject(&self, fault: Fault) {
+        self.state.lock().active.push(fault);
     }
 }
 
@@ -278,6 +301,28 @@ impl FaultHook for ChaosPlane {
                     return LinkFault::Drop;
                 }
                 _ => {}
+            }
+        }
+        // Corruption: count matching deliveries down to the nth, damage it,
+        // disarm. Runs after drops (a dropped message has no bits left to
+        // flip) and before degradation (the damaged frame keeps its timing).
+        for i in 0..st.active.len() {
+            if let Fault::CorruptPayload {
+                src: s,
+                dst: d,
+                nth,
+            } = st.active[i].clone()
+            {
+                if link_matches(s, d, src, dst) {
+                    if nth <= 1 {
+                        st.active.remove(i);
+                        st.counters.corruptions += 1;
+                        return LinkFault::Corrupt;
+                    } else if let Fault::CorruptPayload { nth, .. } = &mut st.active[i] {
+                        *nth -= 1;
+                    }
+                    break;
+                }
             }
         }
         for f in &st.active {
@@ -430,6 +475,29 @@ mod tests {
         // Permanent.
         assert_eq!(plane.on_transmit(2, 1, 64, t(9999)), LinkFault::Drop);
         assert_eq!(plane.counters().drops, 3);
+    }
+
+    #[test]
+    fn corrupt_payload_hits_the_nth_match_then_disarms() {
+        let plane = ChaosPlane::new(
+            5,
+            FaultSchedule::new().at(
+                t(0),
+                Fault::CorruptPayload {
+                    src: Some(1),
+                    dst: Some(2),
+                    nth: 3,
+                },
+            ),
+        );
+        // First two matches pass; interleaved non-matching traffic ignored.
+        assert_eq!(plane.on_transmit(1, 2, 64, t(1)), LinkFault::Deliver);
+        assert_eq!(plane.on_transmit(2, 1, 64, t(2)), LinkFault::Deliver);
+        assert_eq!(plane.on_transmit(1, 2, 64, t(3)), LinkFault::Deliver);
+        // Third match is damaged, then the fault disarms.
+        assert_eq!(plane.on_transmit(1, 2, 64, t(4)), LinkFault::Corrupt);
+        assert_eq!(plane.on_transmit(1, 2, 64, t(5)), LinkFault::Deliver);
+        assert_eq!(plane.counters().corruptions, 1);
     }
 
     #[test]

@@ -21,7 +21,10 @@ use dacc_vgpu::device::{GpuError, HostMemKind, VirtualGpu};
 use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
 use dacc_vgpu::memory::DevicePtr;
 
-use crate::proto::{ac_tags, Request, RequestFrame, Response, Status, WireProtocol};
+use crate::failover::CheckpointPolicy;
+use crate::proto::{
+    ac_tags, open_block, seal_block, Request, RequestFrame, Response, Status, WireProtocol,
+};
 
 /// Transfer-protocol selection policy for one direction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -144,6 +147,12 @@ pub struct FrontendConfig {
     /// default; the A2-style ablations turn it off to measure the
     /// paper-era behaviour.
     pub fused_launch: bool,
+    /// Automatic checkpoint policy for resilient sessions: snapshot live
+    /// device state and truncate the command log whenever the logged tail
+    /// grows past the policy's thresholds, bounding recovery time by the
+    /// tail instead of the job's whole history. `None` (the default) keeps
+    /// the full log — the pre-checkpoint behaviour.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for FrontendConfig {
@@ -154,6 +163,7 @@ impl Default for FrontendConfig {
             peer_block: 512 << 10,
             retry: None,
             fused_launch: true,
+            checkpoint: None,
         }
     }
 }
@@ -356,12 +366,17 @@ impl RemoteAccelerator {
     }
 
     /// Await the response to attempt `attempt` of operation `op_id`.
+    ///
+    /// A response that fails its CRC (damaged in flight) is treated
+    /// exactly like a lost response — `None` — so the retry loop replays
+    /// the operation instead of surfacing a protocol error: end-to-end
+    /// integrity is healed by retransmission, never trusted.
     async fn recv_attempt(
         &self,
         op_id: u64,
         attempt: u32,
         timeout: SimDuration,
-    ) -> Option<Result<Response, AcError>> {
+    ) -> Option<Response> {
         let env = self
             .ep
             .recv_timeout(
@@ -370,12 +385,16 @@ impl RemoteAccelerator {
                 timeout,
             )
             .await?;
-        Some(
-            env.payload
-                .bytes()
-                .and_then(|b| Response::decode(b).ok())
-                .ok_or(AcError::Protocol),
-        )
+        match env.payload.bytes().and_then(|b| Response::decode(b).ok()) {
+            Some(resp) => Some(resp),
+            None => {
+                self.trace("retry.corrupt", || {
+                    format!("op {op_id} attempt {attempt}: response failed CRC, treating as lost")
+                });
+                self.telemetry().count("retry.corrupt_responses", 1);
+                None
+            }
+        }
     }
 
     /// Backoff before retry number `attempt` (1-based), with tracing.
@@ -406,7 +425,15 @@ impl RemoteAccelerator {
             }
             self.send_attempt(op_id, attempt, &req).await;
             match self.recv_attempt(op_id, attempt, policy.timeout).await {
-                Some(resp) => return resp,
+                // A corrupt data phase is healed by replaying the whole
+                // operation, exactly like a lost one.
+                Some(resp) if resp.status == Status::Corrupt => {
+                    self.trace("retry.corrupt", || {
+                        format!("op {op_id} attempt {attempt}: daemon saw corrupt data")
+                    });
+                    self.telemetry().count("retry.corrupt_data", 1);
+                }
+                Some(resp) => return Ok(resp),
                 None => {
                     self.trace("retry.timeout", || {
                         format!("op {op_id} attempt {attempt} timed out")
@@ -481,10 +508,11 @@ impl RemoteAccelerator {
         let mut offset = 0u64;
         while offset < len {
             let bs = block.min(len - offset);
-            sends.push(
-                self.ep
-                    .isend(self.daemon, ac_tags::DATA, src.slice(offset, bs)),
-            );
+            sends.push(self.ep.isend(
+                self.daemon,
+                ac_tags::DATA,
+                seal_block(&src.slice(offset, bs)),
+            ));
             offset += bs;
         }
         let resp = self.recv_response().await?;
@@ -524,7 +552,12 @@ impl RemoteAccelerator {
                 let bs = block.min(len - offset);
                 if !self
                     .ep
-                    .send_timeout(self.daemon, dtag, src.slice(offset, bs), policy.timeout)
+                    .send_timeout(
+                        self.daemon,
+                        dtag,
+                        seal_block(&src.slice(offset, bs)),
+                        policy.timeout,
+                    )
                     .await
                 {
                     delivered = false;
@@ -536,11 +569,12 @@ impl RemoteAccelerator {
             // own data timeout produces a `Status::Timeout` answer.
             match self.recv_attempt(op_id, attempt, policy.timeout).await {
                 Some(resp) => {
-                    let resp = resp?;
                     match resp.status {
                         Status::Ok if delivered => return Ok(()),
-                        // Timeout (either side lost data): retry the copy.
-                        Status::Ok | Status::Timeout => {
+                        // Timeout (either side lost data) or a corrupt
+                        // block caught by the daemon's CRC check: retry
+                        // the copy.
+                        Status::Ok | Status::Timeout | Status::Corrupt => {
                             self.trace("retry.timeout", || {
                                 format!("op {op_id} h2d attempt {attempt}: data phase lost")
                             });
@@ -593,7 +627,9 @@ impl RemoteAccelerator {
         let mut blocks = Vec::with_capacity(nblocks as usize);
         for _ in 0..nblocks {
             let env = self.ep.recv(Some(self.daemon), Some(ac_tags::DATA)).await;
-            blocks.push(env.payload);
+            // Without a retry policy there is no retransmit path, so a
+            // damaged block is a hard error rather than silent bad data.
+            blocks.push(open_block(&env.payload).map_err(|_| AcError::Remote(Status::Corrupt))?);
         }
         Ok(Payload::concat(&blocks))
     }
@@ -618,7 +654,7 @@ impl RemoteAccelerator {
             }
             self.send_attempt(op_id, attempt, &req).await;
             match self.recv_attempt(op_id, attempt, policy.timeout).await {
-                Some(resp) => check(resp?)?,
+                Some(resp) => check(resp)?,
                 None => {
                     self.trace("retry.timeout", || {
                         format!("op {op_id} d2h attempt {attempt} timed out")
@@ -638,7 +674,19 @@ impl RemoteAccelerator {
                     .recv_timeout(Some(self.daemon), Some(dtag), policy.timeout)
                     .await
                 {
-                    Some(env) => blocks.push(env.payload),
+                    // A block that fails its CRC is treated like a lost
+                    // block: the incomplete attempt is abandoned and the
+                    // whole copy is retried on a fresh attempt tag.
+                    Some(env) => match open_block(&env.payload) {
+                        Ok(data) => blocks.push(data),
+                        Err(_) => {
+                            self.trace("retry.corrupt", || {
+                                format!("op {op_id} d2h attempt {attempt}: block failed CRC")
+                            });
+                            self.telemetry().count("retry.corrupt_blocks", 1);
+                            break;
+                        }
+                    },
                     None => break,
                 }
             }
@@ -660,6 +708,264 @@ impl RemoteAccelerator {
         self.trace("retry.gave_up", || {
             format!(
                 "op {op_id} d2h unreachable after {} attempts",
+                policy.max_retries + 1
+            )
+        });
+        self.telemetry().count("retry.gave_up", 1);
+        Err(AcError::Unreachable)
+    }
+
+    /// Pipeline block size for checkpoint traffic under `policy` (snapshot
+    /// and restore streams are always pipelined — a naive policy falls back
+    /// to 128 KiB blocks).
+    fn ckpt_block(&self, policy: TransferProtocol, len: u64) -> u64 {
+        match policy.wire(len) {
+            WireProtocol::Pipeline { block } => block,
+            WireProtocol::Naive => 128 << 10,
+        }
+    }
+
+    /// Serialize the given live device regions into host payloads — the
+    /// device side of a checkpoint. Each `(ptr, len)` region streams back
+    /// over the pipelined block protocol (multi-region
+    /// [`Self::mem_cpy_d2h`]); the returned payloads are in region order.
+    pub async fn snapshot(&self, regions: &[(DevicePtr, u64)]) -> Result<Vec<Payload>, AcError> {
+        let total: u64 = regions.iter().map(|(_, l)| *l).sum();
+        let _span = self
+            .telemetry()
+            .span(self.ep.fabric().handle(), "api.snapshot", || {
+                format!("{} regions, {total}B <- {}", regions.len(), self.daemon)
+            })
+            .bytes(total);
+        let block = self.ckpt_block(self.config.d2h, total);
+        let req = Request::Snapshot {
+            regions: regions.iter().map(|(p, l)| (p.0, *l)).collect(),
+            block,
+        };
+        match self.config.retry {
+            None => self.snapshot_bare(regions, block, req).await,
+            Some(policy) => self.snapshot_retry(regions, block, req, policy).await,
+        }
+    }
+
+    async fn snapshot_bare(
+        &self,
+        regions: &[(DevicePtr, u64)],
+        block: u64,
+        req: Request,
+    ) -> Result<Vec<Payload>, AcError> {
+        let protocol = WireProtocol::Pipeline { block };
+        check(self.call(req).await?)?;
+        let mut out = Vec::with_capacity(regions.len());
+        for (_, len) in regions {
+            let nblocks = protocol.block_count(*len);
+            let mut blocks = Vec::with_capacity(nblocks as usize);
+            for _ in 0..nblocks {
+                let env = self.ep.recv(Some(self.daemon), Some(ac_tags::DATA)).await;
+                blocks
+                    .push(open_block(&env.payload).map_err(|_| AcError::Remote(Status::Corrupt))?);
+            }
+            out.push(Payload::concat(&blocks));
+        }
+        Ok(out)
+    }
+
+    async fn snapshot_retry(
+        &self,
+        regions: &[(DevicePtr, u64)],
+        block: u64,
+        req: Request,
+        policy: RetryPolicy,
+    ) -> Result<Vec<Payload>, AcError> {
+        let protocol = WireProtocol::Pipeline { block };
+        let op_id = self.alloc_op();
+        'attempts: for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.backoff(policy, op_id, attempt).await;
+            }
+            self.send_attempt(op_id, attempt, &req).await;
+            match self.recv_attempt(op_id, attempt, policy.timeout).await {
+                Some(resp) => check(resp)?,
+                None => {
+                    self.trace("retry.timeout", || {
+                        format!("op {op_id} snapshot attempt {attempt} timed out")
+                    });
+                    self.telemetry().count("retry.timeouts", 1);
+                    if self.abort_retries(op_id) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            let dtag = ac_tags::data_tag(op_id, attempt);
+            let mut out = Vec::with_capacity(regions.len());
+            for (_, len) in regions {
+                let nblocks = protocol.block_count(*len);
+                let mut blocks = Vec::with_capacity(nblocks as usize);
+                for _ in 0..nblocks {
+                    // A lost or CRC-damaged block abandons the attempt and
+                    // replays the whole snapshot on a fresh attempt tag.
+                    let Some(env) = self
+                        .ep
+                        .recv_timeout(Some(self.daemon), Some(dtag), policy.timeout)
+                        .await
+                    else {
+                        self.trace("retry.timeout", || {
+                            format!("op {op_id} snapshot attempt {attempt}: block lost")
+                        });
+                        self.telemetry().count("retry.timeouts", 1);
+                        if self.abort_retries(op_id) {
+                            break 'attempts;
+                        }
+                        continue 'attempts;
+                    };
+                    match open_block(&env.payload) {
+                        Ok(data) => blocks.push(data),
+                        Err(_) => {
+                            self.trace("retry.corrupt", || {
+                                format!("op {op_id} snapshot attempt {attempt}: block failed CRC")
+                            });
+                            self.telemetry().count("retry.corrupt_blocks", 1);
+                            continue 'attempts;
+                        }
+                    }
+                }
+                out.push(Payload::concat(&blocks));
+            }
+            return Ok(out);
+        }
+        self.trace("retry.gave_up", || {
+            format!(
+                "op {op_id} snapshot unreachable after {} attempts",
+                policy.max_retries + 1
+            )
+        });
+        self.telemetry().count("retry.gave_up", 1);
+        Err(AcError::Unreachable)
+    }
+
+    /// Deserialize previously snapshotted payloads back into device memory
+    /// at the given regions — the device side of a checkpoint restore.
+    /// `data[i]` must be exactly `regions[i].1` bytes.
+    pub async fn restore(
+        &self,
+        regions: &[(DevicePtr, u64)],
+        data: &[Payload],
+    ) -> Result<(), AcError> {
+        assert_eq!(regions.len(), data.len(), "one payload per restored region");
+        let total: u64 = regions.iter().map(|(_, l)| *l).sum();
+        let _span = self
+            .telemetry()
+            .span(self.ep.fabric().handle(), "api.restore", || {
+                format!("{} regions, {total}B -> {}", regions.len(), self.daemon)
+            })
+            .bytes(total);
+        let block = self.ckpt_block(self.config.h2d, total);
+        let req = Request::Restore {
+            regions: regions.iter().map(|(p, l)| (p.0, *l)).collect(),
+            block,
+        };
+        match self.config.retry {
+            None => self.restore_bare(data, block, req).await,
+            Some(policy) => self.restore_retry(data, block, req, policy).await,
+        }
+    }
+
+    async fn restore_bare(
+        &self,
+        data: &[Payload],
+        block: u64,
+        req: Request,
+    ) -> Result<(), AcError> {
+        self.ep
+            .send(
+                self.daemon,
+                ac_tags::REQUEST,
+                Payload::from_vec(req.encode()),
+            )
+            .await;
+        let mut sends = Vec::new();
+        for payload in data {
+            let len = payload.len();
+            let mut offset = 0u64;
+            while offset < len {
+                let bs = block.min(len - offset);
+                sends.push(self.ep.isend(
+                    self.daemon,
+                    ac_tags::DATA,
+                    seal_block(&payload.slice(offset, bs)),
+                ));
+                offset += bs;
+            }
+        }
+        let resp = self.recv_response().await?;
+        for s in sends {
+            s.await;
+        }
+        check(resp).map(|_| ())
+    }
+
+    async fn restore_retry(
+        &self,
+        data: &[Payload],
+        block: u64,
+        req: Request,
+        policy: RetryPolicy,
+    ) -> Result<(), AcError> {
+        let op_id = self.alloc_op();
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.backoff(policy, op_id, attempt).await;
+            }
+            self.send_attempt(op_id, attempt, &req).await;
+            let dtag = ac_tags::data_tag(op_id, attempt);
+            let mut delivered = true;
+            'send: for payload in data {
+                let len = payload.len();
+                let mut offset = 0u64;
+                while offset < len {
+                    let bs = block.min(len - offset);
+                    if !self
+                        .ep
+                        .send_timeout(
+                            self.daemon,
+                            dtag,
+                            seal_block(&payload.slice(offset, bs)),
+                            policy.timeout,
+                        )
+                        .await
+                    {
+                        delivered = false;
+                        break 'send;
+                    }
+                    offset += bs;
+                }
+            }
+            match self.recv_attempt(op_id, attempt, policy.timeout).await {
+                Some(resp) => match resp.status {
+                    Status::Ok if delivered => return Ok(()),
+                    Status::Ok | Status::Timeout | Status::Corrupt => {
+                        self.trace("retry.timeout", || {
+                            format!("op {op_id} restore attempt {attempt}: data phase lost")
+                        });
+                        self.telemetry().count("retry.timeouts", 1);
+                    }
+                    _ => return check(resp).map(|_| ()),
+                },
+                None => {
+                    self.trace("retry.timeout", || {
+                        format!("op {op_id} restore attempt {attempt} timed out")
+                    });
+                    self.telemetry().count("retry.timeouts", 1);
+                    if self.abort_retries(op_id) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.trace("retry.gave_up", || {
+            format!(
+                "op {op_id} restore unreachable after {} attempts",
                 policy.max_retries + 1
             )
         });

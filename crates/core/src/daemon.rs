@@ -22,7 +22,8 @@ use dacc_vgpu::memory::{DevicePtr, MemError};
 use dacc_vgpu::pinned::PinnedPool;
 
 use crate::proto::{
-    ac_tags, AnyRequest, Request, Response, Status, StreamAck, WireProtocol, STREAM_VIRT_BASE,
+    ac_tags, open_block, seal_block, AnyRequest, Request, Response, Status, StreamAck,
+    WireProtocol, STREAM_VIRT_BASE,
 };
 
 /// Daemon tuning parameters.
@@ -247,6 +248,8 @@ pub(crate) fn request_kind(req: &Request) -> &'static str {
         Request::Shutdown => "Shutdown",
         Request::Launch { .. } => "Launch",
         Request::MemAllocAt { .. } => "MemAllocAt",
+        Request::Snapshot { .. } => "Snapshot",
+        Request::Restore { .. } => "Restore",
     }
 }
 
@@ -271,6 +274,8 @@ fn has_data_phase(req: &Request) -> bool {
             | Request::MemCpyD2H { .. }
             | Request::PeerSend { .. }
             | Request::PeerRecv { .. }
+            | Request::Snapshot { .. }
+            | Request::Restore { .. }
     )
 }
 
@@ -569,6 +574,100 @@ pub async fn run_daemon_health(
                     }
                     continue;
                 }
+                Request::Snapshot { regions, block } => {
+                    // Serialize the named device regions to the front-end
+                    // over the pipelined block protocol, exactly like a
+                    // multi-region D2H: validate everything first so the
+                    // front-end knows from the response whether data blocks
+                    // will follow, then stream region by region.
+                    let protocol = WireProtocol::Pipeline { block };
+                    let mut resolved = Vec::with_capacity(regions.len());
+                    let mut total = 0u64;
+                    let mut err = None;
+                    for (virt, len) in &regions {
+                        let valid = match session.resolve_ptr(DevicePtr(*virt)) {
+                            Ok(real) => gpu
+                                .mem()
+                                .resolve(real, *len)
+                                .map(|_| real)
+                                .map_err(|e| status_of_gpu_error(&e.into())),
+                            Err(st) => Err(st),
+                        };
+                        match valid {
+                            Ok(real) => {
+                                resolved.push((real, *len));
+                                total += *len;
+                            }
+                            Err(st) => {
+                                err = Some(st);
+                                break;
+                            }
+                        }
+                    }
+                    let block_ok = regions
+                        .iter()
+                        .all(|(_, len)| protocol.block_size(*len) <= config.pinned_buffer);
+                    match err {
+                        Some(st) => {
+                            respond(&ep, cn, resp_tag, Response::err(st)).await;
+                        }
+                        None if !block_ok => {
+                            respond(&ep, cn, resp_tag, Response::err(Status::Malformed)).await;
+                        }
+                        None => {
+                            respond(
+                                &ep,
+                                cn,
+                                resp_tag,
+                                Response {
+                                    status: Status::Ok,
+                                    value: total,
+                                },
+                            )
+                            .await;
+                            for (real, len) in resolved {
+                                stream_d2h(
+                                    &handle, &ep, &gpu, &pool, &config, &mut stats, cn, real, len,
+                                    protocol, data_tag,
+                                )
+                                .await;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Request::Restore { regions, block } => {
+                    // Deserialize previously snapshotted regions back into
+                    // device memory: a multi-region H2D. After the first
+                    // failure the remaining regions' blocks are already in
+                    // flight, so drain them to keep the channel clean and
+                    // report the first failure.
+                    let protocol = WireProtocol::Pipeline { block };
+                    let mut resp = Response::ok();
+                    for (virt, len) in &regions {
+                        if resp.status != Status::Ok {
+                            drain(&ep, &config, cn, data_tag, protocol.block_count(*len)).await;
+                            continue;
+                        }
+                        match session.resolve_ptr(DevicePtr(*virt)) {
+                            Err(st) => {
+                                drain(&ep, &config, cn, data_tag, protocol.block_count(*len)).await;
+                                resp = Response::err(st);
+                            }
+                            Ok(real) => {
+                                let r = handle_h2d(
+                                    &handle, &ep, &gpu, &pool, &config, &mut stats, cn, real, *len,
+                                    protocol, data_tag,
+                                )
+                                .await;
+                                if r.status != Status::Ok {
+                                    resp = r;
+                                }
+                            }
+                        }
+                    }
+                    resp
+                }
                 Request::PeerSend {
                     src,
                     len,
@@ -654,8 +753,9 @@ pub async fn run_daemon_health(
         };
         drop(exec_span);
         // Remember the outcome so a replayed request (lost response) is
-        // answered without re-execution; timeouts must re-execute.
-        if framed && resp.status != Status::Timeout {
+        // answered without re-execution; timeouts and corrupt data phases
+        // must re-execute.
+        if framed && resp.status != Status::Timeout && resp.status != Status::Corrupt {
             completed.insert(cn, (op_id, resp));
         }
         let ack_span = tele
@@ -916,10 +1016,20 @@ async fn handle_h2d(
                 None,
             );
             stats.host_buffer_peak = stats.host_buffer_peak.max(len);
+            let data = match open_block(&env.payload) {
+                Ok(p) => p,
+                Err(_) => {
+                    tele.count("daemon.corrupt_blocks", 1);
+                    tele.instant(handle, "daemon.corrupt", || {
+                        format!("naive {len}B from {src_rank} failed CRC")
+                    });
+                    return Response::err(Status::Corrupt);
+                }
+            };
             let _dma_span = tele
                 .span(handle, "daemon.dma", || format!("naive {len}B h2d"))
                 .bytes(len);
-            match gpu.memcpy_h2d(&env.payload, dst, HostMemKind::Pinned).await {
+            match gpu.memcpy_h2d(&data, dst, HostMemKind::Pinned).await {
                 Ok(()) => Response::ok(),
                 Err(e) => Response::err(status_of_gpu_error(&e)),
             }
@@ -956,6 +1066,25 @@ async fn handle_h2d(
                     None,
                 );
                 handle.delay(config.per_block_cost).await;
+                let data = match open_block(&env.payload) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Damaged in flight: never DMA it. Keep receiving the
+                        // remaining blocks so the channel stays clean, then
+                        // report `Corrupt`; the front-end retries the whole
+                        // transfer under a fresh attempt tag.
+                        tele.count("daemon.corrupt_blocks", 1);
+                        tele.instant(handle, "daemon.corrupt", || {
+                            format!("block @{offset} ({bs}B) from {src_rank} failed CRC")
+                        });
+                        if status == Status::Ok {
+                            status = Status::Corrupt;
+                        }
+                        drop(slot);
+                        offset += bs;
+                        continue;
+                    }
+                };
                 let staging = pool.staging_cost(bs);
                 let gpu = gpu.clone();
                 let dptr = dst.offset(offset);
@@ -967,9 +1096,7 @@ async fn handle_h2d(
                             format!("block @{offset} ({bs}B) h2d")
                         })
                         .bytes(bs);
-                    let result = gpu
-                        .memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned)
-                        .await;
+                    let result = gpu.memcpy_h2d(&data, dptr, HostMemKind::Pinned).await;
                     drop(slot);
                     result
                 }));
@@ -1000,6 +1127,7 @@ async fn handle_h2d(
             let mut inflight: std::collections::VecDeque<_> = std::collections::VecDeque::new();
             let mut post_offset = 0u64; // next block to post a receive for
             let mut offset = 0u64; // next block to complete
+            let mut corrupt = false;
             while offset < len {
                 while post_offset < len && inflight.len() < prepost {
                     let bs = block.min(len - post_offset);
@@ -1020,6 +1148,19 @@ async fn handle_h2d(
                     None,
                 );
                 handle.delay(config.per_block_cost).await;
+                let data = match open_block(&env.payload) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        tele.count("daemon.corrupt_blocks", 1);
+                        tele.instant(handle, "daemon.corrupt", || {
+                            format!("block @{offset} ({bs}B) from {src_rank} failed CRC")
+                        });
+                        corrupt = true;
+                        drop(slot);
+                        offset += bs;
+                        continue;
+                    }
+                };
                 let staging = pool.staging_cost(bs);
                 let gpu = gpu.clone();
                 let dptr = dst.offset(offset);
@@ -1031,9 +1172,7 @@ async fn handle_h2d(
                             format!("block @{offset} ({bs}B) h2d")
                         })
                         .bytes(bs);
-                    let result = gpu
-                        .memcpy_h2d(&env.payload, dptr, HostMemKind::Pinned)
-                        .await;
+                    let result = gpu.memcpy_h2d(&data, dptr, HostMemKind::Pinned).await;
                     drop(slot);
                     result
                 }));
@@ -1044,7 +1183,7 @@ async fn handle_h2d(
                 }
                 offset += bs;
             }
-            let mut status = Status::Ok;
+            let mut status = if corrupt { Status::Corrupt } else { Status::Ok };
             for dma in dmas {
                 if let Err(e) = dma.await {
                     if status == Status::Ok {
@@ -1093,7 +1232,7 @@ async fn stream_d2h(
                     format!("naive {len}B to {dst_rank}")
                 })
                 .bytes(len);
-            send_data(ep, config, dst_rank, data_tag, payload).await;
+            send_data(ep, config, dst_rank, data_tag, seal_block(&payload)).await;
         }
         WireProtocol::Pipeline { .. } => {
             let block = protocol.block_size(len);
@@ -1110,10 +1249,11 @@ async fn stream_d2h(
                         format!("block @{offset} ({bs}B) d2h")
                     })
                     .bytes(bs);
-                let payload = gpu
-                    .memcpy_d2h(src.offset(offset), bs, HostMemKind::Pinned)
-                    .await
-                    .expect("validated before streaming");
+                let payload = seal_block(
+                    &gpu.memcpy_d2h(src.offset(offset), bs, HostMemKind::Pinned)
+                        .await
+                        .expect("validated before streaming"),
+                );
                 drop(dma_span);
                 let staging = pool.staging_cost(bs);
                 if !staging.is_zero() {

@@ -17,10 +17,24 @@
 //! routines do) survive re-allocation at different physical addresses on the
 //! replacement device.
 //!
-//! Limitations, by design of the prototype: the command log grows with the
-//! session (no checkpoint compaction); peer-to-peer transfers are not
-//! covered (see [`device_to_device`](crate::api::device_to_device)); and the
-//! ARM control plane itself is assumed reliable. Failure detection requires
+//! An unbounded log would make recovery cost — and retained host memory —
+//! grow with the job's whole history. A [`CheckpointPolicy`] bounds both:
+//! once the logged tail passes the policy's thresholds the session
+//! snapshots the live device regions (daemon `Snapshot` opcode, pipelined
+//! block streaming), **truncates** the log, and drops the retained H2D
+//! payloads. Failover then re-allocates the checkpointed regions on the
+//! replacement, restores their bytes in one `Restore` stream, and replays
+//! only the post-checkpoint tail — O(live state + tail) instead of
+//! O(history). A proactive eviction notice additionally attempts a fresh
+//! pre-copy snapshot while the old accelerator is still draining, so the
+//! migration carries the newest possible state. A checkpoint that fails
+//! mid-snapshot (daemon died under it) is simply discarded: the previous
+//! checkpoint and the full log are kept, and recovery falls back to them.
+//!
+//! Remaining limitations, by design of the prototype: peer-to-peer
+//! transfers are not covered (see
+//! [`device_to_device`](crate::api::device_to_device)); and the ARM control
+//! plane itself is assumed reliable. Failure detection requires
 //! `config.retry` to be set — without it, calls wait forever and failover
 //! never triggers.
 
@@ -48,6 +62,57 @@ const VIRT_ALIGN: u64 = 256;
 
 fn round_up(v: u64, align: u64) -> u64 {
     v.div_ceil(align) * align
+}
+
+/// When to checkpoint a [`FailoverSession`] automatically: after every
+/// `every_ops` logged operations and/or every `every_bytes` retained
+/// host→device payload bytes, whichever trips first. A dimension set to 0
+/// is disabled; [`CheckpointPolicy::default`] checkpoints every 64 ops or
+/// 8 MiB of retained payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many operations are in the log (0 = never by
+    /// op count).
+    pub every_ops: u64,
+    /// Checkpoint once the log retains this many H2D payload bytes
+    /// (0 = never by bytes).
+    pub every_bytes: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_ops: 64,
+            every_bytes: 8 << 20,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// True when a log of `ops` operations retaining `bytes` payload bytes
+    /// has outgrown this policy.
+    pub fn due(&self, ops: u64, bytes: u64) -> bool {
+        (self.every_ops > 0 && ops >= self.every_ops)
+            || (self.every_bytes > 0 && bytes >= self.every_bytes)
+    }
+}
+
+/// One region captured by a checkpoint: where it lives in the session's
+/// virtual address space and the bytes it held at capture time.
+#[derive(Clone)]
+struct CkptRegion {
+    virt: u64,
+    /// The allocation's true length (may be 0; the translation span is
+    /// `alloc_len.max(1)`).
+    alloc_len: u64,
+    data: Payload,
+}
+
+/// A completed device-state checkpoint: everything needed to rebuild the
+/// live regions on a replacement accelerator without the pre-checkpoint log.
+#[derive(Clone)]
+struct Checkpoint {
+    regions: Vec<CkptRegion>,
 }
 
 /// One logged state-changing operation (replayed on failover).
@@ -79,7 +144,11 @@ enum LoggedOp {
 /// A live virtual allocation and its current physical backing.
 struct Region {
     virt: u64,
+    /// Translation span (`alloc_len.max(1)` so zero-length allocations
+    /// still own an addressable base).
     len: u64,
+    /// The allocation's true length, as requested.
+    alloc_len: u64,
     real: DevicePtr,
 }
 
@@ -128,6 +197,12 @@ struct Inner {
     log: Vec<LoggedOp>,
     next_virt: u64,
     failovers: u32,
+    /// Latest completed device-state checkpoint; the log holds only the
+    /// tail of operations since it was taken.
+    checkpoint: Option<Checkpoint>,
+    /// H2D payload bytes currently retained by the log tail (drops to 0 at
+    /// every checkpoint).
+    retained_bytes: u64,
 }
 
 /// A fault-tolerant session on one accelerator (see module docs).
@@ -170,6 +245,8 @@ impl FailoverSession {
                 log: Vec::new(),
                 next_virt: VIRT_BASE,
                 failovers: 0,
+                checkpoint: None,
+                retained_bytes: 0,
             })),
         }
     }
@@ -179,6 +256,28 @@ impl FailoverSession {
     pub fn with_max_failovers(mut self, n: u32) -> Self {
         self.max_failovers = n;
         self
+    }
+
+    /// Install (or replace) the automatic checkpoint policy. Equivalent to
+    /// setting [`FrontendConfig::checkpoint`] before building the session.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.config.checkpoint = Some(policy);
+        self
+    }
+
+    /// Operations currently in the command log (the replay tail).
+    pub fn logged_ops(&self) -> u64 {
+        self.inner.borrow().log.len() as u64
+    }
+
+    /// Host→device payload bytes retained by the log tail for replay.
+    pub fn retained_log_bytes(&self) -> u64 {
+        self.inner.borrow().retained_bytes
+    }
+
+    /// True once the session holds a completed device-state checkpoint.
+    pub fn has_checkpoint(&self) -> bool {
+        self.inner.borrow().checkpoint.is_some()
     }
 
     /// The identity of the accelerator currently serving the session.
@@ -256,6 +355,21 @@ impl FailoverSession {
                     self.job.0, accel_id.0
                 )
             });
+        if self.config.checkpoint.is_some() {
+            // Pre-copy: the evicted accelerator is draining, not dead, so
+            // try to capture its freshest state before migrating — the
+            // replacement then restores this snapshot instead of replaying
+            // the whole tail. Failure is fine; migration proceeds from the
+            // previous checkpoint and the longer log.
+            match self.checkpoint().await {
+                Ok(()) => self.ep.fabric().telemetry().count("failover.precopy", 1),
+                Err(_) => self
+                    .ep
+                    .fabric()
+                    .telemetry()
+                    .count("failover.precopy_failed", 1),
+            }
+        }
         match ev.replacement {
             Some(grant) => self.migrate_to(grant).await?,
             None => {
@@ -304,6 +418,108 @@ impl FailoverSession {
         Ok(())
     }
 
+    /// Snapshot the session's live device regions and truncate the command
+    /// log to the operations issued after the snapshot began, dropping the
+    /// retained H2D payloads with it.
+    ///
+    /// On success, recovery cost from here on is O(live state + log tail).
+    /// On failure — the accelerator died mid-snapshot, say — the partial
+    /// snapshot is discarded and the session keeps its previous checkpoint
+    /// and its full log, so recovery falls back one checkpoint rather than
+    /// trusting half-copied state. The snapshot itself is **not** retried
+    /// through the failover path (that would recurse into recovery); the
+    /// next operation's retry loop drives recovery as usual.
+    pub async fn checkpoint(&self) -> Result<(), AcError> {
+        let accel = self.current();
+        let (captured, reals, logged) = {
+            let inner = self.inner.borrow();
+            let captured: Vec<(u64, u64)> = inner
+                .regions
+                .iter()
+                .map(|r| (r.virt, r.alloc_len))
+                .collect();
+            let reals: Vec<(DevicePtr, u64)> = inner
+                .regions
+                .iter()
+                .map(|r| (r.real, r.alloc_len))
+                .collect();
+            (captured, reals, inner.log.len())
+        };
+        let tele = self.ep.fabric().telemetry();
+        let job = self.job.0;
+        let nregions = reals.len();
+        let total: u64 = reals.iter().map(|(_, l)| *l).sum();
+        let span = tele
+            .span(self.ep.fabric().handle(), "failover.checkpoint", || {
+                format!("job {job}: {nregions} regions, {total}B")
+            })
+            .bytes(total);
+        let data = accel.snapshot(&reals).await?;
+        drop(span);
+        let mut inner = self.inner.borrow_mut();
+        inner.checkpoint = Some(Checkpoint {
+            regions: captured
+                .into_iter()
+                .zip(data)
+                .map(|((virt, alloc_len), data)| CkptRegion {
+                    virt,
+                    alloc_len,
+                    data,
+                })
+                .collect(),
+        });
+        // Truncate exactly the prefix that predates the snapshot;
+        // operations logged while the snapshot streamed stay in the tail.
+        inner.log.drain(..logged);
+        inner.retained_bytes = inner
+            .log
+            .iter()
+            .map(|op| match op {
+                LoggedOp::H2D { data, .. } => data.len(),
+                _ => 0,
+            })
+            .sum();
+        drop(inner);
+        tele.count("failover.checkpoints", 1);
+        tele.count("failover.checkpoint_bytes", total);
+        self.tracer
+            .record(self.ep.fabric().handle(), "failover.checkpoint", || {
+                format!(
+                    "job {job}: checkpointed {nregions} regions ({total}B), {logged} ops truncated"
+                )
+            });
+        Ok(())
+    }
+
+    /// Checkpoint when the configured policy says the log has outgrown its
+    /// thresholds; a failed automatic checkpoint is traced and swallowed
+    /// (the session just keeps its longer log).
+    async fn maybe_checkpoint(&self) {
+        let Some(policy) = self.config.checkpoint else {
+            return;
+        };
+        let (ops, bytes) = {
+            let inner = self.inner.borrow();
+            (inner.log.len() as u64, inner.retained_bytes)
+        };
+        if !policy.due(ops, bytes) {
+            return;
+        }
+        if self.checkpoint().await.is_err() {
+            self.ep
+                .fabric()
+                .telemetry()
+                .count("failover.checkpoint_failed", 1);
+            self.tracer
+                .record(self.ep.fabric().handle(), "failover.checkpoint", || {
+                    format!(
+                        "job {}: automatic checkpoint failed, keeping full log",
+                        self.job.0
+                    )
+                });
+        }
+    }
+
     /// Replay the command log onto `grant` and swap it in as the
     /// session's current accelerator: the shared tail of reactive
     /// failover and proactive eviction-driven migration.
@@ -317,10 +533,33 @@ impl FailoverSession {
             })
             .op(job);
         let accel = wrap_grant(&self.ep, &self.arm, &grant, self.config, &self.tracer);
-        // Snapshot the log (payload clones are reference-counted), then
-        // replay without holding the borrow across awaits.
-        let log: Vec<LoggedOp> = self.inner.borrow().log.clone();
+        // Clone the recovery state (payload clones are reference-counted),
+        // then rebuild without holding the borrow across awaits.
+        let (ckpt, log): (Option<Checkpoint>, Vec<LoggedOp>) = {
+            let inner = self.inner.borrow();
+            (inner.checkpoint.clone(), inner.log.clone())
+        };
         let mut regions: Vec<Region> = Vec::new();
+        let mut restored_bytes = 0u64;
+        if let Some(ckpt) = &ckpt {
+            // Rebuild the checkpointed regions first — allocations, then
+            // one multi-region restore stream — so the tail replays over
+            // exactly the state it was logged against.
+            let mut reals = Vec::with_capacity(ckpt.regions.len());
+            for cr in &ckpt.regions {
+                let real = accel.mem_alloc(cr.alloc_len).await?;
+                regions.push(Region {
+                    virt: cr.virt,
+                    len: cr.alloc_len.max(1),
+                    alloc_len: cr.alloc_len,
+                    real,
+                });
+                reals.push((real, cr.alloc_len));
+            }
+            let data: Vec<Payload> = ckpt.regions.iter().map(|c| c.data.clone()).collect();
+            accel.restore(&reals, &data).await?;
+            restored_bytes = data.iter().map(Payload::len).sum();
+        }
         for op in &log {
             match op {
                 LoggedOp::Alloc { virt, len } => {
@@ -328,6 +567,7 @@ impl FailoverSession {
                     regions.push(Region {
                         virt: *virt,
                         len: (*len).max(1),
+                        alloc_len: *len,
                         real,
                     });
                 }
@@ -352,6 +592,8 @@ impl FailoverSession {
         }
         let replayed = log.len();
         tele.count("failover.replayed_ops", replayed as u64);
+        tele.count("failover.tail_replayed_ops", replayed as u64);
+        tele.count("failover.restored_bytes", restored_bytes);
         let mut inner = self.inner.borrow_mut();
         inner.accel = accel;
         inner.accel_id = grant.accel;
@@ -361,7 +603,8 @@ impl FailoverSession {
         self.tracer
             .record(self.ep.fabric().handle(), "arm.failover", || {
                 format!(
-                    "job {}: failed over accel {} -> accel {} (rank {}), {replayed} ops replayed",
+                    "job {}: failed over accel {} -> accel {} (rank {}), \
+                     {restored_bytes}B restored + {replayed} ops replayed",
                     self.job.0, old_id.0, grant.accel.0, grant.daemon_rank.0
                 )
             });
@@ -382,15 +625,20 @@ impl FailoverSession {
                 }
                 Err(e) => return Err(e),
                 Ok(real) => {
-                    let mut inner = self.inner.borrow_mut();
-                    let virt = inner.next_virt;
-                    inner.next_virt += round_up(len.max(1), VIRT_ALIGN);
-                    inner.regions.push(Region {
-                        virt,
-                        len: len.max(1),
-                        real,
-                    });
-                    inner.log.push(LoggedOp::Alloc { virt, len });
+                    let virt = {
+                        let mut inner = self.inner.borrow_mut();
+                        let virt = inner.next_virt;
+                        inner.next_virt += round_up(len.max(1), VIRT_ALIGN);
+                        inner.regions.push(Region {
+                            virt,
+                            len: len.max(1),
+                            alloc_len: len,
+                            real,
+                        });
+                        inner.log.push(LoggedOp::Alloc { virt, len });
+                        virt
+                    };
+                    self.maybe_checkpoint().await;
                     return Ok(DevicePtr(virt));
                 }
             }
@@ -412,9 +660,12 @@ impl FailoverSession {
                 }
                 Err(e) => return Err(e),
                 Ok(()) => {
-                    let mut inner = self.inner.borrow_mut();
-                    inner.regions.retain(|r| r.virt != ptr.0);
-                    inner.log.push(LoggedOp::Free { virt: ptr.0 });
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.regions.retain(|r| r.virt != ptr.0);
+                        inner.log.push(LoggedOp::Free { virt: ptr.0 });
+                    }
+                    self.maybe_checkpoint().await;
                     return Ok(());
                 }
             }
@@ -436,10 +687,18 @@ impl FailoverSession {
                 }
                 Err(e) => return Err(e),
                 Ok(()) => {
-                    self.inner.borrow_mut().log.push(LoggedOp::H2D {
-                        virt: dst.0,
-                        data: src.clone(),
-                    });
+                    {
+                        // The clone shares the caller's buffer (reference
+                        // counted), so retention costs bookkeeping only
+                        // until the caller drops its copy.
+                        let mut inner = self.inner.borrow_mut();
+                        inner.retained_bytes += src.len();
+                        inner.log.push(LoggedOp::H2D {
+                            virt: dst.0,
+                            data: src.clone(),
+                        });
+                    }
+                    self.maybe_checkpoint().await;
                     return Ok(());
                 }
             }
@@ -466,6 +725,7 @@ impl FailoverSession {
                         len,
                         byte,
                     });
+                    self.maybe_checkpoint().await;
                     return Ok(());
                 }
             }
@@ -515,6 +775,7 @@ impl FailoverSession {
                         cfg,
                         args: args.to_vec(),
                     });
+                    self.maybe_checkpoint().await;
                     return Ok(());
                 }
             }

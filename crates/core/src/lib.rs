@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::daemon::{
         run_daemon, run_daemon_chaos, run_daemon_traced, DaemonConfig, DaemonStats,
     };
-    pub use crate::failover::FailoverSession;
+    pub use crate::failover::{CheckpointPolicy, FailoverSession};
     pub use crate::opencl::{ClBuffer, ClCommandQueue, ClContext, ClKernel};
     pub use crate::proto::{
         ac_tags, Request, RequestFrame, Response, Status, StreamAck, StreamBatch, WireProtocol,

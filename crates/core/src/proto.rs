@@ -5,7 +5,15 @@
 //! (e.g., error code or data) back to the front-end." Bulk payloads ride as
 //! separate data messages between the request and the response — one for
 //! the naive protocol, one per block for the pipeline protocol.
+//!
+//! **Integrity**: every framed header ([`RequestFrame`], [`StreamBatch`],
+//! [`Response`], [`StreamAck`]) and every bulk data block carries a CRC32
+//! trailer ([`seal_block`] / [`open_block`]). A mismatch is surfaced as
+//! [`DecodeError`] (headers) or [`Status::Corrupt`] (blocks) and treated
+//! exactly like a lost message: the retry plane retransmits, so a bit
+//! flipped in flight can never be silently executed or returned as data.
 
+use dacc_fabric::payload::Payload;
 use dacc_vgpu::kernel::KernelArg;
 use dacc_vgpu::memory::DevicePtr;
 
@@ -210,6 +218,25 @@ pub enum Request {
         /// Allocation size in bytes.
         len: u64,
     },
+    /// Checkpoint read-out: the daemon streams the live contents of each
+    /// listed region back to the front-end over the pipelined block
+    /// protocol (like a multi-region `MemCpyD2H`), letting a resilient
+    /// session capture device state in one round trip.
+    Snapshot {
+        /// `(ptr, len)` of each live device region, in session order.
+        regions: Vec<(u64, u64)>,
+        /// Pipeline block size for the data phase.
+        block: u64,
+    },
+    /// Checkpoint restore: the front-end streams each listed region's
+    /// contents to the daemon (like a multi-region `MemCpyH2D`), restoring
+    /// a previously captured snapshot onto a replacement accelerator.
+    Restore {
+        /// `(ptr, len)` of each destination region, in session order.
+        regions: Vec<(u64, u64)>,
+        /// Pipeline block size for the data phase.
+        block: u64,
+    },
 }
 
 /// Status codes carried in responses.
@@ -241,6 +268,10 @@ pub enum Status {
     /// reassigned since the sender's grant, so the op is rejected
     /// deterministically without touching device state.
     StaleEpoch,
+    /// A data block failed its CRC32 integrity check. The payload was
+    /// discarded without touching device state; the front-end retries the
+    /// whole operation like a timeout.
+    Corrupt,
 }
 
 impl Status {
@@ -257,6 +288,7 @@ impl Status {
             Status::Malformed => 8,
             Status::Timeout => 9,
             Status::StaleEpoch => 10,
+            Status::Corrupt => 11,
         }
     }
 
@@ -273,6 +305,7 @@ impl Status {
             8 => Status::Malformed,
             9 => Status::Timeout,
             10 => Status::StaleEpoch,
+            11 => Status::Corrupt,
             _ => return None,
         })
     }
@@ -306,6 +339,76 @@ impl Response {
 /// Codec failure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DecodeError;
+
+/// Bytes added to every sealed header and data block by the CRC trailer.
+pub const CRC_TRAILER_BYTES: u64 = 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), implemented
+/// locally to keep the workspace dependency-free. Bitwise, not
+/// table-driven: the simulator checksums a few MiB per run, not per
+/// second.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Append a CRC32 trailer over `v`'s current contents.
+fn seal(mut v: Vec<u8>) -> Vec<u8> {
+    let c = crc32(&v);
+    v.extend_from_slice(&c.to_le_bytes());
+    v
+}
+
+/// Verify and strip a CRC32 trailer, returning the covered body.
+fn unseal(buf: &[u8]) -> Result<&[u8], DecodeError> {
+    if buf.len() < CRC_TRAILER_BYTES as usize {
+        return Err(DecodeError);
+    }
+    let (body, trailer) = buf.split_at(buf.len() - CRC_TRAILER_BYTES as usize);
+    if crc32(body).to_le_bytes() == trailer {
+        Ok(body)
+    } else {
+        Err(DecodeError)
+    }
+}
+
+/// Seal one bulk data block for the wire: functional payloads get a CRC32
+/// trailer appended; size-only payloads just grow by the trailer size so
+/// both modes see identical wire timing.
+pub fn seal_block(p: &Payload) -> Payload {
+    match p.bytes() {
+        Some(b) => {
+            let mut v = Vec::with_capacity(b.len() + CRC_TRAILER_BYTES as usize);
+            v.extend_from_slice(b);
+            Payload::from_vec(seal(v))
+        }
+        None => Payload::size_only(p.len() + CRC_TRAILER_BYTES),
+    }
+}
+
+/// Verify and strip the trailer of a sealed data block. For functional
+/// payloads a CRC mismatch (or a block too short to carry a trailer) is
+/// `Err`; the surviving prefix is returned as a zero-copy slice. Size-only
+/// blocks carry no bits to check and always verify.
+pub fn open_block(p: &Payload) -> Result<Payload, DecodeError> {
+    if p.len() < CRC_TRAILER_BYTES {
+        return Err(DecodeError);
+    }
+    match p.bytes() {
+        Some(b) => {
+            unseal(b)?;
+            Ok(p.slice(0, p.len() - CRC_TRAILER_BYTES))
+        }
+        None => Ok(Payload::size_only(p.len() - CRC_TRAILER_BYTES)),
+    }
+}
 
 struct W(Vec<u8>);
 impl W {
@@ -404,6 +507,28 @@ fn encode_arg(w: &mut W, a: &KernelArg) {
             w.f64(*v);
         }
     }
+}
+
+fn encode_regions(w: &mut W, regions: &[(u64, u64)], block: u64) {
+    w.u32(regions.len() as u32);
+    for (ptr, len) in regions {
+        w.u64(*ptr);
+        w.u64(*len);
+    }
+    w.u64(block);
+}
+
+fn decode_regions(r: &mut R) -> Result<(Vec<(u64, u64)>, u64), DecodeError> {
+    let n = r.u32()?;
+    let mut regions = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        regions.push((r.u64()?, r.u64()?));
+    }
+    let block = r.u64()?;
+    if block == 0 {
+        return Err(DecodeError);
+    }
+    Ok((regions, block))
 }
 
 fn decode_arg(r: &mut R) -> Result<KernelArg, DecodeError> {
@@ -511,6 +636,14 @@ impl Request {
                 w.u64(*virt);
                 w.u64(*len);
             }
+            Request::Snapshot { regions, block } => {
+                w.u8(14);
+                encode_regions(&mut w, regions, *block);
+            }
+            Request::Restore { regions, block } => {
+                w.u8(15);
+                encode_regions(&mut w, regions, *block);
+            }
         }
         w.0
     }
@@ -595,6 +728,14 @@ impl Request {
                 virt: r.u64()?,
                 len: r.u64()?,
             },
+            14 => {
+                let (regions, block) = decode_regions(&mut r)?;
+                Request::Snapshot { regions, block }
+            }
+            15 => {
+                let (regions, block) = decode_regions(&mut r)?;
+                Request::Restore { regions, block }
+            }
             _ => return Err(DecodeError),
         };
         r.finish()?;
@@ -649,27 +790,31 @@ pub struct RequestFrame {
 }
 
 impl RequestFrame {
-    /// Encode to wire bytes (marker, op_id, attempt, epoch, request).
+    /// Encode to wire bytes (marker, op_id, attempt, epoch, request,
+    /// CRC32 trailer).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(53));
+        let mut w = W(Vec::with_capacity(57));
         w.u8(FRAME_MARKER);
         w.u64(self.op_id);
         w.u32(self.attempt);
         w.u64(self.epoch);
         w.0.extend_from_slice(&self.req.encode());
-        w.0
+        seal(w.0)
     }
 
-    /// Decode a framed request (the marker byte is required).
+    /// Decode a framed request (the marker byte is required). A CRC
+    /// mismatch — the frame was damaged in flight — fails like any other
+    /// malformed header.
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
-        let mut r = R(buf, 0);
+        let body = unseal(buf)?;
+        let mut r = R(body, 0);
         if r.u8()? != FRAME_MARKER {
             return Err(DecodeError);
         }
         let op_id = r.u64()?;
         let attempt = r.u32()?;
         let epoch = r.u64()?;
-        let req = Request::decode(&buf[r.1..])?;
+        let req = Request::decode(&body[r.1..])?;
         Ok(RequestFrame {
             op_id,
             attempt,
@@ -714,9 +859,9 @@ pub struct StreamBatch {
 
 impl StreamBatch {
     /// Encode to wire bytes (marker, stream, first_seq, epoch, count,
-    /// then each command length-prefixed).
+    /// each command length-prefixed, CRC32 trailer).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(32 * self.cmds.len() + 25));
+        let mut w = W(Vec::with_capacity(32 * self.cmds.len() + 29));
         w.u8(BATCH_MARKER);
         w.u32(self.stream);
         w.u64(self.first_seq);
@@ -725,11 +870,12 @@ impl StreamBatch {
         for cmd in &self.cmds {
             w.bytes(&cmd.encode());
         }
-        w.0
+        seal(w.0)
     }
 
     /// Decode a stream batch (the marker byte is required).
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let buf = unseal(buf)?;
         let mut r = R(buf, 0);
         if r.u8()? != BATCH_MARKER {
             return Err(DecodeError);
@@ -770,17 +916,18 @@ pub struct StreamAck {
 }
 
 impl StreamAck {
-    /// Encode to wire bytes.
+    /// Encode to wire bytes (with a CRC32 trailer).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(17));
+        let mut w = W(Vec::with_capacity(21));
         w.u64(self.seq);
         w.u8(self.status.to_u8());
         w.u64(self.value);
-        w.0
+        seal(w.0)
     }
 
     /// Decode from wire bytes.
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let buf = unseal(buf)?;
         let mut r = R(buf, 0);
         let seq = r.u64()?;
         let status = Status::from_u8(r.u8()?).ok_or(DecodeError)?;
@@ -815,16 +962,18 @@ impl AnyRequest {
 }
 
 impl Response {
-    /// Encode to wire bytes.
+    /// Encode to wire bytes (with a CRC32 trailer).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(9));
+        let mut w = W(Vec::with_capacity(13));
         w.u8(self.status.to_u8());
         w.u64(self.value);
-        w.0
+        seal(w.0)
     }
 
-    /// Decode from wire bytes.
+    /// Decode from wire bytes. A CRC mismatch fails like a malformed
+    /// response; retrying clients treat that as a lost reply.
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let buf = unseal(buf)?;
         let mut r = R(buf, 0);
         let status = Status::from_u8(r.u8()?).ok_or(DecodeError)?;
         let value = r.u64()?;
@@ -905,6 +1054,18 @@ mod tests {
             virt: STREAM_VIRT_BASE,
             len: 1 << 20,
         });
+        roundtrip(Request::Snapshot {
+            regions: vec![(4096, 1 << 20), (8192, 256)],
+            block: 128 << 10,
+        });
+        roundtrip(Request::Restore {
+            regions: vec![(4096, 1 << 20)],
+            block: 128 << 10,
+        });
+        roundtrip(Request::Snapshot {
+            regions: vec![],
+            block: 1,
+        });
     }
 
     #[test]
@@ -948,6 +1109,18 @@ mod tests {
         .batchable());
         assert!(!Request::Ping.batchable());
         assert!(!Request::Shutdown.batchable());
+        // Checkpoint ops have data phases in both directions and belong to
+        // the recovery plane, not to command streams.
+        assert!(!Request::Snapshot {
+            regions: vec![(1, 2)],
+            block: 4
+        }
+        .batchable());
+        assert!(!Request::Restore {
+            regions: vec![(1, 2)],
+            block: 4
+        }
+        .batchable());
     }
 
     #[test]
@@ -1095,10 +1268,89 @@ mod tests {
             Status::KernelFailed,
             Status::NoKernelBound,
             Status::Malformed,
+            Status::Timeout,
+            Status::StaleEpoch,
+            Status::Corrupt,
         ] {
             let r = Response { status, value: 42 };
             assert_eq!(Response::decode(&r.encode()), Ok(r));
         }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn damaged_headers_fail_their_crc() {
+        let frame = RequestFrame {
+            op_id: 9,
+            attempt: 1,
+            epoch: 2,
+            req: Request::MemAlloc { len: 64 },
+        };
+        let mut bytes = frame.encode();
+        assert_eq!(RequestFrame::decode(&bytes), Ok(frame));
+        // Flip one payload bit the structural decoder would never notice
+        // (the op_id field): only the CRC can catch this.
+        bytes[3] ^= 0x10;
+        assert_eq!(RequestFrame::decode(&bytes), Err(DecodeError));
+
+        let resp = Response::ok();
+        let mut bytes = resp.encode();
+        bytes[4] ^= 0x01; // value field
+        assert_eq!(Response::decode(&bytes), Err(DecodeError));
+
+        let ack = StreamAck {
+            seq: 7,
+            status: Status::Ok,
+            value: 0,
+        };
+        let mut bytes = ack.encode();
+        bytes[0] ^= 0x80; // seq field
+        assert_eq!(StreamAck::decode(&bytes), Err(DecodeError));
+    }
+
+    #[test]
+    fn sealed_blocks_roundtrip_and_detect_damage() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let p = Payload::from_vec(data.clone());
+        let sealed = seal_block(&p);
+        assert_eq!(sealed.len(), p.len() + CRC_TRAILER_BYTES);
+        let opened = open_block(&sealed).expect("pristine block must verify");
+        assert_eq!(opened.expect_bytes().as_ref(), data.as_slice());
+
+        // Any single flipped bit is detected, wherever it lands (payload
+        // or trailer).
+        for i in [0usize, 100, 199, 200, 203] {
+            let mut v = sealed.expect_bytes().to_vec();
+            v[i] ^= 0x40;
+            assert_eq!(
+                open_block(&Payload::from_vec(v)),
+                Err(DecodeError),
+                "flip at byte {i} must be detected"
+            );
+        }
+
+        // The fault plane's own bit-flip is detected too.
+        assert_eq!(open_block(&sealed.corrupted()), Err(DecodeError));
+
+        // Size-only blocks keep timing parity and always verify.
+        let s = seal_block(&Payload::size_only(1 << 20));
+        assert_eq!(s.len(), (1 << 20) + CRC_TRAILER_BYTES);
+        assert_eq!(open_block(&s), Ok(Payload::size_only(1 << 20)));
+
+        // Runt blocks (shorter than a trailer) fail cleanly.
+        assert_eq!(open_block(&Payload::from_vec(vec![1, 2])), Err(DecodeError));
+        assert_eq!(open_block(&Payload::size_only(2)), Err(DecodeError));
+
+        // An empty payload seals to just its trailer and verifies.
+        let e = seal_block(&Payload::empty());
+        assert_eq!(e.len(), CRC_TRAILER_BYTES);
+        assert_eq!(open_block(&e).unwrap().len(), 0);
     }
 
     #[test]

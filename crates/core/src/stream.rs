@@ -441,7 +441,11 @@ impl Wire {
                 let bs = block.min(len - offset);
                 self.accel
                     .ep
-                    .send(self.accel.daemon, dtag, payload.slice(offset, bs))
+                    .send(
+                        self.accel.daemon,
+                        dtag,
+                        crate::proto::seal_block(&payload.slice(offset, bs)),
+                    )
                     .await;
                 offset += bs;
             }

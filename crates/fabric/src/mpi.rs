@@ -262,7 +262,33 @@ impl Fabric {
     /// arrival. Resolves when serialization completes (sender side).
     async fn wire_send(&self, src_node: NodeId, dst_rank: Rank, bytes: u64, packet: Packet) {
         let (dst_node, mailbox) = self.record(dst_rank);
-        let arrived = self.topo.transmit(src_node, dst_node, bytes).await;
+        let (arrived, corrupt) = self.topo.transmit_checked(src_node, dst_node, bytes).await;
+        // A corrupt verdict damages the delivered bytes, never the timing.
+        // Only packets that carry a payload have bits to flip; control
+        // packets (RTS/CTS) pass through and the verdict is a no-op.
+        let packet = if corrupt {
+            match packet {
+                Packet::Eager { src, tag, payload } => Packet::Eager {
+                    src,
+                    tag,
+                    payload: payload.corrupted(),
+                },
+                Packet::Data {
+                    src,
+                    tag,
+                    msg_id,
+                    payload,
+                } => Packet::Data {
+                    src,
+                    tag,
+                    msg_id,
+                    payload: payload.corrupted(),
+                },
+                other => other,
+            }
+        } else {
+            packet
+        };
         self.handle.spawn("mpi.deliver", async move {
             arrived.wait().await;
             // Receiver gone is fine (e.g. simulation tear-down).
@@ -1028,6 +1054,52 @@ mod tests {
             dt >= SimDuration::from_millis(9) && dt <= SimDuration::from_millis(11),
             "lag {dt}"
         );
+    }
+
+    #[test]
+    fn corrupt_fault_damages_delivered_bytes() {
+        use dacc_sim::fault::{FaultHook, LinkFault};
+        use std::sync::atomic::AtomicUsize;
+
+        /// Corrupts the first wire message only.
+        struct CorruptFirst(AtomicUsize);
+        impl FaultHook for CorruptFirst {
+            fn on_transmit(&self, _: usize, _: usize, _: u64, _: SimTime) -> LinkFault {
+                if self.0.fetch_add(1, Ordering::Relaxed) == 0 {
+                    LinkFault::Corrupt
+                } else {
+                    LinkFault::Deliver
+                }
+            }
+        }
+
+        let (mut sim, fabric) = setup(2, FabricParams::qdr_infiniband());
+        fabric
+            .topology()
+            .set_fault_hook(Some(Arc::new(CorruptFirst(AtomicUsize::new(0)))));
+        let a = fabric.add_endpoint(NodeId(0));
+        let b = fabric.add_endpoint(NodeId(1));
+        let data = vec![0u8; 64];
+        sim.spawn("a", async move {
+            a.send(Rank(1), Tag(1), Payload::from_vec(vec![0u8; 64]))
+                .await;
+            a.send(Rank(1), Tag(2), Payload::from_vec(vec![0u8; 64]))
+                .await;
+        });
+        let out = sim.spawn("b", async move {
+            let first = b.recv(None, Some(Tag(1))).await;
+            let second = b.recv(None, Some(Tag(2))).await;
+            (
+                first.payload.expect_bytes().to_vec(),
+                second.payload.expect_bytes().to_vec(),
+            )
+        });
+        sim.run();
+        let (first, second) = out.try_take().unwrap();
+        assert_ne!(first, data, "corrupted message must differ");
+        assert_eq!(first.len(), data.len(), "length is preserved");
+        assert_eq!(second, data, "later traffic is untouched");
+        assert_eq!(fabric.topology().corrupted_messages(), 1);
     }
 
     #[test]

@@ -103,6 +103,22 @@ impl Payload {
         out
     }
 
+    /// A copy of this payload with one bit flipped (the fault plane's
+    /// in-flight corruption model). Size-only and empty payloads carry no
+    /// bits to damage and are returned unchanged — timing is identical
+    /// either way, so timing-only runs see corrupt faults as no-ops.
+    pub fn corrupted(&self) -> Payload {
+        match self {
+            Payload::Bytes(b) if !b.is_empty() => {
+                let mut v = b.to_vec();
+                let mid = v.len() / 2;
+                v[mid] ^= 0x40;
+                Payload::Bytes(Bytes::from(v))
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Reassemble consecutive blocks produced by [`Payload::blocks`].
     ///
     /// All blocks must be the same mode. Returns an empty byte payload for
@@ -185,6 +201,24 @@ mod tests {
     fn empty_payload_has_no_blocks() {
         assert!(Payload::empty().blocks(64).is_empty());
         assert_eq!(Payload::concat(&[]).len(), 0);
+    }
+
+    #[test]
+    fn corrupted_flips_exactly_one_bit() {
+        let data: Vec<u8> = (0..100).collect();
+        let p = Payload::from_vec(data.clone());
+        let c = p.corrupted();
+        let diff: u32 = c
+            .expect_bytes()
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        assert_eq!(c.len(), p.len());
+        // Size-only and empty payloads pass through unchanged.
+        assert_eq!(Payload::size_only(64).corrupted(), Payload::size_only(64));
+        assert_eq!(Payload::empty().corrupted(), Payload::empty());
     }
 
     #[test]

@@ -147,10 +147,12 @@ struct TopologyInner {
     switch: Option<Resource>,
     /// Optional fault-injection hook consulted once per transmitted message.
     fault: Mutex<Option<Arc<dyn FaultHook>>>,
-    /// Records `fault.drop` / `fault.degrade` events when enabled.
+    /// Records `fault.drop` / `fault.degrade` / `fault.corrupt` events when
+    /// enabled.
     tracer: Mutex<Tracer>,
     dropped_msgs: AtomicU64,
     degraded_msgs: AtomicU64,
+    corrupted_msgs: AtomicU64,
 }
 
 /// The physical cluster: a set of nodes and the wires between them.
@@ -185,6 +187,7 @@ impl Topology {
                 tracer: Mutex::new(Tracer::disabled()),
                 dropped_msgs: AtomicU64::new(0),
                 degraded_msgs: AtomicU64::new(0),
+                corrupted_msgs: AtomicU64::new(0),
             }),
             handle: handle.clone(),
         }
@@ -209,6 +212,11 @@ impl Topology {
     /// Messages delivered with degraded serialization so far.
     pub fn degraded_messages(&self) -> u64 {
         self.inner.degraded_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered with a flipped payload bit so far.
+    pub fn corrupted_messages(&self) -> u64 {
+        self.inner.corrupted_msgs.load(Ordering::Relaxed)
     }
 
     /// Interconnect parameters.
@@ -246,6 +254,19 @@ impl Topology {
     /// Loopback (`src == dst`) charges no wire time and a small constant
     /// copy cost, mirroring MPI shared-memory self-sends.
     pub async fn transmit(&self, src: NodeId, dst: NodeId, payload_bytes: u64) -> EventFlag {
+        self.transmit_checked(src, dst, payload_bytes).await.0
+    }
+
+    /// [`Topology::transmit`], also reporting whether the fault plane
+    /// corrupted the message in flight. The message-passing layer uses the
+    /// flag to damage the delivered payload; callers that ignore it get
+    /// pristine timing either way.
+    pub async fn transmit_checked(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u64,
+    ) -> (EventFlag, bool) {
         let p = self.inner.params;
         let arrived = EventFlag::new();
         let wire_bytes = payload_bytes + p.header_bytes;
@@ -257,7 +278,7 @@ impl Topology {
             );
             self.handle.delay(p.per_message + copy).await;
             arrived.set();
-            return arrived;
+            return (arrived, false);
         }
 
         // Ask the fault plane (if any) what happens to this message. The
@@ -279,6 +300,15 @@ impl Topology {
         let tx_guard = src_nic.tx.acquire().await;
         let rx_guard = dst_nic.rx.acquire().await;
         let mut serialize = p.per_message + p.bandwidth.transfer_time(wire_bytes);
+        if verdict == LinkFault::Corrupt {
+            self.inner.corrupted_msgs.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .tracer
+                .lock()
+                .record(&self.handle, "fault.corrupt", || {
+                    format!("{src}->{dst} {payload_bytes}B")
+                });
+        }
         if let LinkFault::Degrade(factor) = verdict {
             self.inner.degraded_msgs.fetch_add(1, Ordering::Relaxed);
             self.inner
@@ -306,7 +336,7 @@ impl Topology {
                 .record(&self.handle, "fault.drop", || {
                     format!("{src}->{dst} {payload_bytes}B")
                 });
-            return arrived;
+            return (arrived, false);
         }
 
         // Oversubscribed switch: every message also serializes on the shared
@@ -330,7 +360,7 @@ impl Topology {
             h.delay(p.latency).await;
             flag.set();
         });
-        arrived
+        (arrived, verdict == LinkFault::Corrupt)
     }
 }
 
@@ -594,6 +624,54 @@ mod switch_tests {
         // Dropped frames count as sent but never as received.
         assert_eq!(topo.nic_stats(NodeId(0)).tx_msgs, 3);
         assert_eq!(topo.nic_stats(NodeId(1)).rx_msgs, 2);
+    }
+
+    #[test]
+    fn corrupt_verdict_keeps_timing_and_counts() {
+        use dacc_sim::fault::{FaultHook, LinkFault};
+
+        struct CorruptAll;
+        impl FaultHook for CorruptAll {
+            fn on_transmit(&self, _: usize, _: usize, _: u64, _: SimTime) -> LinkFault {
+                LinkFault::Corrupt
+            }
+        }
+
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let params = FabricParams {
+            latency: SimDuration::ZERO,
+            bandwidth: Bandwidth::from_bytes_per_sec(1e9),
+            per_message: SimDuration::ZERO,
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::ZERO,
+            o_recv: SimDuration::ZERO,
+            header_bytes: 0,
+            switch_bandwidth: None,
+        };
+        let topo = Topology::new(&h, 2, params);
+        let tracer = Tracer::new(64);
+        topo.set_tracer(tracer.clone());
+        topo.set_fault_hook(Some(Arc::new(CorruptAll)));
+        let out = {
+            let topo = topo.clone();
+            let h = sim.handle();
+            sim.spawn("xfer", async move {
+                let (arrived, corrupt) =
+                    topo.transmit_checked(NodeId(0), NodeId(1), 1_000_000).await;
+                arrived.wait().await;
+                (corrupt, h.now().as_nanos())
+            })
+        };
+        sim.run();
+        let (corrupt, t) = out.try_take().unwrap();
+        assert!(corrupt, "verdict must be surfaced to the caller");
+        assert_eq!(t, 1_000_000, "corruption must not change timing");
+        assert_eq!(topo.corrupted_messages(), 1);
+        assert_eq!(tracer.events_in("fault.corrupt").len(), 1);
+        // Corrupted frames still count as delivered on both NICs.
+        assert_eq!(topo.nic_stats(NodeId(0)).tx_msgs, 1);
+        assert_eq!(topo.nic_stats(NodeId(1)).rx_msgs, 1);
     }
 
     #[test]

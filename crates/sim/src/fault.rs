@@ -21,6 +21,10 @@ pub enum LinkFault {
     /// Deliver, but with serialization time multiplied by this factor
     /// (> 1.0 models a degraded / congested link).
     Degrade(f64),
+    /// Deliver on time, but with one payload bit flipped in flight. Timing
+    /// is unaffected; receiver-side integrity checks (CRC trailers) are
+    /// expected to catch the damage and trigger a retransmit.
+    Corrupt,
 }
 
 /// Health of a simulated process (daemon, ARM) at a point in time.

@@ -323,6 +323,130 @@ proptest! {
 }
 
 proptest! {
+    // Each case spins up two clusters (faulty + reference): fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Bounded-time recovery is semantically invisible: for arbitrary op
+    /// interleavings (H2D, memset, kernel launch) split at an arbitrary
+    /// checkpoint index, snapshot → log truncation → daemon kill →
+    /// restore + tail replay yields bytes identical to the same op
+    /// sequence executed on a healthy cluster with no checkpoint at all.
+    #[test]
+    fn checkpointed_recovery_matches_full_replay(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..32_000, 1u64..4_000, any::<u8>()),
+            1..10,
+        ),
+        k in 0usize..10,
+        seed: u64,
+    ) {
+        use dacc_arm::state::JobId;
+        use dacc_chaos::{ChaosPlane, Fault, FaultSchedule};
+        use dacc_vgpu::kernel::{KernelArg, LaunchConfig};
+
+        let buf_len = 36_000u64;
+        let k = k.min(ops.len());
+
+        // One closure applies an op slice to any FailoverSession, so the
+        // faulty and the reference run execute byte-for-byte the same
+        // program.
+        async fn apply(
+            session: &FailoverSession,
+            ptr: dacc_vgpu::memory::DevicePtr,
+            ops: &[(u8, u64, u64, u8)],
+        ) {
+            for &(sel, offset, len, val) in ops {
+                match sel {
+                    0 => session
+                        .mem_cpy_h2d(
+                            &Payload::from_vec(pattern(len as usize, val)),
+                            ptr.offset(offset),
+                        )
+                        .await
+                        .map(|_| ())
+                        .unwrap(),
+                    1 => session.mem_set(ptr.offset(offset), len, val).await.unwrap(),
+                    _ => {
+                        let off = offset & !7;
+                        let count = (len / 8).max(1);
+                        session
+                            .launch(
+                                "fill_f64",
+                                LaunchConfig::linear(count.div_ceil(128) as u32, 128),
+                                &[
+                                    KernelArg::Ptr(ptr.offset(off)),
+                                    KernelArg::U64(count),
+                                    KernelArg::F64(val as f64),
+                                ],
+                            )
+                            .await
+                            .unwrap();
+                    }
+                }
+            }
+        }
+
+        // Faulty run: checkpoint at k, kill the granted daemon, read back
+        // through failover recovery.
+        let tracer = Tracer::new(65536);
+        let plane = ChaosPlane::new(seed, FaultSchedule::new());
+        let (mut sim, mut cluster) = dacc_tests::full_cluster_chaos(
+            1, 2, ExecMode::Functional, tracer, Some(plane.clone()),
+        );
+        let arm_rank = cluster.arm_rank;
+        let ep = cluster.cn_endpoints.remove(0);
+        let frontend = cluster.spec.frontend;
+        let (head, tail) = (ops[..k].to_vec(), ops[k..].to_vec());
+        let job_plane = plane.clone();
+        let out = sim.spawn("faulty", async move {
+            let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend);
+            let mut sessions = proc.acquire_resilient(1).await.unwrap();
+            let session = sessions.remove(0);
+            let ptr = session.mem_alloc(buf_len).await.unwrap();
+            session.mem_set(ptr, buf_len, 0).await.unwrap();
+            apply(&session, ptr, &head).await;
+            session.checkpoint().await.unwrap();
+            apply(&session, ptr, &tail).await;
+            job_plane.inject(Fault::kill_daemon(2));
+            let back = session.mem_cpy_d2h(ptr, buf_len).await.unwrap();
+            proc.finish().await;
+            (back, session.failovers())
+        });
+        sim.run();
+        let (recovered, failovers) = out.try_take().expect("faulty run did not finish");
+        prop_assert!(failovers >= 1, "the kill never forced a failover");
+
+        // Reference run: same ops, healthy cluster, no checkpoint.
+        let tracer = Tracer::new(65536);
+        let (mut sim, mut cluster) = dacc_tests::full_cluster_chaos(
+            1, 1, ExecMode::Functional, tracer, None,
+        );
+        let arm_rank = cluster.arm_rank;
+        let ep = cluster.cn_endpoints.remove(0);
+        let frontend = cluster.spec.frontend;
+        let all = ops.clone();
+        let out = sim.spawn("reference", async move {
+            let proc = AcProcess::new(ep, arm_rank, JobId(1), frontend);
+            let mut sessions = proc.acquire_resilient(1).await.unwrap();
+            let session = sessions.remove(0);
+            let ptr = session.mem_alloc(buf_len).await.unwrap();
+            session.mem_set(ptr, buf_len, 0).await.unwrap();
+            apply(&session, ptr, &all).await;
+            let back = session.mem_cpy_d2h(ptr, buf_len).await.unwrap();
+            proc.finish().await;
+            back
+        });
+        sim.run();
+        let reference = out.try_take().expect("reference run did not finish");
+        prop_assert_eq!(
+            recovered.expect_bytes().as_ref(),
+            reference.expect_bytes().as_ref(),
+            "checkpointed recovery diverged from full replay"
+        );
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Per-(source, tag) message order is never violated, for arbitrary
