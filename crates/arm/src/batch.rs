@@ -53,6 +53,13 @@ pub enum BatchPolicy {
     /// fit may run (no reservation, so heads can be delayed — the classic
     /// aggressive-backfill trade-off).
     Backfill,
+    /// Backfilling with a per-dimension reservation for the queue head:
+    /// while the head cannot start, every currently-free compute node and
+    /// accelerator the head will need is held back, and later jobs may
+    /// only consume the surplus. A wide job can no longer be starved by a
+    /// stream of small ones (the [`BatchPolicy::Backfill`] edge), at the
+    /// cost of idling the reserved resources until the head launches.
+    BackfillReserving,
 }
 
 /// Batch scheduler over a compute-node pool and the accelerator [`Pool`].
@@ -125,7 +132,18 @@ impl BatchScheduler {
                 break;
             }
             let req = self.queue[i];
-            if self.fits(&req, pool) {
+            let allowed = if head_blocked && self.policy == BatchPolicy::BackfillReserving {
+                // Surplus guard: the blocked head reserves, per dimension,
+                // everything free that it will need; a backfill candidate
+                // may only take what is left over. (The guard implies
+                // `fits`, since surplus <= free in both dimensions.)
+                let head = self.queue[0];
+                req.compute_nodes <= self.free_cns.saturating_sub(head.compute_nodes)
+                    && req.total_accels() <= pool.free_count().saturating_sub(head.total_accels())
+            } else {
+                self.fits(&req, pool)
+            };
+            if allowed {
                 let grants = pool
                     .try_allocate(req.job, req.total_accels())
                     .expect("fits() said the accelerators were available");
@@ -318,6 +336,84 @@ mod tests {
         let ids: Vec<u64> = started.iter().map(|s| s.request.job.0).collect();
         assert_eq!(ids, vec![1, 3]);
         assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn aggressive_backfill_starves_wide_head() {
+        // Regression fixture for the starvation edge: a stream of 1-CN
+        // jobs keeps one CN busy forever, and the 2-CN head never sees
+        // both free at once under aggressive backfill.
+        let mut p = pool(0);
+        let mut s = BatchScheduler::new(2, BatchPolicy::Backfill);
+        s.submit(req(1, 1, 0));
+        s.submit(req(2, 2, 0)); // wide head
+        s.submit(req(3, 1, 0));
+        s.submit(req(4, 1, 0));
+        let ids: Vec<u64> = s
+            .try_start(&mut p)
+            .iter()
+            .map(|j| j.request.job.0)
+            .collect();
+        assert_eq!(ids, vec![1, 3], "job 3 leapfrogs the blocked head");
+        // Every completion is immediately absorbed by the next small job.
+        s.finish(JobId(1), &mut p);
+        let ids: Vec<u64> = s
+            .try_start(&mut p)
+            .iter()
+            .map(|j| j.request.job.0)
+            .collect();
+        assert_eq!(ids, vec![4], "head starved again");
+    }
+
+    #[test]
+    fn reserving_backfill_protects_wide_head() {
+        let mut p = pool(0);
+        let mut s = BatchScheduler::new(2, BatchPolicy::BackfillReserving);
+        s.submit(req(1, 1, 0));
+        s.submit(req(2, 2, 0)); // wide head: reserves the free CN
+        s.submit(req(3, 1, 0));
+        let ids: Vec<u64> = s
+            .try_start(&mut p)
+            .iter()
+            .map(|j| j.request.job.0)
+            .collect();
+        assert_eq!(ids, vec![1], "the head's reservation blocks backfill");
+        // The head starts the moment its second CN frees — job 3 cannot
+        // snipe it.
+        s.finish(JobId(1), &mut p);
+        let ids: Vec<u64> = s
+            .try_start(&mut p)
+            .iter()
+            .map(|j| j.request.job.0)
+            .collect();
+        assert_eq!(ids, vec![2]);
+        s.finish(JobId(2), &mut p);
+        let ids: Vec<u64> = s
+            .try_start(&mut p)
+            .iter()
+            .map(|j| j.request.job.0)
+            .collect();
+        assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn reservation_is_per_dimension() {
+        // Head blocked on accelerators only: CPU-only jobs may still
+        // backfill through the CN surplus, but accelerator jobs may not
+        // touch the accelerator the head has reserved.
+        let mut p = pool(1);
+        let mut s = BatchScheduler::new(3, BatchPolicy::BackfillReserving);
+        s.submit(req(1, 1, 2)); // head: needs 2 accels, pool has 1
+        s.submit(req(2, 1, 1)); // would take the reserved accelerator
+        s.submit(req(3, 1, 0)); // CPU-only: only consumes CN surplus
+        let ids: Vec<u64> = s
+            .try_start(&mut p)
+            .iter()
+            .map(|j| j.request.job.0)
+            .collect();
+        assert_eq!(ids, vec![3]);
+        assert_eq!(s.queued(), 2);
+        p.check_invariants();
     }
 
     #[test]

@@ -12,20 +12,22 @@ use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 
 use crate::proto::{
-    arm_tags, ArmError, ArmRequest, ArmResponse, Eviction, GrantedAccelerator, PoolStats,
+    arm_tags, ArmError, ArmEvent, ArmRequest, ArmResponse, Eviction, GrantedAccelerator, PoolStats,
 };
 use crate::state::{AcceleratorId, JobId};
 
 /// A compute-node process's connection to the ARM.
 ///
-/// Clones share the eviction mailbox: proactive [`Eviction`] notices from
-/// the ARM are pumped off the fabric into it, and each resilient session
-/// takes the notices addressed to its accelerator.
+/// Clones share the event mailboxes: proactive [`Eviction`] notices and
+/// time-slice reactivation grants from the ARM are pumped off the fabric
+/// into them, and each resilient session takes the notices addressed to
+/// its accelerator.
 #[derive(Clone)]
 pub struct ArmClient {
     ep: Endpoint,
     arm: Rank,
     evictions: Rc<RefCell<VecDeque<Eviction>>>,
+    slices: Rc<RefCell<VecDeque<GrantedAccelerator>>>,
 }
 
 impl ArmClient {
@@ -35,6 +37,7 @@ impl ArmClient {
             ep,
             arm,
             evictions: Rc::new(RefCell::new(VecDeque::new())),
+            slices: Rc::new(RefCell::new(VecDeque::new())),
         }
     }
 
@@ -60,7 +63,8 @@ impl ArmClient {
                 .is_some()
     }
 
-    /// Drain any eviction notices off the fabric into the shared mailbox.
+    /// Drain any one-way ARM events off the fabric into the shared
+    /// mailboxes: eviction notices and time-slice reactivation grants.
     pub async fn pump_evictions(&self) {
         while self
             .ep
@@ -68,8 +72,10 @@ impl ArmClient {
             .is_some()
         {
             let env = self.ep.recv(Some(self.arm), Some(arm_tags::EVENT)).await;
-            if let Some(ev) = env.payload.bytes().and_then(|b| Eviction::decode(b).ok()) {
-                self.evictions.borrow_mut().push_back(ev);
+            match env.payload.bytes().and_then(|b| ArmEvent::decode(b).ok()) {
+                Some(ArmEvent::Evict(ev)) => self.evictions.borrow_mut().push_back(ev),
+                Some(ArmEvent::Slice { grant }) => self.slices.borrow_mut().push_back(grant),
+                None => {}
             }
         }
     }
@@ -79,6 +85,16 @@ impl ArmClient {
     pub fn take_eviction(&self, accel: AcceleratorId) -> Option<Eviction> {
         let mut mailbox = self.evictions.borrow_mut();
         let idx = mailbox.iter().position(|e| e.accel == accel)?;
+        mailbox.remove(idx)
+    }
+
+    /// Take the oldest pending time-slice reactivation grant for `accel`,
+    /// if any: the ARM rotated this job back to active residency on a
+    /// shared accelerator and the grant carries the fresh epoch to adopt.
+    /// Pump first ([`ArmClient::pump_evictions`]) to see fresh grants.
+    pub fn take_slice_grant(&self, accel: AcceleratorId) -> Option<GrantedAccelerator> {
+        let mut mailbox = self.slices.borrow_mut();
+        let idx = mailbox.iter().position(|g| g.accel == accel)?;
         mailbox.remove(idx)
     }
 
@@ -128,6 +144,82 @@ impl ArmClient {
             ArmResponse::Granted(g) => Ok(g),
             ArmResponse::Error(e) => Err(e),
             other => panic!("unexpected ARM response to allocate: {other:?}"),
+        }
+    }
+
+    /// Submit `job` through the multi-tenant scheduler: admission quotas,
+    /// weighted fair share, and gang (all-or-nothing) placement. With
+    /// `share_ok` a single-accelerator job consents to time-sliced
+    /// co-residency on a shared accelerator. With `wait` the call blocks
+    /// (a `Queued` ack arrives first, then the grant once capacity frees);
+    /// without it an unplaceable job fails fast with
+    /// [`ArmError::Insufficient`]. Quota and sizing violations fail with
+    /// [`ArmError::Rejected`] either way.
+    pub async fn submit_job(
+        &self,
+        job: JobId,
+        tenant: u32,
+        gang: u32,
+        share_ok: bool,
+        wait: bool,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        let first = self
+            .request(ArmRequest::SubmitJob {
+                job,
+                tenant,
+                gang,
+                share_ok,
+                wait,
+            })
+            .await;
+        let second = match first {
+            ArmResponse::Granted(g) => return Ok(g),
+            ArmResponse::Error(e) => return Err(e),
+            ArmResponse::Queued { .. } if wait => {
+                // The grant (or a terminal error) comes as a second
+                // response once the scheduler places the job.
+                let env = self.ep.recv(Some(self.arm), Some(arm_tags::RESPONSE)).await;
+                match env.payload.bytes() {
+                    Some(b) => {
+                        ArmResponse::decode(b).unwrap_or(ArmResponse::Error(ArmError::Malformed))
+                    }
+                    None => ArmResponse::Error(ArmError::Malformed),
+                }
+            }
+            other => panic!("unexpected ARM response to submit_job: {other:?}"),
+        };
+        match second {
+            ArmResponse::Granted(g) => Ok(g),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to queued submit_job: {other:?}"),
+        }
+    }
+
+    /// Configure (or reconfigure) a tenant's scheduling parameters:
+    /// fair-share `weight`, `priority` band (higher preempts lower at
+    /// dispatch), and admission quotas (`max_accels` held at once,
+    /// `max_queued` jobs waiting).
+    pub async fn set_tenant(
+        &self,
+        tenant: u32,
+        weight: u32,
+        priority: u8,
+        max_accels: u32,
+        max_queued: u32,
+    ) -> Result<(), ArmError> {
+        match self
+            .request(ArmRequest::SetTenant {
+                tenant,
+                weight,
+                priority,
+                max_accels,
+                max_queued,
+            })
+            .await
+        {
+            ArmResponse::Released { .. } => Ok(()),
+            ArmResponse::Error(e) => Err(e),
+            other => panic!("unexpected ARM response to set_tenant: {other:?}"),
         }
     }
 

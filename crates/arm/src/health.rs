@@ -112,4 +112,7 @@ pub struct HealthMeta {
     pub probation: bool,
     /// A probe self-test has been ordered and its result is pending.
     pub probing: bool,
+    /// Cumulative busy counter accumulated from heartbeats (a coarse
+    /// utilization signal; the share placer prefers cooler accelerators).
+    pub busy_total: u64,
 }

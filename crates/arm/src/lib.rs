@@ -36,13 +36,16 @@ pub mod prelude {
     pub use crate::client::ArmClient;
     pub use crate::health::{Health, HealthConfig, HealthMeta};
     pub use crate::proto::{
-        arm_tags, ArmError, ArmRequest, ArmResponse, EvictReason, Eviction, GrantedAccelerator,
-        PoolStats,
+        arm_tags, ArmError, ArmEvent, ArmRequest, ArmResponse, EvictReason, Eviction,
+        GrantedAccelerator, PoolStats,
     };
     pub use crate::server::{run_arm_server, ArmServerConfig};
     pub use crate::state::{
         inventory, AccelState, AcceleratorDesc, AcceleratorId, AllocPolicy, HealthEvent, JobId,
-        Pool,
+        Pool, ShareConfig,
+    };
+    pub use dacc_sched::{
+        jain_index, Admitted, RejectReason, SchedConfig, Scheduler, TenantConfig, TenantId,
     };
 }
 

@@ -7,6 +7,7 @@
 use crate::state::{AcceleratorId, JobId};
 use dacc_fabric::mpi::Rank;
 use dacc_fabric::topology::NodeId;
+pub use dacc_sched::RejectReason;
 
 /// Reserved fabric tags for ARM traffic.
 pub mod arm_tags {
@@ -103,6 +104,37 @@ pub enum ArmRequest {
         /// Whether the self-test passed.
         ok: bool,
     },
+    /// Submit a job to the multi-tenant scheduler (the policy-aware
+    /// successor of `Allocate`): admission control applies the tenant's
+    /// quotas, dispatch follows weighted fair share, and the gang is
+    /// granted all-or-nothing.
+    SubmitJob {
+        /// The submitting job.
+        job: JobId,
+        /// Accounting principal for fair share and quotas.
+        tenant: u32,
+        /// Accelerators required, granted atomically.
+        gang: u32,
+        /// The job tolerates a time-sliced share of one accelerator.
+        share_ok: bool,
+        /// Queue until dispatch (the response is `Queued`, then a second
+        /// `Granted` message follows when the job starts). Without it an
+        /// undispatchable job fails immediately with `Insufficient`.
+        wait: bool,
+    },
+    /// Install or update a tenant's scheduling configuration.
+    SetTenant {
+        /// The tenant being configured.
+        tenant: u32,
+        /// Fair-share weight (relative share under contention).
+        weight: u32,
+        /// Priority band; higher bands dequeue strictly first.
+        priority: u8,
+        /// Max accelerators held concurrently (and largest gang).
+        max_accels: u32,
+        /// Max jobs queued at once.
+        max_queued: u32,
+    },
 }
 
 /// A granted accelerator: everything a compute node needs to reach it.
@@ -163,6 +195,12 @@ pub enum ArmResponse {
         /// Run a quarantine probe self-test.
         probe: bool,
     },
+    /// A waiting `SubmitJob` was admitted and queued; a `Granted` message
+    /// follows on the same response tag when the scheduler dispatches it.
+    Queued {
+        /// Jobs queued ahead of this one at admission time.
+        position: u32,
+    },
 }
 
 /// Why the ARM evicted a job from an accelerator.
@@ -219,6 +257,12 @@ impl Eviction {
     /// Decode from wire bytes.
     pub fn decode(buf: &[u8]) -> Result<Self, ArmError> {
         let mut r = Reader::new(buf);
+        let ev = Self::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(ev)
+    }
+
+    fn decode_body(r: &mut Reader) -> Result<Self, ArmError> {
         let accel = AcceleratorId(r.u32()? as usize);
         let epoch = r.u64()?;
         let reason = match r.u8()? {
@@ -229,16 +273,61 @@ impl Eviction {
         };
         let replacement = match r.u8()? {
             0 => None,
-            1 => Some(decode_grant(&mut r)?),
+            1 => Some(decode_grant(r)?),
             _ => return Err(ArmError::Malformed),
         };
-        r.finish()?;
         Ok(Eviction {
             accel,
             epoch,
             reason,
             replacement,
         })
+    }
+}
+
+/// A one-way ARM → client event on [`arm_tags::EVENT`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArmEvent {
+    /// An accelerator was taken away (see [`Eviction`]).
+    Evict(Eviction),
+    /// A time-sliced accelerator rotated to this job: `grant` carries the
+    /// fresh live epoch the job must stamp its ops with from now on (the
+    /// previous epoch it held on this accelerator is fenced).
+    Slice {
+        /// The grant for the slice now starting.
+        grant: GrantedAccelerator,
+    },
+}
+
+impl ArmEvent {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ArmEvent::Evict(ev) => {
+                w.u8(0);
+                w.0.extend_from_slice(&ev.encode());
+            }
+            ArmEvent::Slice { grant } => {
+                w.u8(1);
+                encode_grant(&mut w, grant);
+            }
+        }
+        w.0
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, ArmError> {
+        let mut r = Reader::new(buf);
+        let ev = match r.u8()? {
+            0 => ArmEvent::Evict(Eviction::decode_body(&mut r)?),
+            1 => ArmEvent::Slice {
+                grant: decode_grant(&mut r)?,
+            },
+            _ => return Err(ArmError::Malformed),
+        };
+        r.finish()?;
+        Ok(ev)
     }
 }
 
@@ -258,6 +347,9 @@ pub enum ArmError {
     UnknownAccelerator,
     /// The wire message could not be decoded.
     Malformed,
+    /// A `SubmitJob` was refused by admission control (quota or size);
+    /// nothing was queued.
+    Rejected(RejectReason),
 }
 
 impl std::fmt::Display for ArmError {
@@ -272,6 +364,7 @@ impl std::fmt::Display for ArmError {
             ArmError::NotHeld => write!(f, "accelerator not held by this job"),
             ArmError::UnknownAccelerator => write!(f, "unknown accelerator"),
             ArmError::Malformed => write!(f, "malformed ARM message"),
+            ArmError::Rejected(reason) => write!(f, "submission rejected: {reason}"),
         }
     }
 }
@@ -404,6 +497,34 @@ impl ArmRequest {
                 w.u32(accel.0 as u32);
                 w.u8(u8::from(*ok));
             }
+            ArmRequest::SubmitJob {
+                job,
+                tenant,
+                gang,
+                share_ok,
+                wait,
+            } => {
+                w.u8(12);
+                w.u64(job.0);
+                w.u32(*tenant);
+                w.u32(*gang);
+                w.u8(u8::from(*share_ok));
+                w.u8(u8::from(*wait));
+            }
+            ArmRequest::SetTenant {
+                tenant,
+                weight,
+                priority,
+                max_accels,
+                max_queued,
+            } => {
+                w.u8(13);
+                w.u32(*tenant);
+                w.u32(*weight);
+                w.u8(*priority);
+                w.u32(*max_accels);
+                w.u32(*max_queued);
+            }
         }
         w.0
     }
@@ -456,6 +577,20 @@ impl ArmRequest {
                 accel: AcceleratorId(r.u32()? as usize),
                 ok: r.u8()? != 0,
             },
+            12 => ArmRequest::SubmitJob {
+                job: JobId(r.u64()?),
+                tenant: r.u32()?,
+                gang: r.u32()?,
+                share_ok: r.u8()? != 0,
+                wait: r.u8()? != 0,
+            },
+            13 => ArmRequest::SetTenant {
+                tenant: r.u32()?,
+                weight: r.u32()?,
+                priority: r.u8()?,
+                max_accels: r.u32()?,
+                max_queued: r.u32()?,
+            },
             _ => return Err(ArmError::Malformed),
         };
         r.finish()?;
@@ -490,6 +625,19 @@ impl ArmResponse {
                     ArmError::NotHeld => w.u8(1),
                     ArmError::UnknownAccelerator => w.u8(2),
                     ArmError::Malformed => w.u8(3),
+                    ArmError::Rejected(reason) => {
+                        w.u8(4);
+                        let (kind, a, b) = match reason {
+                            RejectReason::TooLarge { requested, pool } => (0, *requested, *pool),
+                            RejectReason::QuotaAccels { requested, quota } => {
+                                (1, *requested, *quota)
+                            }
+                            RejectReason::QuotaQueue { depth, quota } => (2, *depth, *quota),
+                        };
+                        w.u8(kind);
+                        w.u32(a);
+                        w.u32(b);
+                    }
                 }
             }
             ArmResponse::Stats(s) => {
@@ -507,6 +655,10 @@ impl ArmResponse {
                 w.u8(5);
                 w.u64(*fence);
                 w.u8(u8::from(*probe));
+            }
+            ArmResponse::Queued { position } => {
+                w.u8(6);
+                w.u32(*position);
             }
         }
         w.0
@@ -533,6 +685,23 @@ impl ArmResponse {
                 1 => ArmError::NotHeld,
                 2 => ArmError::UnknownAccelerator,
                 3 => ArmError::Malformed,
+                4 => {
+                    let kind = r.u8()?;
+                    let a = r.u32()?;
+                    let b = r.u32()?;
+                    ArmError::Rejected(match kind {
+                        0 => RejectReason::TooLarge {
+                            requested: a,
+                            pool: b,
+                        },
+                        1 => RejectReason::QuotaAccels {
+                            requested: a,
+                            quota: b,
+                        },
+                        2 => RejectReason::QuotaQueue { depth: a, quota: b },
+                        _ => return Err(ArmError::Malformed),
+                    })
+                }
                 _ => return Err(ArmError::Malformed),
             }),
             3 => ArmResponse::Stats(PoolStats {
@@ -546,6 +715,7 @@ impl ArmResponse {
                 fence: r.u64()?,
                 probe: r.u8()? != 0,
             },
+            6 => ArmResponse::Queued { position: r.u32()? },
             _ => return Err(ArmError::Malformed),
         };
         r.finish()?;
@@ -602,6 +772,63 @@ mod tests {
             accel: AcceleratorId(4),
             ok: true,
         });
+        roundtrip_req(ArmRequest::SubmitJob {
+            job: JobId(77),
+            tenant: 3,
+            gang: 4,
+            share_ok: true,
+            wait: false,
+        });
+        roundtrip_req(ArmRequest::SetTenant {
+            tenant: 9,
+            weight: 5,
+            priority: 2,
+            max_accels: 16,
+            max_queued: 8,
+        });
+    }
+
+    #[test]
+    fn scheduler_responses_roundtrip() {
+        roundtrip_resp(ArmResponse::Queued { position: 4 });
+        roundtrip_resp(ArmResponse::Error(ArmError::Rejected(
+            RejectReason::TooLarge {
+                requested: 9,
+                pool: 4,
+            },
+        )));
+        roundtrip_resp(ArmResponse::Error(ArmError::Rejected(
+            RejectReason::QuotaAccels {
+                requested: 5,
+                quota: 2,
+            },
+        )));
+        roundtrip_resp(ArmResponse::Error(ArmError::Rejected(
+            RejectReason::QuotaQueue { depth: 7, quota: 7 },
+        )));
+    }
+
+    #[test]
+    fn arm_events_roundtrip() {
+        for ev in [
+            ArmEvent::Evict(Eviction {
+                accel: AcceleratorId(3),
+                epoch: 4,
+                reason: EvictReason::LeaseExpired,
+                replacement: None,
+            }),
+            ArmEvent::Slice {
+                grant: GrantedAccelerator {
+                    accel: AcceleratorId(2),
+                    daemon_rank: Rank(8),
+                    node: NodeId(4),
+                    epoch: 21,
+                },
+            },
+        ] {
+            assert_eq!(ArmEvent::decode(&ev.encode()), Ok(ev));
+        }
+        assert_eq!(ArmEvent::decode(&[9]), Err(ArmError::Malformed));
     }
 
     #[test]

@@ -1,12 +1,23 @@
 //! The ARM server task: services allocation traffic over the fabric.
+//!
+//! Two allocation paths coexist:
+//!
+//! * the legacy `Allocate` path — strict-FIFO wait queue, no tenancy —
+//!   kept for clients that predate the scheduler, and
+//! * the `SubmitJob` path, where an embedded [`Scheduler`] applies
+//!   admission quotas, weighted fair share, priority bands, gang
+//!   reservations, and oversubscription placement. The scheduler is a
+//!   pure state machine; this server snapshots pool capacity into it and
+//!   applies the placements it returns.
 
 use std::collections::{HashMap, VecDeque};
 
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
+use dacc_sched::{Admitted, Capacity, JobReq, PlaceKind, Scheduler, TenantConfig, TenantId};
 use dacc_sim::prelude::*;
 
-use crate::proto::{arm_tags, ArmError, ArmRequest, ArmResponse, EvictReason, Eviction};
+use crate::proto::{arm_tags, ArmError, ArmEvent, ArmRequest, ArmResponse, EvictReason, Eviction};
 use crate::state::{HealthEvent, JobId, Pool};
 
 /// ARM server tuning.
@@ -28,6 +39,14 @@ struct Waiting {
     requester: Rank,
     job: JobId,
     count: u32,
+}
+
+/// A `SubmitJob` admitted to the scheduler and awaiting placement: where
+/// to send the eventual `Granted`, and when it was submitted (for the
+/// grant-latency histogram).
+struct PendingSubmit {
+    requester: Rank,
+    submitted: SimTime,
 }
 
 /// Run the accelerator resource manager on `ep` until a `Shutdown` request
@@ -54,6 +73,11 @@ pub async fn run_arm_server_traced(
     // Where each job's front-end can be reached for eviction notices
     // (learned from the job's own requests).
     let mut contacts: HashMap<JobId, Rank> = HashMap::new();
+    // The policy brain for the SubmitJob path. Legacy Allocate traffic
+    // bypasses it; the scheduler only sees capacity that is actually free
+    // at dispatch time, so the two paths cannot double-grant.
+    let mut sched = Scheduler::new(pool.len() as u32);
+    let mut pending: HashMap<JobId, PendingSubmit> = HashMap::new();
     loop {
         let env = ep.recv(None, Some(arm_tags::REQUEST)).await;
         let requester = env.src;
@@ -77,12 +101,15 @@ pub async fn run_arm_server_traced(
         let now = handle.now();
         let swept = pool.tick(now);
         if !swept.is_empty() {
+            account(&mut sched, &swept);
             act_on(&ep, &tracer, &tele, &contacts, swept).await;
             drain_queue(&ep, &mut pool, &mut queue, now).await;
+            sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
         }
 
         let kind = match &req {
             ArmRequest::Allocate { .. } => "arm.allocate",
+            ArmRequest::SubmitJob { .. } => "arm.submit",
             ArmRequest::Release { .. } | ArmRequest::ReleaseJob { .. } => "arm.release",
             ArmRequest::ReportFailure { .. } => "arm.failover",
             ArmRequest::Heartbeat { .. } | ArmRequest::ProbeResult { .. } => "arm.heartbeat",
@@ -91,6 +118,20 @@ pub async fn run_arm_server_traced(
             _ => "arm.other",
         };
         tele.count(kind, 1);
+        // Occupancy gauges: sampled on every message, so the exported
+        // value is the state as of the most recent traffic.
+        {
+            let s = pool.stats();
+            tele.gauge(
+                "arm.queue_depth",
+                f64::from(sched.queue_depth() + queue.len() as u32),
+            );
+            let denom = s.free + s.assigned;
+            tele.gauge(
+                "arm.accel_utilization",
+                f64::from(s.assigned) / f64::from(denom.max(1)),
+            );
+        }
         let _req_span = tele.span(&handle, kind, || format!("{kind} from {requester}"));
         match req {
             ArmRequest::Allocate { job, count, wait } => {
@@ -119,19 +160,103 @@ pub async fn run_arm_server_traced(
                     Err(e) => respond(&ep, requester, ArmResponse::Error(e)).await,
                 }
             }
+            ArmRequest::SubmitJob {
+                job,
+                tenant,
+                gang,
+                share_ok,
+                wait,
+            } => {
+                contacts.insert(job, requester);
+                match sched.submit(JobReq {
+                    job: job.0,
+                    tenant: TenantId(tenant),
+                    gang,
+                    share_ok,
+                }) {
+                    Admitted::Rejected(reason) => {
+                        tele.count("arm.sched.reject", 1);
+                        respond(
+                            &ep,
+                            requester,
+                            ArmResponse::Error(ArmError::Rejected(reason)),
+                        )
+                        .await;
+                    }
+                    Admitted::Queued { position } => {
+                        pending.insert(
+                            job,
+                            PendingSubmit {
+                                requester,
+                                submitted: now,
+                            },
+                        );
+                        sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
+                        if pending.contains_key(&job) {
+                            if wait {
+                                // Granted comes later, once capacity frees.
+                                respond(&ep, requester, ArmResponse::Queued { position }).await;
+                            } else {
+                                sched.cancel(job.0);
+                                pending.remove(&job);
+                                let free = pool.free_count();
+                                respond(
+                                    &ep,
+                                    requester,
+                                    ArmResponse::Error(ArmError::Insufficient {
+                                        requested: gang,
+                                        free,
+                                    }),
+                                )
+                                .await;
+                            }
+                        }
+                    }
+                }
+            }
+            ArmRequest::SetTenant {
+                tenant,
+                weight,
+                priority,
+                max_accels,
+                max_queued,
+            } => {
+                sched.set_tenant(
+                    TenantId(tenant),
+                    TenantConfig {
+                        weight: weight.max(1),
+                        priority,
+                        max_accels,
+                        max_queued,
+                    },
+                );
+                respond(&ep, requester, ArmResponse::Released { released: 0 }).await;
+            }
             ArmRequest::Release { job, accels } => {
-                let resp = match pool.release(job, &accels) {
-                    Ok(released) => ArmResponse::Released { released },
+                let resp = match pool.release_at(job, &accels, Some(now)) {
+                    Ok((released, events)) => {
+                        sched.released(job.0, accels.len() as u32);
+                        account(&mut sched, &events);
+                        act_on(&ep, &tracer, &tele, &contacts, events).await;
+                        ArmResponse::Released { released }
+                    }
                     Err(e) => ArmResponse::Error(e),
                 };
                 respond(&ep, requester, resp).await;
                 drain_queue(&ep, &mut pool, &mut queue, now).await;
+                sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
             }
             ArmRequest::ReleaseJob { job } => {
-                let released = pool.release_job(job);
+                let (released, events) = pool.release_job_at(job, Some(now));
+                sched.finished(job.0);
+                sched.cancel(job.0);
+                pending.remove(&job);
                 contacts.remove(&job);
+                account(&mut sched, &events);
+                act_on(&ep, &tracer, &tele, &contacts, events).await;
                 respond(&ep, requester, ArmResponse::Released { released }).await;
                 drain_queue(&ep, &mut pool, &mut queue, now).await;
+                sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
             }
             ArmRequest::MarkBroken { accel } => {
                 let resp = match pool.mark_broken(accel) {
@@ -142,7 +267,7 @@ pub async fn run_arm_server_traced(
             }
             ArmRequest::Query => {
                 let mut stats = pool.stats();
-                stats.queued_requests = queue.len() as u32;
+                stats.queued_requests = queue.len() as u32 + sched.queue_depth();
                 respond(&ep, requester, ArmResponse::Stats(stats)).await;
             }
             ArmRequest::Repair { accel } => {
@@ -153,6 +278,7 @@ pub async fn run_arm_server_traced(
                 respond(&ep, requester, resp).await;
                 // A repaired accelerator may satisfy a queued request.
                 drain_queue(&ep, &mut pool, &mut queue, now).await;
+                sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
             }
             ArmRequest::ReportFailure { job, accel } => {
                 // Mark broken + fence, then grant a substitute in the same
@@ -195,6 +321,7 @@ pub async fn run_arm_server_traced(
                 // A fence ack may have made a reclaimed accelerator
                 // grantable again.
                 drain_queue(&ep, &mut pool, &mut queue, now).await;
+                sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
             }
             ArmRequest::ProbeResult { accel, ok } => {
                 let resp = match pool.probe_result(accel, ok) {
@@ -219,13 +346,15 @@ pub async fn run_arm_server_traced(
                 };
                 respond(&ep, requester, resp).await;
                 drain_queue(&ep, &mut pool, &mut queue, now).await;
+                sched_dispatch(&ep, &mut pool, &mut sched, &mut pending, &tele, now).await;
             }
             ArmRequest::Drain { accel } => {
                 let resp = match pool.drain(accel, Some(now)) {
-                    Ok(None) => ArmResponse::Released { released: 0 },
-                    Ok(Some(ev)) => {
-                        act_on(&ep, &tracer, &tele, &contacts, vec![ev]).await;
-                        ArmResponse::Released { released: 1 }
+                    Ok(events) => {
+                        let evicted = events.len() as u32;
+                        account(&mut sched, &events);
+                        act_on(&ep, &tracer, &tele, &contacts, events).await;
+                        ArmResponse::Released { released: evicted }
                     }
                     Err(e) => ArmResponse::Error(e),
                 };
@@ -285,14 +414,101 @@ async fn act_on(
                     )
                 });
                 if let Some(&to) = contacts.get(&job) {
-                    let notice = Eviction {
+                    let notice = ArmEvent::Evict(Eviction {
                         accel,
                         epoch,
                         reason,
                         replacement,
-                    };
+                    });
                     ep.send(to, arm_tags::EVENT, Payload::from_vec(notice.encode()))
                         .await;
+                }
+            }
+            HealthEvent::Rotated { job, accel, grant } => {
+                // A time slice rotated this job back onto a shared
+                // accelerator: forward the fresh grant (new epoch) so the
+                // front-end can resume issuing fenced ops.
+                tele.count("arm.sched.rotation", 1);
+                tracer.record(ep.fabric().handle(), "arm.sched", || {
+                    format!(
+                        "job {} active on shared accel {} (epoch {})",
+                        job.0, accel.0, grant.epoch
+                    )
+                });
+                if let Some(&to) = contacts.get(&job) {
+                    let notice = ArmEvent::Slice { grant };
+                    ep.send(to, arm_tags::EVENT, Payload::from_vec(notice.encode()))
+                        .await;
+                }
+            }
+        }
+    }
+}
+
+/// Reconcile the scheduler's holdings with health-plane outcomes: an
+/// eviction without a replacement shrinks the job's footprint by one (the
+/// replacement case is net zero). Unknown (legacy-path) jobs are no-ops.
+fn account(sched: &mut Scheduler, events: &[HealthEvent]) {
+    for ev in events {
+        if let HealthEvent::Evicted {
+            job,
+            replacement: None,
+            ..
+        } = ev
+        {
+            sched.released(job.0, 1);
+        }
+    }
+}
+
+/// Ask the scheduler what to start given the pool's current free capacity
+/// and apply its placements: exclusive gangs through `try_allocate_at`
+/// (opening a share domain when the job consented), shared singles through
+/// `try_join_share_at`. Grants are pushed to the submitters recorded in
+/// `pending`.
+async fn sched_dispatch(
+    ep: &Endpoint,
+    pool: &mut Pool,
+    sched: &mut Scheduler,
+    pending: &mut HashMap<JobId, PendingSubmit>,
+    tele: &dacc_telemetry::Telemetry,
+    now: SimTime,
+) {
+    let cap = Capacity {
+        free: pool.free_count(),
+        share_slots: pool.share_slots(),
+    };
+    for p in sched.dispatch(cap) {
+        let job = JobId(p.job);
+        let result = match p.kind {
+            PlaceKind::Exclusive => pool.try_allocate_at(job, p.gang, Some(now)).map(|grants| {
+                if p.share_ok && p.gang == 1 && pool.share_config().is_some() {
+                    // Consenting single-accel job: open its accelerator
+                    // for time-sliced co-residents.
+                    let _ = pool.open_share(grants[0].accel, job);
+                }
+                grants
+            }),
+            PlaceKind::Shared => pool.try_join_share_at(job, Some(now)).map(|g| vec![g]),
+        };
+        match result {
+            Ok(grants) => {
+                tele.count("arm.sched.grant", 1);
+                if let Some(ps) = pending.remove(&job) {
+                    tele.observe(
+                        "arm.sched.grant_latency",
+                        now.saturating_since(ps.submitted),
+                    );
+                    respond(ep, ps.requester, ArmResponse::Granted(grants)).await;
+                }
+            }
+            Err(e) => {
+                // The capacity snapshot went stale mid-application (e.g. a
+                // health transition). Roll the scheduler back and fail the
+                // submit rather than wedge it.
+                sched.released(p.job, p.gang);
+                if let Some(ps) = pending.remove(&job) {
+                    respond(ep, ps.requester, ArmResponse::Error(e)).await;
                 }
             }
         }
@@ -527,6 +743,200 @@ mod tests {
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod sched_tests {
+    use super::*;
+    use crate::client::ArmClient;
+    use crate::health::HealthConfig;
+    use crate::proto::RejectReason;
+    use crate::state::{inventory, Pool, ShareConfig};
+    use dacc_fabric::mpi::Fabric;
+    use dacc_fabric::topology::{FabricParams, NodeId, Topology};
+
+    fn setup(n_cn: usize, n_ac: usize) -> (Sim, Fabric, Vec<Endpoint>, Endpoint) {
+        let sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::new(&h, 1 + n_cn + n_ac, FabricParams::qdr_infiniband());
+        let fabric = Fabric::new(&h, topo);
+        let arm_ep = fabric.add_endpoint(NodeId(0));
+        let cn_eps: Vec<Endpoint> = (0..n_cn)
+            .map(|i| fabric.add_endpoint(NodeId(1 + i)))
+            .collect();
+        (sim, fabric, cn_eps, arm_ep)
+    }
+
+    fn make_pool(n_ac: usize, n_cn: usize, share: bool) -> Pool {
+        let nodes: Vec<NodeId> = (0..n_ac).map(|i| NodeId(1 + n_cn + i)).collect();
+        let ranks: Vec<Rank> = (0..n_ac).map(|i| Rank(1 + n_cn + i)).collect();
+        let mut pool = Pool::new(inventory(&nodes, &ranks));
+        if share {
+            pool.set_health(HealthConfig::default());
+            pool.set_share(ShareConfig::default());
+        }
+        pool
+    }
+
+    #[test]
+    fn submit_rejected_by_tenant_quota() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 4);
+        let pool = make_pool(4, 1, false);
+        sim.spawn("arm", async move {
+            run_arm_server(arm_ep, pool, ArmServerConfig::default()).await;
+        });
+        let cn = cns.remove(0);
+        let out = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            client.set_tenant(7, 1, 0, 2, 8).await.unwrap();
+            // Gang of 3 exceeds tenant 7's two-accelerator quota.
+            let err = client
+                .submit_job(JobId(1), 7, 3, false, false)
+                .await
+                .unwrap_err();
+            // Within quota it lands.
+            let grants = client
+                .submit_job(JobId(2), 7, 2, false, false)
+                .await
+                .unwrap();
+            client.release_job(JobId(2)).await;
+            client.shutdown().await;
+            (err, grants.len())
+        });
+        sim.run();
+        assert_eq!(
+            out.try_take(),
+            Some((
+                ArmError::Rejected(RejectReason::QuotaAccels {
+                    requested: 3,
+                    quota: 2
+                }),
+                2
+            ))
+        );
+    }
+
+    #[test]
+    fn waiting_submit_granted_when_capacity_frees() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(2, 2);
+        let pool = make_pool(2, 2, false);
+        sim.spawn("arm", async move {
+            run_arm_server(arm_ep, pool, ArmServerConfig::default()).await;
+        });
+        let cn_a = cns.remove(0);
+        let cn_b = cns.remove(0);
+        let h = sim.handle();
+        {
+            let h = h.clone();
+            sim.spawn("job1", async move {
+                let client = ArmClient::new(cn_a, Rank(0));
+                client
+                    .submit_job(JobId(1), 1, 2, false, false)
+                    .await
+                    .unwrap();
+                h.delay(SimDuration::from_millis(1)).await;
+                client.release_job(JobId(1)).await;
+            });
+        }
+        let granted_at = {
+            let h = h.clone();
+            sim.spawn("job2", async move {
+                h.delay(SimDuration::from_micros(10)).await;
+                let client = ArmClient::new(cn_b, Rank(0));
+                // Pool is full: queues, then granted after job 1 releases.
+                let grants = client
+                    .submit_job(JobId(2), 2, 2, false, true)
+                    .await
+                    .unwrap();
+                assert_eq!(grants.len(), 2);
+                let t = h.now();
+                client.release_job(JobId(2)).await;
+                client.shutdown().await;
+                t
+            })
+        };
+        sim.run();
+        let t = granted_at.try_take().expect("job2 must complete");
+        assert!(
+            t >= SimTime::ZERO + SimDuration::from_millis(1),
+            "granted at {t} before job 1 released"
+        );
+    }
+
+    #[test]
+    fn nonwaiting_submit_fails_fast_when_full() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 1);
+        let pool = make_pool(1, 1, false);
+        sim.spawn("arm", async move {
+            run_arm_server(arm_ep, pool, ArmServerConfig::default()).await;
+        });
+        let cn = cns.remove(0);
+        let out = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            client
+                .submit_job(JobId(1), 1, 1, false, false)
+                .await
+                .unwrap();
+            let err = client
+                .submit_job(JobId(2), 2, 1, false, false)
+                .await
+                .unwrap_err();
+            // The abandoned submission must not linger in the queue.
+            let stats = client.query().await;
+            client.shutdown().await;
+            (err, stats.queued_requests)
+        });
+        sim.run();
+        assert_eq!(
+            out.try_take(),
+            Some((
+                ArmError::Insufficient {
+                    requested: 1,
+                    free: 0
+                },
+                0
+            ))
+        );
+    }
+
+    #[test]
+    fn oversubscription_shares_one_accelerator() {
+        let (mut sim, _fabric, mut cns, arm_ep) = setup(1, 1);
+        let pool = make_pool(1, 1, true);
+        sim.spawn("arm", async move {
+            run_arm_server(arm_ep, pool, ArmServerConfig::default()).await;
+        });
+        let cn = cns.remove(0);
+        let out = sim.spawn("cn", async move {
+            let client = ArmClient::new(cn, Rank(0));
+            // Job 1 consents to sharing and takes the only accelerator.
+            let g1 = client
+                .submit_job(JobId(1), 1, 1, true, false)
+                .await
+                .unwrap();
+            // Job 2 lands on the same device via a share slot; its slice
+            // starts immediately with a fresh epoch, fencing job 1.
+            let g2 = client
+                .submit_job(JobId(2), 2, 1, true, false)
+                .await
+                .unwrap();
+            assert_eq!(g1[0].accel, g2[0].accel);
+            assert!(g2[0].epoch > g1[0].epoch, "joiner must hold the live epoch");
+            // A third job finds neither free capacity nor a spare slot.
+            let err = client
+                .submit_job(JobId(3), 3, 1, true, false)
+                .await
+                .unwrap_err();
+            assert!(matches!(err, ArmError::Insufficient { .. }));
+            client.release_job(JobId(2)).await;
+            client.release_job(JobId(1)).await;
+            let stats = client.query().await;
+            client.shutdown().await;
+            stats.free
+        });
+        sim.run();
+        assert_eq!(out.try_take(), Some(1));
     }
 }
 

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use dacc_fabric::mpi::Rank;
 use dacc_fabric::topology::NodeId;
-use dacc_sim::prelude::SimTime;
+use dacc_sim::prelude::{SimDuration, SimTime};
 
 use crate::health::{Health, HealthConfig, HealthMeta};
 use crate::proto::{ArmError, EvictReason, GrantedAccelerator, PoolStats};
@@ -86,6 +86,53 @@ pub enum HealthEvent {
         /// The accelerator removed from service.
         accel: AcceleratorId,
     },
+    /// A time-sliced accelerator rotated to its next resident: the old
+    /// holder's epoch is fenced and `job` now owns the live epoch carried
+    /// in `grant`. The server forwards the grant to the new holder as a
+    /// slice notice.
+    Rotated {
+        /// The resident whose slice is starting.
+        job: JobId,
+        /// The shared accelerator.
+        accel: AcceleratorId,
+        /// Fresh grant (new live epoch) for the new holder.
+        grant: GrantedAccelerator,
+    },
+}
+
+/// Oversubscription tuning: lets several single-accelerator jobs
+/// time-share one vGPU. Attached with [`Pool::set_share`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShareConfig {
+    /// Max residents (time-slice holders) per shared accelerator.
+    pub slots_per_accel: u32,
+    /// Rotation period: how long each resident's slice lasts before the
+    /// pool fences it and activates the next resident.
+    pub slice: SimDuration,
+}
+
+impl Default for ShareConfig {
+    fn default() -> Self {
+        ShareConfig {
+            slots_per_accel: 2,
+            slice: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Per-accelerator share domain: the resident set and rotation clock.
+/// `state[i]` stays `Assigned(active)`, so exclusivity invariants hold
+/// unchanged; passive residents are tracked only here and hold fenced
+/// (dead) epochs until their slice comes around.
+#[derive(Clone, Debug)]
+struct ShareState {
+    /// Resident jobs in rotation order. The entry at `active` is the
+    /// current holder of the live epoch.
+    residents: Vec<JobId>,
+    active: usize,
+    /// When the current slice ends (None until a second resident joins —
+    /// a sole resident never needs rotating).
+    next_rotation: Option<SimTime>,
 }
 
 /// The ARM's pool: inventory plus assignment map.
@@ -102,6 +149,9 @@ pub struct Pool {
     total_grants: u64,
     policy: AllocPolicy,
     cursor: usize,
+    share: Option<ShareConfig>,
+    shares: HashMap<usize, ShareState>,
+    total_rotations: u64,
 }
 
 impl Pool {
@@ -121,6 +171,9 @@ impl Pool {
             total_grants: 0,
             policy: AllocPolicy::FirstFit,
             cursor: 0,
+            share: None,
+            shares: HashMap::new(),
+            total_rotations: 0,
         }
     }
 
@@ -144,6 +197,144 @@ impl Pool {
     /// The health configuration, if the health plane is enabled.
     pub fn health_config(&self) -> Option<HealthConfig> {
         self.health
+    }
+
+    /// Enable oversubscription (time-sliced vGPU sharing) with `config`.
+    pub fn set_share(&mut self, config: ShareConfig) {
+        self.share = Some(config);
+    }
+
+    /// The oversubscription configuration, if enabled.
+    pub fn share_config(&self) -> Option<ShareConfig> {
+        self.share
+    }
+
+    /// Spare share slots across all open share domains: the capacity the
+    /// scheduler may fill with `Shared` placements.
+    pub fn share_slots(&self) -> u32 {
+        let Some(cfg) = self.share else {
+            return 0;
+        };
+        self.shares
+            .iter()
+            .filter(|(&i, _)| {
+                matches!(self.state[i], AccelState::Assigned(_))
+                    && self.meta[i].health == Health::Healthy
+            })
+            .map(|(_, s)| cfg.slots_per_accel.saturating_sub(s.residents.len() as u32))
+            .sum()
+    }
+
+    /// Residents of `accel`'s share domain, in rotation order (empty when
+    /// the accelerator is not shared).
+    pub fn residents(&self, accel: AcceleratorId) -> Vec<JobId> {
+        self.shares
+            .get(&accel.0)
+            .map(|s| s.residents.clone())
+            .unwrap_or_default()
+    }
+
+    /// Lifetime count of slice rotations across all share domains.
+    pub fn total_rotations(&self) -> u64 {
+        self.total_rotations
+    }
+
+    /// Open a share domain on `accel`, which `job` just received as an
+    /// exclusive grant and declared shareable: later share placements may
+    /// co-locate onto it. No-op when oversubscription is disabled.
+    pub fn open_share(&mut self, accel: AcceleratorId, job: JobId) -> Result<(), ArmError> {
+        match self.state_of(accel)? {
+            AccelState::Assigned(owner) if owner == job => {}
+            _ => return Err(ArmError::NotHeld),
+        }
+        if self.share.is_some() {
+            self.shares.entry(accel.0).or_insert(ShareState {
+                residents: vec![job],
+                active: 0,
+                next_rotation: None,
+            });
+        }
+        Ok(())
+    }
+
+    /// Place `job` onto the best open share domain with a spare slot. The
+    /// joiner's slice starts immediately: the previous holder's epoch is
+    /// fenced and it is re-activated (with a fresh grant) when rotation
+    /// comes back around. Ranking prefers the domain with the fewest
+    /// residents, then the lowest cumulative busy count (the utilization
+    /// signal heartbeats already carry), then the lowest id.
+    pub fn try_join_share_at(
+        &mut self,
+        job: JobId,
+        now: Option<SimTime>,
+    ) -> Result<GrantedAccelerator, ArmError> {
+        let Some(cfg) = self.share else {
+            return Err(ArmError::Insufficient {
+                requested: 1,
+                free: 0,
+            });
+        };
+        let mut best: Option<(usize, u64, usize)> = None;
+        for (&i, s) in &self.shares {
+            if s.residents.len() as u32 >= cfg.slots_per_accel || s.residents.contains(&job) {
+                continue;
+            }
+            if !matches!(self.state[i], AccelState::Assigned(_))
+                || self.meta[i].health != Health::Healthy
+            {
+                continue;
+            }
+            let key = (s.residents.len(), self.meta[i].busy_total, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, i)) = best else {
+            return Err(ArmError::Insufficient {
+                requested: 1,
+                free: 0,
+            });
+        };
+        let grant = self.rotate_to(i, job, now);
+        let slice = cfg.slice;
+        let s = self.shares.get_mut(&i).unwrap();
+        s.residents.push(job);
+        s.active = s.residents.len() - 1;
+        s.next_rotation = now.map(|n| n + slice);
+        self.total_grants += 1;
+        Ok(grant)
+    }
+
+    /// Fence the current holder of `i` and hand the live epoch to `to`.
+    /// The daemon adopts the new fence at its next heartbeat; until then
+    /// the rotated-out holder has a bounded staleness window — the same
+    /// trade-off the lease plane makes between revocation and ack latency.
+    fn rotate_to(&mut self, i: usize, to: JobId, now: Option<SimTime>) -> GrantedAccelerator {
+        if let AccelState::Assigned(old) = self.state[i] {
+            if let Some(held) = self.held_by.get_mut(&old) {
+                held.retain(|h| h.0 != i);
+                if held.is_empty() {
+                    self.held_by.remove(&old);
+                }
+            }
+        }
+        let lease = match (self.health, now) {
+            (Some(cfg), Some(now)) => Some(now + cfg.lease),
+            _ => None,
+        };
+        let m = &mut self.meta[i];
+        m.fence = m.epoch + 1;
+        m.epoch = m.fence;
+        m.lease_expiry = lease;
+        self.state[i] = AccelState::Assigned(to);
+        self.held_by.entry(to).or_default().push(AcceleratorId(i));
+        let d = self.accels[i];
+        GrantedAccelerator {
+            accel: d.id,
+            daemon_rank: d.daemon_rank,
+            node: d.node,
+            epoch: self.meta[i].epoch,
+        }
     }
 
     /// Health metadata of one accelerator.
@@ -273,21 +464,89 @@ impl Pool {
 
     /// Release specific accelerators held by `job`. Broken accelerators are
     /// acknowledged but stay broken. Returns how many returned to Free.
+    /// (Legacy wrapper: with oversubscription enabled use
+    /// [`Pool::release_at`], which surfaces the rotation events releasing
+    /// a shared accelerator can produce.)
     pub fn release(&mut self, job: JobId, accels: &[AcceleratorId]) -> Result<u32, ArmError> {
+        self.release_at(job, accels, None).map(|(n, _)| n)
+    }
+
+    /// [`Pool::release`] with a timestamp: releasing the *active* resident
+    /// of a shared accelerator rotates the live epoch to a surviving
+    /// resident instead of freeing the device, surfaced as a
+    /// [`HealthEvent::Rotated`] the server must forward. Releasing a
+    /// passive resident just vacates its slot.
+    pub fn release_at(
+        &mut self,
+        job: JobId,
+        accels: &[AcceleratorId],
+        now: Option<SimTime>,
+    ) -> Result<(u32, Vec<HealthEvent>), ArmError> {
         // Validate everything first: release is all-or-nothing.
         for id in accels {
             match self.state_of(*id)? {
                 AccelState::Assigned(owner) if owner == job => {}
                 AccelState::Broken if self.held_by.get(&job).is_some_and(|v| v.contains(id)) => {}
+                _ if self
+                    .shares
+                    .get(&id.0)
+                    .is_some_and(|s| s.residents.contains(&job)) => {}
                 _ => return Err(ArmError::NotHeld),
             }
         }
         let mut released = 0;
+        let mut events = Vec::new();
         for id in accels {
+            let mut counted = false;
+            if let Some(s) = self.shares.get_mut(&id.0) {
+                if s.residents.contains(&job) {
+                    let was_active = self.state[id.0] == AccelState::Assigned(job);
+                    let active_job = s.residents[s.active];
+                    s.residents.retain(|r| *r != job);
+                    released += 1;
+                    counted = true;
+                    if !was_active {
+                        // Keep `active` pointing at the live-epoch holder
+                        // after the removal shifted indices.
+                        s.active = s
+                            .residents
+                            .iter()
+                            .position(|r| *r == active_job)
+                            .unwrap_or(0);
+                    }
+                    if s.residents.is_empty() {
+                        // Last resident out: fall through and free the
+                        // device like an exclusive release.
+                        self.shares.remove(&id.0);
+                    } else if was_active {
+                        // The live-epoch holder leaves: rotate the device
+                        // to a survivor instead of freeing it.
+                        if s.active >= s.residents.len() {
+                            s.active = 0;
+                        }
+                        let next = s.residents[s.active];
+                        let slice = self.share.map(|c| c.slice);
+                        s.next_rotation = now.zip(slice).map(|(n, d)| n + d);
+                        let grant = self.rotate_to(id.0, next, now);
+                        self.total_rotations += 1;
+                        events.push(HealthEvent::Rotated {
+                            job: next,
+                            accel: *id,
+                            grant,
+                        });
+                        continue;
+                    } else {
+                        // Passive resident: slot vacated, nothing else moves.
+                        continue;
+                    }
+                }
+            }
             if self.state[id.0] == AccelState::Assigned(job) {
                 self.state[id.0] = AccelState::Free;
                 self.meta[id.0].lease_expiry = None;
-                released += 1;
+                if !counted {
+                    released += 1;
+                }
             }
             if let Some(held) = self.held_by.get_mut(&job) {
                 held.retain(|h| h != id);
@@ -296,21 +555,28 @@ impl Pool {
         if self.held_by.get(&job).is_some_and(Vec::is_empty) {
             self.held_by.remove(&job);
         }
-        Ok(released)
+        Ok((released, events))
     }
 
     /// Release everything `job` holds (automatic release at job end).
+    /// (Legacy wrapper — see [`Pool::release_job_at`].)
     pub fn release_job(&mut self, job: JobId) -> u32 {
-        let held = self.held_by.remove(&job).unwrap_or_default();
-        let mut released = 0;
-        for id in held {
-            if self.state[id.0] == AccelState::Assigned(job) {
-                self.state[id.0] = AccelState::Free;
-                self.meta[id.0].lease_expiry = None;
-                released += 1;
+        self.release_job_at(job, None).0
+    }
+
+    /// Release everything `job` holds or resides on: exclusive grants,
+    /// active shared slices (rotating the device to a survivor), and
+    /// passive residencies.
+    pub fn release_job_at(&mut self, job: JobId, now: Option<SimTime>) -> (u32, Vec<HealthEvent>) {
+        let mut ids: Vec<AcceleratorId> = self.held_by.get(&job).cloned().unwrap_or_default();
+        for (&i, s) in &self.shares {
+            if s.residents.contains(&job) {
+                ids.push(AcceleratorId(i));
             }
         }
-        released
+        ids.sort_unstable();
+        ids.dedup();
+        self.release_at(job, &ids, now).unwrap_or_default()
     }
 
     /// Mark an accelerator broken. A broken accelerator never gets assigned
@@ -320,6 +586,18 @@ impl Pool {
         match self.state_of(id)? {
             AccelState::Broken => Ok(()),
             _ => {
+                // A broken shared device: the domain is torn down, but
+                // every resident stays charged in `held_by` so each can
+                // acknowledge the loss with a release (the same contract
+                // exclusive holders of a broken accelerator get).
+                if let Some(s) = self.shares.remove(&id.0) {
+                    for r in s.residents {
+                        let held = self.held_by.entry(r).or_default();
+                        if !held.contains(&id) {
+                            held.push(id);
+                        }
+                    }
+                }
                 self.state[id.0] = AccelState::Broken;
                 Ok(())
             }
@@ -396,7 +674,32 @@ impl Pool {
             if let AccelState::Assigned(job) = self.state[i] {
                 if self.meta[i].lease_expiry.is_some_and(|e| e <= now) {
                     let epoch = self.meta[i].epoch;
-                    self.reclaim(i, job);
+                    if let Some(s) = self.shares.get_mut(&i) {
+                        // Only the (silent, presumed dead) active resident
+                        // is pruned; the domain — and the survivors'
+                        // device memory — outlives the eviction.
+                        s.residents.retain(|r| *r != job);
+                        if s.residents.is_empty() {
+                            self.shares.remove(&i);
+                            self.reclaim(i, job);
+                        } else {
+                            if s.active >= s.residents.len() {
+                                s.active = 0;
+                            }
+                            let next = s.residents[s.active];
+                            let slice = self.share.map(|c| c.slice).unwrap_or(cfg.lease);
+                            s.next_rotation = Some(now + slice);
+                            let grant = self.rotate_to(i, next, Some(now));
+                            self.total_rotations += 1;
+                            events.push(HealthEvent::Rotated {
+                                job: next,
+                                accel: AcceleratorId(i),
+                                grant,
+                            });
+                        }
+                    } else {
+                        self.reclaim(i, job);
+                    }
                     events.push(HealthEvent::Evicted {
                         job,
                         accel: AcceleratorId(i),
@@ -406,6 +709,43 @@ impl Pool {
                         // dead, so no replacement is reserved for it.
                         replacement: None,
                     });
+                }
+            }
+        }
+        // Slice rotations: every `slice`, a shared device with two or
+        // more residents fences its active holder and hands the live
+        // epoch to the next resident in round-robin order.
+        if let Some(scfg) = self.share {
+            let mut shared: Vec<usize> = self.shares.keys().copied().collect();
+            shared.sort_unstable();
+            for i in shared {
+                let s = &self.shares[&i];
+                if s.residents.len() < 2
+                    || !matches!(self.state[i], AccelState::Assigned(_))
+                    || self.meta[i].health != Health::Healthy
+                {
+                    continue;
+                }
+                match s.next_rotation {
+                    None => {
+                        // Second resident arrived without a timestamped
+                        // join: start the clock now.
+                        self.shares.get_mut(&i).unwrap().next_rotation = Some(now + scfg.slice);
+                    }
+                    Some(due) if due <= now => {
+                        let s = self.shares.get_mut(&i).unwrap();
+                        s.active = (s.active + 1) % s.residents.len();
+                        let next = s.residents[s.active];
+                        s.next_rotation = Some(now + scfg.slice);
+                        let grant = self.rotate_to(i, next, Some(now));
+                        self.total_rotations += 1;
+                        events.push(HealthEvent::Rotated {
+                            job: next,
+                            accel: AcceleratorId(i),
+                            grant,
+                        });
+                    }
+                    Some(_) => {}
                 }
             }
         }
@@ -430,6 +770,7 @@ impl Pool {
         let i = accel.0;
         let m = &mut self.meta[i];
         m.last_beat = Some(now);
+        m.busy_total += u64::from(busy);
         m.acked_fence = m.acked_fence.max(fence.min(m.fence));
         if m.health == Health::Suspect {
             m.health = Health::Healthy;
@@ -517,32 +858,50 @@ impl Pool {
         Ok(grants)
     }
 
-    /// Vacate `accel` for maintenance/rebalance: its holder (if any) gets
-    /// a replacement grant and an eviction notice, the old epoch is
-    /// fenced, and the accelerator returns to the pool once its daemon
-    /// acks the fence. Fails with [`ArmError::Insufficient`] (changing
-    /// nothing) when no replacement is available.
+    /// Vacate `accel` for maintenance/rebalance: every holder (all
+    /// residents, for a shared device) gets a replacement grant and an
+    /// eviction notice, the old epoch is fenced, and the accelerator
+    /// returns to the pool once its daemon acks the fence. Fails with
+    /// [`ArmError::Insufficient`] (changing nothing) when replacements
+    /// cannot be reserved for everyone.
     pub fn drain(
         &mut self,
         accel: AcceleratorId,
         now: Option<SimTime>,
-    ) -> Result<Option<HealthEvent>, ArmError> {
+    ) -> Result<Vec<HealthEvent>, ArmError> {
         match self.state_of(accel)? {
-            AccelState::Free | AccelState::Broken => Ok(None),
+            AccelState::Free | AccelState::Broken => Ok(Vec::new()),
             AccelState::Assigned(job) => {
-                // Reserve the replacement first: the drained accelerator
-                // must not be handed back as its own replacement, and a
-                // capacity failure must leave the assignment untouched.
-                let replacement = self.try_allocate_at(job, 1, now)?[0];
                 let epoch = self.meta[accel.0].epoch;
+                let evictees: Vec<JobId> = match self.shares.get(&accel.0) {
+                    Some(s) => s.residents.clone(),
+                    None => vec![job],
+                };
+                // Reserve the replacements first: the drained accelerator
+                // must not be handed back as its own replacement, and a
+                // capacity failure must leave the assignments untouched.
+                let need = evictees.len() as u32;
+                let free = self.free_count();
+                if free < need {
+                    return Err(ArmError::Insufficient {
+                        requested: need,
+                        free,
+                    });
+                }
+                let mut events = Vec::with_capacity(evictees.len());
+                self.shares.remove(&accel.0);
+                for r in &evictees {
+                    let replacement = self.try_allocate_at(*r, 1, now)?[0];
+                    events.push(HealthEvent::Evicted {
+                        job: *r,
+                        accel,
+                        epoch,
+                        reason: EvictReason::Drained,
+                        replacement: Some(replacement),
+                    });
+                }
                 self.reclaim(accel.0, job);
-                Ok(Some(HealthEvent::Evicted {
-                    job,
-                    accel,
-                    epoch,
-                    reason: EvictReason::Drained,
-                    replacement: Some(replacement),
-                }))
+                Ok(events)
             }
         }
     }
@@ -577,6 +936,13 @@ impl Pool {
             _ => None,
         };
         let epoch = self.meta[i].epoch;
+        // Every resident of a shared domain loses the device, not just
+        // the active holder; each gets its own eviction (and replacement
+        // attempt) below.
+        let evictees: Vec<JobId> = match self.shares.remove(&i) {
+            Some(s) => s.residents,
+            None => holder.into_iter().collect(),
+        };
         if let Some(job) = holder {
             self.reclaim(i, job);
         }
@@ -591,7 +957,7 @@ impl Pool {
         } else {
             self.meta[i].health = Health::Quarantined;
         }
-        if let Some(job) = holder {
+        for job in evictees {
             let replacement = self
                 .try_allocate_at(job, 1, Some(now))
                 .ok()
@@ -609,6 +975,7 @@ impl Pool {
 
     /// Permanently remove `i` from service (until an operator `repair`).
     fn break_accel(&mut self, i: usize) {
+        self.shares.remove(&i);
         for held in self.held_by.values_mut() {
             held.retain(|h| h.0 != i);
         }
@@ -635,9 +1002,15 @@ impl Pool {
             })
             .collect();
         held.sort();
+        let mut shares: Vec<(usize, Vec<u64>, usize)> = self
+            .shares
+            .iter()
+            .map(|(&i, s)| (i, s.residents.iter().map(|j| j.0).collect(), s.active))
+            .collect();
+        shares.sort();
         format!(
-            "state={:?} meta={:?} held={held:?} grants={}",
-            self.state, self.meta, self.total_grants
+            "state={:?} meta={:?} held={held:?} grants={} shares={shares:?} rotations={}",
+            self.state, self.meta, self.total_grants, self.total_rotations
         )
     }
 
@@ -662,6 +1035,38 @@ impl Pool {
                     AccelState::Assigned(owner) => assert_eq!(owner, *job, "cross-job hold"),
                     AccelState::Broken => {}
                     AccelState::Free => panic!("held accelerator {id:?} is Free"),
+                }
+            }
+        }
+        for (&i, s) in &self.shares {
+            let AccelState::Assigned(active_job) = self.state[i] else {
+                panic!("share domain on non-assigned accelerator {i}");
+            };
+            assert!(!s.residents.is_empty(), "empty share domain on {i}");
+            assert!(s.active < s.residents.len(), "active index out of range");
+            assert_eq!(
+                s.residents[s.active], active_job,
+                "active resident of {i} does not hold the live epoch"
+            );
+            if let Some(cfg) = self.share {
+                assert!(
+                    s.residents.len() as u32 <= cfg.slots_per_accel,
+                    "accelerator {i} oversubscribed past its slot quota"
+                );
+            }
+            let mut uniq: Vec<u64> = s.residents.iter().map(|j| j.0).collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), s.residents.len(), "duplicate resident on {i}");
+            for r in &s.residents {
+                if *r != active_job {
+                    assert!(
+                        !self
+                            .held_by
+                            .get(r)
+                            .is_some_and(|h| h.contains(&AcceleratorId(i))),
+                        "passive resident {r:?} charged with holding {i}"
+                    );
                 }
             }
         }
@@ -858,5 +1263,174 @@ mod tests {
             p.state_of(AcceleratorId(9)),
             Err(ArmError::UnknownAccelerator)
         );
+    }
+
+    // ---- oversubscription (time-sliced vGPU sharing) ----
+
+    use crate::health::HealthConfig;
+
+    fn shared_pool(n: usize) -> Pool {
+        let mut p = pool(n);
+        p.set_health(HealthConfig::default());
+        p.set_share(ShareConfig::default());
+        p
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn join_share_fences_previous_holder() {
+        let mut p = shared_pool(1);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        let a = g1[0].accel;
+        p.open_share(a, JobId(1)).unwrap();
+        assert_eq!(p.share_slots(), 1);
+        let g2 = p.try_join_share_at(JobId(2), Some(at(1))).unwrap();
+        assert_eq!(g2.accel, a);
+        // The joiner's slice starts immediately with a fresh (fenced)
+        // epoch; the rotated-out holder's old epoch is now stale.
+        assert!(g2.epoch > g1[0].epoch);
+        assert_eq!(p.residents(a), vec![JobId(1), JobId(2)]);
+        assert_eq!(p.state_of(a), Ok(AccelState::Assigned(JobId(2))));
+        assert_eq!(p.share_slots(), 0, "domain is full");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn slice_rotation_round_robins_residents() {
+        let mut p = shared_pool(1);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        let a = g1[0].accel;
+        p.open_share(a, JobId(1)).unwrap();
+        p.try_join_share_at(JobId(2), Some(at(1))).unwrap();
+        // Slice is 5ms: at 6ms the device rotates back to job 1.
+        let events = p.tick(at(6));
+        let rotated: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                HealthEvent::Rotated { job, accel, grant } => Some((*job, *accel, grant.epoch)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rotated.len(), 1);
+        assert_eq!((rotated[0].0, rotated[0].1), (JobId(1), a));
+        assert_eq!(p.state_of(a), Ok(AccelState::Assigned(JobId(1))));
+        // And 5ms later it rotates forward to job 2 again.
+        let events = p.tick(at(11));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HealthEvent::Rotated { job, .. } if *job == JobId(2))));
+        assert_eq!(p.total_rotations(), 2, "two slice rotations");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn release_of_active_resident_rotates_to_survivor() {
+        let mut p = shared_pool(1);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        let a = g1[0].accel;
+        p.open_share(a, JobId(1)).unwrap();
+        p.try_join_share_at(JobId(2), Some(at(1))).unwrap();
+        // Job 2 (active) leaves: the device rotates to job 1 rather than
+        // going free, and the release is acknowledged.
+        let (released, events) = p.release_at(JobId(2), &[a], Some(at(2))).unwrap();
+        assert_eq!(released, 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HealthEvent::Rotated { job, .. } if *job == JobId(1))));
+        assert_eq!(p.state_of(a), Ok(AccelState::Assigned(JobId(1))));
+        assert_eq!(p.residents(a), vec![JobId(1)]);
+        // The last resident leaving frees the device.
+        let (released, _) = p.release_at(JobId(1), &[a], Some(at(3))).unwrap();
+        assert_eq!(released, 1);
+        assert_eq!(p.state_of(a), Ok(AccelState::Free));
+        assert!(p.residents(a).is_empty());
+        p.check_invariants();
+    }
+
+    #[test]
+    fn passive_resident_release_keeps_active_running() {
+        let mut p = shared_pool(1);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        let a = g1[0].accel;
+        p.open_share(a, JobId(1)).unwrap();
+        p.try_join_share_at(JobId(2), Some(at(1))).unwrap();
+        // Job 1 is passive (job 2 holds the live epoch); its release must
+        // not disturb job 2.
+        let (released, events) = p.release_at(JobId(1), &[a], Some(at(2))).unwrap();
+        assert_eq!((released, events.len()), (1, 0));
+        assert_eq!(p.state_of(a), Ok(AccelState::Assigned(JobId(2))));
+        assert_eq!(p.residents(a), vec![JobId(2)]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn quarantine_evicts_every_resident() {
+        let mut p = shared_pool(2);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        let a = g1[0].accel;
+        p.open_share(a, JobId(1)).unwrap();
+        p.try_join_share_at(JobId(2), Some(at(0))).unwrap();
+        // The shared device's daemon goes silent past the quarantine
+        // threshold: both residents are evicted, each with a replacement
+        // attempt from the free accelerator.
+        p.heartbeat(a, 0, 1, at(0)).unwrap();
+        let events = p.tick(at(9));
+        let evicted: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                HealthEvent::Evicted {
+                    job, replacement, ..
+                } => Some((*job, replacement.is_some())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicted.len(), 2, "both residents evicted: {events:?}");
+        assert_eq!(
+            evicted.iter().filter(|(_, repl)| *repl).count(),
+            1,
+            "one free accelerator covers exactly one replacement"
+        );
+        assert!(p.residents(a).is_empty());
+        p.check_invariants();
+    }
+
+    #[test]
+    fn lease_expiry_on_shared_device_prunes_only_active_resident() {
+        let mut p = shared_pool(1);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        let a = g1[0].accel;
+        p.open_share(a, JobId(1)).unwrap();
+        p.try_join_share_at(JobId(2), Some(at(1))).unwrap();
+        // Nobody renews: at 51ms+ the active resident's lease lapses. The
+        // survivor inherits the device instead of the pool reclaiming it.
+        // (No heartbeats ever arrived, so liveness never trips first.)
+        let events = p.tick(at(52));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HealthEvent::Evicted { job, .. } if *job == JobId(2))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HealthEvent::Rotated { job, .. } if *job == JobId(1))));
+        assert_eq!(p.state_of(a), Ok(AccelState::Assigned(JobId(1))));
+        assert_eq!(p.residents(a), vec![JobId(1)]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn share_slots_ignore_unhealthy_and_unshared() {
+        let mut p = shared_pool(2);
+        let g1 = p.try_allocate_at(JobId(1), 1, Some(at(0))).unwrap();
+        p.open_share(g1[0].accel, JobId(1)).unwrap();
+        // Accel 1 assigned but NOT opened for sharing: contributes none.
+        p.try_allocate_at(JobId(2), 1, Some(at(0))).unwrap();
+        assert_eq!(p.share_slots(), 1);
+        p.mark_broken(g1[0].accel).unwrap();
+        assert_eq!(p.share_slots(), 0);
+        let err = p.try_join_share_at(JobId(3), Some(at(1))).unwrap_err();
+        assert!(matches!(err, ArmError::Insufficient { .. }));
+        p.check_invariants();
     }
 }

@@ -259,6 +259,14 @@ impl RemoteAccelerator {
         self.epoch
     }
 
+    /// Adopt a new assignment epoch in place. Time-sliced oversubscription
+    /// uses this: when the ARM rotates this job back onto a shared
+    /// accelerator, the `Slice` event carries a fresh grant whose epoch
+    /// the handle must stamp from then on (the previous one is fenced).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Install an eviction watch (typically
     /// `ArmClient::eviction_pending`): polled after each timed-out
     /// attempt, and a `true` answer aborts the remaining retry budget with

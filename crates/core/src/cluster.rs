@@ -11,7 +11,7 @@ use dacc_arm::client::ArmClient;
 use dacc_arm::health::HealthConfig;
 use dacc_arm::proto::{arm_tags, ArmRequest, ArmResponse};
 use dacc_arm::server::{run_arm_server_traced, ArmServerConfig};
-use dacc_arm::state::{inventory, AcceleratorId, AllocPolicy, JobId, Pool};
+use dacc_arm::state::{inventory, AcceleratorId, AllocPolicy, JobId, Pool, ShareConfig};
 use dacc_fabric::mpi::{Endpoint, Fabric, Rank};
 use dacc_fabric::payload::Payload;
 use dacc_fabric::topology::{FabricParams, NodeId, Topology};
@@ -50,6 +50,11 @@ pub struct ClusterSpec {
     /// default) reproduces the pre-health-plane cluster exactly: no
     /// heartbeat traffic, no lease expiry, epoch 0 everywhere.
     pub health: Option<HealthConfig>,
+    /// Oversubscription (time-sliced vGPU sharing through the ARM's
+    /// scheduler path). Requires `health` — slice rotation and fencing
+    /// ride the lease/heartbeat machinery. `None` (the default) keeps
+    /// every assignment exclusive.
+    pub share: Option<ShareConfig>,
 }
 
 impl Default for ClusterSpec {
@@ -65,6 +70,7 @@ impl Default for ClusterSpec {
             frontend: FrontendConfig::default(),
             alloc_policy: AllocPolicy::FirstFit,
             health: None,
+            share: None,
         }
     }
 }
@@ -194,6 +200,9 @@ pub fn build_cluster_chaos(
     let mut pool = Pool::with_policy(inventory(&daemon_nodes, &daemon_ranks), spec.alloc_policy);
     if let Some(hc) = spec.health {
         pool.set_health(hc);
+    }
+    if let Some(sc) = spec.share {
+        pool.set_share(sc);
     }
     let arm_tracer = tracer.clone();
     let arm_handle = h.spawn("arm", async move {
@@ -370,6 +379,34 @@ impl AcProcess {
         let grants = self
             .arm
             .allocate_waiting(self.job, n)
+            .await
+            .map_err(|e| AcError::Local(e.to_string()))?;
+        Ok(grants
+            .into_iter()
+            .map(|g| {
+                RemoteAccelerator::new(self.ep.clone(), g.daemon_rank, self.config)
+                    .with_epoch(g.epoch)
+            })
+            .collect())
+    }
+
+    /// Tenant-aware allocation through the ARM's multi-tenant scheduler:
+    /// admission quotas, weighted fair share, and all-or-nothing gang
+    /// placement of `gang` accelerators. With `share_ok` a gang of one
+    /// consents to time-sliced co-residency on a shared accelerator (watch
+    /// [`ArmClient::take_slice_grant`] and adopt new epochs via
+    /// [`RemoteAccelerator::set_epoch`]). With `wait` the call queues
+    /// until placeable; otherwise it fails fast.
+    pub async fn acquire_scheduled(
+        &self,
+        tenant: u32,
+        gang: u32,
+        share_ok: bool,
+        wait: bool,
+    ) -> Result<Vec<RemoteAccelerator>, AcError> {
+        let grants = self
+            .arm
+            .submit_job(self.job, tenant, gang, share_ok, wait)
             .await
             .map_err(|e| AcError::Local(e.to_string()))?;
         Ok(grants

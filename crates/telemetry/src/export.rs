@@ -99,9 +99,11 @@ pub fn chrome_trace(spans: &[SpanEvent]) -> String {
     out
 }
 
-/// Render counters, histograms, and span statistics as a plain-text table.
+/// Render counters, gauges, histograms, and span statistics as a
+/// plain-text table.
 pub fn summary(
     counters: &[(&'static str, u64)],
+    gauges: &[(&'static str, f64)],
     hists: &[(&'static str, Histogram)],
     stats: &[(&'static str, SpanStat)],
     retained_spans: usize,
@@ -112,6 +114,12 @@ pub fn summary(
         out.push_str("counters:\n");
         for (name, v) in counters {
             writeln!(out, "  {name:<28} {v:>14}").expect("infallible");
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in gauges {
+            writeln!(out, "  {name:<28} {v:>14.3}").expect("infallible");
         }
     }
     if !hists.is_empty() {
@@ -162,10 +170,11 @@ pub fn summary(
     out
 }
 
-/// Render counters, histograms, and span statistics as one JSON object —
-/// the payload of `results/<name>.metrics.json`.
+/// Render counters, gauges, histograms, and span statistics as one JSON
+/// object — the payload of `results/<name>.metrics.json`.
 pub fn metrics_json(
     counters: &[(&'static str, u64)],
+    gauges: &[(&'static str, f64)],
     hists: &[(&'static str, Histogram)],
     stats: &[(&'static str, SpanStat)],
     dropped_spans: u64,
@@ -178,6 +187,16 @@ pub fn metrics_json(
         write!(out, "\n    \"{name}\": {v}").expect("infallible");
     }
     if !counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"gauges\": {");
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "\n    \"{name}\": {v}").expect("infallible");
+    }
+    if !gauges.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("},\n  \"histograms\": {");

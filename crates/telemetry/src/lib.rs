@@ -3,9 +3,13 @@
 //! A [`Telemetry`] is a cheap, clonable handle onto shared metric state,
 //! mirroring the sim [`Tracer`](dacc_sim::trace::Tracer) idiom: a disabled
 //! handle records nothing and costs one branch per call site. It carries
-//! three kinds of data:
+//! four kinds of data:
 //!
 //! * **Counters** — named monotonic `u64`s ([`Telemetry::count`]).
+//! * **Gauges** — named point-in-time levels, last write wins
+//!   ([`Telemetry::gauge`]) — e.g. the ARM's queue depth and accelerator
+//!   utilization, which the scheduler ablations read back from
+//!   `*.metrics.json`.
 //! * **Histograms** — log-bucketed, mergeable latency distributions with
 //!   p50/p95/p99 estimates ([`Telemetry::observe`], [`Histogram`]).
 //! * **Spans** — begin/end records with category, label, byte counts and
@@ -43,6 +47,7 @@ pub use span::{SpanEvent, SpanGuard, SpanStat};
 
 struct State {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
     hists: BTreeMap<&'static str, Histogram>,
     ring: VecDeque<SpanEvent>,
     capacity: usize,
@@ -74,6 +79,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 state: Mutex::new(State {
                     counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
                     hists: BTreeMap::new(),
                     ring: VecDeque::with_capacity(span_capacity.min(4096)),
                     capacity: span_capacity,
@@ -107,6 +113,22 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             *inner.state.lock().counters.entry(name).or_insert(0) += n;
         }
+    }
+
+    /// Set the gauge `name` to `v` (last write wins — a gauge is a
+    /// point-in-time level, e.g. a queue depth or a utilization fraction,
+    /// where a counter would be a rate).
+    pub fn gauge(&self, name: &'static str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().gauges.insert(name, v);
+        }
+    }
+
+    /// Current value of gauge `name`, if it has ever been set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.state.lock().gauges.get(name).copied())
     }
 
     /// Record a duration into the histogram `name`.
@@ -277,6 +299,7 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             let mut st = inner.state.lock();
             st.counters.clear();
+            st.gauges.clear();
             st.hists.clear();
             st.ring.clear();
             st.stats.clear();
@@ -288,17 +311,18 @@ impl Telemetry {
         export::chrome_trace(&self.spans())
     }
 
-    /// Render counters, histograms, and span statistics as a text table.
+    /// Render counters, gauges, histograms, and span statistics as a text
+    /// table.
     pub fn summary(&self) -> String {
-        let (counters, hists, stats, retained, dropped) = self.snapshot();
-        export::summary(&counters, &hists, &stats, retained, dropped)
+        let (counters, gauges, hists, stats, retained, dropped) = self.snapshot();
+        export::summary(&counters, &gauges, &hists, &stats, retained, dropped)
     }
 
-    /// Render counters, histograms, and span statistics as a JSON document
-    /// (the payload of `results/<name>.metrics.json`).
+    /// Render counters, gauges, histograms, and span statistics as a JSON
+    /// document (the payload of `results/<name>.metrics.json`).
     pub fn metrics_json(&self) -> String {
-        let (counters, hists, stats, _, dropped) = self.snapshot();
-        export::metrics_json(&counters, &hists, &stats, dropped)
+        let (counters, gauges, hists, stats, _, dropped) = self.snapshot();
+        export::metrics_json(&counters, &gauges, &hists, &stats, dropped)
     }
 
     #[allow(clippy::type_complexity)]
@@ -306,17 +330,19 @@ impl Telemetry {
         &self,
     ) -> (
         Vec<(&'static str, u64)>,
+        Vec<(&'static str, f64)>,
         Vec<(&'static str, Histogram)>,
         Vec<(&'static str, SpanStat)>,
         usize,
         u64,
     ) {
         match &self.inner {
-            None => (Vec::new(), Vec::new(), Vec::new(), 0, 0),
+            None => (Vec::new(), Vec::new(), Vec::new(), Vec::new(), 0, 0),
             Some(inner) => {
                 let st = inner.state.lock();
                 (
                     st.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+                    st.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
                     st.hists.iter().map(|(k, v)| (*k, v.clone())).collect(),
                     st.stats.iter().map(|(k, v)| (*k, *v)).collect(),
                     st.ring.len(),
@@ -345,7 +371,26 @@ mod tests {
         assert!(!d.is_enabled());
         assert_eq!(d.counter("x"), 0);
         assert!(d.spans().is_empty());
-        assert_eq!(d.metrics_json().matches("{}").count(), 3);
+        assert_eq!(d.metrics_json().matches("{}").count(), 4);
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_export() {
+        let t = Telemetry::new(16);
+        t.gauge("depth", 3.0);
+        t.gauge("depth", 7.5);
+        assert_eq!(t.gauge_value("depth"), Some(7.5));
+        assert_eq!(t.gauge_value("missing"), None);
+        let m = t.metrics_json();
+        assert!(m.contains("\"gauges\""));
+        assert!(m.contains("\"depth\": 7.5"));
+        assert!(t.summary().contains("depth"));
+        t.clear();
+        assert_eq!(t.gauge_value("depth"), None);
+        // Disabled handles drop gauges like everything else.
+        let d = Telemetry::disabled();
+        d.gauge("depth", 1.0);
+        assert_eq!(d.gauge_value("depth"), None);
     }
 
     #[test]

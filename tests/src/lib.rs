@@ -44,7 +44,7 @@ pub fn full_cluster_chaos(
     tracer: Tracer,
     fault: Option<std::sync::Arc<dyn dacc_sim::fault::FaultHook>>,
 ) -> (Sim, Cluster) {
-    cluster_with_health(compute_nodes, accelerators, mode, tracer, fault, None)
+    cluster_with_health(compute_nodes, accelerators, mode, tracer, fault, None, None)
 }
 
 /// [`full_cluster_chaos`] with the health plane armed too: per-daemon
@@ -67,6 +67,29 @@ pub fn full_cluster_health(
         tracer,
         fault,
         Some(health),
+        None,
+    )
+}
+
+/// [`full_cluster_health`] with oversubscription armed too: the ARM's
+/// scheduler path may time-slice consenting single-accelerator jobs onto
+/// shared devices, fenced by the health plane's epoch machinery.
+pub fn full_cluster_sched(
+    compute_nodes: usize,
+    accelerators: usize,
+    mode: ExecMode,
+    tracer: Tracer,
+    health: dacc_arm::health::HealthConfig,
+    share: dacc_arm::state::ShareConfig,
+) -> (Sim, Cluster) {
+    cluster_with_health(
+        compute_nodes,
+        accelerators,
+        mode,
+        tracer,
+        None,
+        Some(health),
+        Some(share),
     )
 }
 
@@ -77,6 +100,7 @@ fn cluster_with_health(
     tracer: Tracer,
     fault: Option<std::sync::Arc<dyn dacc_sim::fault::FaultHook>>,
     health: Option<dacc_arm::health::HealthConfig>,
+    share: Option<dacc_arm::state::ShareConfig>,
 ) -> (Sim, Cluster) {
     let sim = Sim::new();
     let registry = KernelRegistry::new();
@@ -103,6 +127,7 @@ fn cluster_with_health(
             ..FrontendConfig::default()
         },
         health,
+        share,
         ..ClusterSpec::default()
     };
     let cluster = build_cluster_chaos(&sim, spec, registry, tracer, fault);
