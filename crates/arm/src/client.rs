@@ -8,6 +8,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use dacc_fabric::codec::EncodeBuf;
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 
@@ -28,6 +29,9 @@ pub struct ArmClient {
     arm: Rank,
     evictions: Rc<RefCell<VecDeque<Eviction>>>,
     slices: Rc<RefCell<VecDeque<GrantedAccelerator>>>,
+    /// Shared encode arena: clones serialise their requests into one
+    /// reusable buffer instead of allocating per message.
+    enc: Rc<RefCell<EncodeBuf>>,
 }
 
 impl ArmClient {
@@ -38,6 +42,7 @@ impl ArmClient {
             arm,
             evictions: Rc::new(RefCell::new(VecDeque::new())),
             slices: Rc::new(RefCell::new(VecDeque::new())),
+            enc: Rc::new(RefCell::new(EncodeBuf::new())),
         }
     }
 
@@ -102,8 +107,10 @@ impl ArmClient {
         let fabric = self.ep.fabric();
         let tele = fabric.telemetry();
         let start = fabric.handle().now();
+        let bytes = req.encode_into(&mut self.enc.borrow_mut());
+        tele.count("wire.encode_bytes", bytes.len() as u64);
         self.ep
-            .send(self.arm, arm_tags::REQUEST, Payload::from_vec(req.encode()))
+            .send(self.arm, arm_tags::REQUEST, Payload::from_bytes(bytes))
             .await;
         let env = self.ep.recv(Some(self.arm), Some(arm_tags::RESPONSE)).await;
         tele.observe("arm.client.rtt", fabric.handle().now().since(start));

@@ -5,6 +5,8 @@
 //! requests and responses are encoded to real bytes.
 
 use crate::state::{AcceleratorId, JobId};
+use bytes::{Bytes, BytesMut};
+use dacc_fabric::codec::EncodeBuf;
 use dacc_fabric::mpi::Rank;
 use dacc_fabric::topology::NodeId;
 pub use dacc_sched::RejectReason;
@@ -234,9 +236,19 @@ pub struct Eviction {
 }
 
 impl Eviction {
-    /// Encode to wire bytes.
+    /// Encode to fresh wire bytes (see [`Eviction::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena.
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = Writer(buf.buf());
+        self.encode_body(&mut w);
+        buf.take()
+    }
+
+    fn encode_body(&self, w: &mut Writer<'_>) {
         w.u32(self.accel.0 as u32);
         w.u64(self.epoch);
         w.u8(match self.reason {
@@ -248,10 +260,9 @@ impl Eviction {
             None => w.u8(0),
             Some(g) => {
                 w.u8(1);
-                encode_grant(&mut w, g);
+                encode_grant(w, g);
             }
         }
-        w.0
     }
 
     /// Decode from wire bytes.
@@ -300,20 +311,26 @@ pub enum ArmEvent {
 }
 
 impl ArmEvent {
-    /// Encode to wire bytes.
+    /// Encode to fresh wire bytes (see [`ArmEvent::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena. The eviction body is written in
+    /// place — no nested per-event allocation.
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = Writer(buf.buf());
         match self {
             ArmEvent::Evict(ev) => {
                 w.u8(0);
-                w.0.extend_from_slice(&ev.encode());
+                ev.encode_body(&mut w);
             }
             ArmEvent::Slice { grant } => {
                 w.u8(1);
                 encode_grant(&mut w, grant);
             }
         }
-        w.0
+        buf.take()
     }
 
     /// Decode from wire bytes.
@@ -372,14 +389,13 @@ impl std::error::Error for ArmError {}
 
 // --- codec helpers ---
 
-pub(crate) struct Writer(pub Vec<u8>);
+/// Wire writer over an [`EncodeBuf`] arena: ARM messages append to the
+/// endpoint's pooled storage instead of allocating a `Vec` per message.
+pub(crate) struct Writer<'a>(pub &'a mut BytesMut);
 
-impl Writer {
-    pub fn new() -> Self {
-        Writer(Vec::with_capacity(32))
-    }
+impl Writer<'_> {
     pub fn u8(&mut self, v: u8) {
-        self.0.push(v);
+        self.0.put_u8(v);
     }
     pub fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
@@ -424,7 +440,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn encode_grant(w: &mut Writer, g: &GrantedAccelerator) {
+fn encode_grant(w: &mut Writer<'_>, g: &GrantedAccelerator) {
     w.u32(g.accel.0 as u32);
     w.u32(g.daemon_rank.0 as u32);
     w.u32(g.node.0 as u32);
@@ -441,9 +457,14 @@ fn decode_grant(r: &mut Reader) -> Result<GrantedAccelerator, ArmError> {
 }
 
 impl ArmRequest {
-    /// Encode to wire bytes.
+    /// Encode to fresh wire bytes (see [`ArmRequest::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena.
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = Writer(buf.buf());
         match self {
             ArmRequest::Allocate { job, count, wait } => {
                 w.u8(0);
@@ -526,7 +547,7 @@ impl ArmRequest {
                 w.u32(*max_queued);
             }
         }
-        w.0
+        buf.take()
     }
 
     /// Decode from wire bytes.
@@ -599,9 +620,14 @@ impl ArmRequest {
 }
 
 impl ArmResponse {
-    /// Encode to wire bytes.
+    /// Encode to fresh wire bytes (see [`ArmResponse::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena.
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = Writer(buf.buf());
         match self {
             ArmResponse::Granted(grants) => {
                 w.u8(0);
@@ -661,7 +687,7 @@ impl ArmResponse {
                 w.u32(*position);
             }
         }
-        w.0
+        buf.take()
     }
 
     /// Decode from wire bytes.

@@ -12,6 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use dacc_fabric::codec::EncodeBuf;
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 use dacc_sched::{Admitted, Capacity, JobReq, PlaceKind, Scheduler, TenantConfig, TenantId};
@@ -420,8 +421,7 @@ async fn act_on(
                         reason,
                         replacement,
                     });
-                    ep.send(to, arm_tags::EVENT, Payload::from_vec(notice.encode()))
-                        .await;
+                    notify(ep, to, &notice).await;
                 }
             }
             HealthEvent::Rotated { job, accel, grant } => {
@@ -437,8 +437,7 @@ async fn act_on(
                 });
                 if let Some(&to) = contacts.get(&job) {
                     let notice = ArmEvent::Slice { grant };
-                    ep.send(to, arm_tags::EVENT, Payload::from_vec(notice.encode()))
-                        .await;
+                    notify(ep, to, &notice).await;
                 }
             }
         }
@@ -527,8 +526,29 @@ async fn drain_queue(ep: &Endpoint, pool: &mut Pool, queue: &mut VecDeque<Waitin
     }
 }
 
+std::thread_local! {
+    /// Server-side encode arena: ARM responses and event notices reuse one
+    /// buffer instead of allocating per message (the sim is
+    /// single-threaded, so a thread-local is effectively process-global).
+    static ARM_ENC: std::cell::RefCell<EncodeBuf> = std::cell::RefCell::new(EncodeBuf::new());
+}
+
+/// Send a one-way ARM event notice through the shared encode arena.
+async fn notify(ep: &Endpoint, to: Rank, notice: &ArmEvent) {
+    let bytes = ARM_ENC.with(|enc| notice.encode_into(&mut enc.borrow_mut()));
+    ep.fabric()
+        .telemetry()
+        .count("wire.encode_bytes", bytes.len() as u64);
+    ep.send(to, arm_tags::EVENT, Payload::from_bytes(bytes))
+        .await;
+}
+
 async fn respond(ep: &Endpoint, to: Rank, resp: ArmResponse) {
-    ep.send(to, arm_tags::RESPONSE, Payload::from_vec(resp.encode()))
+    let bytes = ARM_ENC.with(|enc| resp.encode_into(&mut enc.borrow_mut()));
+    ep.fabric()
+        .telemetry()
+        .count("wire.encode_bytes", bytes.len() as u64);
+    ep.send(to, arm_tags::RESPONSE, Payload::from_bytes(bytes))
         .await;
 }
 

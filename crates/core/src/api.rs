@@ -9,9 +9,10 @@
 //! application code runs in both configurations (that is exactly the
 //! "port by substituting calls" exercise of §V.B/§V.C).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use dacc_fabric::codec::EncodeBuf;
 use dacc_fabric::mpi::{Endpoint, Rank};
 use dacc_fabric::payload::Payload;
 use dacc_sim::time::SimDuration;
@@ -23,7 +24,8 @@ use dacc_vgpu::memory::DevicePtr;
 
 use crate::failover::CheckpointPolicy;
 use crate::proto::{
-    ac_tags, open_block, seal_block, Request, RequestFrame, Response, Status, WireProtocol,
+    ac_tags, open_block, seal_block, DecodeError, Request, RequestFrame, Response, Status,
+    WireProtocol, CRC_TRAILER_BYTES,
 };
 
 /// Transfer-protocol selection policy for one direction.
@@ -153,6 +155,14 @@ pub struct FrontendConfig {
     /// tail instead of the job's whole history. `None` (the default) keeps
     /// the full log — the pre-checkpoint behaviour.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Ask daemons to coalesce small control messages (responses, stream
+    /// acks) destined for this front-end into
+    /// [`ControlBatch`](crate::proto::ControlBatch) frames when several
+    /// are pending in the same scheduling window. Transparent to the API —
+    /// the fabric unbundles entries back onto their own tags — but it
+    /// changes *message counts*, so it is off by default to keep archived
+    /// virtual-time results pinned.
+    pub ctrl_batch: bool,
 }
 
 impl Default for FrontendConfig {
@@ -164,6 +174,7 @@ impl Default for FrontendConfig {
             retry: None,
             fused_launch: true,
             checkpoint: None,
+            ctrl_batch: false,
         }
     }
 }
@@ -226,6 +237,10 @@ pub struct RemoteAccelerator {
     /// ARM has already evicted this assignment, so further retries can
     /// only waste virtual time.
     pub(crate) eviction_watch: Option<Rc<dyn Fn() -> bool>>,
+    /// Per-handle encode arena: request headers for this handle (and its
+    /// clones — they share one front-end session) are serialised into a
+    /// single reusable buffer instead of a fresh `Vec` per message.
+    pub(crate) enc: Rc<RefCell<EncodeBuf>>,
 }
 
 impl RemoteAccelerator {
@@ -239,6 +254,7 @@ impl RemoteAccelerator {
             tracer: Tracer::disabled(),
             epoch: 0,
             eviction_watch: None,
+            enc: Rc::new(RefCell::new(EncodeBuf::new())),
         }
     }
 
@@ -325,6 +341,35 @@ impl RemoteAccelerator {
         &self.ep
     }
 
+    /// Serialise a bare request through this handle's encode arena.
+    fn encode_req(&self, req: &Request) -> Payload {
+        let bytes = req.encode_into(&mut self.enc.borrow_mut());
+        self.telemetry()
+            .count("wire.encode_bytes", bytes.len() as u64);
+        Payload::from_bytes(bytes)
+    }
+
+    /// Serialise a framed request through this handle's encode arena.
+    fn encode_frame(&self, frame: &RequestFrame) -> Payload {
+        let bytes = frame.encode_into(&mut self.enc.borrow_mut());
+        self.telemetry()
+            .count("wire.encode_bytes", bytes.len() as u64);
+        Payload::from_bytes(bytes)
+    }
+
+    /// Seal a data block, counting the bytes run through the CRC engine.
+    pub(crate) fn seal_counted(&self, block: &Payload) -> Payload {
+        self.telemetry()
+            .count("wire.crc_bytes", block.len() + CRC_TRAILER_BYTES);
+        seal_block(block)
+    }
+
+    /// Open a sealed block, counting the bytes run through the CRC engine.
+    fn open_counted(&self, sealed: &Payload) -> Result<Payload, DecodeError> {
+        self.telemetry().count("wire.crc_bytes", sealed.len());
+        open_block(sealed)
+    }
+
     async fn call(&self, req: Request) -> Result<Response, AcError> {
         let tele = self.telemetry();
         let _span = tele.span(self.ep.fabric().handle(), "api.call", || {
@@ -333,11 +378,7 @@ impl RemoteAccelerator {
         match self.config.retry {
             None => {
                 self.ep
-                    .send(
-                        self.daemon,
-                        ac_tags::REQUEST,
-                        Payload::from_vec(req.encode()),
-                    )
+                    .send(self.daemon, ac_tags::REQUEST, self.encode_req(&req))
                     .await;
                 self.recv_response().await
             }
@@ -365,11 +406,7 @@ impl RemoteAccelerator {
             req: req.clone(),
         };
         self.ep
-            .send(
-                self.daemon,
-                ac_tags::REQUEST,
-                Payload::from_vec(frame.encode()),
-            )
+            .send(self.daemon, ac_tags::REQUEST, self.encode_frame(&frame))
             .await;
     }
 
@@ -505,7 +542,7 @@ impl RemoteAccelerator {
             .send(
                 self.daemon,
                 ac_tags::REQUEST,
-                Payload::from_vec(Request::MemCpyH2D { dst, len, protocol }.encode()),
+                self.encode_req(&Request::MemCpyH2D { dst, len, protocol }),
             )
             .await;
         // Stream the data messages: all posted at once (MPI_Isend loop);
@@ -519,7 +556,7 @@ impl RemoteAccelerator {
             sends.push(self.ep.isend(
                 self.daemon,
                 ac_tags::DATA,
-                seal_block(&src.slice(offset, bs)),
+                self.seal_counted(&src.slice(offset, bs)),
             ));
             offset += bs;
         }
@@ -563,7 +600,7 @@ impl RemoteAccelerator {
                     .send_timeout(
                         self.daemon,
                         dtag,
-                        seal_block(&src.slice(offset, bs)),
+                        self.seal_counted(&src.slice(offset, bs)),
                         policy.timeout,
                     )
                     .await
@@ -637,7 +674,10 @@ impl RemoteAccelerator {
             let env = self.ep.recv(Some(self.daemon), Some(ac_tags::DATA)).await;
             // Without a retry policy there is no retransmit path, so a
             // damaged block is a hard error rather than silent bad data.
-            blocks.push(open_block(&env.payload).map_err(|_| AcError::Remote(Status::Corrupt))?);
+            blocks.push(
+                self.open_counted(&env.payload)
+                    .map_err(|_| AcError::Remote(Status::Corrupt))?,
+            );
         }
         Ok(Payload::concat(&blocks))
     }
@@ -685,7 +725,7 @@ impl RemoteAccelerator {
                     // A block that fails its CRC is treated like a lost
                     // block: the incomplete attempt is abandoned and the
                     // whole copy is retried on a fresh attempt tag.
-                    Some(env) => match open_block(&env.payload) {
+                    Some(env) => match self.open_counted(&env.payload) {
                         Ok(data) => blocks.push(data),
                         Err(_) => {
                             self.trace("retry.corrupt", || {
@@ -770,8 +810,10 @@ impl RemoteAccelerator {
             let mut blocks = Vec::with_capacity(nblocks as usize);
             for _ in 0..nblocks {
                 let env = self.ep.recv(Some(self.daemon), Some(ac_tags::DATA)).await;
-                blocks
-                    .push(open_block(&env.payload).map_err(|_| AcError::Remote(Status::Corrupt))?);
+                blocks.push(
+                    self.open_counted(&env.payload)
+                        .map_err(|_| AcError::Remote(Status::Corrupt))?,
+                );
             }
             out.push(Payload::concat(&blocks));
         }
@@ -827,7 +869,7 @@ impl RemoteAccelerator {
                         }
                         continue 'attempts;
                     };
-                    match open_block(&env.payload) {
+                    match self.open_counted(&env.payload) {
                         Ok(data) => blocks.push(data),
                         Err(_) => {
                             self.trace("retry.corrupt", || {
@@ -886,11 +928,7 @@ impl RemoteAccelerator {
         req: Request,
     ) -> Result<(), AcError> {
         self.ep
-            .send(
-                self.daemon,
-                ac_tags::REQUEST,
-                Payload::from_vec(req.encode()),
-            )
+            .send(self.daemon, ac_tags::REQUEST, self.encode_req(&req))
             .await;
         let mut sends = Vec::new();
         for payload in data {
@@ -901,7 +939,7 @@ impl RemoteAccelerator {
                 sends.push(self.ep.isend(
                     self.daemon,
                     ac_tags::DATA,
-                    seal_block(&payload.slice(offset, bs)),
+                    self.seal_counted(&payload.slice(offset, bs)),
                 ));
                 offset += bs;
             }
@@ -938,7 +976,7 @@ impl RemoteAccelerator {
                         .send_timeout(
                             self.daemon,
                             dtag,
-                            seal_block(&payload.slice(offset, bs)),
+                            self.seal_counted(&payload.slice(offset, bs)),
                             policy.timeout,
                         )
                         .await
@@ -1064,7 +1102,7 @@ impl RemoteAccelerator {
             .send(
                 self.daemon,
                 ac_tags::REQUEST,
-                Payload::from_vec(Request::Ping.encode()),
+                self.encode_req(&Request::Ping),
             )
             .await;
         self.ep
@@ -1110,18 +1148,10 @@ pub async fn device_to_device(
         block,
     };
     dst.ep
-        .send(
-            dst.daemon,
-            ac_tags::REQUEST,
-            Payload::from_vec(recv_req.encode()),
-        )
+        .send(dst.daemon, ac_tags::REQUEST, dst.encode_req(&recv_req))
         .await;
     src.ep
-        .send(
-            src.daemon,
-            ac_tags::REQUEST,
-            Payload::from_vec(send_req.encode()),
-        )
+        .send(src.daemon, ac_tags::REQUEST, src.encode_req(&send_req))
         .await;
     let r1 = dst.recv_response().await?;
     let r2 = src.recv_response().await?;

@@ -24,6 +24,7 @@ use dacc_vgpu::params::{ExecMode, GpuParams};
 use crate::api::{AcDevice, AcError, FrontendConfig, RemoteAccelerator};
 use crate::daemon::{run_daemon_health, DaemonConfig, DaemonHealth, DaemonStats};
 use crate::failover::FailoverSession;
+use crate::proto::{ac_tags, ControlBatch};
 
 /// Everything needed to stand up a cluster.
 #[derive(Clone, Copy, Debug)]
@@ -151,6 +152,31 @@ pub fn build_cluster_chaos(
     topo.set_fault_hook(fault.clone());
     let fabric = Fabric::new(&h, topo);
 
+    // Control-batch unbundler: a daemon with `ctrl_batch` on packs several
+    // responses/stream-acks for one peer into a single CTRL-tagged fabric
+    // message; the fabric splits it back into per-tag envelopes on
+    // delivery, so receivers never see the difference. A batch that fails
+    // its CRC (or decode) is dropped whole, exactly like a lost message —
+    // sender-side retry heals it. Installed unconditionally: with batching
+    // off (the default) no CTRL traffic exists and this is inert.
+    fabric.set_unbundler(
+        ac_tags::CTRL,
+        Arc::new(|p: &Payload| {
+            let buf = match p {
+                Payload::Bytes(b) => b.clone(),
+                _ => p.to_bytes(),
+            };
+            let batch = ControlBatch::decode(&buf).ok()?;
+            Some(
+                batch
+                    .entries
+                    .into_iter()
+                    .map(|(tag, bytes)| (dacc_fabric::mpi::Tag(tag), Payload::from_bytes(bytes)))
+                    .collect(),
+            )
+        }),
+    );
+
     // Rank 0: ARM.
     let arm_ep = fabric.add_endpoint(NodeId(0));
     let arm_rank = arm_ep.rank();
@@ -173,7 +199,10 @@ pub fn build_cluster_chaos(
         daemon_nodes.push(node);
         let gpu = VirtualGpu::new(&h, "accel", spec.gpu, spec.mode, registry.clone());
         accel_gpus.push(gpu.clone());
-        let daemon_cfg = spec.daemon;
+        let mut daemon_cfg = spec.daemon;
+        // The user-facing knob lives on FrontendConfig; either side of the
+        // spec may opt the daemons into control-message coalescing.
+        daemon_cfg.ctrl_batch |= spec.frontend.ctrl_batch;
         let daemon_tracer = tracer.clone();
         let daemon_fault = fault.clone();
         let health = DaemonHealth::new();

@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use bytes::Bytes;
+use dacc_fabric::codec::EncodeBuf;
 use dacc_fabric::mpi::{Endpoint, Rank, Tag};
 use dacc_fabric::payload::Payload;
 use dacc_sim::fault::{FaultHook, ProcessFault};
@@ -22,8 +24,8 @@ use dacc_vgpu::memory::{DevicePtr, MemError};
 use dacc_vgpu::pinned::PinnedPool;
 
 use crate::proto::{
-    ac_tags, open_block, seal_block, AnyRequest, Request, Response, Status, StreamAck,
-    WireProtocol, STREAM_VIRT_BASE,
+    ac_tags, open_block, seal_block, AnyRequest, ControlBatch, Request, Response, Status,
+    StreamAck, WireProtocol, CRC_TRAILER_BYTES, STREAM_VIRT_BASE,
 };
 
 /// Daemon tuning parameters.
@@ -54,6 +56,13 @@ pub struct DaemonConfig {
     /// forever, which is correct on a lossless fabric; runs with injected
     /// message drops must set this or a lost block wedges the daemon.
     pub data_timeout: Option<SimDuration>,
+    /// Coalesce small control messages — terminal responses and stream
+    /// acks — bound for the same peer into one
+    /// [`ControlBatch`](crate::proto::ControlBatch) frame when several are
+    /// staged in the same service window. Off by default: batching changes
+    /// fabric message counts, so archived virtual-time results stay
+    /// pinned unless a run opts in.
+    pub ctrl_batch: bool,
 }
 
 impl Default for DaemonConfig {
@@ -66,6 +75,7 @@ impl Default for DaemonConfig {
             gpudirect: true,
             recv_prepost: 1,
             data_timeout: None,
+            ctrl_batch: false,
         }
     }
 }
@@ -322,8 +332,18 @@ pub async fn run_daemon_health(
     let mut sessions: HashMap<Rank, Session> = HashMap::new();
     // Last completed framed operation per front-end: (op_id, response).
     let mut completed: HashMap<Rank, (u64, Response)> = HashMap::new();
+    let mut coal = Coalescer::new(config.ctrl_batch);
 
     loop {
+        // The batching window closes when the request queue goes idle:
+        // anything staged while requests kept arriving back-to-back is
+        // flushed (coalesced per peer) before the daemon blocks. Every
+        // staged message is owed to a peer that is *waiting* on it, so an
+        // empty queue here guarantees progress — those peers cannot send
+        // their next request until the flush.
+        if coal.has_staged() && ep.iprobe(None, Some(ac_tags::REQUEST)).is_none() {
+            coal.flush_all(&ep).await;
+        }
         let env = ep.recv(None, Some(ac_tags::REQUEST)).await;
         let t_arrive = handle.now();
         let cn = env.src;
@@ -385,12 +405,8 @@ pub async fn run_daemon_health(
                             status: Status::StaleEpoch,
                             value: 0,
                         };
-                        ep.send(
-                            cn,
-                            ac_tags::stream_ack_tag(batch.stream),
-                            Payload::from_vec(ack.encode()),
-                        )
-                        .await;
+                        coal.ack(&ep, cn, ac_tags::stream_ack_tag(batch.stream), ack)
+                            .await;
                         continue;
                     }
                     tracer.record(&handle, "daemon.request", || {
@@ -452,17 +468,14 @@ pub async fn run_daemon_health(
                             format!("StreamAck seq {ack_seq} to {cn}")
                         })
                         .op(ack_seq);
-                    ep.send(
-                        cn,
-                        ac_tags::stream_ack_tag(batch.stream),
-                        Payload::from_vec(ack.encode()),
-                    )
-                    .await;
+                    coal.ack(&ep, cn, ac_tags::stream_ack_tag(batch.stream), ack)
+                        .await;
                     drop(ack_span);
                     continue;
                 }
                 _ => {
-                    respond(&ep, cn, ac_tags::RESPONSE, Response::err(Status::Malformed)).await;
+                    coal.respond(&ep, cn, ac_tags::RESPONSE, Response::err(Status::Malformed))
+                        .await;
                     continue;
                 }
             };
@@ -501,7 +514,8 @@ pub async fn run_daemon_health(
                 )
             });
             tele.count("daemon.fenced", 1);
-            respond(&ep, cn, resp_tag, Response::err(Status::StaleEpoch)).await;
+            coal.respond(&ep, cn, resp_tag, Response::err(Status::StaleEpoch))
+                .await;
             continue;
         }
 
@@ -518,7 +532,7 @@ pub async fn run_daemon_health(
                     tele.instant(&handle, "daemon.dedupe", || {
                         format!("replay op {op_id} attempt {attempt} from {cn}")
                     });
-                    respond(&ep, cn, resp_tag, *last_resp).await;
+                    coal.respond(&ep, cn, resp_tag, *last_resp).await;
                     continue;
                 }
             }
@@ -558,13 +572,16 @@ pub async fn run_daemon_health(
                     };
                     match valid {
                         Err(st) => {
-                            respond(&ep, cn, resp_tag, Response::err(st)).await;
+                            coal.respond(&ep, cn, resp_tag, Response::err(st)).await;
                         }
                         Ok(_) if !block_ok => {
-                            respond(&ep, cn, resp_tag, Response::err(Status::Malformed)).await;
+                            coal.respond(&ep, cn, resp_tag, Response::err(Status::Malformed))
+                                .await;
                         }
                         Ok(real) => {
-                            respond(&ep, cn, resp_tag, Response::ok()).await;
+                            // Pre-data response: the front-end awaits it
+                            // before its data phase — never stage it.
+                            coal.respond_now(&ep, cn, resp_tag, Response::ok()).await;
                             stream_d2h(
                                 &handle, &ep, &gpu, &pool, &config, &mut stats, cn, real, len,
                                 protocol, data_tag,
@@ -609,13 +626,15 @@ pub async fn run_daemon_health(
                         .all(|(_, len)| protocol.block_size(*len) <= config.pinned_buffer);
                     match err {
                         Some(st) => {
-                            respond(&ep, cn, resp_tag, Response::err(st)).await;
+                            coal.respond(&ep, cn, resp_tag, Response::err(st)).await;
                         }
                         None if !block_ok => {
-                            respond(&ep, cn, resp_tag, Response::err(Status::Malformed)).await;
+                            coal.respond(&ep, cn, resp_tag, Response::err(Status::Malformed))
+                                .await;
                         }
                         None => {
-                            respond(
+                            // Pre-data response (see MemCpyD2H above).
+                            coal.respond_now(
                                 &ep,
                                 cn,
                                 resp_tag,
@@ -744,7 +763,9 @@ pub async fn run_daemon_health(
                 }
                 Request::Ping => Response::ok(),
                 Request::Shutdown => {
-                    respond(&ep, cn, resp_tag, Response::ok()).await;
+                    // Nothing staged may outlive the daemon.
+                    coal.flush_all(&ep).await;
+                    coal.respond_now(&ep, cn, resp_tag, Response::ok()).await;
                     health.set_alive(false);
                     return stats;
                 }
@@ -763,7 +784,7 @@ pub async fn run_daemon_health(
                 format!("{:?} to {}", resp.status, cn)
             })
             .op(op_id);
-        respond(&ep, cn, resp_tag, resp).await;
+        coal.respond(&ep, cn, resp_tag, resp).await;
         drop(ack_span);
     }
 }
@@ -912,8 +933,102 @@ async fn exec_batchable(
     }
 }
 
-async fn respond(ep: &Endpoint, to: Rank, tag: Tag, resp: Response) {
-    ep.send(to, tag, Payload::from_vec(resp.encode())).await;
+/// Hard cap on entries staged per peer before a forced flush: keeps a
+/// coalesced frame comfortably eager-sized (nobody posts receives on the
+/// CTRL tag, so the unbundler only ever sees eager packets).
+const CTRL_BATCH_MAX: usize = 8;
+
+/// Outgoing control-message path: encodes responses and stream acks
+/// through one reusable arena, and — when `ctrl_batch` is on — stages
+/// those bound for the same peer so several can ride one
+/// [`ControlBatch`] fabric message.
+struct Coalescer {
+    enabled: bool,
+    enc: EncodeBuf,
+    staged: HashMap<Rank, Vec<(u32, Bytes)>>,
+}
+
+impl Coalescer {
+    fn new(enabled: bool) -> Self {
+        Coalescer {
+            enabled,
+            enc: EncodeBuf::new(),
+            staged: HashMap::new(),
+        }
+    }
+
+    /// Send a response: immediately when batching is off, staged otherwise.
+    async fn respond(&mut self, ep: &Endpoint, to: Rank, tag: Tag, resp: Response) {
+        let bytes = resp.encode_into(&mut self.enc);
+        ep.fabric()
+            .telemetry()
+            .count("wire.encode_bytes", bytes.len() as u64);
+        self.dispatch(ep, to, tag, bytes).await;
+    }
+
+    /// Send a response that must leave now even under batching (pre-data
+    /// responses the peer awaits before its data phase, shutdown acks).
+    async fn respond_now(&mut self, ep: &Endpoint, to: Rank, tag: Tag, resp: Response) {
+        let bytes = resp.encode_into(&mut self.enc);
+        ep.fabric()
+            .telemetry()
+            .count("wire.encode_bytes", bytes.len() as u64);
+        ep.send(to, tag, Payload::from_bytes(bytes)).await;
+    }
+
+    /// Send a stream ack: immediately when batching is off, staged otherwise.
+    async fn ack(&mut self, ep: &Endpoint, to: Rank, tag: Tag, ack: StreamAck) {
+        let bytes = ack.encode_into(&mut self.enc);
+        ep.fabric()
+            .telemetry()
+            .count("wire.encode_bytes", bytes.len() as u64);
+        self.dispatch(ep, to, tag, bytes).await;
+    }
+
+    async fn dispatch(&mut self, ep: &Endpoint, to: Rank, tag: Tag, bytes: Bytes) {
+        if !self.enabled {
+            ep.send(to, tag, Payload::from_bytes(bytes)).await;
+            return;
+        }
+        let entries = self.staged.entry(to).or_default();
+        entries.push((tag.0, bytes));
+        if entries.len() >= CTRL_BATCH_MAX {
+            self.flush_peer(ep, to).await;
+        }
+    }
+
+    fn has_staged(&self) -> bool {
+        !self.staged.is_empty()
+    }
+
+    /// Flush everything staged — called when the request queue goes idle
+    /// (the batching window closes) and before daemon shutdown.
+    async fn flush_all(&mut self, ep: &Endpoint) {
+        let mut peers: Vec<Rank> = self.staged.keys().copied().collect();
+        peers.sort_unstable_by_key(|r| r.0); // deterministic flush order
+        for peer in peers {
+            self.flush_peer(ep, peer).await;
+        }
+    }
+
+    async fn flush_peer(&mut self, ep: &Endpoint, to: Rank) {
+        let Some(entries) = self.staged.remove(&to) else {
+            return;
+        };
+        if entries.len() == 1 {
+            // A lone message gains nothing from batching: send it on its
+            // own tag, byte-identical to the unbatched path.
+            let (tag, bytes) = entries.into_iter().next().expect("len checked");
+            ep.send(to, Tag(tag), Payload::from_bytes(bytes)).await;
+            return;
+        }
+        let tele = ep.fabric().telemetry();
+        tele.count("wire.ctrl_batched", entries.len() as u64);
+        let batch = ControlBatch { entries };
+        let bytes = batch.encode_into(&mut self.enc);
+        tele.count("wire.encode_bytes", bytes.len() as u64);
+        ep.send(to, ac_tags::CTRL, Payload::from_bytes(bytes)).await;
+    }
 }
 
 /// One data-phase receive, bounded by `config.data_timeout` when set.
@@ -1016,6 +1131,7 @@ async fn handle_h2d(
                 None,
             );
             stats.host_buffer_peak = stats.host_buffer_peak.max(len);
+            tele.count("wire.crc_bytes", env.payload.len());
             let data = match open_block(&env.payload) {
                 Ok(p) => p,
                 Err(_) => {
@@ -1066,6 +1182,7 @@ async fn handle_h2d(
                     None,
                 );
                 handle.delay(config.per_block_cost).await;
+                tele.count("wire.crc_bytes", env.payload.len());
                 let data = match open_block(&env.payload) {
                     Ok(p) => p,
                     Err(_) => {
@@ -1148,6 +1265,7 @@ async fn handle_h2d(
                     None,
                 );
                 handle.delay(config.per_block_cost).await;
+                tele.count("wire.crc_bytes", env.payload.len());
                 let data = match open_block(&env.payload) {
                     Ok(p) => p,
                     Err(_) => {
@@ -1232,6 +1350,7 @@ async fn stream_d2h(
                     format!("naive {len}B to {dst_rank}")
                 })
                 .bytes(len);
+            tele.count("wire.crc_bytes", payload.len() + CRC_TRAILER_BYTES);
             send_data(ep, config, dst_rank, data_tag, seal_block(&payload)).await;
         }
         WireProtocol::Pipeline { .. } => {
@@ -1249,6 +1368,7 @@ async fn stream_d2h(
                         format!("block @{offset} ({bs}B) d2h")
                     })
                     .bytes(bs);
+                tele.count("wire.crc_bytes", bs + CRC_TRAILER_BYTES);
                 let payload = seal_block(
                     &gpu.memcpy_d2h(src.offset(offset), bs, HostMemKind::Pinned)
                         .await

@@ -13,6 +13,8 @@
 //! exactly like a lost message: the retry plane retransmits, so a bit
 //! flipped in flight can never be silently executed or returned as data.
 
+use bytes::{Bytes, BytesMut};
+use dacc_fabric::codec::EncodeBuf;
 use dacc_fabric::payload::Payload;
 use dacc_vgpu::kernel::KernelArg;
 use dacc_vgpu::memory::DevicePtr;
@@ -28,6 +30,11 @@ pub mod ac_tags {
     pub const DATA: Tag = Tag(0xFFFF_0022);
     /// Accelerator-to-accelerator data blocks.
     pub const PEER_DATA: Tag = Tag(0xFFFF_0023);
+    /// Coalesced control traffic: one [`ControlBatch`](super::ControlBatch)
+    /// frame carrying several small daemon → front-end messages (responses,
+    /// stream acks) for the same peer. The fabric's unbundler splits it back
+    /// into per-entry tags on arrival, so receivers never see this tag.
+    pub const CTRL: Tag = Tag(0xFFFF_0024);
 
     /// Response tag scoped to one `(op_id, attempt)` of a framed request.
     ///
@@ -343,27 +350,108 @@ pub struct DecodeError;
 /// Bytes added to every sealed header and data block by the CRC trailer.
 pub const CRC_TRAILER_BYTES: u64 = 4;
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), implemented
-/// locally to keep the workspace dependency-free. Bitwise, not
-/// table-driven: the simulator checksums a few MiB per run, not per
-/// second.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+/// Slice-by-8 lookup tables for CRC-32 (IEEE 802.3, reflected polynomial
+/// 0xEDB88320). `CRC_TABLES[0]` is the classic byte-at-a-time table;
+/// `CRC_TABLES[k]` advances a byte through `k` additional zero bytes, which
+/// lets [`Crc32::update`] fold eight input bytes per iteration.
+const CRC_TABLES: [[u32; 256]; 8] = generate_crc_tables();
+
+const fn generate_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                (c >> 1) ^ 0xEDB8_8320
+            } else {
+                c >> 1
+            };
+            k += 1;
         }
+        t[0][i] = c;
+        i += 1;
     }
-    !crc
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
-/// Append a CRC32 trailer over `v`'s current contents.
-fn seal(mut v: Vec<u8>) -> Vec<u8> {
-    let c = crc32(&v);
-    v.extend_from_slice(&c.to_le_bytes());
-    v
+/// Incremental CRC-32 state (IEEE 802.3, reflected polynomial 0xEDB88320),
+/// implemented locally to keep the workspace dependency-free. Table-driven
+/// slice-by-8: since PR 5 every bulk data block is sealed with a CRC
+/// trailer, so the checksum runs over every transferred byte — it has to
+/// keep up with the pipelined copy path, not just a few headers. The
+/// streaming state lets scatter-gathered payloads ([`Payload`] segment
+/// chains) be checksummed segment by segment without reassembly.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (all-ones preset, per the standard).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        let mut crc = self.state;
+        while bytes.len() >= 8 {
+            let lo = crc ^ u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            let hi = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+            crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+            bytes = &bytes[8..];
+        }
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 over a contiguous buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+/// Checksum the frame built so far in `buf`, append the trailer, and split
+/// the sealed frame off the arena.
+fn seal_take(buf: &mut EncodeBuf) -> Bytes {
+    let b = buf.buf();
+    let crc = crc32(b);
+    b.extend_from_slice(&crc.to_le_bytes());
+    buf.take()
 }
 
 /// Verify and strip a CRC32 trailer, returning the covered body.
@@ -380,40 +468,67 @@ fn unseal(buf: &[u8]) -> Result<&[u8], DecodeError> {
 }
 
 /// Seal one bulk data block for the wire: functional payloads get a CRC32
-/// trailer appended; size-only payloads just grow by the trailer size so
-/// both modes see identical wire timing.
+/// trailer appended **as an extra chained segment** — the body bytes are
+/// shared, never copied — while size-only payloads just grow by the trailer
+/// size so both modes see identical wire timing.
 pub fn seal_block(p: &Payload) -> Payload {
-    match p.bytes() {
-        Some(b) => {
-            let mut v = Vec::with_capacity(b.len() + CRC_TRAILER_BYTES as usize);
-            v.extend_from_slice(b);
-            Payload::from_vec(seal(v))
-        }
-        None => Payload::size_only(p.len() + CRC_TRAILER_BYTES),
+    if !p.is_functional() {
+        return Payload::size_only(p.len() + CRC_TRAILER_BYTES);
     }
+    let mut crc = Crc32::new();
+    let mut segs = Vec::with_capacity(p.segments().len() + 1);
+    for s in p.segments() {
+        crc.update(s);
+        segs.push(s.clone());
+    }
+    segs.push(Bytes::copy_from_slice(&crc.finalize().to_le_bytes()));
+    Payload::chain(segs)
 }
 
-/// Verify and strip the trailer of a sealed data block. For functional
-/// payloads a CRC mismatch (or a block too short to carry a trailer) is
-/// `Err`; the surviving prefix is returned as a zero-copy slice. Size-only
-/// blocks carry no bits to check and always verify.
+/// Verify and strip the trailer of a sealed data block in one pass: the
+/// checksum runs incrementally over the body portion of each segment while
+/// the trailer bytes are collected, and on a match the verified body is
+/// returned directly as a zero-copy slice (no intermediate reassembly). A
+/// CRC mismatch — or a block too short to carry a trailer — is `Err`.
+/// Size-only blocks carry no bits to check and always verify.
 pub fn open_block(p: &Payload) -> Result<Payload, DecodeError> {
     if p.len() < CRC_TRAILER_BYTES {
         return Err(DecodeError);
     }
-    match p.bytes() {
-        Some(b) => {
-            unseal(b)?;
-            Ok(p.slice(0, p.len() - CRC_TRAILER_BYTES))
-        }
-        None => Ok(Payload::size_only(p.len() - CRC_TRAILER_BYTES)),
+    if !p.is_functional() {
+        return Ok(Payload::size_only(p.len() - CRC_TRAILER_BYTES));
     }
+    let body_len = (p.len() - CRC_TRAILER_BYTES) as usize;
+    let mut crc = Crc32::new();
+    let mut trailer = [0u8; CRC_TRAILER_BYTES as usize];
+    let mut off = 0usize;
+    for s in p.segments() {
+        if off < body_len {
+            let take = s.len().min(body_len - off);
+            crc.update(&s[..take]);
+            if take < s.len() {
+                trailer[..s.len() - take].copy_from_slice(&s[take..]);
+            }
+        } else {
+            let t_off = off - body_len;
+            trailer[t_off..t_off + s.len()].copy_from_slice(s);
+        }
+        off += s.len();
+    }
+    if crc.finalize().to_le_bytes() != trailer {
+        return Err(DecodeError);
+    }
+    Ok(p.slice(0, body_len as u64))
 }
 
-struct W(Vec<u8>);
-impl W {
+/// Wire writer over an [`EncodeBuf`]'s arena: appends to pooled storage
+/// instead of a fresh `Vec` per message. `patch_u32` backfills length
+/// prefixes so nested bodies (batched commands) encode in place rather
+/// than through an intermediate allocation.
+struct W<'a>(&'a mut BytesMut);
+impl W<'_> {
     fn u8(&mut self, v: u8) {
-        self.0.push(v);
+        self.0.put_u8(v);
     }
     fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
@@ -427,6 +542,12 @@ impl W {
     fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.0.extend_from_slice(v);
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.0[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -465,7 +586,7 @@ impl<'a> R<'a> {
     }
 }
 
-fn encode_protocol(w: &mut W, p: &WireProtocol) {
+fn encode_protocol(w: &mut W<'_>, p: &WireProtocol) {
     match p {
         WireProtocol::Naive => {
             w.u8(0);
@@ -488,7 +609,7 @@ fn decode_protocol(r: &mut R) -> Result<WireProtocol, DecodeError> {
     }
 }
 
-fn encode_arg(w: &mut W, a: &KernelArg) {
+fn encode_arg(w: &mut W<'_>, a: &KernelArg) {
     match a {
         KernelArg::Ptr(p) => {
             w.u8(0);
@@ -509,7 +630,7 @@ fn encode_arg(w: &mut W, a: &KernelArg) {
     }
 }
 
-fn encode_regions(w: &mut W, regions: &[(u64, u64)], block: u64) {
+fn encode_regions(w: &mut W<'_>, regions: &[(u64, u64)], block: u64) {
     w.u32(regions.len() as u32);
     for (ptr, len) in regions {
         w.u64(*ptr);
@@ -541,10 +662,33 @@ fn decode_arg(r: &mut R) -> Result<KernelArg, DecodeError> {
     })
 }
 
+/// Decode a u32-length-prefixed UTF-8 string: validate the borrowed bytes
+/// in place, then allocate the `String` once.
+fn decode_name(r: &mut R<'_>) -> Result<String, DecodeError> {
+    std::str::from_utf8(r.bytes()?)
+        .map(str::to_owned)
+        .map_err(|_| DecodeError)
+}
+
 impl Request {
-    /// Encode to wire bytes.
+    /// Encode to fresh wire bytes. Convenience wrapper over
+    /// [`Request::encode_into`] for callers without an arena (tests,
+    /// one-off messages); hot paths use the arena form directly.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(32));
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena, returning the frame as refcounted
+    /// bytes (no copy out of the arena).
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = W(buf.buf());
+        self.encode_body(&mut w);
+        buf.take()
+    }
+
+    /// Append this request's wire body to `w` (no framing, no trailer —
+    /// bare requests are not sealed; framed carriers add their own).
+    fn encode_body(&self, w: &mut W<'_>) {
         match self {
             Request::MemAlloc { len } => {
                 w.u8(0);
@@ -558,13 +702,13 @@ impl Request {
                 w.u8(2);
                 w.u64(dst.0);
                 w.u64(*len);
-                encode_protocol(&mut w, protocol);
+                encode_protocol(w, protocol);
             }
             Request::MemCpyD2H { src, len, protocol } => {
                 w.u8(3);
                 w.u64(src.0);
                 w.u64(*len);
-                encode_protocol(&mut w, protocol);
+                encode_protocol(w, protocol);
             }
             Request::KernelCreate { name } => {
                 w.u8(4);
@@ -574,7 +718,7 @@ impl Request {
                 w.u8(5);
                 w.u32(args.len() as u32);
                 for a in args {
-                    encode_arg(&mut w, a);
+                    encode_arg(w, a);
                 }
             }
             Request::KernelRun { grid, block } => {
@@ -625,7 +769,7 @@ impl Request {
                 w.bytes(name.as_bytes());
                 w.u32(args.len() as u32);
                 for a in args {
-                    encode_arg(&mut w, a);
+                    encode_arg(w, a);
                 }
                 for v in [grid.0, grid.1, grid.2, block.0, block.1, block.2] {
                     w.u32(v);
@@ -638,14 +782,13 @@ impl Request {
             }
             Request::Snapshot { regions, block } => {
                 w.u8(14);
-                encode_regions(&mut w, regions, *block);
+                encode_regions(w, regions, *block);
             }
             Request::Restore { regions, block } => {
                 w.u8(15);
-                encode_regions(&mut w, regions, *block);
+                encode_regions(w, regions, *block);
             }
         }
-        w.0
     }
 
     /// Decode from wire bytes.
@@ -667,7 +810,7 @@ impl Request {
                 protocol: decode_protocol(&mut r)?,
             },
             4 => Request::KernelCreate {
-                name: String::from_utf8(r.bytes()?.to_vec()).map_err(|_| DecodeError)?,
+                name: decode_name(&mut r)?,
             },
             5 => {
                 let n = r.u32()?;
@@ -707,7 +850,7 @@ impl Request {
             },
             11 => Request::Ping,
             12 => {
-                let name = String::from_utf8(r.bytes()?.to_vec()).map_err(|_| DecodeError)?;
+                let name = decode_name(&mut r)?;
                 let n = r.u32()?;
                 let mut args = Vec::with_capacity(n as usize);
                 for _ in 0..n {
@@ -790,16 +933,22 @@ pub struct RequestFrame {
 }
 
 impl RequestFrame {
-    /// Encode to wire bytes (marker, op_id, attempt, epoch, request,
-    /// CRC32 trailer).
+    /// Encode to fresh wire bytes (see [`RequestFrame::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(57));
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena (marker, op_id, attempt, epoch,
+    /// request body inlined, CRC32 trailer) — one frame, zero intermediate
+    /// allocations.
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = W(buf.buf());
         w.u8(FRAME_MARKER);
         w.u64(self.op_id);
         w.u32(self.attempt);
         w.u64(self.epoch);
-        w.0.extend_from_slice(&self.req.encode());
-        seal(w.0)
+        self.req.encode_body(&mut w);
+        seal_take(buf)
     }
 
     /// Decode a framed request (the marker byte is required). A CRC
@@ -858,19 +1007,31 @@ pub struct StreamBatch {
 }
 
 impl StreamBatch {
-    /// Encode to wire bytes (marker, stream, first_seq, epoch, count,
-    /// each command length-prefixed, CRC32 trailer).
+    /// Encode to fresh wire bytes (see [`StreamBatch::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(32 * self.cmds.len() + 29));
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena (marker, stream, first_seq, epoch,
+    /// count, each command length-prefixed, CRC32 trailer). Command bodies
+    /// encode in place with their length prefix patched in afterwards, so
+    /// a batch of `n` commands costs zero intermediate allocations instead
+    /// of `n` nested `Vec`s.
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = W(buf.buf());
         w.u8(BATCH_MARKER);
         w.u32(self.stream);
         w.u64(self.first_seq);
         w.u64(self.epoch);
         w.u32(self.cmds.len() as u32);
         for cmd in &self.cmds {
-            w.bytes(&cmd.encode());
+            let prefix = w.len();
+            w.u32(0);
+            let start = w.len();
+            cmd.encode_body(&mut w);
+            w.patch_u32(prefix, (w.len() - start) as u32);
         }
-        seal(w.0)
+        seal_take(buf)
     }
 
     /// Decode a stream batch (the marker byte is required).
@@ -916,13 +1077,18 @@ pub struct StreamAck {
 }
 
 impl StreamAck {
-    /// Encode to wire bytes (with a CRC32 trailer).
+    /// Encode to fresh wire bytes (see [`StreamAck::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(21));
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena (with a CRC32 trailer).
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = W(buf.buf());
         w.u64(self.seq);
         w.u8(self.status.to_u8());
         w.u64(self.value);
-        seal(w.0)
+        seal_take(buf)
     }
 
     /// Decode from wire bytes.
@@ -962,12 +1128,17 @@ impl AnyRequest {
 }
 
 impl Response {
-    /// Encode to wire bytes (with a CRC32 trailer).
+    /// Encode to fresh wire bytes (see [`Response::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = W(Vec::with_capacity(13));
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena (with a CRC32 trailer).
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = W(buf.buf());
         w.u8(self.status.to_u8());
         w.u64(self.value);
-        seal(w.0)
+        seal_take(buf)
     }
 
     /// Decode from wire bytes. A CRC mismatch fails like a malformed
@@ -979,6 +1150,75 @@ impl Response {
         let value = r.u64()?;
         r.finish()?;
         Ok(Response { status, value })
+    }
+}
+
+/// Marker byte distinguishing a [`ControlBatch`] from the other framed
+/// wire forms.
+pub const CTRL_MARKER: u8 = 0xFD;
+
+/// Several small control messages (responses, stream acks) for one peer,
+/// coalesced into a single fabric message on [`ac_tags::CTRL`].
+///
+/// Each entry carries the fabric tag its body would have been sent on
+/// individually; the receiving fabric's unbundler re-delivers every entry
+/// under its own tag, so clients are oblivious to batching. The frame is
+/// sealed like every other header, and the whole batch is dropped on a CRC
+/// mismatch — exactly the lost-message semantics the retry plane already
+/// handles. Batches must stay under the fabric's eager threshold: the
+/// unbundler only sees eager packets (nothing ever posts a receive on the
+/// CTRL tag, so a rendezvous would never complete).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ControlBatch {
+    /// `(tag, sealed body)` per coalesced message, in send order.
+    pub entries: Vec<(u32, Bytes)>,
+}
+
+impl ControlBatch {
+    /// Encode to fresh wire bytes (see [`ControlBatch::encode_into`]).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_into(&mut EncodeBuf::new()).to_vec()
+    }
+
+    /// Encode into a reusable arena (marker, count, per entry the tag and
+    /// length-prefixed body, CRC32 trailer over the whole frame).
+    pub fn encode_into(&self, buf: &mut EncodeBuf) -> Bytes {
+        let mut w = W(buf.buf());
+        w.u8(CTRL_MARKER);
+        w.u32(self.entries.len() as u32);
+        for (tag, body) in &self.entries {
+            w.u32(*tag);
+            w.bytes(body);
+        }
+        seal_take(buf)
+    }
+
+    /// Decode from wire bytes. Entry bodies are returned as zero-copy
+    /// slices of `buf`; a truncated, oversized, or damaged frame fails
+    /// whole with `DecodeError`.
+    pub fn decode(buf: &Bytes) -> Result<Self, DecodeError> {
+        let body = unseal(buf)?;
+        let mut r = R(body, 0);
+        if r.u8()? != CTRL_MARKER {
+            return Err(DecodeError);
+        }
+        let n = r.u32()? as usize;
+        // Cap the pre-allocation: a corrupt count fails on the first short
+        // read instead of reserving gigabytes.
+        let mut entries = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let tag = r.u32()?;
+            let len = r.u32()? as usize;
+            let start = r.1;
+            let end = start.checked_add(len).ok_or(DecodeError)?;
+            if end > body.len() {
+                return Err(DecodeError);
+            }
+            r.1 = end;
+            entries.push((tag, buf.slice(start..end)));
+        }
+        r.finish()?;
+        Ok(ControlBatch { entries })
     }
 }
 
@@ -1247,6 +1487,7 @@ mod tests {
                         ac_tags::RESPONSE,
                         ac_tags::DATA,
                         ac_tags::PEER_DATA,
+                        ac_tags::CTRL,
                     ] {
                         assert_ne!(tag, base);
                     }
@@ -1326,7 +1567,7 @@ mod tests {
         // Any single flipped bit is detected, wherever it lands (payload
         // or trailer).
         for i in [0usize, 100, 199, 200, 203] {
-            let mut v = sealed.expect_bytes().to_vec();
+            let mut v = sealed.to_bytes().to_vec();
             v[i] ^= 0x40;
             assert_eq!(
                 open_block(&Payload::from_vec(v)),
@@ -1393,5 +1634,171 @@ mod tests {
         assert_eq!(n.block_size(64 << 20), 64 << 20);
         // Block larger than the message: clamp to the message.
         assert_eq!(p.block_size(1000), 1000);
+    }
+
+    #[test]
+    fn crc_incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        // Splitting the input at every awkward boundary must not change
+        // the checksum — this is what lets segment chains seal without
+        // reassembly.
+        for cut in [0usize, 1, 3, 7, 8, 9, 63, 64, 1000, 4095, 4096] {
+            let mut c = Crc32::new();
+            c.update(&data[..cut]);
+            c.update(&data[cut..]);
+            assert_eq!(c.finalize(), crc32(&data), "cut at {cut}");
+        }
+        // Many tiny updates, including empty ones.
+        let mut c = Crc32::new();
+        for chunk in data.chunks(5) {
+            c.update(chunk);
+            c.update(&[]);
+        }
+        assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn sealing_shares_body_bytes_without_copying() {
+        let p = Payload::from_vec((0..1000u32).map(|i| i as u8).collect());
+        let body_ptr = p.expect_bytes().as_ptr();
+        let sealed = seal_block(&p);
+        // The sealed chain's first segment is the original body buffer,
+        // not a copy; only the 4-byte trailer is new.
+        assert_eq!(sealed.segments().len(), 2);
+        assert_eq!(sealed.segments()[0].as_ptr(), body_ptr);
+        assert_eq!(sealed.segments()[1].len(), CRC_TRAILER_BYTES as usize);
+        // Opening hands the same buffer back as a zero-copy slice.
+        let opened = open_block(&sealed).unwrap();
+        assert_eq!(opened.expect_bytes().as_ptr(), body_ptr);
+    }
+
+    #[test]
+    fn sealed_chains_verify_across_segment_boundaries() {
+        // A chained payload (e.g. a re-sliced pipeline block) seals and
+        // opens without reassembly.
+        let a: Vec<u8> = (0..100u8).collect();
+        let b: Vec<u8> = (100..180u8).collect();
+        let chained = Payload::chain(vec![Bytes::from(a.clone()), Bytes::from(b.clone())]);
+        let opened = open_block(&seal_block(&chained)).unwrap();
+        let mut want = a;
+        want.extend_from_slice(&b);
+        assert_eq!(opened.to_bytes().as_ref(), want.as_slice());
+
+        // Even a trailer split across segments verifies: re-slicing a
+        // sealed chain can put the split anywhere.
+        let sealed = seal_block(&Payload::from_vec(want.clone()));
+        let flat = sealed.to_bytes();
+        for cut in [1u64, 100, 179, 180, 181, 182, 183] {
+            let rechained =
+                Payload::chain(vec![flat.slice(..cut as usize), flat.slice(cut as usize..)]);
+            let opened = open_block(&rechained).expect("split sealed block must verify");
+            assert_eq!(opened.to_bytes().as_ref(), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn control_batches_roundtrip() {
+        let resp = Response {
+            status: Status::Ok,
+            value: 0xBEEF,
+        }
+        .encode();
+        let ack = StreamAck {
+            seq: 17,
+            status: Status::Ok,
+            value: 3,
+        }
+        .encode();
+        let batch = ControlBatch {
+            entries: vec![
+                (ac_tags::response_tag(9, 0).0, Bytes::from(resp.clone())),
+                (ac_tags::stream_ack_tag(4).0, Bytes::from(ack.clone())),
+            ],
+        };
+        let bytes = Bytes::from(batch.encode());
+        let back = ControlBatch::decode(&bytes).unwrap();
+        assert_eq!(back, batch);
+        // Entries decode as zero-copy slices of the incoming frame.
+        assert_eq!(back.entries[0].1.as_ref(), resp.as_slice());
+        assert_eq!(
+            Response::decode(&back.entries[0].1),
+            Ok(Response {
+                status: Status::Ok,
+                value: 0xBEEF,
+            })
+        );
+        assert_eq!(StreamAck::decode(&back.entries[1].1).unwrap().seq, 17);
+        // Empty batches are legal on the wire.
+        let empty = ControlBatch { entries: vec![] };
+        assert_eq!(
+            ControlBatch::decode(&Bytes::from(empty.encode())),
+            Ok(empty)
+        );
+    }
+
+    #[test]
+    fn damaged_control_batches_fail_cleanly() {
+        let batch = ControlBatch {
+            entries: vec![(7, Bytes::from(vec![1, 2, 3])), (8, Bytes::new())],
+        };
+        let bytes = batch.encode();
+        // Truncation at every length fails without panicking.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                ControlBatch::decode(&Bytes::from(bytes[..cut].to_vec())),
+                Err(DecodeError),
+                "truncation at {cut}"
+            );
+        }
+        // Any flipped bit (marker, count, tag, length prefix, body,
+        // trailer) is caught by the frame CRC.
+        for i in 0..bytes.len() {
+            let mut v = bytes.clone();
+            v[i] ^= 0x04;
+            assert_eq!(
+                ControlBatch::decode(&Bytes::from(v)),
+                Err(DecodeError),
+                "flip at {i}"
+            );
+        }
+        // An oversized length prefix that still passes the CRC (re-sealed
+        // here to isolate the structural check) must fail, not panic.
+        let mut v = bytes[..bytes.len() - 4].to_vec();
+        v[9..13].copy_from_slice(&u32::MAX.to_le_bytes()); // first entry len
+        let resealed = {
+            let c = crc32(&v);
+            v.extend_from_slice(&c.to_le_bytes());
+            v
+        };
+        assert_eq!(
+            ControlBatch::decode(&Bytes::from(resealed)),
+            Err(DecodeError)
+        );
+    }
+
+    #[test]
+    fn arena_encoding_is_byte_identical_and_reuses_storage() {
+        let frame = RequestFrame {
+            op_id: 1,
+            attempt: 0,
+            epoch: 4,
+            req: Request::Launch {
+                name: "fill".into(),
+                args: vec![KernelArg::Ptr(DevicePtr(64)), KernelArg::F64(0.5)],
+                grid: (2, 2, 1),
+                block: (32, 1, 1),
+            },
+        };
+        let mut arena = EncodeBuf::new();
+        let first = frame.encode_into(&mut arena);
+        assert_eq!(first.as_ref(), frame.encode().as_slice());
+        let base = first.as_ptr() as usize;
+        drop(first);
+        // Same arena, frame dropped: the next encode reuses the storage.
+        let second = frame.encode_into(&mut arena);
+        assert_eq!(second.as_ptr() as usize, base, "arena was not reclaimed");
+        assert_eq!(second.as_ref(), frame.encode().as_slice());
     }
 }

@@ -424,12 +424,16 @@ impl Wire {
             })
             .bytes(data_bytes)
             .op(frame.first_seq);
+        let bytes = frame.encode_into(&mut self.accel.enc.borrow_mut());
+        self.accel
+            .telemetry()
+            .count("wire.encode_bytes", bytes.len() as u64);
         self.accel
             .ep
             .send(
                 self.accel.daemon,
                 ac_tags::REQUEST,
-                Payload::from_vec(frame.encode()),
+                Payload::from_bytes(bytes),
             )
             .await;
         let dtag = ac_tags::stream_data_tag(self.id);
@@ -444,7 +448,7 @@ impl Wire {
                     .send(
                         self.accel.daemon,
                         dtag,
-                        crate::proto::seal_block(&payload.slice(offset, bs)),
+                        self.accel.seal_counted(&payload.slice(offset, bs)),
                     )
                     .await;
                 offset += bs;

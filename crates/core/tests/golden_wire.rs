@@ -1,0 +1,238 @@
+//! Golden wire-format vectors.
+//!
+//! Every hex string below is the byte-for-byte output of the **seed**
+//! encoder (pre-zero-copy, captured before the codec refactor landed).
+//! The refactor promised a byte-identical wire format — so the new
+//! encoders, both the legacy `encode()` form and the arena
+//! `encode_into()` form, must reproduce these vectors exactly. A failure
+//! here means the wire format changed, which silently invalidates every
+//! archived virtual-time result.
+
+use bytes::Bytes;
+use dacc_arm::proto::{
+    ArmEvent, ArmRequest, ArmResponse, EvictReason, Eviction, GrantedAccelerator,
+};
+use dacc_arm::state::{AcceleratorId, JobId};
+use dacc_fabric::codec::EncodeBuf;
+use dacc_fabric::mpi::Rank;
+use dacc_fabric::payload::Payload;
+use dacc_fabric::topology::NodeId;
+use dacc_runtime::proto::{
+    open_block, seal_block, Request, RequestFrame, Response, Status, StreamAck, StreamBatch,
+    WireProtocol, STREAM_VIRT_BASE,
+};
+use dacc_vgpu::kernel::KernelArg;
+use dacc_vgpu::memory::DevicePtr;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Assert both encode forms reproduce the pinned seed bytes.
+fn check(name: &str, got_legacy: Vec<u8>, got_arena: Bytes, want_hex: &str) {
+    assert_eq!(
+        hex(&got_legacy),
+        want_hex,
+        "{name}: legacy encode() drifted"
+    );
+    assert_eq!(
+        hex(&got_arena),
+        want_hex,
+        "{name}: arena encode_into() drifted"
+    );
+}
+
+#[test]
+fn runtime_requests_match_seed_bytes() {
+    let mut arena = EncodeBuf::new();
+    let cases: Vec<(&str, Request, &str)> = vec![
+        (
+            "req_mem_alloc",
+            Request::MemAlloc { len: 4096 },
+            "000010000000000000",
+        ),
+        (
+            "req_mem_cpy_h2d",
+            Request::MemCpyH2D {
+                dst: DevicePtr(0x1000),
+                len: 1 << 20,
+                protocol: WireProtocol::Pipeline { block: 128 * 1024 },
+            },
+            "0200100000000000000000100000000000010000020000000000",
+        ),
+        (
+            "req_kernel_create",
+            Request::KernelCreate {
+                name: "dgemm_tile".into(),
+            },
+            "040a0000006467656d6d5f74696c65",
+        ),
+        (
+            "req_launch",
+            Request::Launch {
+                name: "fill_f64".into(),
+                args: vec![
+                    KernelArg::Ptr(DevicePtr(0x2000)),
+                    KernelArg::U64(512),
+                    KernelArg::F64(1.5),
+                ],
+                grid: (4, 2, 1),
+                block: (128, 1, 1),
+            },
+            "0c0800000066696c6c5f6636340300000000002000000000000001000200000000000003000000000000f83f040000000200000001000000800000000100000001000000",
+        ),
+        (
+            "req_snapshot",
+            Request::Snapshot {
+                regions: vec![(0x1000, 256), (0x4000, 64)],
+                block: 128,
+            },
+            "0e0200000000100000000000000001000000000000004000000000000040000000000000008000000000000000",
+        ),
+    ];
+    for (name, req, want) in cases {
+        check(name, req.encode(), req.encode_into(&mut arena), want);
+    }
+}
+
+#[test]
+fn framed_carriers_match_seed_bytes() {
+    let mut arena = EncodeBuf::new();
+
+    let frame = RequestFrame {
+        op_id: 42,
+        attempt: 3,
+        epoch: 7,
+        req: Request::MemSet {
+            ptr: DevicePtr(0x3000),
+            len: 64,
+            byte: 0xAB,
+        },
+    };
+    check(
+        "frame_mem_set",
+        frame.encode(),
+        frame.encode_into(&mut arena),
+        "fb2a000000000000000300000007000000000000000a00300000000000004000000000000000ab7ecc0bb1",
+    );
+
+    let batch = StreamBatch {
+        stream: 5,
+        first_seq: 100,
+        epoch: 9,
+        cmds: vec![
+            Request::MemAllocAt {
+                virt: STREAM_VIRT_BASE,
+                len: 4096,
+            },
+            Request::KernelRun {
+                grid: (8, 1, 1),
+                block: (64, 1, 1),
+            },
+        ],
+    };
+    check(
+        "stream_batch",
+        batch.encode(),
+        batch.encode_into(&mut arena),
+        "fc050000006400000000000000090000000000000002000000110000000d00000000000010000010000000000000190000000608000000010000000100000040000000010000000100000021f8f021",
+    );
+
+    let ack = StreamAck {
+        seq: 107,
+        status: Status::Ok,
+        value: 0x1234,
+    };
+    check(
+        "stream_ack",
+        ack.encode(),
+        ack.encode_into(&mut arena),
+        "6b00000000000000003412000000000000c96246fe",
+    );
+
+    let resp = Response {
+        status: Status::Ok,
+        value: 0xDEAD_BEEF,
+    };
+    check(
+        "response_ok",
+        resp.encode(),
+        resp.encode_into(&mut arena),
+        "00efbeadde0000000096d4f45f",
+    );
+}
+
+#[test]
+fn sealed_blocks_match_seed_bytes() {
+    let body: Vec<u8> = (0..37u32).map(|i| (i * 7 + 3) as u8).collect();
+    let sealed = seal_block(&Payload::from_vec(body.clone()));
+    assert_eq!(
+        hex(&sealed.to_bytes()),
+        "030a11181f262d343b424950575e656c737a81888f969da4abb2b9c0c7ced5dce3eaf1f8ffb497a339",
+        "sealed_block_37: block seal drifted"
+    );
+    let opened = open_block(&sealed).expect("seed-format block must verify");
+    assert_eq!(opened.to_bytes().as_ref(), body.as_slice());
+}
+
+#[test]
+fn arm_messages_match_seed_bytes() {
+    let mut arena = EncodeBuf::new();
+
+    let alloc = ArmRequest::Allocate {
+        job: JobId(7),
+        count: 2,
+        wait: true,
+    };
+    check(
+        "arm_allocate",
+        alloc.encode(),
+        alloc.encode_into(&mut arena),
+        "0007000000000000000200000001",
+    );
+
+    let submit = ArmRequest::SubmitJob {
+        job: JobId(77),
+        tenant: 3,
+        gang: 4,
+        share_ok: true,
+        wait: false,
+    };
+    check(
+        "arm_submit_job",
+        submit.encode(),
+        submit.encode_into(&mut arena),
+        "0c4d0000000000000003000000040000000100",
+    );
+
+    let granted = ArmResponse::Granted(vec![GrantedAccelerator {
+        accel: AcceleratorId(1),
+        daemon_rank: Rank(5),
+        node: NodeId(3),
+        epoch: 9,
+    }]);
+    check(
+        "arm_granted",
+        granted.encode(),
+        granted.encode_into(&mut arena),
+        "00010000000100000005000000030000000900000000000000",
+    );
+
+    let evict = ArmEvent::Evict(Eviction {
+        accel: AcceleratorId(3),
+        epoch: 12,
+        reason: EvictReason::Quarantined,
+        replacement: Some(GrantedAccelerator {
+            accel: AcceleratorId(2),
+            daemon_rank: Rank(8),
+            node: NodeId(4),
+            epoch: 13,
+        }),
+    });
+    check(
+        "arm_evict_event",
+        evict.encode(),
+        evict.encode_into(&mut arena),
+        "00030000000c0000000000000001010200000008000000040000000d00000000000000",
+    );
+}

@@ -1,0 +1,101 @@
+//! A reusable encode arena for wire codecs.
+//!
+//! Every protocol layer in the stack (runtime requests/responses, stream
+//! batches, ARM messages) used to build each outgoing frame in a fresh
+//! `Vec<u8>`. [`EncodeBuf`] replaces that with one arena per connection:
+//! a frame is written into the arena's [`BytesMut`], then split off as an
+//! immutable refcounted [`Bytes`] handed to the fabric. When the fabric
+//! (and any receiver clones) drop the frame, the next `reserve` reclaims
+//! the arena's capacity in place — so a steady-state connection encodes
+//! every message into the same allocation instead of one `malloc`/`free`
+//! pair per frame.
+
+use bytes::{Bytes, BytesMut};
+
+/// Default arena capacity: comfortably holds any control frame (requests,
+/// responses, stream batches of a few dozen commands) without growing.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// A per-connection encode arena (see the module docs).
+///
+/// Usage pattern: append one frame's bytes to [`EncodeBuf::buf`], then
+/// call [`EncodeBuf::take`] to split it off as an immutable [`Bytes`]. The
+/// arena is empty again afterwards and ready for the next frame, reusing
+/// the same backing allocation once outstanding frames are dropped.
+#[derive(Debug)]
+pub struct EncodeBuf {
+    buf: BytesMut,
+}
+
+impl EncodeBuf {
+    /// An arena with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An arena pre-sized for frames up to `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EncodeBuf {
+            buf: BytesMut::with_capacity(capacity),
+        }
+    }
+
+    /// The write cursor for the frame under construction. Codecs append
+    /// here; the arena guarantees the buffer starts empty after every
+    /// [`EncodeBuf::take`].
+    pub fn buf(&mut self) -> &mut BytesMut {
+        // `reserve` on an empty BytesMut whose previously split-off frames
+        // have all been dropped reclaims the original capacity in place —
+        // this is the call that makes the arena reusable instead of
+        // allocating fresh storage per frame.
+        if self.buf.is_empty() {
+            self.buf
+                .reserve(DEFAULT_CAPACITY.min(self.buf.capacity().max(1)));
+        }
+        &mut self.buf
+    }
+
+    /// Split off everything written so far as an immutable frame, leaving
+    /// the arena empty for the next one.
+    pub fn take(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+}
+
+impl Default for EncodeBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_split_cleanly() {
+        let mut b = EncodeBuf::new();
+        b.buf().extend_from_slice(b"alpha");
+        let a = b.take();
+        b.buf().extend_from_slice(b"beta");
+        let c = b.take();
+        assert_eq!(a.as_ref(), b"alpha");
+        assert_eq!(c.as_ref(), b"beta");
+        assert_eq!(b.take().len(), 0);
+    }
+
+    #[test]
+    fn capacity_is_reclaimed_after_frames_drop() {
+        let mut b = EncodeBuf::with_capacity(64);
+        let base = {
+            b.buf().extend_from_slice(&[7u8; 48]);
+            let frame = b.take();
+            frame.as_ptr() as usize
+        };
+        // The frame is dropped; the next frame must reuse the same
+        // storage rather than allocate a new block.
+        b.buf().extend_from_slice(&[8u8; 48]);
+        let again = b.take();
+        assert_eq!(again.as_ptr() as usize, base, "arena was not reclaimed");
+    }
+}

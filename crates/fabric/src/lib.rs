@@ -31,6 +31,7 @@
 // compatibility, not cross-thread sharing, so non-Send contents are fine.
 #![allow(clippy::arc_with_non_send_sync)]
 
+pub mod codec;
 pub mod collective;
 pub mod imb;
 pub mod mpi;
@@ -39,6 +40,7 @@ pub mod topology;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::codec::EncodeBuf;
     pub use crate::collective::{bcast, coll_tags, gather, reduce_f64_sum};
     pub use crate::imb::{dense_sizes, paper_sizes, run_pingpong, PingPongPoint};
     pub use crate::mpi::{tags, Endpoint, Envelope, Fabric, Rank, Tag};

@@ -10,16 +10,52 @@
 //!
 //! All protocol code (splitting into pipeline blocks, reassembly) goes
 //! through this type so it cannot accidentally diverge between modes.
+//!
+//! Functional payloads come in two shapes: contiguous ([`Payload::Bytes`])
+//! and scatter-gather ([`Payload::Chain`], a short list of refcounted
+//! segments). A chain carries the same logical byte sequence as the
+//! equivalent contiguous payload — equality, length, slicing, and
+//! corruption all operate on the logical bytes — so a sender can append a
+//! small trailer to a multi-MiB body without copying the body, and the
+//! receiver sees no difference on the wire.
 
 use bytes::Bytes;
 
-/// A message payload: real bytes or a size-only stand-in.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A message payload: real bytes (contiguous or chained) or a size-only
+/// stand-in.
+#[derive(Clone, Debug)]
 pub enum Payload {
     /// Real data (cheaply clonable / sliceable).
     Bytes(Bytes),
+    /// Real data as a scatter-gather chain of segments. Logically
+    /// equivalent to the concatenation of its segments; built by
+    /// [`Payload::chain`], which normalizes away empty segments and
+    /// collapses 0/1-segment chains to [`Payload::Bytes`].
+    Chain(Vec<Bytes>),
     /// Size-only stand-in for timing studies.
     Size(u64),
+}
+
+impl PartialEq for Payload {
+    /// Logical equality: two functional payloads are equal when their
+    /// concatenated bytes match, regardless of segmentation; size-only
+    /// payloads are equal to each other by length and never to a
+    /// functional payload.
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_functional(), other.is_functional()) {
+            (false, false) => self.len() == other.len(),
+            (true, true) => self.len() == other.len() && iter_eq(self.segments(), other.segments()),
+            _ => false,
+        }
+    }
+}
+impl Eq for Payload {}
+
+/// Compare two segment lists as flat byte streams.
+fn iter_eq(a: &[Bytes], b: &[Bytes]) -> bool {
+    let flat_a = a.iter().flat_map(|s| s.iter());
+    let flat_b = b.iter().flat_map(|s| s.iter());
+    flat_a.eq(flat_b)
 }
 
 impl Payload {
@@ -33,6 +69,23 @@ impl Payload {
         Payload::Bytes(Bytes::from(v))
     }
 
+    /// Wrap shared bytes without copying.
+    pub fn from_bytes(b: Bytes) -> Self {
+        Payload::Bytes(b)
+    }
+
+    /// Build a scatter-gather payload from segments without copying any of
+    /// them. Empty segments are dropped; zero or one surviving segment
+    /// collapses to a contiguous [`Payload::Bytes`].
+    pub fn chain(segments: Vec<Bytes>) -> Self {
+        let mut segs: Vec<Bytes> = segments.into_iter().filter(|s| !s.is_empty()).collect();
+        match segs.len() {
+            0 => Payload::empty(),
+            1 => Payload::Bytes(segs.pop().expect("len checked")),
+            _ => Payload::Chain(segs),
+        }
+    }
+
     /// A size-only payload.
     pub fn size_only(len: u64) -> Self {
         Payload::Size(len)
@@ -42,6 +95,7 @@ impl Payload {
     pub fn len(&self) -> u64 {
         match self {
             Payload::Bytes(b) => b.len() as u64,
+            Payload::Chain(segs) => segs.iter().map(|s| s.len() as u64).sum(),
             Payload::Size(n) => *n,
         }
     }
@@ -53,28 +107,62 @@ impl Payload {
 
     /// True if this payload carries real bytes.
     pub fn is_functional(&self) -> bool {
-        matches!(self, Payload::Bytes(_))
+        matches!(self, Payload::Bytes(_) | Payload::Chain(_))
     }
 
-    /// Borrow the bytes; `None` for size-only payloads.
+    /// Borrow the bytes when contiguous; `None` for size-only payloads
+    /// *and* for multi-segment chains (which have no single backing
+    /// buffer — use [`Payload::segments`] or [`Payload::to_bytes`]).
     pub fn bytes(&self) -> Option<&Bytes> {
         match self {
             Payload::Bytes(b) => Some(b),
-            Payload::Size(_) => None,
+            Payload::Chain(_) | Payload::Size(_) => None,
         }
     }
 
-    /// Copy out the bytes, panicking on a size-only payload. Use in
-    /// functional-mode code paths that already checked the mode.
+    /// Borrow the bytes, panicking on a size-only payload or a
+    /// scatter-gather chain. Use in functional-mode code paths that
+    /// already know the payload is contiguous.
     pub fn expect_bytes(&self) -> &Bytes {
         self.bytes()
-            .expect("expected a functional payload, found size-only")
+            .expect("expected a contiguous functional payload")
+    }
+
+    /// The payload's segments in order: one for contiguous bytes, several
+    /// for a chain, none for size-only. Iterating these visits every
+    /// logical byte exactly once without copying.
+    pub fn segments(&self) -> &[Bytes] {
+        match self {
+            Payload::Bytes(b) => std::slice::from_ref(b),
+            Payload::Chain(segs) => segs,
+            Payload::Size(_) => &[],
+        }
+    }
+
+    /// Realize the logical bytes contiguously: zero-copy for
+    /// [`Payload::Bytes`], one copy for a chain. Panics on size-only
+    /// payloads.
+    pub fn to_bytes(&self) -> Bytes {
+        match self {
+            Payload::Bytes(b) => b.clone(),
+            Payload::Chain(segs) => {
+                let total: usize = segs.iter().map(Bytes::len).sum();
+                let mut v = Vec::with_capacity(total);
+                for s in segs {
+                    v.extend_from_slice(s);
+                }
+                Bytes::from(v)
+            }
+            Payload::Size(_) => panic!("expected a functional payload, found size-only"),
+        }
     }
 
     /// Sub-range `[offset, offset+len)` of the payload.
     ///
-    /// For byte payloads this is a zero-copy slice; for size-only payloads
-    /// just arithmetic. Panics if the range exceeds the payload.
+    /// For byte payloads this is a zero-copy slice (a slice of a chain
+    /// that lands inside one segment collapses back to a contiguous
+    /// payload); for size-only payloads just arithmetic. Panics if the
+    /// range exceeds the payload.
     pub fn slice(&self, offset: u64, len: u64) -> Payload {
         let total = self.len();
         assert!(
@@ -83,6 +171,25 @@ impl Payload {
         );
         match self {
             Payload::Bytes(b) => Payload::Bytes(b.slice(offset as usize..(offset + len) as usize)),
+            Payload::Chain(segs) => {
+                let mut out = Vec::new();
+                let mut skip = offset as usize;
+                let mut want = len as usize;
+                for s in segs {
+                    if want == 0 {
+                        break;
+                    }
+                    if skip >= s.len() {
+                        skip -= s.len();
+                        continue;
+                    }
+                    let take = (s.len() - skip).min(want);
+                    out.push(s.slice(skip..skip + take));
+                    skip = 0;
+                    want -= take;
+                }
+                Payload::chain(out)
+            }
             Payload::Size(_) => Payload::Size(len),
         }
     }
@@ -107,6 +214,8 @@ impl Payload {
     /// in-flight corruption model). Size-only and empty payloads carry no
     /// bits to damage and are returned unchanged — timing is identical
     /// either way, so timing-only runs see corrupt faults as no-ops.
+    /// Chains copy only the segment containing the flipped byte; the
+    /// others stay shared.
     pub fn corrupted(&self) -> Payload {
         match self {
             Payload::Bytes(b) if !b.is_empty() => {
@@ -115,11 +224,28 @@ impl Payload {
                 v[mid] ^= 0x40;
                 Payload::Bytes(Bytes::from(v))
             }
+            Payload::Chain(segs) => {
+                let mut mid = (self.len() / 2) as usize;
+                let mut out = Vec::with_capacity(segs.len());
+                for s in segs {
+                    if mid < s.len() {
+                        let mut v = s.to_vec();
+                        v[mid] ^= 0x40;
+                        out.push(Bytes::from(v));
+                        mid = usize::MAX; // remaining segments pass through
+                    } else {
+                        mid = mid.saturating_sub(s.len());
+                        out.push(s.clone());
+                    }
+                }
+                Payload::Chain(out)
+            }
             other => other.clone(),
         }
     }
 
-    /// Reassemble consecutive blocks produced by [`Payload::blocks`].
+    /// Reassemble consecutive blocks produced by [`Payload::blocks`] into
+    /// one contiguous payload.
     ///
     /// All blocks must be the same mode. Returns an empty byte payload for
     /// no blocks.
@@ -131,7 +257,9 @@ impl Payload {
             let total: usize = blocks.iter().map(|b| b.len() as usize).sum();
             let mut v = Vec::with_capacity(total);
             for b in blocks {
-                v.extend_from_slice(b.expect_bytes());
+                for s in b.segments() {
+                    v.extend_from_slice(s);
+                }
             }
             Payload::Bytes(Bytes::from(v))
         } else {
@@ -225,5 +353,109 @@ mod tests {
     #[should_panic(expected = "mixed")]
     fn concat_rejects_mixed_modes() {
         Payload::concat(&[Payload::from_vec(vec![1]), Payload::size_only(1)]);
+    }
+
+    #[test]
+    fn chain_normalizes_and_measures() {
+        // Empty segments vanish; 0/1 segments collapse to contiguous.
+        assert_eq!(Payload::chain(vec![]), Payload::empty());
+        assert!(matches!(
+            Payload::chain(vec![Bytes::from(vec![1, 2])]),
+            Payload::Bytes(_)
+        ));
+        assert!(matches!(
+            Payload::chain(vec![Bytes::new(), Bytes::from(vec![1])]),
+            Payload::Bytes(_)
+        ));
+        let c = Payload::chain(vec![Bytes::from(vec![1, 2]), Bytes::from(vec![3])]);
+        assert!(matches!(c, Payload::Chain(_)));
+        assert_eq!(c.len(), 3);
+        assert!(c.is_functional());
+        assert!(c.bytes().is_none(), "chains have no single backing buffer");
+        assert_eq!(c.to_bytes().as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_equals_contiguous_with_same_bytes() {
+        let c = Payload::chain(vec![Bytes::from(vec![1, 2]), Bytes::from(vec![3, 4, 5])]);
+        let b = Payload::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(c, b);
+        assert_eq!(b, c);
+        // Same length, different bytes: unequal.
+        assert_ne!(c, Payload::from_vec(vec![1, 2, 3, 4, 9]));
+        // Different segmentation, same bytes: equal.
+        let c2 = Payload::chain(vec![
+            Bytes::from(vec![1]),
+            Bytes::from(vec![2, 3]),
+            Bytes::from(vec![4, 5]),
+        ]);
+        assert_eq!(c, c2);
+        // Functional never equals size-only, even at matching length.
+        assert_ne!(c, Payload::size_only(5));
+    }
+
+    #[test]
+    fn chain_slices_without_copying_across_segments() {
+        let seg_a = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let seg_b = Bytes::from((10u8..14).collect::<Vec<_>>());
+        let c = Payload::chain(vec![seg_a, seg_b]);
+
+        // Entirely inside one segment: collapses to contiguous.
+        let s = c.slice(2, 5);
+        assert!(matches!(s, Payload::Bytes(_)));
+        assert_eq!(s.expect_bytes().as_ref(), &[2, 3, 4, 5, 6]);
+        let s = c.slice(10, 4);
+        assert!(matches!(s, Payload::Bytes(_)));
+        assert_eq!(s.expect_bytes().as_ref(), &[10, 11, 12, 13]);
+
+        // Straddling the boundary: stays a chain, same logical bytes.
+        let s = c.slice(8, 4);
+        assert!(matches!(s, Payload::Chain(_)));
+        assert_eq!(s.to_bytes().as_ref(), &[8, 9, 10, 11]);
+
+        // Full-range and empty slices.
+        assert_eq!(c.slice(0, 14), c);
+        assert!(c.slice(7, 0).is_empty());
+    }
+
+    #[test]
+    fn chain_blocks_concat_roundtrip() {
+        let data: Vec<u8> = (0..=255).cycle().take(777).map(|x: u16| x as u8).collect();
+        let c = Payload::chain(vec![
+            Bytes::from(data[..300].to_vec()),
+            Bytes::from(data[300..301].to_vec()),
+            Bytes::from(data[301..].to_vec()),
+        ]);
+        for block in [1u64, 64, 299, 777, 4096] {
+            let whole = Payload::concat(&c.blocks(block));
+            assert_eq!(
+                whole.expect_bytes().as_ref(),
+                data.as_slice(),
+                "block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_corruption_flips_one_bit_in_place() {
+        let data: Vec<u8> = (0..100).collect();
+        let c = Payload::chain(vec![
+            Bytes::from(data[..40].to_vec()),
+            Bytes::from(data[40..].to_vec()),
+        ]);
+        let bad = c.corrupted();
+        assert_eq!(bad.len(), c.len());
+        let diff: u32 = bad
+            .to_bytes()
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        // The flipped byte is the same one the contiguous model flips.
+        assert_eq!(
+            Payload::from_vec(data).corrupted().expect_bytes(),
+            &bad.to_bytes()
+        );
     }
 }

@@ -1,18 +1,21 @@
 //! Offline shim for the `bytes` crate.
 //!
 //! [`Bytes`] is an immutable byte buffer with O(1) `clone` and `slice`,
-//! backed by an `Arc<[u8]>` plus a window. This matches the subset of the
+//! backed by an `Arc<Vec<u8>>` plus a window. [`BytesMut`] is the growable
+//! counterpart: frames are appended, then split off as frozen [`Bytes`]
+//! views sharing the same allocation; once all frozen views are dropped the
+//! next write reclaims the storage in place. This matches the subset of the
 //! upstream API the workspace uses (construction, length, zero-copy
-//! slicing, `[u8]` deref).
+//! slicing, `[u8]` deref, arena-style `split`/`freeze`/`reserve`).
 
 use std::fmt;
-use std::ops::{Bound, Deref, RangeBounds};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, sliceable, immutable byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -69,11 +72,11 @@ impl Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the `Vec`'s allocation — no copy.
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -137,6 +140,138 @@ impl fmt::Debug for Bytes {
     }
 }
 
+/// A growable byte buffer that frames can be split off of without copying.
+///
+/// The buffer owns an `Arc<Vec<u8>>`; bytes `[0, start)` belong to frames
+/// already split off (frozen [`Bytes`] views into the same allocation) and
+/// `[start, len)` is the frame currently under construction. Writes first
+/// ensure exclusive access: if every split-off frame has been dropped the
+/// frozen prefix is drained and the allocation reused in place; otherwise a
+/// fresh allocation is started and the old one stays with its frames.
+#[derive(Default)]
+pub struct BytesMut {
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer (no allocation beyond the empty `Vec`).
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Arc::new(Vec::with_capacity(capacity)),
+            start: 0,
+        }
+    }
+
+    /// Length of the frame under construction.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True if nothing has been written since the last `split`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes that can be appended before the allocation must grow.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.start
+    }
+
+    /// Establish exclusive ownership of a writable `Vec`.
+    ///
+    /// Reclaims the allocation in place when all split-off frames are gone;
+    /// otherwise migrates the (typically empty) tail to a fresh allocation.
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            let mut v = Vec::with_capacity(self.data.capacity());
+            v.extend_from_slice(&self.data[self.start..]);
+            self.data = Arc::new(v);
+            self.start = 0;
+        } else if self.start > 0 {
+            let v = Arc::get_mut(&mut self.data).expect("uniquely owned");
+            v.drain(..self.start);
+            self.start = 0;
+        }
+        Arc::get_mut(&mut self.data).expect("uniquely owned")
+    }
+
+    /// Ensure space for `additional` more bytes. On a buffer whose
+    /// split-off frames have all been dropped, this reclaims the original
+    /// allocation in place rather than growing a new one.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec_mut().reserve(additional);
+    }
+
+    /// Append `src` to the frame under construction.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec_mut().extend_from_slice(src);
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.vec_mut().push(b);
+    }
+
+    /// Split off everything written so far, leaving this buffer empty but
+    /// still holding the allocation for reuse once the frame is dropped.
+    pub fn split(&mut self) -> BytesMut {
+        let frame = BytesMut {
+            data: Arc::clone(&self.data),
+            start: self.start,
+        };
+        self.start = self.data.len();
+        frame
+    }
+
+    /// Convert into an immutable [`Bytes`] view (no copy).
+    pub fn freeze(self) -> Bytes {
+        let end = self.data.len();
+        Bytes {
+            data: self.data,
+            start: self.start,
+            end,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.vec_mut();
+        let start = self.start;
+        &mut Arc::get_mut(&mut self.data).expect("uniquely owned")[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.as_ref();
+        if b.len() <= 16 {
+            write!(f, "BytesMut({b:02x?})")
+        } else {
+            write!(f, "BytesMut(len={}, {:02x?}…)", b.len(), &b[..16])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +299,48 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn slice_oob_panics() {
         Bytes::from(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn bytes_mut_split_and_freeze() {
+        let mut m = BytesMut::with_capacity(32);
+        m.extend_from_slice(b"first");
+        let a = m.split().freeze();
+        m.extend_from_slice(b"second");
+        let b = m.split().freeze();
+        assert_eq!(a.as_ref(), b"first");
+        assert_eq!(b.as_ref(), b"second");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bytes_mut_reclaims_storage_when_frames_drop() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(&[1u8; 40]);
+        let frame = m.split().freeze();
+        let ptr = frame.as_ptr() as usize;
+        drop(frame);
+        m.reserve(1);
+        m.extend_from_slice(&[2u8; 40]);
+        let again = m.split().freeze();
+        assert_eq!(again.as_ptr() as usize, ptr, "allocation was not reused");
+    }
+
+    #[test]
+    fn bytes_mut_keeps_live_frames_intact_on_new_writes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"keep");
+        let frame = m.split().freeze();
+        m.extend_from_slice(b"more data than before");
+        assert_eq!(frame.as_ref(), b"keep");
+        assert_eq!(m.as_ref(), b"more data than before");
+    }
+
+    #[test]
+    fn bytes_mut_deref_mut_allows_patching() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[0, 0, 0, 0, 9]);
+        m[0..4].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(m.split().freeze().as_ref(), &[7, 0, 0, 0, 9]);
     }
 }
