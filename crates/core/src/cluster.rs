@@ -146,6 +146,21 @@ pub fn build_cluster_chaos(
     fault: Option<Arc<dyn FaultHook>>,
 ) -> Cluster {
     let h = sim.handle();
+    // A dropped/corrupt ControlBatch discards up to CTRL_BATCH_MAX
+    // responses wholesale; without a retry plane nothing replays them and
+    // the front-end hangs awaiting its response. Flag the combination
+    // rather than silently wedging a chaos run.
+    if fault.is_some()
+        && (spec.daemon.ctrl_batch || spec.frontend.ctrl_batch)
+        && spec.frontend.retry.is_none()
+        && spec.daemon.data_timeout.is_none()
+    {
+        tracer.record(&h, "config.warn", || {
+            "ctrl_batch under fault injection without a retry policy or data_timeout: \
+             a dropped ControlBatch loses its responses permanently"
+                .to_string()
+        });
+    }
     let total_nodes = 1 + spec.compute_nodes + spec.accelerators;
     let topo = Topology::new(&h, total_nodes, spec.fabric);
     topo.set_tracer(tracer.clone());
@@ -162,10 +177,13 @@ pub fn build_cluster_chaos(
     fabric.set_unbundler(
         ac_tags::CTRL,
         Arc::new(|p: &Payload| {
-            let buf = match p {
-                Payload::Bytes(b) => b.clone(),
-                _ => p.to_bytes(),
-            };
+            if !p.is_functional() {
+                // A size-only payload carries nothing to decode; treat it
+                // like a damaged batch (dropped whole) rather than
+                // panicking the dispatcher.
+                return None;
+            }
+            let buf = p.to_bytes();
             let batch = ControlBatch::decode(&buf).ok()?;
             Some(
                 batch

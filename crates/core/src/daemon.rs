@@ -62,6 +62,15 @@ pub struct DaemonConfig {
     /// staged in the same service window. Off by default: batching changes
     /// fabric message counts, so archived virtual-time results stay
     /// pinned unless a run opts in.
+    ///
+    /// Under fault injection, batching widens the blast radius of a
+    /// single drop/corrupt fault from one control message to a whole
+    /// batch (the fabric discards a damaged [`ControlBatch`] wholesale),
+    /// so runs that inject faults should only enable it together with a
+    /// front-end retry policy and [`DaemonConfig::data_timeout`] —
+    /// otherwise a front-end awaiting a discarded response hangs forever.
+    /// [`build_cluster_chaos`](crate::cluster::build_cluster_chaos)
+    /// traces a `config.warn` event when this combination is detected.
     pub ctrl_batch: bool,
 }
 
@@ -338,9 +347,12 @@ pub async fn run_daemon_health(
         // The batching window closes when the request queue goes idle:
         // anything staged while requests kept arriving back-to-back is
         // flushed (coalesced per peer) before the daemon blocks. Every
-        // staged message is owed to a peer that is *waiting* on it, so an
-        // empty queue here guarantees progress — those peers cannot send
-        // their next request until the flush.
+        // staged message is owed to a peer that is *waiting* on it, but an
+        // empty queue only guarantees progress globally — one tenant's
+        // lone staged response must not wait behind another tenant's
+        // continuous stream, so `tick` additionally flushes any peer
+        // whose staging sat idle for a bounded number of windows.
+        coal.tick(&ep).await;
         if coal.has_staged() && ep.iprobe(None, Some(ac_tags::REQUEST)).is_none() {
             coal.flush_all(&ep).await;
         }
@@ -938,6 +950,21 @@ async fn exec_batchable(
 /// CTRL tag, so the unbundler only ever sees eager packets).
 const CTRL_BATCH_MAX: usize = 8;
 
+/// Service windows a peer's staging may sit idle (no new entries) before
+/// it is force-flushed. Bounds how long one tenant's lone response can be
+/// deferred while *other* tenants keep the request queue busy: a
+/// continuously-streaming front-end appends to its own staging every
+/// window and still batches up to [`CTRL_BATCH_MAX`], but a blocked peer
+/// stops appending and drains within this many serviced requests.
+const CTRL_STAGE_MAX_AGE: u64 = 2;
+
+/// Per-peer staged control entries plus the service window of the most
+/// recent append (for the staleness bound).
+struct Staged {
+    last_append: u64,
+    entries: Vec<(u32, Bytes)>,
+}
+
 /// Outgoing control-message path: encodes responses and stream acks
 /// through one reusable arena, and — when `ctrl_batch` is on — stages
 /// those bound for the same peer so several can ride one
@@ -945,7 +972,10 @@ const CTRL_BATCH_MAX: usize = 8;
 struct Coalescer {
     enabled: bool,
     enc: EncodeBuf,
-    staged: HashMap<Rank, Vec<(u32, Bytes)>>,
+    /// Service-window counter; advanced by [`Coalescer::tick`] once per
+    /// daemon loop iteration.
+    window: u64,
+    staged: HashMap<Rank, Staged>,
 }
 
 impl Coalescer {
@@ -953,6 +983,7 @@ impl Coalescer {
         Coalescer {
             enabled,
             enc: EncodeBuf::new(),
+            window: 0,
             staged: HashMap::new(),
         }
     }
@@ -990,15 +1021,43 @@ impl Coalescer {
             ep.send(to, tag, Payload::from_bytes(bytes)).await;
             return;
         }
-        let entries = self.staged.entry(to).or_default();
-        entries.push((tag.0, bytes));
-        if entries.len() >= CTRL_BATCH_MAX {
+        let window = self.window;
+        let staged = self.staged.entry(to).or_insert_with(|| Staged {
+            last_append: window,
+            entries: Vec::new(),
+        });
+        staged.last_append = window;
+        staged.entries.push((tag.0, bytes));
+        if staged.entries.len() >= CTRL_BATCH_MAX {
             self.flush_peer(ep, to).await;
         }
     }
 
     fn has_staged(&self) -> bool {
         !self.staged.is_empty()
+    }
+
+    /// Close one service window: advance the window clock and flush any
+    /// peer whose staging has not grown for [`CTRL_STAGE_MAX_AGE`]
+    /// windows. Called once per daemon loop iteration so a staged entry
+    /// can never wait unboundedly behind other peers' traffic — the
+    /// queue-idle flush in the main loop only guarantees progress when
+    /// the *whole* queue drains.
+    async fn tick(&mut self, ep: &Endpoint) {
+        self.window += 1;
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut stale: Vec<Rank> = self
+            .staged
+            .iter()
+            .filter(|(_, s)| self.window - s.last_append >= CTRL_STAGE_MAX_AGE)
+            .map(|(r, _)| *r)
+            .collect();
+        stale.sort_unstable_by_key(|r| r.0); // deterministic flush order
+        for peer in stale {
+            self.flush_peer(ep, peer).await;
+        }
     }
 
     /// Flush everything staged — called when the request queue goes idle
@@ -1012,7 +1071,7 @@ impl Coalescer {
     }
 
     async fn flush_peer(&mut self, ep: &Endpoint, to: Rank) {
-        let Some(entries) = self.staged.remove(&to) else {
+        let Some(Staged { entries, .. }) = self.staged.remove(&to) else {
             return;
         };
         if entries.len() == 1 {

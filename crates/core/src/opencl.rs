@@ -244,7 +244,7 @@ mod tests {
         sim.run();
         let payload = out.try_take().expect("did not finish");
         let vals: Vec<f64> = payload
-            .expect_bytes()
+            .to_bytes()
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();

@@ -100,6 +100,87 @@ fn ctrl_batching_coalesces_acks_without_changing_results() {
 }
 
 #[test]
+fn lone_tenant_response_is_not_starved_by_streaming_peer() {
+    // Two front-ends share one daemon with batching on. Tenant A floods
+    // the daemon with single-command stream frames; tenant B issues plain
+    // sequential request/response calls, so each of B's next requests
+    // waits on its previous (possibly staged) response. The coalescer's
+    // staleness bound must flush B's lone staged responses while A keeps
+    // the request queue busy — if B's responses could be deferred until
+    // the queue went idle, B would fall arbitrarily far behind A.
+    let mut sim = Sim::new();
+    let registry = KernelRegistry::new();
+    register_builtin_kernels(&registry);
+    let fe = FrontendConfig {
+        ctrl_batch: true,
+        ..FrontendConfig::default()
+    };
+    let spec = ClusterSpec {
+        compute_nodes: 2,
+        accelerators: 1,
+        mode: ExecMode::Functional,
+        gpu: GpuParams::tesla_c1060(),
+        frontend: fe,
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, registry);
+    let tele = Telemetry::new(DEFAULT_SPAN_CAPACITY);
+    cluster.set_telemetry(tele.clone());
+    let mut eps = std::mem::take(&mut cluster.cn_endpoints);
+    let ep_b = eps.remove(1);
+    let ep_a = eps.remove(0);
+    let daemon = cluster.daemon_rank(0);
+
+    let a = sim.spawn("tenant-a", async move {
+        let dev = AcDevice::Remote(RemoteAccelerator::new(ep_a, daemon, fe));
+        let s = dev.stream(StreamConfig {
+            window: 64,
+            max_batch: 1,
+        });
+        let ptr = s.mem_alloc(4096).await.unwrap();
+        for i in 0..32u8 {
+            s.mem_set(ptr.offset(u64::from(i) * 128), 128, i.wrapping_mul(3))
+                .await
+                .unwrap();
+        }
+        s.synchronize().await.unwrap();
+        let back = dev.mem_cpy_d2h(ptr, 4096).await.unwrap();
+        back.expect_bytes().to_vec()
+    });
+    let b = sim.spawn("tenant-b", async move {
+        let dev = AcDevice::Remote(RemoteAccelerator::new(ep_b, daemon, fe));
+        let ptr = dev.mem_alloc(1024).await.unwrap();
+        for i in 0..8u8 {
+            dev.mem_set(ptr.offset(u64::from(i) * 128), 128, i.wrapping_add(1))
+                .await
+                .unwrap();
+        }
+        let back = dev.mem_cpy_d2h(ptr, 1024).await.unwrap();
+        back.expect_bytes().to_vec()
+    });
+    sim.run();
+
+    let back_a = a.try_take().expect("streaming tenant did not finish");
+    let mut want_a = vec![0u8; 4096];
+    for i in 0..32u8 {
+        let start = usize::from(i) * 128;
+        want_a[start..start + 128].fill(i.wrapping_mul(3));
+    }
+    assert_eq!(back_a, want_a, "streaming tenant corrupted results");
+
+    let back_b = b.try_take().expect(
+        "request/response tenant starved: its staged responses were never \
+         flushed while the streaming tenant kept the queue busy",
+    );
+    let mut want_b = vec![0u8; 1024];
+    for i in 0..8u8 {
+        let start = usize::from(i) * 128;
+        want_b[start..start + 128].fill(i.wrapping_add(1));
+    }
+    assert_eq!(back_b, want_b, "request/response tenant corrupted results");
+}
+
+#[test]
 fn ctrl_batching_off_by_default_sends_no_ctrl_frames() {
     // The repin invariant: with the knob off (the default), the wire
     // carries exactly the pre-refactor message sequence — nothing is

@@ -63,9 +63,11 @@ pub async fn bcast(
         }
         k += 1;
     }
-    // `data` is consumed by the sends only as clones.
+    // `data` is consumed by the sends only as clones. Normalize to a
+    // contiguous payload on return (zero-copy unless the caller handed
+    // the root a scatter-gather chain).
     if data.is_functional() {
-        data = Payload::Bytes(data.expect_bytes().clone());
+        data = Payload::Bytes(data.to_bytes());
     }
     data
 }
@@ -126,9 +128,11 @@ pub async fn reduce_f64_sum(
             let src_v = vrank | bit;
             let src = group[(src_v + root_index) % p];
             let env = ep.recv(Some(src), Some(coll_tags::REDUCE)).await;
+            // to_bytes(): tolerate chained payloads (an f64 may straddle
+            // segment boundaries, so decode from the contiguous form).
             let other: Vec<f64> = env
                 .payload
-                .expect_bytes()
+                .to_bytes()
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
                 .collect();

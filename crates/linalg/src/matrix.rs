@@ -266,7 +266,9 @@ impl HostMatrix {
             "payload size mismatch"
         );
         if let HostMatrix::Real(m) = self {
-            let bytes = payload.expect_bytes();
+            // to_bytes(): accept chained payloads too (an f64 may straddle
+            // a segment boundary).
+            let bytes = payload.to_bytes();
             let vals: Vec<f64> = bytes
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -281,9 +283,10 @@ impl HostMatrix {
     }
 }
 
-/// Decode a payload of `f64`s (functional-mode helper).
+/// Decode a payload of `f64`s (functional-mode helper). Accepts both
+/// contiguous and chained payloads; panics on size-only.
 pub fn payload_to_f64(p: &Payload) -> Vec<f64> {
-    p.expect_bytes()
+    p.to_bytes()
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect()

@@ -127,7 +127,7 @@ impl Particles {
             self.vel.len() * 8,
             "velocity payload size"
         );
-        for (i, c) in p.expect_bytes().chunks_exact(8).enumerate() {
+        for (i, c) in p.to_bytes().chunks_exact(8).enumerate() {
             self.vel[i] = f64::from_le_bytes(c.try_into().unwrap());
         }
     }
@@ -135,7 +135,7 @@ impl Particles {
     /// Decode from a wire payload produced by [`Particles::to_payload`].
     pub fn from_payload(p: &Payload) -> Self {
         let vals: Vec<f64> = p
-            .expect_bytes()
+            .to_bytes()
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();

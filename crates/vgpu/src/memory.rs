@@ -210,11 +210,16 @@ impl DeviceMem {
     /// bounds-checked (they carry no data to write).
     pub fn write_payload(&mut self, ptr: DevicePtr, payload: &Payload) -> Result<(), MemError> {
         let (base, offset) = self.resolve(ptr, payload.len())?;
-        if let (Some(bytes), Some(data)) = (
-            payload.bytes(),
-            self.allocs.get_mut(&base).and_then(|a| a.data.as_mut()),
-        ) {
-            data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        if let Some(data) = self.allocs.get_mut(&base).and_then(|a| a.data.as_mut()) {
+            // Copy each segment at its running offset so scatter-gather
+            // chains (e.g. sealed blocks sliced across segments) land
+            // byte-identical to their contiguous equivalent. Size-only
+            // payloads have no segments and stay a bounds check.
+            let mut at = offset as usize;
+            for seg in payload.segments() {
+                data[at..at + seg.len()].copy_from_slice(seg);
+                at += seg.len();
+            }
         }
         Ok(())
     }
@@ -293,6 +298,24 @@ mod tests {
             .unwrap();
         let back = m.read_payload(p, 100).unwrap();
         assert_eq!(back.expect_bytes().as_ref(), &[7u8; 100]);
+    }
+
+    #[test]
+    fn chained_payload_writes_every_segment() {
+        // An H2D of a sealed block that spans segments arrives as a
+        // Payload::Chain; all segments must land, in order.
+        let mut m = mem();
+        let p = m.alloc(100).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        let chain = Payload::chain(vec![
+            bytes::Bytes::from(data[..33].to_vec()),
+            bytes::Bytes::from(data[33..34].to_vec()),
+            bytes::Bytes::from(data[34..].to_vec()),
+        ]);
+        assert!(chain.bytes().is_none(), "test requires a real chain");
+        m.write_payload(p, &chain).unwrap();
+        let back = m.read_payload(p, 100).unwrap();
+        assert_eq!(back.expect_bytes().as_ref(), data.as_slice());
     }
 
     #[test]
