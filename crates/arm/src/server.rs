@@ -148,7 +148,8 @@ pub async fn run_arm_server_traced(
                     });
                     continue;
                 }
-                match pool.try_allocate_at(job, count, Some(now)) {
+                let near = Some(ep.fabric().node_of(requester));
+                match pool.try_allocate_near(job, count, Some(now), near) {
                     Ok(grants) => respond(&ep, requester, ArmResponse::Granted(grants)).await,
                     Err(e @ ArmError::Insufficient { .. }) if wait => {
                         let _ = e;
@@ -461,7 +462,7 @@ fn account(sched: &mut Scheduler, events: &[HealthEvent]) {
 }
 
 /// Ask the scheduler what to start given the pool's current free capacity
-/// and apply its placements: exclusive gangs through `try_allocate_at`
+/// and apply its placements: exclusive gangs through `try_allocate_near`
 /// (opening a share domain when the job consented), shared singles through
 /// `try_join_share_at`. Grants are pushed to the submitters recorded in
 /// `pending`.
@@ -480,14 +481,23 @@ async fn sched_dispatch(
     for p in sched.dispatch(cap) {
         let job = JobId(p.job);
         let result = match p.kind {
-            PlaceKind::Exclusive => pool.try_allocate_at(job, p.gang, Some(now)).map(|grants| {
-                if p.share_ok && p.gang == 1 && pool.share_config().is_some() {
-                    // Consenting single-accel job: open its accelerator
-                    // for time-sliced co-residents.
-                    let _ = pool.open_share(grants[0].accel, job);
-                }
-                grants
-            }),
+            PlaceKind::Exclusive => {
+                // Place the gang near the submitting front-end when we
+                // still know where it lives (pushed grants keep no
+                // contact once acknowledged).
+                let near = pending
+                    .get(&job)
+                    .map(|ps| ep.fabric().node_of(ps.requester));
+                pool.try_allocate_near(job, p.gang, Some(now), near)
+                    .map(|grants| {
+                        if p.share_ok && p.gang == 1 && pool.share_config().is_some() {
+                            // Consenting single-accel job: open its accelerator
+                            // for time-sliced co-residents.
+                            let _ = pool.open_share(grants[0].accel, job);
+                        }
+                        grants
+                    })
+            }
             PlaceKind::Shared => pool.try_join_share_at(job, Some(now)).map(|g| vec![g]),
         };
         match result {
@@ -516,7 +526,8 @@ async fn sched_dispatch(
 
 async fn drain_queue(ep: &Endpoint, pool: &mut Pool, queue: &mut VecDeque<Waiting>, now: SimTime) {
     while let Some(head) = queue.front() {
-        match pool.try_allocate_at(head.job, head.count, Some(now)) {
+        let near = Some(ep.fabric().node_of(head.requester));
+        match pool.try_allocate_near(head.job, head.count, Some(now), near) {
             Ok(grants) => {
                 let head = queue.pop_front().unwrap();
                 respond(ep, head.requester, ArmResponse::Granted(grants)).await;

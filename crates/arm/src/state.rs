@@ -152,6 +152,9 @@ pub struct Pool {
     share: Option<ShareConfig>,
     shares: HashMap<usize, ShareState>,
     total_rotations: u64,
+    /// Node×node hop matrix from the fabric topology (`hops[from][to]`),
+    /// when locality-aware placement is enabled. See [`Pool::set_locality`].
+    locality: Option<Vec<Vec<u32>>>,
 }
 
 impl Pool {
@@ -174,6 +177,7 @@ impl Pool {
             share: None,
             shares: HashMap::new(),
             total_rotations: 0,
+            locality: None,
         }
     }
 
@@ -192,6 +196,28 @@ impl Pool {
     /// Enable the health plane (leases, liveness, fencing) with `config`.
     pub fn set_health(&mut self, config: HealthConfig) {
         self.health = Some(config);
+    }
+
+    /// Enable locality-aware placement: `hops[from][to]` is the fabric's
+    /// node×node hop matrix (see `Topology::hop_matrix`). With it set,
+    /// [`AllocPolicy::FirstFit`] allocations that know the requester's node
+    /// prefer the nearest grantable accelerators, breaking distance ties by
+    /// lowest id — on a single-switch fabric every distance is equal, so
+    /// the scan order (and every grant) is unchanged. `RoundRobin` ignores
+    /// locality: its goal is wear-leveling, not proximity.
+    pub fn set_locality(&mut self, hops: Vec<Vec<u32>>) {
+        self.locality = Some(hops);
+    }
+
+    /// The hop distance from `from` to accelerator `i`'s node, when
+    /// locality is enabled.
+    fn distance(&self, from: NodeId, i: usize) -> u32 {
+        self.locality
+            .as_ref()
+            .and_then(|h| h.get(from.0))
+            .and_then(|row| row.get(self.accels[i].node.0))
+            .copied()
+            .unwrap_or(u32::MAX)
     }
 
     /// The health configuration, if the health plane is enabled.
@@ -419,6 +445,21 @@ impl Pool {
         count: u32,
         now: Option<SimTime>,
     ) -> Result<Vec<GrantedAccelerator>, ArmError> {
+        self.try_allocate_near(job, count, now, None)
+    }
+
+    /// [`Pool::try_allocate_at`] with the requester's node: when locality
+    /// is enabled ([`Pool::set_locality`]) and the policy is `FirstFit`,
+    /// the scan visits accelerators nearest `from` first (hop count, ties
+    /// by lowest id — a stable order, so an all-equal-distance fabric
+    /// reproduces plain first-fit exactly).
+    pub fn try_allocate_near(
+        &mut self,
+        job: JobId,
+        count: u32,
+        now: Option<SimTime>,
+        from: Option<NodeId>,
+    ) -> Result<Vec<GrantedAccelerator>, ArmError> {
         let free = self.free_count();
         if free < count {
             return Err(ArmError::Insufficient {
@@ -431,12 +472,23 @@ impl Pool {
             AllocPolicy::FirstFit => 0,
             AllocPolicy::RoundRobin => self.cursor % n.max(1),
         };
+        let near_order: Option<Vec<usize>> = match (self.policy, &self.locality, from) {
+            (AllocPolicy::FirstFit, Some(_), Some(from)) => {
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.sort_by_key(|&i| self.distance(from, i));
+                Some(idx)
+            }
+            _ => None,
+        };
         let mut grants = Vec::with_capacity(count as usize);
         for step in 0..n {
             if grants.len() as u32 == count {
                 break;
             }
-            let i = (start + step) % n;
+            let i = match &near_order {
+                Some(order) => order[step],
+                None => (start + step) % n,
+            };
             if self.grantable(i) {
                 self.state[i] = AccelState::Assigned(job);
                 let m = &mut self.meta[i];
@@ -1108,6 +1160,46 @@ mod tests {
         assert_eq!(g[1].accel, AcceleratorId(1));
         assert_eq!(g[0].daemon_rank, Rank(100));
         assert_eq!(p.free_count(), 2);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn locality_prefers_nearest_node_with_stable_ties() {
+        // 4 accelerators on nodes 0..4; hop matrix says node 2 is nearest
+        // to accels on nodes 2 and 3 (same edge switch), two hops from
+        // nodes 0 and 1.
+        let mut p = pool(4);
+        p.set_locality(vec![
+            vec![0, 2, 2, 2],
+            vec![2, 0, 2, 2],
+            vec![2, 2, 0, 1],
+            vec![2, 2, 1, 0],
+        ]);
+        let g = p
+            .try_allocate_near(JobId(1), 2, None, Some(NodeId(2)))
+            .unwrap();
+        let ids: Vec<usize> = g.iter().map(|g| g.accel.0).collect();
+        assert_eq!(ids, vec![2, 3], "nearest accelerators granted first");
+        // Equidistant remainder falls back to lowest-id (stable) order.
+        let g = p
+            .try_allocate_near(JobId(2), 2, None, Some(NodeId(2)))
+            .unwrap();
+        let ids: Vec<usize> = g.iter().map(|g| g.accel.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn locality_all_equal_distances_is_plain_first_fit() {
+        // A flat fabric (single switch): every distance equal, so the
+        // locality-sorted order must reproduce plain first-fit exactly.
+        let mut p = pool(4);
+        p.set_locality(vec![vec![1; 4]; 4]);
+        let g = p
+            .try_allocate_near(JobId(1), 2, None, Some(NodeId(3)))
+            .unwrap();
+        let ids: Vec<usize> = g.iter().map(|g| g.accel.0).collect();
+        assert_eq!(ids, vec![0, 1]);
         p.check_invariants();
     }
 

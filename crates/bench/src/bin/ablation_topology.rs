@@ -1,0 +1,159 @@
+//! Ablation A12 — the congestion knee of multi-hop interconnects.
+//!
+//! A fixed cluster (16 compute nodes, 16 network-attached accelerators)
+//! sweeps the number of concurrently active CN→accelerator transfer pairs
+//! across the three topology models. On the non-blocking single switch
+//! every pair owns its wires and aggregate goodput scales linearly; on a
+//! fat tree the shared edge-switch uplinks saturate, and on a dragonfly
+//! the inter-group global links do — aggregate goodput flattens at the
+//! knee even though each NIC still has headroom. Per-link telemetry
+//! locates the bottleneck wire by name.
+
+use dacc_bench::json::{write_results, Json};
+use dacc_bench::smoke_truncate;
+use dacc_fabric::payload::Payload;
+use dacc_fabric::topology::{FabricParams, LinkClass, TopologySpec};
+use dacc_runtime::prelude::*;
+use dacc_sim::prelude::*;
+use dacc_vgpu::kernel::KernelRegistry;
+use dacc_vgpu::params::{ExecMode, GpuParams};
+
+const CNS: usize = 16;
+const ACCELS: usize = 16;
+const ROUNDS: u32 = 10;
+const CHUNK: u64 = 8 << 20; // 8 MiB per H2D push
+
+struct RunOut {
+    makespan: SimDuration,
+    agg_mib_s: f64,
+    max_link_util: f64,
+    bottleneck: String,
+    peak_queue: u64,
+}
+
+fn run(topology: TopologySpec, pairs: usize) -> RunOut {
+    let sim = Sim::new();
+    let spec = ClusterSpec {
+        compute_nodes: CNS,
+        accelerators: ACCELS,
+        fabric: FabricParams::qdr_infiniband(),
+        topology,
+        mode: ExecMode::TimingOnly,
+        gpu: GpuParams::tesla_c1060(),
+        ..ClusterSpec::default()
+    };
+    let mut cluster = build_cluster(&sim, spec, KernelRegistry::new());
+    dacc_bench::telem::attach(&cluster);
+    let eps = std::mem::take(&mut cluster.cn_endpoints);
+    let mut sim = sim;
+    for (i, ep) in eps.into_iter().enumerate().take(pairs) {
+        let daemon = cluster.daemon_rank(i);
+        sim.spawn("pair", async move {
+            let accel = RemoteAccelerator::new(ep, daemon, FrontendConfig::default());
+            let buf = accel.mem_alloc(CHUNK).await.unwrap();
+            for _ in 0..ROUNDS {
+                accel
+                    .mem_cpy_h2d(&Payload::size_only(CHUNK), buf)
+                    .await
+                    .unwrap();
+            }
+            let _ = accel.shutdown().await;
+        });
+    }
+    let out = sim.run();
+    let makespan = out.time.since(SimTime::ZERO);
+    let moved = (pairs as u64) * u64::from(ROUNDS) * CHUNK;
+    let agg_mib_s = (moved as f64 / (1 << 20) as f64) / makespan.as_secs_f64();
+    // Locate the hottest wire. Internal links (uplinks, global links) are
+    // the interesting congestion points; the single switch has none, so
+    // fall back to the host wires there.
+    let stats = cluster.fabric.topology().link_stats();
+    let internal = stats
+        .iter()
+        .any(|s| !matches!(s.class, LinkClass::HostTx | LinkClass::HostRx));
+    let (max_link_util, bottleneck, peak_queue) = stats
+        .iter()
+        .filter(|s| !internal || !matches!(s.class, LinkClass::HostTx | LinkClass::HostRx))
+        .map(|s| (s.utilization, s.name.clone(), s.peak_queue))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((0.0, "-".into(), 0));
+    cluster.fabric.topology().publish_link_gauges();
+    RunOut {
+        makespan,
+        agg_mib_s,
+        max_link_util,
+        bottleneck,
+        peak_queue,
+    }
+}
+
+fn main() {
+    println!("# Ablation: congestion knee across interconnect topologies");
+    println!("  {CNS} compute nodes, {ACCELS} network-attached accelerators;");
+    println!("  k active pairs each push {ROUNDS} x 8 MiB H2D concurrently\n");
+    let sweeps = smoke_truncate(vec![1usize, 2, 4, 8, 12, 16], 2);
+    let topologies = [
+        TopologySpec::SingleSwitch,
+        TopologySpec::FatTree { radix: 4 },
+        TopologySpec::Dragonfly { groups: 3 },
+    ];
+    let mut topo_rows = Vec::new();
+    for topo in topologies {
+        println!("## {topo}");
+        println!(
+            "{:>6} {:>14} {:>14} {:>12} {:>10} {:>18}",
+            "pairs", "makespan", "agg MiB/s", "scaling", "max util", "bottleneck"
+        );
+        let mut rows = Vec::new();
+        let mut per_pair_base = None;
+        for &k in &sweeps {
+            let r = run(topo, k);
+            let base = *per_pair_base.get_or_insert(r.agg_mib_s);
+            // 1.0 = perfect linear scaling from the 1-pair run; the knee
+            // is where this falls off a cliff.
+            let scaling = r.agg_mib_s / (base * k as f64);
+            println!(
+                "{k:>6} {:>14} {:>14.1} {scaling:>12.2} {:>10.2} {:>18}",
+                format!("{}", r.makespan),
+                r.agg_mib_s,
+                r.max_link_util,
+                r.bottleneck
+            );
+            rows.push(Json::obj([
+                ("k", Json::from(k)),
+                ("makespan_s", Json::from(r.makespan.as_secs_f64())),
+                ("agg_mib_s", Json::from(r.agg_mib_s)),
+                ("scaling_efficiency", Json::from(scaling)),
+                ("max_link_util", Json::from(r.max_link_util)),
+                ("bottleneck", Json::from(r.bottleneck.as_str())),
+                ("peak_queue", Json::from(r.peak_queue)),
+            ]));
+        }
+        println!();
+        topo_rows.push(Json::obj([
+            ("topology", Json::from(topo.name())),
+            ("runs", Json::Arr(rows)),
+        ]));
+    }
+    write_results(
+        "ablation_topology",
+        &Json::obj([
+            (
+                "title",
+                Json::from("Ablation: congestion knee across interconnect topologies"),
+            ),
+            ("compute_nodes", Json::from(CNS)),
+            ("accelerators", Json::from(ACCELS)),
+            ("rounds", Json::from(u64::from(ROUNDS))),
+            ("chunk_bytes", Json::from(CHUNK)),
+            ("topologies", Json::Arr(topo_rows)),
+        ]),
+    );
+    dacc_bench::telem::write_metrics("ablation_topology");
+    println!(
+        "The single switch scales linearly: every pair owns its wires. The\n\
+         fat tree knees once the active pairs per edge switch exceed its\n\
+         one uplink, and the dragonfly knees at the global links — the\n\
+         bottleneck column names the saturated wire in each case."
+    );
+}

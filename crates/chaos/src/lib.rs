@@ -126,6 +126,24 @@ pub enum Fault {
         /// Beats muted per cycle.
         down: u64,
     },
+    /// Sever one physical link (by topology link id): every frame routed
+    /// over it is lost after serializing, permanently. Unlike
+    /// [`Fault::DropMessages`] this is addressed at the *wire*, not the
+    /// endpoint pair — cutting a fat-tree uplink blackholes every flow that
+    /// routes through it while same-edge traffic keeps flowing.
+    CutLink {
+        /// The topology link id to sever.
+        link: usize,
+    },
+    /// Multiply the serialization time of every frame crossing one
+    /// physical link by `factor` (> 1 models a degraded wire), permanently
+    /// once armed.
+    SlowLink {
+        /// The topology link id to slow.
+        link: usize,
+        /// Serialization-time multiplier.
+        factor: f64,
+    },
 }
 
 impl Fault {
@@ -341,6 +359,33 @@ impl FaultHook for ChaosPlane {
         LinkFault::Deliver
     }
 
+    fn on_link(&self, link: usize, now: SimTime) -> LinkFault {
+        // Note: deliberately does NOT advance the `events` counter —
+        // `AfterEvents` triggers count messages (on_transmit calls), not
+        // per-link consultations, so schedules stay stable across
+        // topologies with different route lengths. No seeded randomness is
+        // drawn here either, for the same reason.
+        let mut st = self.state.lock();
+        arm_due(&mut st, now);
+        if st
+            .active
+            .iter()
+            .any(|f| matches!(f, Fault::CutLink { link: l } if *l == link))
+        {
+            st.counters.drops += 1;
+            return LinkFault::Drop;
+        }
+        for f in &st.active {
+            if let Fault::SlowLink { link: l, factor } = *f {
+                if l == link {
+                    st.counters.degrades += 1;
+                    return LinkFault::Degrade(factor);
+                }
+            }
+        }
+        LinkFault::Deliver
+    }
+
     fn process_state(&self, process: usize, now: SimTime) -> ProcessFault {
         let mut st = self.state.lock();
         arm_due(&mut st, now);
@@ -531,6 +576,34 @@ mod tests {
             pattern,
             vec![true, true, false, false, false, true, true, false, false, false]
         );
+    }
+
+    #[test]
+    fn link_faults_address_wires_not_endpoint_pairs() {
+        let plane = ChaosPlane::new(
+            1,
+            FaultSchedule::new()
+                .at(t(10), Fault::CutLink { link: 12 })
+                .at(
+                    t(10),
+                    Fault::SlowLink {
+                        link: 13,
+                        factor: 3.0,
+                    },
+                ),
+        );
+        // Before arming, every link delivers.
+        assert_eq!(plane.on_link(12, t(5)), LinkFault::Deliver);
+        // Cut and slowed links answer per-wire; others stay healthy.
+        assert_eq!(plane.on_link(12, t(10)), LinkFault::Drop);
+        assert_eq!(plane.on_link(13, t(11)), LinkFault::Degrade(3.0));
+        assert_eq!(plane.on_link(14, t(12)), LinkFault::Deliver);
+        // Permanent once armed.
+        assert_eq!(plane.on_link(12, t(9999)), LinkFault::Drop);
+        // Per-link consultations never advance the message-event counter.
+        assert_eq!(plane.counters().events, 0);
+        assert_eq!(plane.counters().drops, 2);
+        assert_eq!(plane.counters().degrades, 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use dacc_arm::server::{run_arm_server_traced, ArmServerConfig};
 use dacc_arm::state::{inventory, AcceleratorId, AllocPolicy, JobId, Pool, ShareConfig};
 use dacc_fabric::mpi::{Endpoint, Fabric, Rank};
 use dacc_fabric::payload::Payload;
-use dacc_fabric::topology::{FabricParams, NodeId, Topology};
+use dacc_fabric::topology::{FabricParams, NodeId, Topology, TopologySpec};
 use dacc_sim::fault::{FaultHook, ProcessFault};
 use dacc_sim::prelude::*;
 use dacc_vgpu::device::{HostMemKind, VirtualGpu};
@@ -37,6 +37,12 @@ pub struct ClusterSpec {
     pub local_gpus: bool,
     /// Interconnect parameters.
     pub fabric: FabricParams,
+    /// Interconnect wiring model. Defaults to [`TopologySpec::from_env`]:
+    /// `SingleSwitch` unless the `DACC_TOPOLOGY` environment variable
+    /// selects `fattree[:radix]` or `dragonfly[:groups]`, so a CI matrix
+    /// can steer every cluster-built test onto a multi-hop fabric without
+    /// code changes.
+    pub topology: TopologySpec,
     /// GPU hardware parameters (same for local and network-attached).
     pub gpu: GpuParams,
     /// Functional or timing-only execution.
@@ -65,6 +71,7 @@ impl Default for ClusterSpec {
             accelerators: 3,
             local_gpus: false,
             fabric: FabricParams::qdr_infiniband(),
+            topology: TopologySpec::from_env(),
             gpu: GpuParams::tesla_c1060(),
             mode: ExecMode::Functional,
             daemon: DaemonConfig::default(),
@@ -162,9 +169,14 @@ pub fn build_cluster_chaos(
         });
     }
     let total_nodes = 1 + spec.compute_nodes + spec.accelerators;
-    let topo = Topology::new(&h, total_nodes, spec.fabric);
+    let topo = Topology::with_spec(&h, total_nodes, spec.fabric, spec.topology);
     topo.set_tracer(tracer.clone());
     topo.set_fault_hook(fault.clone());
+    // Link-locality hint for the ARM: hop distances between every node
+    // pair, so FirstFit can prefer accelerators close to the requester.
+    // On the single switch every distance is equal and placement is
+    // unchanged.
+    let hop_matrix = topo.hop_matrix();
     let fabric = Fabric::new(&h, topo);
 
     // Control-batch unbundler: a daemon with `ctrl_batch` on packs several
@@ -245,6 +257,7 @@ pub fn build_cluster_chaos(
 
     // The ARM's pool over the daemons.
     let mut pool = Pool::with_policy(inventory(&daemon_nodes, &daemon_ranks), spec.alloc_policy);
+    pool.set_locality(hop_matrix);
     if let Some(hc) = spec.health {
         pool.set_health(hc);
     }

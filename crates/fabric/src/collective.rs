@@ -52,16 +52,27 @@ pub async fn bcast(
     } else {
         vrank.trailing_zeros()
     };
+    let mut children = Vec::new();
     let mut k = 0u32;
     while (1usize << k) < p {
         if k < lowest {
             let child_v = vrank | (1 << k);
             if child_v != vrank && child_v < p {
-                let child = group[(child_v + root_index) % p];
-                ep.send(child, coll_tags::BCAST, data.clone()).await;
+                children.push(group[(child_v + root_index) % p]);
             }
         }
         k += 1;
+    }
+    // Topology-aware ordering: start the farthest child's subtree first so
+    // long routes overlap with the shorter sends. The sort is stable and
+    // descending, so an all-equal-distance fabric (the single switch)
+    // keeps the classic ascending-k order exactly.
+    let fabric = ep.fabric();
+    let my_node = fabric.node_of(ep.rank());
+    children
+        .sort_by_key(|&c| std::cmp::Reverse(fabric.topology().hops(my_node, fabric.node_of(c))));
+    for child in children {
+        ep.send(child, coll_tags::BCAST, data.clone()).await;
     }
     // `data` is consumed by the sends only as clones. Normalize to a
     // contiguous payload on return (zero-copy unless the caller handed
@@ -190,6 +201,38 @@ mod tests {
                         "rank {i}, n={n}, root={root}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_on_multihop_topologies() {
+        use crate::topology::TopologySpec;
+        for spec in [
+            TopologySpec::FatTree { radix: 2 },
+            TopologySpec::Dragonfly { groups: 3 },
+        ] {
+            let n = 8;
+            let sim = Sim::new();
+            let h = sim.handle();
+            let topo = Topology::with_spec(&h, n, FabricParams::qdr_infiniband(), spec);
+            let fabric = Fabric::new(&h, topo);
+            let eps: Vec<Endpoint> = (0..n).map(|i| fabric.add_endpoint(NodeId(i))).collect();
+            let ranks: Vec<Rank> = eps.iter().map(|e| e.rank()).collect();
+            let mut sim = sim;
+            let got = Rc::new(RefCell::new(vec![Vec::new(); n]));
+            for (i, ep) in eps.into_iter().enumerate() {
+                let group = ranks.clone();
+                let got = Rc::clone(&got);
+                sim.spawn("p", async move {
+                    let payload = (i == 0).then(|| Payload::from_vec(vec![42, 1, 2]));
+                    let out = bcast(&ep, &group, 0, payload).await;
+                    got.borrow_mut()[i] = out.expect_bytes().to_vec();
+                });
+            }
+            sim.run();
+            for (i, v) in got.borrow().iter().enumerate() {
+                assert_eq!(v, &vec![42, 1, 2], "rank {i} on {spec:?}");
             }
         }
     }

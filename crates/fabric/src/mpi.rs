@@ -208,6 +208,8 @@ impl Fabric {
         self.inner
             .telemetry_on
             .store(tele.is_enabled(), Ordering::Release);
+        // The topology records per-link traffic into the same handle.
+        self.topo.set_telemetry(tele.clone());
         *self.inner.telemetry.lock() = tele;
     }
 

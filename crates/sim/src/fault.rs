@@ -52,6 +52,18 @@ pub trait FaultHook {
         LinkFault::Deliver
     }
 
+    /// Called once per link on a message's route (topology link ids),
+    /// before any wire time, when a hook is installed. Lets a controller
+    /// cut or slow one physical link — an edge-switch uplink, a dragonfly
+    /// global link, one NIC direction — independently of the endpoint-pair
+    /// filters of [`FaultHook::on_transmit`]. Implementations must not
+    /// consume seeded randomness or event counters here unless they accept
+    /// that richer topologies (more links per route) shift the sequence.
+    fn on_link(&self, link: usize, now: SimTime) -> LinkFault {
+        let _ = (link, now);
+        LinkFault::Deliver
+    }
+
     /// Called by a process identified by `process` (rank, by convention)
     /// at the top of each service iteration.
     fn process_state(&self, process: usize, now: SimTime) -> ProcessFault {

@@ -598,4 +598,169 @@ proptest! {
             prop_assert_eq!(p.expect_bytes().as_ref(), data.as_slice());
         }
     }
+
+    /// Every route a topology model computes is well-formed: it starts on
+    /// the source's TX wire, ends on the destination's RX wire, stays
+    /// inside the link table, and never revisits a link (loop-free).
+    #[test]
+    fn topology_routes_valid_and_loop_free(
+        kind in 0u8..3,
+        param in 1usize..6,
+        nodes in 2usize..16,
+    ) {
+        use dacc_fabric::topology::{host_rx_link, host_tx_link, TopologySpec};
+        let spec = match kind {
+            0 => TopologySpec::SingleSwitch,
+            1 => TopologySpec::FatTree { radix: param },
+            _ => TopologySpec::Dragonfly { groups: param },
+        };
+        let model = spec.model(nodes);
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    prop_assert_eq!(model.hops(src, dst), 0);
+                    continue;
+                }
+                let route = model.route(src, dst);
+                prop_assert!(!route.is_empty(), "{spec}: empty route {src}->{dst}");
+                prop_assert_eq!(model.hops(src, dst), route.len());
+                prop_assert!(
+                    route[0].contains(&host_tx_link(src)),
+                    "{spec}: route {src}->{dst} skips the source TX wire"
+                );
+                prop_assert!(
+                    route[route.len() - 1].contains(&host_rx_link(dst)),
+                    "{spec}: route {src}->{dst} misses the destination RX wire"
+                );
+                let mut seen = std::collections::HashSet::new();
+                for step in &route {
+                    prop_assert!(!step.is_empty(), "{spec}: empty step {src}->{dst}");
+                    for &l in step {
+                        prop_assert!(
+                            l < model.link_count(),
+                            "{spec}: link {l} out of range {src}->{dst}"
+                        );
+                        prop_assert!(
+                            seen.insert(l),
+                            "{spec}: route {src}->{dst} revisits link {l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-link byte accounting conserves the message: every link on the
+    /// route records exactly the wire size (payload + header) once, and no
+    /// off-route link records anything.
+    #[test]
+    fn topology_per_link_byte_conservation(
+        kind in 0u8..3,
+        param in 1usize..6,
+        nodes in 2usize..10,
+        end_a: u8,
+        end_b: u8,
+        len in 0u64..100_000,
+    ) {
+        use dacc_fabric::prelude::*;
+        use dacc_fabric::topology::TopologySpec;
+        let spec = match kind {
+            0 => TopologySpec::SingleSwitch,
+            1 => TopologySpec::FatTree { radix: param },
+            _ => TopologySpec::Dragonfly { groups: param },
+        };
+        let src = end_a as usize % nodes;
+        let mut dst = end_b as usize % nodes;
+        if dst == src {
+            dst = (dst + 1) % nodes;
+        }
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let params = FabricParams::qdr_infiniband();
+        let topo = Topology::with_spec(&h, nodes, params, spec);
+        let t = topo.clone();
+        sim.spawn("tx", async move {
+            let flag = t.transmit(NodeId(src), NodeId(dst), len).await;
+            flag.wait().await;
+        });
+        sim.run();
+        let wire = len + params.header_bytes;
+        let on_route: std::collections::HashSet<usize> = topo
+            .route_of(NodeId(src), NodeId(dst))
+            .into_iter()
+            .flatten()
+            .collect();
+        for (l, s) in topo.link_stats().into_iter().enumerate() {
+            if on_route.contains(&l) {
+                prop_assert_eq!(s.bytes, wire, "{spec}: link {l} ({}) bytes", s.name);
+                prop_assert_eq!(s.msgs, 1, "{spec}: link {l} ({}) msgs", s.name);
+            } else {
+                prop_assert_eq!(s.bytes, 0, "{spec}: off-route link {l} ({})", s.name);
+                prop_assert_eq!(s.msgs, 0, "{spec}: off-route link {l} ({})", s.name);
+            }
+        }
+    }
+
+    /// Unloaded virtual time follows the closed form on every model: the
+    /// sender resumes after one serialization, and arrival lands at
+    /// `hops x (serialization + latency)`. With one hop this is exactly the
+    /// legacy single-switch fabric's `serialize + propagate` timing, so the
+    /// default model reproduces archived virtual-time results.
+    #[test]
+    fn topology_unloaded_timing_closed_form(
+        kind in 0u8..3,
+        param in 1usize..6,
+        nodes in 2usize..10,
+        end_a: u8,
+        end_b: u8,
+        len in 1u64..4_000_000,
+    ) {
+        use dacc_fabric::prelude::*;
+        use dacc_fabric::topology::TopologySpec;
+        let spec = match kind {
+            0 => TopologySpec::SingleSwitch,
+            1 => TopologySpec::FatTree { radix: param },
+            _ => TopologySpec::Dragonfly { groups: param },
+        };
+        let src = end_a as usize % nodes;
+        let mut dst = end_b as usize % nodes;
+        if dst == src {
+            dst = (dst + 1) % nodes;
+        }
+        let params = FabricParams {
+            latency: SimDuration::from_micros(2),
+            bandwidth: Bandwidth::from_bytes_per_sec(1e9),
+            per_message: SimDuration::ZERO,
+            eager_threshold: 12 * 1024,
+            o_send: SimDuration::ZERO,
+            o_recv: SimDuration::ZERO,
+            header_bytes: 0,
+            switch_bandwidth: None,
+        };
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let topo = Topology::with_spec(&h, nodes, params, spec);
+        let hops = topo.hops(NodeId(src), NodeId(dst));
+        let t = topo.clone();
+        let hh = h.clone();
+        let times = sim.spawn("tx", async move {
+            let flag = t.transmit(NodeId(src), NodeId(dst), len).await;
+            let resumed = hh.now();
+            flag.wait().await;
+            (resumed, hh.now())
+        });
+        sim.run();
+        let (resumed, arrived) = times.try_take().expect("transmit did not finish");
+        let ser = params.bandwidth.transfer_time(len);
+        prop_assert_eq!(resumed.since(SimTime::ZERO), ser, "{spec}: sender resume");
+        let mut expect = SimDuration::ZERO;
+        for _ in 0..hops {
+            expect = expect + ser + params.latency;
+        }
+        prop_assert_eq!(
+            arrived.since(SimTime::ZERO),
+            expect,
+            "{spec}: arrival at {hops} hops"
+        );
+    }
 }
